@@ -1,0 +1,65 @@
+"""Figure 3 — Cart_alltoall vs MPI_Neighbor_alltoall, Hydra / Open MPI.
+
+``test_figure3_regenerate`` reruns the full modeled experiment (four
+(d, n) panels × three block sizes × four variants, with the paper's
+repetition counts and the Appendix A statistics), emits the rendered
+figure, and asserts the reproduction criteria of EXPERIMENTS.md.
+``test_real_execution_*`` additionally measure the *actual* Python
+implementation on the threaded engine at laptop scale, confirming the
+round-count advantage exists in running code and not only in the model.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.core.api import run_cartesian
+from repro.core.stencils import parameterized_stencil
+from repro.experiments import figures345
+from repro.mpisim.engine import Engine
+
+
+def test_figure3_regenerate(benchmark):
+    result = benchmark.pedantic(
+        lambda: figures345.run(3), rounds=1, iterations=1
+    )
+    text = figures345.render(result)
+    write_artifact("figure3.txt", text)
+    print("\n" + text)
+    # reproduction criteria (see EXPERIMENTS.md)
+    for (d, n), m in [((3, 3), 1), ((3, 5), 1), ((5, 3), 1), ((5, 5), 1)]:
+        assert result.points[(d, n, m)].relative["Cart_alltoall"] < 1.0
+    assert result.points[(5, 5, 1)].absolute_ms("MPI_Neighbor_alltoall") > 100
+
+
+@pytest.mark.parametrize("m_ints", [1, 100])
+def test_real_execution_combining(benchmark, m_ints):
+    _bench_real(benchmark, "combining", m_ints)
+
+
+@pytest.mark.parametrize("m_ints", [1, 100])
+def test_real_execution_trivial(benchmark, m_ints):
+    _bench_real(benchmark, "trivial", m_ints)
+
+
+@pytest.mark.parametrize("m_ints", [1, 100])
+def test_real_execution_direct(benchmark, m_ints):
+    _bench_real(benchmark, "direct", m_ints)
+
+
+def _bench_real(benchmark, algorithm, m_ints, dims=(4, 4)):
+    """One full collective over the threaded engine per iteration."""
+    nbh = parameterized_stencil(2, 3, -1)
+    p = int(np.prod(dims))
+    engine = Engine(p, timeout=120)
+
+    def fn(cart):
+        t = cart.nbh.t
+        send = np.zeros(t * m_ints, dtype=np.int32)
+        recv = np.zeros_like(send)
+        cart.alltoall(send, recv, algorithm=algorithm)
+
+    def one_round():
+        run_cartesian(dims, nbh, fn, engine=engine, validate=False)
+
+    benchmark.pedantic(one_round, rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,41 @@
+"""Figure 4 — Cart_alltoall vs MPI_Neighbor_alltoall, Hydra / Intel MPI.
+
+Same panels as Figure 3 under the Intel MPI 2018 machine model (32×32
+processes).  The published anomaly to reproduce: both the blocking and
+the non-blocking library baselines blow up at d=5, n=5 (t=3125), where
+Intel MPI and Open MPI behave alike; Intel MPI's blocking and
+non-blocking entry points are otherwise on par (the paper: "For Intel
+MPI, blocking and non-blocking neighborhood collectives are on par").
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.experiments import figures345
+
+
+def test_figure4_regenerate(benchmark):
+    result = benchmark.pedantic(
+        lambda: figures345.run(4), rounds=1, iterations=1
+    )
+    text = figures345.render(result)
+    write_artifact("figure4.txt", text)
+    print("\n" + text)
+    # blocking vs non-blocking on par (within 10%) outside the pathology
+    for d, n in [(3, 3), (3, 5), (5, 3)]:
+        for m in (1, 10, 100):
+            rel = result.points[(d, n, m)].relative["MPI_Ineighbor_alltoall"]
+            assert 0.8 < rel < 1.25, (d, n, m, rel)
+    # pathology at t=3125 for both entry points
+    p55 = result.points[(5, 5, 1)]
+    assert p55.absolute_ms("MPI_Neighbor_alltoall") > 100
+    assert p55.absolute_ms("MPI_Ineighbor_alltoall") > 100
+    # message combining far ahead at small blocks
+    assert p55.relative["Cart_alltoall"] < 0.05
+
+
+def test_figure4_combining_wins_small_blocks(benchmark):
+    result = benchmark.pedantic(
+        lambda: figures345.run(4, repetitions=20), rounds=1, iterations=1
+    )
+    for (d, n, m), point in result.points.items():
+        if m == 1:
+            assert point.relative["Cart_alltoall"] < 1.0, (d, n)

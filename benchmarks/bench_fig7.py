@@ -1,0 +1,43 @@
+"""Figure 7 — Cart_alltoall run-time distributions on Titan.
+
+Regenerates both histograms (128×16 and 1024×16 processes, N:3 d:3
+m:1, 300 repetitions) and asserts the qualitative contrast: the small
+scale is tight, the large scale disperses with a heavy right tail
+(system noise, not algorithm structure — Appendix A's conclusion).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_artifact
+from repro.experiments import figure7
+from repro.stats.distributions import dispersion_ratio
+
+
+def test_figure7_regenerate(benchmark):
+    result = benchmark.pedantic(figure7.run, rounds=1, iterations=1)
+    text = figure7.render(result)
+    write_artifact("figure7.txt", text)
+    print("\n" + text)
+
+    small = np.asarray(result.samples["128x16"])
+    large = np.asarray(result.samples["1024x16"])
+    assert dispersion_ratio(large) > 2 * dispersion_ratio(small)
+    # heavy right tail only at scale
+    assert np.percentile(large, 90) / np.median(large) > 2 * (
+        np.percentile(small, 90) / np.median(small)
+    )
+    # medians of the same order: the noise moves the tail, not the bulk
+    assert np.median(large) < 5 * np.median(small)
+
+
+def test_figure7_seed_stability(benchmark):
+    """The sampled distributions are deterministic per seed."""
+
+    def both():
+        a = figure7.run(seed=11, repetitions=60)
+        b = figure7.run(seed=11, repetitions=60)
+        return a, b
+
+    a, b = benchmark.pedantic(both, rounds=1, iterations=1)
+    for scale in a.samples:
+        assert np.array_equal(a.samples[scale], b.samples[scale])

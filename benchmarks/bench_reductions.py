@@ -1,0 +1,127 @@
+"""Extension bench: Cartesian neighborhood reductions.
+
+Mirrors the Figure 3–6 methodology for the reduction extension: the
+reverse-tree combining algorithm vs the trivial gather-then-reduce,
+modeled on the Table 2 machines, plus real threaded executions at
+laptop scale and a locality ablation tying the remap extension to the
+network model.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.core.api import run_cartesian
+from repro.core.reduce_schedule import build_reduce_schedule
+from repro.core.stencils import moore_neighborhood, parameterized_stencil
+from repro.mpisim.engine import Engine
+from repro.netsim.machines import get_machine
+
+
+def modeled_reduce_times(nbh, m_bytes, machine):
+    """Closed-form times from the schedules' round/volume structure
+    (one α per phase, per-round overheads, β per byte — the same model
+    as repro.netsim.cost, specialized to the reduce schedule shape)."""
+    c = machine.costs("cart")
+    sched = build_reduce_schedule(nbh)
+    combining = 0.0
+    for phase in sched.phases:
+        combining += machine.alpha
+        for rnd in phase.rounds:
+            combining += 2 * c.request_overhead
+            combining += machine.beta * len(rnd.edges) * m_bytes
+    trivial = nbh.trivial_rounds * (
+        machine.alpha + 2 * c.request_overhead + machine.beta * m_bytes
+    )
+    return {"trivial": trivial, "combining": combining, "schedule": sched}
+
+
+@pytest.mark.parametrize("d,n", [(2, 3), (3, 3), (5, 3), (5, 5)])
+def test_modeled_reduction_comparison(benchmark, d, n):
+    nbh = parameterized_stencil(d, n, -1)
+    machine = get_machine("hydra-openmpi")
+
+    def sweep():
+        return {
+            m_ints: modeled_reduce_times(nbh, 4 * m_ints, machine)
+            for m_ints in (1, 10, 100)
+        }
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = []
+    for m_ints, row in out.items():
+        rel = row["combining"] / row["trivial"]
+        lines.append(
+            f"d{d} n{n} m{m_ints}: trivial={row['trivial'] * 1e6:.1f}us "
+            f"combining={row['combining'] * 1e6:.1f}us rel={rel:.4f}"
+        )
+        # same volume, exponentially fewer rounds: combining always wins
+        assert rel < 1.0, (d, n, m_ints, rel)
+    write_artifact(f"reduction_d{d}n{n}.txt", "\n".join(lines))
+    print("\n" + "\n".join(lines))
+
+
+def test_real_reduction_execution(benchmark):
+    nbh = moore_neighborhood(2, 1)
+    engine = Engine(16, timeout=120)
+
+    def fn(cart):
+        send = np.full(8, float(cart.rank))
+        recv = np.zeros(8)
+        cart.reduce_neighbors(send, recv, op="sum", algorithm="combining")
+
+    benchmark.pedantic(
+        lambda: run_cartesian((4, 4), nbh, fn, engine=engine, validate=False),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+
+
+def test_locality_aware_model(benchmark):
+    """Tie-in of the remap extension: the modeled collective time under
+    the best blocked mapping vs the identity mapping (the reorder
+    payoff the measured libraries leave on the table)."""
+    from repro.core.remap import (
+        best_blocked_mapping,
+        identity_mapping,
+        traffic_locality,
+    )
+    from repro.core.topology import CartTopology
+    from repro.core.alltoall_schedule import build_alltoall_schedule
+    from repro.core.schedule import uniform_block_layout
+    from repro.netsim.cost import estimate_schedule_time
+
+    def sweep():
+        machine = get_machine("hydra-openmpi")
+        topo = CartTopology((32, 36))
+        nbh = parameterized_stencil(2, 3, -1, include_self=False)
+        rpn = 32
+        sizes = [400] * nbh.t
+        sched = build_alltoall_schedule(
+            nbh,
+            uniform_block_layout(sizes, "send"),
+            uniform_block_layout(sizes, "recv"),
+        )
+        ident_loc = traffic_locality(topo, nbh, identity_mapping(topo), rpn)
+        _, shape, best_loc = best_blocked_mapping(topo, nbh, rpn)
+        t_ident = estimate_schedule_time(
+            sched, machine.with_locality(ident_loc), "cart"
+        )
+        t_best = estimate_schedule_time(
+            sched, machine.with_locality(best_loc), "cart"
+        )
+        return ident_loc, best_loc, shape, t_ident, t_best
+
+    ident_loc, best_loc, shape, t_ident, t_best = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+    text = (
+        f"identity mapping:  locality={ident_loc:.3f} "
+        f"modeled time={t_ident * 1e6:.1f}us\n"
+        f"blocked {shape}:   locality={best_loc:.3f} "
+        f"modeled time={t_best * 1e6:.1f}us\n"
+        f"speedup from reordering: {t_ident / t_best:.2f}x"
+    )
+    write_artifact("reduction_locality.txt", text)
+    print("\n" + text)
+    assert best_loc > ident_loc
+    assert t_best < t_ident

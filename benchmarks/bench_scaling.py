@@ -1,0 +1,45 @@
+"""Supplementary scaling benches (see repro.experiments.scaling):
+process-count scaling of the combining advantage and the block-size
+crossover versus the Table 1 cut-off prediction."""
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.scaling import crossover_sweep, process_scaling
+
+
+def test_process_scaling(benchmark):
+    result = benchmark.pedantic(
+        lambda: process_scaling(proc_counts=(64, 256, 1024, 4096, 16384)),
+        rounds=1, iterations=1,
+    )
+    lines = [
+        f"p={p}: combining/direct={rel:.3f} baseline-spread={spread:.3f}"
+        for p, (rel, spread) in result.by_procs.items()
+    ]
+    text = "\n".join(lines)
+    write_artifact("scaling_procs.txt", text)
+    print("\n" + text)
+    ratios = [rel for rel, _ in result.by_procs.values()]
+    assert all(r < 1.0 for r in ratios)
+    assert max(ratios) - min(ratios) < 0.1
+
+
+def test_crossover_sweep(benchmark):
+    sweeps = benchmark.pedantic(
+        lambda: [
+            crossover_sweep("hydra-openmpi", d, n)
+            for d, n in [(2, 3), (3, 3), (5, 3)]
+        ],
+        rounds=1, iterations=1,
+    )
+    lines = []
+    for sweep in sweeps:
+        wins = [m for m, r in sweep["ratios"].items() if r < 1.0]
+        lines.append(
+            f"d={sweep['d']} n={sweep['n']}: crossover after m={max(wins)} "
+            f"ints (cut-off rule predicts "
+            f"{sweep['predicted_cutoff_ints']:.0f})"
+        )
+        assert wins
+    text = "\n".join(lines)
+    write_artifact("scaling_crossover.txt", text)
+    print("\n" + text)

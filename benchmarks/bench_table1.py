@@ -1,0 +1,78 @@
+"""Table 1 regeneration + schedule-construction cost (Proposition 3.1).
+
+``test_table1_regenerate`` emits the full table and verifies every cell
+against the published values.  The remaining benchmarks time schedule
+construction itself: Proposition 3.1 claims O(td) — construction cost
+per neighbor entry must stay flat as t grows, which
+``test_construction_scaling_linear`` checks explicitly.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.core.alltoall_schedule import build_alltoall_schedule
+from repro.core.allgather_schedule import build_allgather_schedule
+from repro.core.schedule import uniform_block_layout
+from repro.core.stencils import parameterized_stencil
+from repro.experiments import table1
+from repro.mpisim.datatypes import BlockRef, BlockSet
+
+
+def test_table1_regenerate(benchmark):
+    def make():
+        return table1.run()
+
+    rows = benchmark(make)
+    assert all(r.matches_paper() for r in rows)
+    text = "\n".join(
+        f"d={r.d} n={r.n}: t={r.t_trivial_rounds} C={r.combining_rounds} "
+        f"Vag={r.allgather_volume} Va2a={r.alltoall_volume} "
+        f"ratio={r.cutoff_ratio:.3f}"
+        for r in rows
+    )
+    write_artifact("table1.txt", text)
+    print("\n" + text)
+
+
+@pytest.mark.parametrize("d,n", [(3, 3), (4, 4), (5, 3), (5, 5)])
+def test_alltoall_schedule_construction(benchmark, d, n):
+    nbh = parameterized_stencil(d, n, -1)
+    sizes = [4] * nbh.t
+    send = uniform_block_layout(sizes, "send")
+    recv = uniform_block_layout(sizes, "recv")
+    sched = benchmark(build_alltoall_schedule, nbh, send, recv)
+    assert sched.volume_blocks == nbh.alltoall_volume
+
+
+@pytest.mark.parametrize("d,n", [(3, 3), (4, 4), (5, 3), (5, 5)])
+def test_allgather_schedule_construction(benchmark, d, n):
+    nbh = parameterized_stencil(d, n, -1)
+    send = BlockSet([BlockRef("send", 0, 4)])
+    recv = uniform_block_layout([4] * nbh.t, "recv")
+    sched = benchmark(build_allgather_schedule, nbh, send, recv)
+    assert sched.num_rounds == nbh.combining_rounds
+
+
+def test_construction_scaling_linear(benchmark):
+    """O(td): per-neighbor construction cost flat within a generous
+    factor between t=243 (d=5,n=3) and t=3125 (d=5,n=5)."""
+
+    def measure(d, n, reps=3):
+        nbh = parameterized_stencil(d, n, -1)
+        sizes = [4] * nbh.t
+        send = uniform_block_layout(sizes, "send")
+        recv = uniform_block_layout(sizes, "recv")
+        best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            build_alltoall_schedule(nbh, send, recv)
+            best = min(best, time.perf_counter() - t0)
+        return best / nbh.t
+
+    def both():
+        return measure(5, 3), measure(5, 5)
+
+    small, large = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert large < small * 8, (small, large)

@@ -1,0 +1,22 @@
+"""Benchmark-harness helpers.
+
+Every benchmark regenerating a paper artifact writes its rendered
+text/CSV into ``benchmarks/out/`` (stdout is captured by pytest; run
+with ``-s`` to also see the tables inline).
+"""
+
+from __future__ import annotations
+
+import os
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def write_artifact(name: str, text: str) -> str:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, name)
+    with open(path, "w") as fh:
+        fh.write(text)
+        if not text.endswith("\n"):
+            fh.write("\n")
+    return path

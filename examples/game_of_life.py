@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Conway's Game of Life on a distributed periodic grid.
+
+A glider crosses process boundaries for 24 generations on a 2×2 process
+torus; the distributed evolution (Moore-neighborhood halo exchange per
+generation) is checked against the serial periodic evolution, and a few
+frames are printed.
+
+Run:  python examples/game_of_life.py
+"""
+
+import numpy as np
+
+from repro import moore_neighborhood, run_cartesian
+from repro.core.topology import CartTopology
+from repro.stencil.apps import DistributedStencil
+from repro.stencil.decomp import GridDecomposition
+from repro.stencil.kernels import glider, life_step_global, life_step_local
+
+DIMS = (2, 2)
+GRID = (16, 16)
+GENERATIONS = 24
+
+
+def render(grid: np.ndarray) -> str:
+    return "\n".join("".join("#" if c else "." for c in row) for row in grid)
+
+
+def main():
+    topo = CartTopology(DIMS)
+    decomp = GridDecomposition(topo, GRID)
+    start = glider(GRID)
+
+    ref = start.copy()
+    snapshots = {0: ref.copy()}
+    for gen in range(1, GENERATIONS + 1):
+        ref = life_step_global(ref)
+        snapshots[gen] = ref.copy()
+
+    blocks = decomp.scatter(start)
+    nbh = moore_neighborhood(2, 1, include_self=False)
+
+    def worker(cart):
+        st = DistributedStencil(
+            cart,
+            decomp,
+            blocks[cart.rank],
+            lambda g: life_step_local(g, 1),
+            depth=1,
+            algorithm="combining",
+        )
+        return st.run(GENERATIONS)
+
+    results = run_cartesian(DIMS, nbh, worker)
+    final = decomp.gather(results)
+
+    assert np.array_equal(final, snapshots[GENERATIONS]), "evolution mismatch"
+    print(f"generation 0:\n{render(start)}\n")
+    print(f"generation {GENERATIONS} (distributed == serial):\n{render(final)}\n")
+    alive = int(final.sum())
+    print(f"glider intact after {GENERATIONS} generations across process "
+          f"boundaries: {alive} live cells")
+
+
+if __name__ == "__main__":
+    main()

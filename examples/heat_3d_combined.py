@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""3-D heat diffusion with the 27-point neighborhood and the combined
+halo exchange — the large-stencil scenario the paper's introduction
+motivates, end to end.
+
+A 12³ periodic domain with a hot core, distributed over a 2×2×2 process
+torus, 30 explicit Euler steps.  The run is planned first: the example
+prints the round/volume comparison for the three halo strategies and
+the cut-off-based algorithm choice for this block size, then executes
+with the combined schedule and validates against the serial solution.
+
+Run:  python examples/heat_3d_combined.py
+"""
+
+import numpy as np
+
+from repro import moore_neighborhood, run_cartesian
+from repro.core.cartcomm import select_algorithm
+from repro.core.topology import CartTopology
+from repro.netsim.machines import get_machine
+from repro.stencil.apps import DistributedStencil
+from repro.stencil.decomp import GridDecomposition
+from repro.stencil.kernels import (
+    heat_weights,
+    weighted_stencil_global,
+    weighted_stencil_local,
+)
+from repro.stencil.optimized_halo import halo_volume_comparison
+
+DIMS = (2, 2, 2)
+GRID = (12, 12, 12)
+STEPS = 30
+NU = 0.05
+
+
+def plan():
+    nbh = moore_neighborhood(3, 1, include_self=False)
+    print(f"27-point stencil: t={nbh.t}, combining rounds C="
+          f"{nbh.combining_rounds}, alltoall volume V={nbh.alltoall_volume}")
+    machine = get_machine("hydra-openmpi")
+    interior = tuple(g // d for g, d in zip(GRID, DIMS))
+    block_bytes = 8 * interior[1] * interior[2]  # one face slab
+    pick = select_algorithm(
+        nbh, "alltoall", block_bytes, machine.alpha, machine.beta
+    )
+    print(f"cut-off rule picks {pick!r} for ~{block_bytes} B face blocks "
+          f"on {machine.name}")
+    print("\nhalo strategies for the local block:")
+    for name, v in halo_volume_comparison(interior, 1, 8).items():
+        print(f"  {name:24s} rounds={v['rounds']:2d} bytes={v['bytes']}")
+    print()
+
+
+def main():
+    plan()
+    rng = np.random.default_rng(0)
+    init = np.zeros(GRID)
+    init[4:8, 4:8, 4:8] = 100.0
+    init += rng.random(GRID)  # a little texture
+
+    weights = heat_weights(3, NU)
+    ref = init.copy()
+    for _ in range(STEPS):
+        ref = weighted_stencil_global(ref, weights)
+
+    topo = CartTopology(DIMS)
+    decomp = GridDecomposition(topo, GRID)
+    blocks = decomp.scatter(init)
+    nbh = moore_neighborhood(3, 1, include_self=False)
+
+    def worker(cart):
+        st = DistributedStencil(
+            cart, decomp, blocks[cart.rank],
+            lambda g: weighted_stencil_local(g, weights, 1),
+            depth=1, halo="combined",
+        )
+        return st.run(STEPS)
+
+    final = decomp.gather(run_cartesian(DIMS, nbh, worker, timeout=300))
+    err = np.abs(final - ref).max()
+    print(f"distributed (combined halo) vs serial after {STEPS} steps: "
+          f"max |err| = {err:.3e}")
+    assert err < 1e-9
+    print(f"energy conserved: {init.sum():.3f} -> {final.sum():.3f}")
+    print(f"hot-core peak decayed 100 -> {final.max():.2f}")
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""2-D heat diffusion on a distributed grid, validated against the
+serial solution.
+
+A hot square in the middle of a periodic 24×24 grid diffuses for 50
+explicit Euler steps.  The grid is block-distributed over a 3×2 process
+torus; every step performs one Cart_alltoallw halo exchange (the
+5-point / von-Neumann neighborhood suffices for the 2d+1-point
+Laplacian, but we use the full Moore neighborhood so corners flow
+through the message-combining schedule too).
+
+Run:  python examples/heat_diffusion.py
+"""
+
+import numpy as np
+
+from repro import moore_neighborhood, run_cartesian
+from repro.core.topology import CartTopology
+from repro.stencil.apps import DistributedStencil
+from repro.stencil.decomp import GridDecomposition
+from repro.stencil.kernels import (
+    heat_weights,
+    weighted_stencil_global,
+    weighted_stencil_local,
+)
+
+DIMS = (3, 2)
+GRID = (24, 24)
+STEPS = 50
+NU = 0.12
+
+
+def initial_grid() -> np.ndarray:
+    g = np.zeros(GRID)
+    g[9:15, 9:15] = 100.0
+    return g
+
+
+def main():
+    topo = CartTopology(DIMS)
+    decomp = GridDecomposition(topo, GRID)
+    weights = heat_weights(2, NU)
+    init = initial_grid()
+
+    # serial reference
+    ref = init.copy()
+    for _ in range(STEPS):
+        ref = weighted_stencil_global(ref, weights)
+
+    blocks = decomp.scatter(init)
+    nbh = moore_neighborhood(2, 1, include_self=False)
+
+    def worker(cart):
+        st = DistributedStencil(
+            cart,
+            decomp,
+            blocks[cart.rank],
+            lambda g: weighted_stencil_local(g, weights, 1),
+            depth=1,
+            algorithm="combining",
+        )
+        return st.run(STEPS)
+
+    results = run_cartesian(DIMS, nbh, worker)
+    final = decomp.gather(results)
+    err = np.abs(final - ref).max()
+    print(f"distributed vs serial after {STEPS} steps: max |err| = {err:.3e}")
+    assert err < 1e-10, "distributed solution diverged from the serial one"
+
+    total0, total1 = init.sum(), final.sum()
+    print(f"heat conserved: {total0:.6f} -> {total1:.6f} (periodic domain)")
+    peak = final.max()
+    print(f"peak temperature decayed from 100.0 to {peak:.3f}")
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

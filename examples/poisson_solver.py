@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""A complete distributed application: Jacobi Poisson solver.
+
+Solves −Δu = f on a 12×12 grid with homogeneous Dirichlet boundaries,
+block-distributed over a 2×2 non-periodic process mesh.  Every
+iteration performs one Cartesian halo exchange; every 10th iteration an
+allreduce computes the global residual — the sparse+dense collective
+mix of production stencil codes.  The result is validated against a
+direct dense solve of the same discrete system.
+
+Run:  python examples/poisson_solver.py
+"""
+
+import numpy as np
+
+from repro import moore_neighborhood, run_cartesian
+from repro.core.topology import CartTopology
+from repro.stencil.decomp import GridDecomposition
+from repro.stencil.solvers import jacobi_poisson_2d, poisson_reference_2d
+
+DIMS = (2, 2)
+GRID = (12, 12)
+
+
+def main():
+    rng = np.random.default_rng(1)
+    f = np.zeros(GRID)
+    f[3, 3] = 25.0   # a point source…
+    f[8, 9] = -25.0  # …and a sink
+    f += 0.1 * rng.random(GRID)
+
+    topo = CartTopology(DIMS, periods=[False, False])
+    decomp = GridDecomposition(topo, GRID)
+    blocks = decomp.scatter(f)
+    nbh = moore_neighborhood(2, 1, include_self=False)
+
+    def worker(cart):
+        return jacobi_poisson_2d(
+            cart, decomp, blocks[cart.rank],
+            tol=1e-9, max_iterations=20000, check_every=25,
+        )
+
+    results = run_cartesian(
+        DIMS, nbh, worker, periods=(False, False), timeout=600
+    )
+    u = decomp.gather([r.local_solution for r in results])
+    r0 = results[0]
+    print(f"converged={r0.converged} after {r0.iterations} iterations, "
+          f"relative residual {r0.residual:.2e}")
+
+    ref = poisson_reference_2d(f)
+    err = np.abs(u - ref).max()
+    print(f"max |u - direct solve| = {err:.2e}")
+    assert r0.converged and err < 1e-5
+
+    peak = np.unravel_index(np.argmax(u), u.shape)
+    trough = np.unravel_index(np.argmin(u), u.shape)
+    print(f"potential peak at {peak} (source was (3, 3)), "
+          f"trough at {trough} (sink was (8, 9))")
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Working with schedules as first-class objects: inspect, verify,
+serialize.
+
+Proposition 3.1 makes Cartesian schedules pure local data — this
+example shows the toolbox that falls out of that property:
+
+1. build the message-combining alltoall schedule for the asymmetric
+   (d=2, n=4, f=−1) stencil and *render* it (phases, rounds, buffers);
+2. draw the Figure 2 allgather trees for both dimension orders;
+3. *verify* the schedule against the collective's definition by
+   brute force (every rank, every block, byte-for-byte);
+4. *serialize* it to JSON, reload, re-verify — the on-disk cache
+   workflow for applications that run the same stencil repeatedly.
+
+Run:  python examples/schedule_tools.py
+"""
+
+import os
+import tempfile
+
+from repro.core.allgather_schedule import AllgatherTree
+from repro.core.alltoall_schedule import build_alltoall_schedule
+from repro.core.neighborhood import Neighborhood
+from repro.core.schedule import uniform_block_layout
+from repro.core.serialize import load_schedule, save_schedule
+from repro.core.stencils import parameterized_stencil
+from repro.core.topology import CartTopology
+from repro.core.verify import verify_alltoall
+from repro.core.visualize import render_schedule, render_tree
+
+FIGURE2 = Neighborhood([(-2, 1, 1), (-1, 1, 1), (1, 1, 1), (2, 1, 1)])
+
+
+def main():
+    nbh = parameterized_stencil(2, 4, -1)
+    m = 8
+    sizes = [m] * nbh.t
+    sched = build_alltoall_schedule(
+        nbh,
+        uniform_block_layout(sizes, "send"),
+        uniform_block_layout(sizes, "recv"),
+    )
+
+    print("=== 1. the schedule, rendered ===")
+    print(render_schedule(sched, max_blocks=4))
+
+    print("\n=== 2. Figure 2's allgather trees ===")
+    for order in ((0, 1, 2), (2, 1, 0)):
+        print(render_tree(AllgatherTree.build(FIGURE2, dim_order=order)))
+        print()
+
+    print("=== 3. brute-force verification ===")
+    topo = CartTopology((4, 4))
+    verify_alltoall(sched, topo, block_sizes=sizes)
+    print(f"schedule certified on {topo.dims}: every block verified "
+          f"byte-for-byte on all {topo.size} ranks")
+
+    print("\n=== 4. serialize / reload / re-verify ===")
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "d2n4_alltoall.json")
+        save_schedule(sched, path)
+        size = os.path.getsize(path)
+        back = load_schedule(path)
+        verify_alltoall(back, topo, block_sizes=sizes)
+        print(f"cached {size} bytes of schedule; reloaded copy certified "
+              f"(rounds={back.num_rounds}, volume={back.volume_blocks})")
+
+
+if __name__ == "__main__":
+    main()

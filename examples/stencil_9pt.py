@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Listing 3 of the paper: 9-point stencil halo exchange with
+Cart_alltoallw — per-neighbor datatypes straight into the matrix.
+
+Each process owns an (n+2)×(n+2) matrix (interior n×n plus a depth-1
+ghost frame).  The eight neighbor exchanges use ROW, COL and COR
+"datatypes" (block sets over the matrix buffer): no staging copies, the
+collective reads rows/columns/corners out of the matrix and delivers
+into the ghost frame, exactly as the ``MPI_BOTTOM``-relative types in
+the paper do.
+
+Run:  python examples/stencil_9pt.py
+"""
+
+import numpy as np
+
+from repro import run_cartesian
+from repro.core.stencils import listing3_9point
+from repro.stencil.halo import halo_specs
+
+DIMS = (3, 3)
+N = 4  # interior size per process
+
+
+def worker(cart):
+    rank = cart.rank
+    # matrix[n+2][n+2], interior filled with this rank's id
+    matrix = np.zeros((N + 2, N + 2), dtype=np.float64)
+    matrix[1 : N + 1, 1 : N + 1] = rank
+
+    # the ROW/COL/COR block sets for the Listing 3 neighborhood order:
+    # [0,1], [0,-1], [-1,0], [1,0], [-1,1], [1,1], [1,-1], [-1,-1]
+    nbh = cart.nbh
+    sendtypes, recvtypes = halo_specs(
+        (N, N), 1, nbh, matrix.itemsize, buffer="matrix"
+    )
+
+    # persistent handle, as Cart_alltoallw_init in the listing
+    op = cart.alltoallw_init(
+        {"matrix": matrix}, sendtypes, recvtypes, algorithm="combining"
+    )
+
+    # one "iteration": update = halo exchange
+    op.execute()
+
+    # every ghost cell must now hold the id of the process owning it
+    for i, offset in enumerate(nbh):
+        source, _ = cart.relative_shift(offset)
+        # receive region of neighbor i is the ghost slab toward -offset
+        for ref in recvtypes[i]:
+            lo = ref.offset // matrix.itemsize
+            n_el = ref.nbytes // matrix.itemsize
+            got = matrix.reshape(-1)[lo : lo + n_el]
+            assert (got == source).all(), (rank, i, got, source)
+    return matrix
+
+
+def main():
+    nbh = listing3_9point()
+    print("Listing 3 neighborhood (t=8):", list(nbh))
+    results = run_cartesian(DIMS, nbh, worker)
+    print(f"halo exchange verified on all {len(results)} ranks")
+    print("\nrank 0 matrix after the exchange (interior=own id, frame=neighbors):")
+    print(results[0])
+
+
+if __name__ == "__main__":
+    main()

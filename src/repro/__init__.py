@@ -1,0 +1,75 @@
+"""repro — reproduction of *Cartesian Collective Communication* (ICPP 2019).
+
+This package implements the full system described in Träff & Hunold,
+"Cartesian Collective Communication", ICPP 2019:
+
+* ``repro.mpisim`` — a virtual MPI runtime (process engine, point-to-point
+  messaging with MPI matching semantics, derived datatypes, base
+  collectives).  The paper's library is built on MPI; since no MPI
+  implementation is available in this environment, the substrate is
+  implemented from scratch.
+* ``repro.core`` — the paper's contribution: Cartesian topologies,
+  isomorphic ``t``-neighborhoods, the trivial ``t``-round algorithms
+  (Listing 4), the message-combining alltoall schedule (Algorithm 1), the
+  message-combining allgather tree and schedule (Algorithm 2), schedule
+  execution (Listing 5), persistent operations, the distributed-graph
+  fallback with isomorphism auto-detection (Section 2.2), and
+  direct-delivery baselines standing in for ``MPI_Neighbor_*``.
+* ``repro.netsim`` — a LogGP-style discrete-event network simulator and
+  machine models (Table 2) used to regenerate the latency benchmarks
+  (Figures 3–7).
+* ``repro.stats`` — the measurement-data processing of Appendix A
+  (quartile subsetting, mean and 95% confidence intervals).
+* ``repro.experiments`` — drivers that regenerate every table and figure.
+* ``repro.stencil`` — stencil application substrate (grid decomposition,
+  halo datatypes, Jacobi / game-of-life kernels) used by the examples.
+
+Quickstart::
+
+    import numpy as np
+    from repro import run_cartesian, moore_neighborhood
+
+    def worker(cart):
+        t = cart.neighbor_count()
+        send = np.full(t, float(cart.rank))
+        recv = np.empty(t)
+        cart.alltoall(send, recv, algorithm="combining")
+        return recv
+
+    results = run_cartesian(dims=(4, 4), offsets=moore_neighborhood(2),
+                            fn=worker)
+"""
+
+from repro.core.topology import CartTopology
+from repro.core.neighborhood import Neighborhood
+from repro.core.stencils import (
+    moore_neighborhood,
+    von_neumann_neighborhood,
+    parameterized_stencil,
+    named_stencil,
+)
+from repro.core.cartcomm import CartComm, cart_neighborhood_create
+from repro.core.distgraph import DistGraphComm, dist_graph_create_adjacent
+from repro.core.api import run_cartesian, run_ranks
+from repro.mpisim.engine import Engine
+from repro.mpisim.comm import Communicator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CartTopology",
+    "Neighborhood",
+    "moore_neighborhood",
+    "von_neumann_neighborhood",
+    "parameterized_stencil",
+    "named_stencil",
+    "CartComm",
+    "cart_neighborhood_create",
+    "DistGraphComm",
+    "dist_graph_create_adjacent",
+    "run_cartesian",
+    "run_ranks",
+    "Engine",
+    "Communicator",
+    "__version__",
+]

@@ -1,0 +1,65 @@
+"""The paper's contribution: Cartesian Collective Communication.
+
+Modules
+-------
+``topology``
+    d-dimensional torus/mesh process organization (``MPI_Cart_create``
+    equivalent): rank ↔ coordinate mapping, relative shifts.
+``neighborhood``
+    isomorphic ``t``-neighborhoods given as lists of relative coordinate
+    offsets; all combinatorial quantities of Table 1 (z_i, C_k, volumes,
+    cut-off ratio).
+``stencils``
+    neighborhood factories: Moore / von Neumann stencils, the paper's
+    (d, n, f) parameterized family, and named classics (5-, 9-, 27-point).
+``trivial``
+    the t-round algorithms of Listing 4.
+``alltoall_schedule``
+    Algorithm 1 — the message-combining alltoall schedule.
+``allgather_schedule``
+    Algorithm 2 — the allgather routing tree and its schedule.
+``schedule``
+    shared schedule representation (phases, rounds, block sets).
+``executor`` / ``lockstep``
+    Listing 5 — schedule execution on the threaded engine, and a
+    deterministic all-ranks executor for correctness tests at large p.
+``cartcomm``
+    the public API of Listings 1 and 2 (``cart_neighborhood_create``,
+    ``CartComm`` with alltoall/allgather in regular, v and w variants,
+    persistent ``*_init`` handles, relative-coordinate helpers).
+``distgraph``
+    Section 2.2 — distributed-graph topologies with automatic detection
+    of isomorphic (Cartesian) neighborhoods.
+``baseline``
+    direct-delivery neighborhood collectives standing in for
+    ``MPI_Neighbor_*`` as comparison baselines.
+"""
+
+from repro.core.topology import CartTopology
+from repro.core.neighborhood import Neighborhood
+from repro.core.cartcomm import CartComm, cart_neighborhood_create
+from repro.core.distgraph import (
+    DistGraphComm,
+    dist_graph_create,
+    dist_graph_create_adjacent,
+)
+from repro.core.serialize import load_schedule, save_schedule
+from repro.core.verify import verify_allgather, verify_alltoall, verify_halo
+from repro.core.visualize import render_schedule, render_tree
+
+__all__ = [
+    "CartTopology",
+    "Neighborhood",
+    "CartComm",
+    "cart_neighborhood_create",
+    "DistGraphComm",
+    "dist_graph_create",
+    "dist_graph_create_adjacent",
+    "load_schedule",
+    "save_schedule",
+    "verify_alltoall",
+    "verify_allgather",
+    "verify_halo",
+    "render_schedule",
+    "render_tree",
+]

@@ -1,0 +1,254 @@
+"""The C-style interface of Listings 1 and 2, verbatim.
+
+The object API of :mod:`repro.core.cartcomm` is the idiomatic way to
+use this library from Python; this module additionally exposes the
+paper's exact function names and argument conventions so that code can
+be ported from (or compared against) the reference C library
+one-to-one:
+
+.. code-block:: python
+
+    cartcomm = Cart_neighborhood_create(
+        comm, 2, [3, 3], [1, 1],
+        8, [0,1, 0,-1, -1,0, 1,0, -1,1, 1,1, 1,-1, -1,-1],
+        MPI_UNWEIGHTED, None, 0)
+    Cart_alltoallw(matrix_buffers, sendcount, senddisp, sendtype,
+                   recvcount, recvdisp, recvtype, cartcomm)
+
+Conventions preserved from the C interface:
+
+* the neighborhood is a flattened array of ``t`` d-dimensional relative
+  coordinate vectors;
+* ``MPI_UNWEIGHTED`` marks unweighted neighborhoods;
+* the ``v`` variants take counts and displacements in elements;
+* the ``w`` variants take per-neighbor displacements in **bytes**
+  (Listing 3 multiplies by ``sizeof(double)``) together with a
+  datatype per neighbor;
+* the ``*_init`` calls take exactly the same arguments as the
+  collectives and return reusable handles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.cartcomm import CartComm, cart_neighborhood_create
+from repro.core.neighborhood import neighborhood_from_flat
+from repro.mpisim.comm import Communicator
+from repro.mpisim.datatypes import BlockSet, Datatype, blockset_from_datatype
+
+#: sentinel for unweighted neighborhoods (``MPI_UNWEIGHTED``)
+MPI_UNWEIGHTED = None
+
+
+def Cart_neighborhood_create(
+    comm: Communicator,
+    d: int,
+    dimensions: Sequence[int],
+    periods: Sequence[int],
+    t: int,
+    targetrelative: Sequence[int],
+    weight=MPI_UNWEIGHTED,
+    info: Optional[dict] = None,
+    reorder: int = 0,
+) -> CartComm:
+    """Listing 1.  ``targetrelative`` is the flattened list of ``t``
+    relative coordinate vectors; all callers must pass identical ones."""
+    if len(dimensions) != d:
+        raise ValueError(f"{len(dimensions)} dimension sizes for d={d}")
+    flat = list(targetrelative)
+    if len(flat) != t * d:
+        raise ValueError(
+            f"targetrelative has {len(flat)} entries, expected t*d = {t * d}"
+        )
+    nbh = neighborhood_from_flat(d, flat)
+    return cart_neighborhood_create(
+        comm,
+        dimensions,
+        [bool(p) for p in periods],
+        nbh,
+        weights=weight,
+        info=info,
+        reorder=bool(reorder),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Listing 2 helpers
+# ---------------------------------------------------------------------------
+
+
+def Cart_relative_rank(cartcomm: CartComm, relative: Sequence[int]) -> Optional[int]:
+    return cartcomm.relative_rank(relative)
+
+
+def Cart_relative_shift(
+    cartcomm: CartComm, relative: Sequence[int]
+) -> tuple[Optional[int], Optional[int]]:
+    """Returns ``(inrank, outrank)`` — receive source and send target."""
+    return cartcomm.relative_shift(relative)
+
+
+def Cart_relative_coord(cartcomm: CartComm, rank: int) -> tuple[int, ...]:
+    return cartcomm.relative_coord(rank)
+
+
+def Cart_neighbor_count(cartcomm: CartComm) -> int:
+    return cartcomm.neighbor_count()
+
+
+def Cart_neighbor_get(
+    cartcomm: CartComm, maxin: int, maxout: int
+) -> tuple[list, list, list, list]:
+    """Returns ``(source, sourceweight, target, targetweight)`` rank
+    lists truncated to ``maxin`` / ``maxout`` entries, the format
+    ``MPI_Dist_graph_create_adjacent`` expects."""
+    sources, targets = cartcomm.neighbor_get()
+    w = cartcomm.neighbor_weights()
+    weights = list(w) if w is not None else [1] * cartcomm.neighbor_count()
+    return (
+        sources[:maxin],
+        weights[:maxin],
+        targets[:maxout],
+        weights[:maxout],
+    )
+
+
+# ---------------------------------------------------------------------------
+# collectives (MPI neighborhood-collective signatures)
+# ---------------------------------------------------------------------------
+
+
+def Cart_alltoall(
+    sendbuf: np.ndarray, recvbuf: np.ndarray, cartcomm: CartComm
+) -> np.ndarray:
+    return cartcomm.alltoall(sendbuf, recvbuf)
+
+
+def Cart_alltoallv(
+    sendbuf: np.ndarray,
+    sendcounts: Sequence[int],
+    sdispls: Sequence[int],
+    recvbuf: np.ndarray,
+    recvcounts: Sequence[int],
+    rdispls: Sequence[int],
+    cartcomm: CartComm,
+) -> np.ndarray:
+    return cartcomm.alltoallv(
+        sendbuf, sendcounts, recvbuf, recvcounts,
+        sdispls=sdispls, rdispls=rdispls,
+    )
+
+
+def _w_blocksets(
+    buffer_name: str,
+    counts: Sequence[int],
+    byte_displs: Sequence[int],
+    types: Sequence[Datatype],
+) -> list[BlockSet]:
+    if not (len(counts) == len(byte_displs) == len(types)):
+        raise ValueError("counts, displacements and types must align")
+    return [
+        blockset_from_datatype(buffer_name, ty, base=int(db), count=int(c))
+        for c, db, ty in zip(counts, byte_displs, types)
+    ]
+
+
+def Cart_alltoallw(
+    sendbuf: np.ndarray,
+    sendcounts: Sequence[int],
+    senddispls: Sequence[int],
+    sendtypes: Sequence[Datatype],
+    recvbuf: np.ndarray,
+    recvcounts: Sequence[int],
+    recvdispls: Sequence[int],
+    recvtypes: Sequence[Datatype],
+    cartcomm: CartComm,
+) -> None:
+    """Listing 3's workhorse: per-neighbor datatypes at byte
+    displacements.  ``sendbuf`` and ``recvbuf`` may be the same array
+    (in-place halo exchange in the application matrix)."""
+    buffers = {"sendw": sendbuf, "recvw": recvbuf}
+    if sendbuf is recvbuf:
+        buffers = {"sendw": sendbuf, "recvw": sendbuf}
+    cartcomm.alltoallw(
+        buffers,
+        _w_blocksets("sendw", sendcounts, senddispls, sendtypes),
+        _w_blocksets("recvw", recvcounts, recvdispls, recvtypes),
+    )
+
+
+def Cart_allgather(
+    sendbuf: np.ndarray, recvbuf: np.ndarray, cartcomm: CartComm
+) -> np.ndarray:
+    return cartcomm.allgather(sendbuf, recvbuf)
+
+
+def Cart_allgatherv(
+    sendbuf: np.ndarray,
+    recvbuf: np.ndarray,
+    recvcounts: Sequence[int],
+    rdispls: Sequence[int],
+    cartcomm: CartComm,
+) -> np.ndarray:
+    return cartcomm.allgatherv(sendbuf, recvbuf, recvcounts, rdispls=rdispls)
+
+
+def Cart_allgatherw(
+    sendbuf: np.ndarray,
+    sendcount: int,
+    senddispl: int,
+    sendtype: Datatype,
+    recvbuf: np.ndarray,
+    recvcounts: Sequence[int],
+    recvdispls: Sequence[int],
+    recvtypes: Sequence[Datatype],
+    cartcomm: CartComm,
+) -> None:
+    """The operation the paper argues MPI is missing (Section 2.1)."""
+    buffers = {"sendw": sendbuf, "recvw": recvbuf}
+    cartcomm.allgatherw(
+        buffers,
+        blockset_from_datatype(
+            "sendw", sendtype, base=int(senddispl), count=int(sendcount)
+        ),
+        _w_blocksets("recvw", recvcounts, recvdispls, recvtypes),
+    )
+
+
+# ---------------------------------------------------------------------------
+# persistent (init) calls — same arguments, reusable handles
+# ---------------------------------------------------------------------------
+
+
+def Cart_alltoall_init(sendbuf, recvbuf, cartcomm: CartComm):
+    return cartcomm.alltoall_init(sendbuf, recvbuf)
+
+
+def Cart_allgather_init(sendbuf, recvbuf, cartcomm: CartComm):
+    return cartcomm.allgather_init(sendbuf, recvbuf)
+
+
+def Cart_alltoallv_init(
+    sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls,
+    cartcomm: CartComm,
+):
+    return cartcomm.alltoallv_init(
+        sendbuf, sendcounts, recvbuf, recvcounts,
+        sdispls=sdispls, rdispls=rdispls,
+    )
+
+
+def Cart_alltoallw_init(
+    sendbuf, sendcounts, senddispls, sendtypes,
+    recvbuf, recvcounts, recvdispls, recvtypes,
+    cartcomm: CartComm,
+):
+    buffers = {"sendw": sendbuf, "recvw": recvbuf}
+    return cartcomm.alltoallw_init(
+        buffers,
+        _w_blocksets("sendw", sendcounts, senddispls, sendtypes),
+        _w_blocksets("recvw", recvcounts, recvdispls, recvtypes),
+    )

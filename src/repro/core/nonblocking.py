@@ -1,0 +1,132 @@
+"""Split-phase (non-blocking) Cartesian collectives.
+
+The paper specifies the ``*_init`` calls "in order to later provide for
+non-blocking, persistent versions of the Cartesian collectives (as
+currently discussed in the MPI Forum)".  This module supplies that
+non-blocking execution mode for any precomputed schedule:
+
+* ``start()`` posts the first phase's non-blocking operations and
+  returns immediately — computation can overlap the communication;
+* ``test()`` makes progress without blocking: when the current phase's
+  requests have completed, the next phase is posted;
+* ``wait()`` drives the remaining phases to completion and performs the
+  final local-copy phase.
+
+Because two outstanding collectives may interleave their phases
+differently on different ranks, every started operation draws a fresh
+tag from the communicator-consistent sequence (all ranks must start
+collectives in the same order — the usual MPI requirement), so FIFO
+channel matching can never pair messages across operations.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.executor import allocate_buffers
+from repro.core.schedule import Schedule
+from repro.core.topology import CartTopology
+from repro.mpisim.comm import Communicator
+from repro.mpisim.exceptions import MpiSimError
+
+
+class SplitPhaseOp:
+    """One started non-blocking collective execution."""
+
+    def __init__(
+        self,
+        comm: Communicator,
+        topo: CartTopology,
+        schedule: Schedule,
+        buffers: Mapping[str, np.ndarray],
+        tag: int,
+    ):
+        self.comm = comm
+        self.topo = topo
+        self.schedule = schedule
+        self.buffers = allocate_buffers(schedule, buffers)
+        self.tag = tag
+        self._phase_index = 0
+        self._pending: list = []
+        self._done = False
+        self._post_current_phase()
+
+    # ------------------------------------------------------------------
+    def _post_current_phase(self) -> None:
+        """Post receives (first) and sends of the current phase."""
+        while self._phase_index < len(self.schedule.phases):
+            phase = self.schedule.phases[self._phase_index]
+            if phase.rounds:
+                rank = self.comm.rank
+                reqs = []
+                for rnd in phase.rounds:
+                    neg = tuple(-o for o in rnd.offset)
+                    source = self.topo.translate(rank, neg)
+                    target = self.topo.translate(rank, rnd.offset)
+                    if source is not None:
+                        reqs.append(
+                            self.comm.irecv_blocks(
+                                rnd.recv_blocks, self.buffers, source, self.tag
+                            )
+                        )
+                    if target is not None:
+                        reqs.append(
+                            self.comm.isend_blocks(
+                                rnd.send_blocks, self.buffers, target, self.tag
+                            )
+                        )
+                self._pending = reqs
+                return
+            self._phase_index += 1  # empty phase: skip
+        # all phases posted and drained: finish locally
+        self.schedule.run_local_copies(self.buffers)
+        self._done = True
+
+    def _complete_current_phase(self) -> None:
+        self.comm.waitall(self._pending)
+        self._pending = []
+        self._phase_index += 1
+        self._post_current_phase()
+
+    # ------------------------------------------------------------------
+    def test(self) -> bool:
+        """Non-blocking progress: returns True once complete."""
+        if self._done:
+            return True
+        if all(r.test() for r in self._pending):
+            self._complete_current_phase()
+            return self.test() if not self._pending else self._done
+        return False
+
+    def wait(self) -> None:
+        """Block until the collective completes (idempotent)."""
+        while not self._done:
+            self._complete_current_phase()
+
+    @property
+    def completed(self) -> bool:
+        return self._done
+
+    @property
+    def phases_remaining(self) -> int:
+        return len(self.schedule.phases) - self._phase_index
+
+    def __repr__(self) -> str:
+        return (
+            f"SplitPhaseOp({self.schedule.kind}, tag={self.tag}, "
+            f"phase={self._phase_index}/{len(self.schedule.phases)}, "
+            f"done={self._done})"
+        )
+
+
+def start_schedule(
+    comm: Communicator,
+    topo: CartTopology,
+    schedule: Schedule,
+    buffers: Mapping[str, np.ndarray],
+    tag: int,
+) -> SplitPhaseOp:
+    """Begin a non-blocking execution of ``schedule``."""
+    return SplitPhaseOp(comm, topo, schedule, buffers, tag)

@@ -1,0 +1,91 @@
+"""Per-communicator operation statistics.
+
+Production observability for the library: every Cartesian collective
+execution records what it did — operation kind, algorithm, rounds,
+volume — so applications can audit their communication behaviour
+(e.g. confirm that ``algorithm="auto"`` picked the expected side of the
+cut-off across an application run) without external tracing.
+
+Recording costs one dictionary update per collective; it is enabled per
+communicator via ``info={"collect_stats": True}`` or
+:meth:`repro.core.cartcomm.CartComm.enable_stats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OpRecord:
+    """Aggregate counters for one (operation, algorithm) pair."""
+
+    calls: int = 0
+    rounds: int = 0
+    volume_blocks: int = 0
+    volume_bytes: int = 0
+
+    def add(self, rounds: int, volume_blocks: int, volume_bytes: int) -> None:
+        self.calls += 1
+        self.rounds += rounds
+        self.volume_blocks += volume_blocks
+        self.volume_bytes += volume_bytes
+
+
+@dataclass
+class OpStats:
+    """All counters of one communicator."""
+
+    records: dict = field(default_factory=dict)
+
+    def record_schedule(self, op: str, algorithm: str, schedule) -> None:
+        key = (op, algorithm)
+        rec = self.records.get(key)
+        if rec is None:
+            rec = self.records[key] = OpRecord()
+        rec.add(
+            schedule.num_rounds, schedule.volume_blocks, schedule.volume_bytes
+        )
+
+    def record_raw(
+        self, op: str, algorithm: str, rounds: int, blocks: int, nbytes: int
+    ) -> None:
+        key = (op, algorithm)
+        rec = self.records.get(key)
+        if rec is None:
+            rec = self.records[key] = OpRecord()
+        rec.add(rounds, blocks, nbytes)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_calls(self) -> int:
+        return sum(r.calls for r in self.records.values())
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(r.rounds for r in self.records.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.volume_bytes for r in self.records.values())
+
+    def by_operation(self, op: str) -> dict:
+        return {k[1]: v for k, v in self.records.items() if k[0] == op}
+
+    def summary(self) -> str:
+        if not self.records:
+            return "no collective operations recorded"
+        lines = [
+            f"{self.total_calls} collective calls, {self.total_rounds} "
+            f"communication rounds, {self.total_bytes} bytes sent per process"
+        ]
+        for (op, alg), rec in sorted(self.records.items()):
+            lines.append(
+                f"  {op:12s} [{alg:9s}] calls={rec.calls:4d} "
+                f"rounds={rec.rounds:6d} blocks={rec.volume_blocks:8d} "
+                f"bytes={rec.volume_bytes}"
+            )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self.records.clear()

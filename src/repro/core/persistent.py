@@ -1,0 +1,158 @@
+"""Persistent collective operations (the paper's ``*_init`` calls).
+
+The initialization calls take exactly the same arguments as the
+corresponding collectives and return a handle with the communication
+schedule precomputed and the buffers bound — the reuse pattern of
+Listing 3, and the hook for the (then-upcoming) MPI persistent
+collectives.  ``start()``/``wait()`` follow the MPI persistent-request
+shape; since the collectives here are blocking, ``start`` performs the
+operation and ``wait`` validates pairing.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.executor import execute_schedule
+from repro.core.schedule import Schedule
+from repro.mpisim.exceptions import MpiSimError
+
+
+class PersistentOp:
+    """A precomputed, reusable Cartesian collective operation."""
+
+    def __init__(
+        self,
+        cart,  # CartComm; untyped to avoid the import cycle
+        schedule: Schedule,
+        buffers: Mapping[str, np.ndarray],
+    ):
+        self.cart = cart
+        self.schedule = schedule
+        self.buffers = dict(buffers)
+        # Scratch space allocated once and reused across executions —
+        # the point of schedule persistence.
+        if schedule.temp_nbytes > 0:
+            self.buffers.setdefault(
+                "temp", np.empty(schedule.temp_nbytes, dtype=np.uint8)
+            )
+        schedule.validate(self.buffers)
+        self._started = False
+        self.executions = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> "PersistentOp":
+        """Begin (and, in this blocking implementation, complete) one
+        execution of the operation."""
+        if self._started:
+            raise MpiSimError("persistent operation already started")
+        execute_schedule(
+            self.cart.comm, self.cart.topo, self.schedule, self.buffers
+        )
+        self._started = True
+        return self
+
+    def wait(self) -> None:
+        """Complete the pending execution started with :meth:`start`."""
+        if not self._started:
+            raise MpiSimError("wait() without a matching start()")
+        self._started = False
+        self.executions += 1
+
+    def execute(self) -> None:
+        """One full blocking execution (start + wait)."""
+        self.start()
+        self.wait()
+
+    __call__ = execute
+
+    # ------------------------------------------------------------------
+    @property
+    def rounds(self) -> int:
+        return self.schedule.num_rounds
+
+    @property
+    def volume_blocks(self) -> int:
+        return self.schedule.volume_blocks
+
+    def __repr__(self) -> str:
+        return (
+            f"PersistentOp({self.schedule.kind}, rounds={self.rounds}, "
+            f"executions={self.executions})"
+        )
+
+
+class PersistentReduce:
+    """Persistent neighborhood reduction (``Cart_reduce_init`` flavour):
+    the reverse-tree reduction schedule is computed once; every
+    ``execute`` re-reads the bound send buffer and refills the bound
+    receive buffer."""
+
+    def __init__(self, cart, sendbuf: np.ndarray, recvbuf: np.ndarray,
+                 op="sum", algorithm: str = "auto"):
+        from repro.core import reduce_schedule as rs
+
+        self.cart = cart
+        self.sendbuf = sendbuf
+        self.recvbuf = recvbuf
+        self.op = op
+        rs.resolve_op(op)  # validate eagerly
+        if algorithm == "auto":
+            algorithm = (
+                "combining"
+                if cart.topo.is_fully_periodic
+                and cart.nbh.combining_rounds < cart.nbh.trivial_rounds
+                else "trivial"
+            )
+        self.algorithm = algorithm
+        self.schedule = (
+            rs.build_reduce_schedule(cart.nbh)
+            if algorithm == "combining"
+            else None
+        )
+        self._started = False
+        self.executions = 0
+
+    def start(self) -> "PersistentReduce":
+        from repro.core import reduce_schedule as rs
+
+        if self._started:
+            raise MpiSimError("persistent operation already started")
+        if self.schedule is not None:
+            rs.execute_reduce(
+                self.cart.comm, self.cart.topo, self.schedule,
+                self.sendbuf, self.recvbuf, self.op,
+            )
+        else:
+            rs.reduce_neighbors_trivial(
+                self.cart.comm, self.cart.topo, self.cart.nbh,
+                self.sendbuf, self.recvbuf, self.op,
+            )
+        self._started = True
+        return self
+
+    def wait(self) -> None:
+        if not self._started:
+            raise MpiSimError("wait() without a matching start()")
+        self._started = False
+        self.executions += 1
+
+    def execute(self) -> None:
+        self.start()
+        self.wait()
+
+    __call__ = execute
+
+    @property
+    def rounds(self) -> int:
+        if self.schedule is not None:
+            return self.schedule.num_rounds
+        return self.cart.nbh.trivial_rounds
+
+    def __repr__(self) -> str:
+        return (
+            f"PersistentReduce({self.algorithm}, op={self.op!r}, "
+            f"rounds={self.rounds}, executions={self.executions})"
+        )

@@ -1,0 +1,357 @@
+"""Cartesian neighborhood reductions (the [16] extension the paper
+mentions in Section 2.2: "Cartesian reduction operations could also be
+considered").
+
+Semantics: every process contributes one block; process ``r`` receives
+``reduce(op, { block(r − N[i]) : i })`` — the combination of its source
+neighbors' blocks (the self block participates when the zero vector is
+in the neighborhood).  This is the reduction dual of Cartesian
+allgather, and the message-combining algorithm is the allgather tree
+run *in reverse*:
+
+For the allgather tree ``T`` (Algorithm 2) define, per process ``r``
+and tree node ``q`` (with relative route ``route(q)``),
+
+    A_r[q] = reduce over i in subtree(q) of block(r − N[i] + route(q)).
+
+Then ``A_r[root] = reduce_i block(r − N[i])`` is the result, and the
+recurrence
+
+    A_r[q] = [own block, once per terminal index of q]
+             ⊕ over child edges (dim D, coordinate γ):  A_{r−γ·e_D}[child]
+
+turns into an SPMD schedule: process the tree levels deepest-first; in
+the round for (level, γ, D) every process sends its accumulator
+``A[child]`` to the relative process ``+γ·e_D`` and combines what it
+receives into ``A[parent]``.  Rounds and per-process volume equal the
+allgather schedule's (``C`` rounds, tree-edge-count volume) versus
+``t`` rounds / ``t`` volume for the trivial gather-then-reduce — the
+same latency trade the paper demonstrates for allgather.
+
+The operator must be associative and commutative (as MPI requires for
+``MPI_Op`` in collectives); combination order is deterministic, so
+floating-point sums are reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.allgather_schedule import AllgatherTree, TreeNode
+from repro.core.neighborhood import Neighborhood
+from repro.core.topology import CartTopology
+from repro.mpisim.comm import Communicator
+from repro.mpisim.exceptions import ScheduleError
+from repro.mpisim.trace import TraceEvent
+
+#: named operators (all associative + commutative)
+OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "sum": lambda a, b: a + b,
+    "prod": lambda a, b: a * b,
+    "min": np.minimum,
+    "max": np.maximum,
+    "band": lambda a, b: a & b,
+    "bor": lambda a, b: a | b,
+    "bxor": lambda a, b: a ^ b,
+}
+
+ReduceOp = Union[str, Callable[[np.ndarray, np.ndarray], np.ndarray]]
+
+
+def resolve_op(op: ReduceOp) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
+    if callable(op):
+        return op
+    try:
+        return OPS[op]
+    except KeyError:
+        raise ValueError(
+            f"unknown reduction op {op!r}; named ops: {sorted(OPS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ReduceEdge:
+    """One tree edge in one reverse round: send the accumulator of slot
+    ``child_slot``; combine the received counterpart into
+    ``parent_slot``."""
+
+    child_slot: int
+    parent_slot: int
+
+
+@dataclass
+class ReduceRound:
+    """All edges sharing a direction in one level: one message each way."""
+
+    offset: tuple[int, ...]
+    edges: list[ReduceEdge] = field(default_factory=list)
+
+
+@dataclass
+class ReducePhase:
+    dim: int
+    rounds: list[ReduceRound] = field(default_factory=list)
+
+
+class ReduceSchedule:
+    """Precomputed message-combining reduction schedule (reusable)."""
+
+    def __init__(
+        self,
+        nbh: Neighborhood,
+        tree: AllgatherTree,
+        phases: list[ReducePhase],
+        node_slots: dict[int, int],
+        own_multiplicity: list[int],
+        root_slot: int,
+    ):
+        self.nbh = nbh
+        self.tree = tree
+        self.phases = phases
+        #: id(node) -> accumulator slot index
+        self.node_slots = node_slots
+        #: per slot, how many terminal indices contribute the own block
+        self.own_multiplicity = own_multiplicity
+        self.root_slot = root_slot
+        self.num_slots = len(own_multiplicity)
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.phases)
+
+    @property
+    def num_rounds(self) -> int:
+        return sum(len(ph.rounds) for ph in self.phases)
+
+    @property
+    def volume_blocks(self) -> int:
+        """Block-sends per process = tree edges (allgather duality)."""
+        return sum(
+            len(rnd.edges) for ph in self.phases for rnd in ph.rounds
+        )
+
+    def describe(self) -> str:
+        return (
+            f"reduce schedule: t={self.nbh.t}, phases={self.num_phases}, "
+            f"rounds={self.num_rounds}, volume={self.volume_blocks} blocks, "
+            f"slots={self.num_slots}"
+        )
+
+
+def build_reduce_schedule(
+    nbh: Neighborhood, dim_order: Optional[Sequence[int]] = None
+) -> ReduceSchedule:
+    """Construct the reverse-tree reduction schedule.
+
+    Dimension order defaults to the allgather heuristic (increasing
+    ``C_k``), which minimizes the shared-prefix tree and therefore the
+    reduction volume the same way it does the allgather volume.
+    O(td) like the other schedules (Proposition 3.1 carries over).
+    """
+    tree = AllgatherTree.build(nbh, dim_order)
+
+    # slot assignment: one accumulator per tree node
+    node_slots: dict[int, int] = {}
+    own_multiplicity: list[int] = []
+    for node in tree.root.walk():
+        node_slots[id(node)] = len(own_multiplicity)
+        own_multiplicity.append(len(node.terminal))
+
+    # reverse level order: deepest edges first
+    edges_by_level = tree.edges_by_level()
+    phases: list[ReducePhase] = []
+    for level in sorted(edges_by_level, reverse=True):
+        dim = tree.dim_order[level]
+        by_coord: dict[int, list[tuple[TreeNode, TreeNode]]] = {}
+        for c, parent, child in edges_by_level[level]:
+            by_coord.setdefault(c, []).append((parent, child))
+        phase = ReducePhase(dim=dim)
+        for c in sorted(by_coord):
+            offset = tuple(
+                c if j == dim else 0 for j in range(nbh.d)
+            )
+            rnd = ReduceRound(offset=offset)
+            for parent, child in by_coord[c]:
+                rnd.edges.append(
+                    ReduceEdge(
+                        child_slot=node_slots[id(child)],
+                        parent_slot=node_slots[id(parent)],
+                    )
+                )
+            phase.rounds.append(rnd)
+        phases.append(phase)
+
+    sched = ReduceSchedule(
+        nbh=nbh,
+        tree=tree,
+        phases=phases,
+        node_slots=node_slots,
+        own_multiplicity=own_multiplicity,
+        root_slot=node_slots[id(tree.root)],
+    )
+    if sched.volume_blocks != tree.edge_count:  # pragma: no cover
+        raise ScheduleError(
+            f"reduce volume {sched.volume_blocks} != tree edges "
+            f"{tree.edge_count}"
+        )
+    if sched.num_rounds != nbh.combining_rounds:  # pragma: no cover
+        raise ScheduleError(
+            f"reduce rounds {sched.num_rounds} != C {nbh.combining_rounds}"
+        )
+    return sched
+
+
+def _init_accumulators(
+    sched: ReduceSchedule,
+    sendblock: np.ndarray,
+    op: Callable,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-slot accumulators seeded with the own-block contributions.
+
+    Returns (accs, valid): slots with no terminal contribution start
+    *empty* (valid = False) and adopt the first combined value — this
+    realizes reduction without requiring an identity element for op.
+    """
+    m = sendblock.shape[0]
+    accs = np.zeros((sched.num_slots, m), dtype=sendblock.dtype)
+    valid = np.zeros(sched.num_slots, dtype=bool)
+    for slot, mult in enumerate(sched.own_multiplicity):
+        for _ in range(mult):
+            if valid[slot]:
+                accs[slot] = op(accs[slot], sendblock)
+            else:
+                accs[slot] = sendblock
+                valid[slot] = True
+    return accs, valid
+
+
+def _combine(accs, valid, slot, incoming, op) -> None:
+    if valid[slot]:
+        accs[slot] = op(accs[slot], incoming)
+    else:
+        accs[slot] = incoming
+        valid[slot] = True
+
+
+def execute_reduce(
+    comm: Communicator,
+    topo: CartTopology,
+    sched: ReduceSchedule,
+    sendbuf: np.ndarray,
+    recvbuf: np.ndarray,
+    op: ReduceOp = "sum",
+    *,
+    tag: int = -11,
+) -> np.ndarray:
+    """One blocking execution of the reduction on the threaded engine."""
+    op_fn = resolve_op(op)
+    send = np.ascontiguousarray(sendbuf).reshape(-1)
+    if recvbuf.shape != send.shape or recvbuf.dtype != send.dtype:
+        raise ValueError(
+            "recvbuf must match sendbuf in shape and dtype for reductions"
+        )
+    accs, valid = _init_accumulators(sched, send, op_fn)
+    rank = comm.rank
+    comm.mark("begin reduce")
+    for phase in sched.phases:
+        recvs = []
+        for rnd in phase.rounds:
+            neg = tuple(-o for o in rnd.offset)
+            source = topo.translate(rank, neg)
+            target = topo.translate(rank, rnd.offset)
+            if source is None or target is None:
+                raise ScheduleError(
+                    "combining reductions require a fully periodic torus"
+                )
+            # one combined message per direction: child accumulators
+            payload_slots = [e.child_slot for e in rnd.edges]
+            scratch = np.empty(
+                (len(payload_slots), send.shape[0]), dtype=send.dtype
+            )
+            recvs.append((rnd, scratch, comm.irecv_into(scratch, source, tag)))
+            comm.isend_buffer(accs[payload_slots], target, tag)
+        for rnd, scratch, req in recvs:
+            req.wait(comm.engine.timeout)
+            for k, edge in enumerate(rnd.edges):
+                _combine(accs, valid, edge.parent_slot, scratch[k], op_fn)
+        comm._rec(TraceEvent(kind="waitall"))
+    if not valid[sched.root_slot]:
+        raise ScheduleError("reduction over an empty neighborhood")
+    recvbuf[...] = accs[sched.root_slot].reshape(recvbuf.shape)
+    comm.mark("end reduce")
+    return recvbuf
+
+
+def execute_reduce_lockstep(
+    topo: CartTopology,
+    sched: ReduceSchedule,
+    sendbufs: Sequence[np.ndarray],
+    op: ReduceOp = "sum",
+) -> list[np.ndarray]:
+    """All-ranks deterministic execution (correctness at large p)."""
+    op_fn = resolve_op(op)
+    p = topo.size
+    if len(sendbufs) != p:
+        raise ScheduleError(f"need one send block per rank: p={p}")
+    sends = [np.ascontiguousarray(b).reshape(-1) for b in sendbufs]
+    state = [_init_accumulators(sched, s, op_fn) for s in sends]
+    for phase in sched.phases:
+        for rnd in phase.rounds:
+            neg = tuple(-o for o in rnd.offset)
+            slots = [e.child_slot for e in rnd.edges]
+            packed = [state[r][0][slots].copy() for r in range(p)]
+            for r in range(p):
+                src = topo.translate(r, neg)
+                accs, valid = state[r]
+                for k, edge in enumerate(rnd.edges):
+                    _combine(accs, valid, edge.parent_slot, packed[src][k], op_fn)
+    out = []
+    for r in range(p):
+        accs, valid = state[r]
+        if not valid[sched.root_slot]:
+            raise ScheduleError("reduction over an empty neighborhood")
+        out.append(accs[sched.root_slot].copy())
+    return out
+
+
+def reduce_neighbors_trivial(
+    comm: Communicator,
+    topo: CartTopology,
+    nbh: Neighborhood,
+    sendbuf: np.ndarray,
+    recvbuf: np.ndarray,
+    op: ReduceOp = "sum",
+    *,
+    tag: int = -12,
+) -> np.ndarray:
+    """Reference algorithm: gather every source block (t rounds, as in
+    Listing 4) and reduce locally in neighbor order."""
+    op_fn = resolve_op(op)
+    send = np.ascontiguousarray(sendbuf).reshape(-1)
+    acc: Optional[np.ndarray] = None
+    for off in nbh:
+        if not any(off):
+            incoming: Optional[np.ndarray] = send.copy()
+        else:
+            source, target = topo.relative_shift(comm.rank, off)
+            req = None
+            incoming = None
+            if source is not None:
+                incoming = np.empty_like(send)
+                req = comm.irecv_into(incoming, source, tag)
+            if target is not None:
+                comm.isend_buffer(send, target, tag)
+            if req is not None:
+                req.wait(comm.engine.timeout)
+                comm._rec(TraceEvent(kind="waitall"))
+        if incoming is not None:
+            acc = incoming if acc is None else op_fn(acc, incoming)
+    if acc is None:
+        raise ScheduleError(
+            "reduction received no contributions (all neighbors off the mesh)"
+        )
+    recvbuf[...] = acc.reshape(recvbuf.shape)
+    return recvbuf

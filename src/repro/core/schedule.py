@@ -1,0 +1,200 @@
+"""Communication-schedule representation shared by both algorithms.
+
+A schedule (Section 3) is a sequence of *phases*; each phase is a set of
+independent send-receive *rounds* executed with non-blocking operations
+and completed by one ``waitall`` (Listing 5).  A round is described by
+
+* a relative offset vector — the round's send target is
+  ``(R + vec) mod dims`` and its receive source ``(R − vec) mod dims``
+  for the executing process ``R``; storing the *relative* vector keeps
+  the schedule rank-independent (all processes share one schedule
+  object, resolving ranks at execution time);
+* a send :class:`~repro.mpisim.datatypes.BlockSet` and a receive
+  :class:`~repro.mpisim.datatypes.BlockSet` — the grouped data blocks of
+  the round (the committed derived datatypes of Algorithm 1).
+
+A final non-communication phase performs rank-local copies (blocks for
+the zero offset vector, and duplicate-vector fan-out in the allgather
+case).
+
+Schedules are pure data: building one costs O(td) (Proposition 3.1) and
+it can be executed any number of times — this is what the ``*_init``
+persistent operations hand back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.neighborhood import Neighborhood
+from repro.mpisim.datatypes import BlockRef, BlockSet, byte_view
+from repro.mpisim.exceptions import ScheduleError
+
+
+@dataclass
+class Round:
+    """One send-receive exchange: all blocks sharing a direction."""
+
+    #: relative offset of the send target (receive source is its negation)
+    offset: tuple[int, ...]
+    send_blocks: BlockSet
+    recv_blocks: BlockSet
+    #: number of *logical* data blocks combined into this round (a logical
+    #: block described by a multi-region `w` datatype still counts once)
+    logical_blocks: int = 0
+
+    def validate(self) -> None:
+        if self.send_blocks.total_nbytes != self.recv_blocks.total_nbytes:
+            raise ScheduleError(
+                f"round to {self.offset}: send {self.send_blocks.total_nbytes} B "
+                f"!= recv {self.recv_blocks.total_nbytes} B"
+            )
+        # Send/receive *byte* sizes must match; block-reference counts may
+        # differ (a multi-region `w` layout can pair with one temp slot).
+        self.recv_blocks.check_disjoint()
+
+    @property
+    def nbytes(self) -> int:
+        return self.send_blocks.total_nbytes
+
+    @property
+    def block_count(self) -> int:
+        return self.logical_blocks
+
+
+@dataclass
+class Phase:
+    """One group of independent rounds; ``dim`` is the dimension the
+    phase routes along (``None`` for the local-copy phase marker)."""
+
+    dim: int | None
+    rounds: list[Round] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+
+@dataclass
+class LocalCopy:
+    """A rank-local block copy executed after the communication phases."""
+
+    src: BlockRef
+    dst: BlockRef
+
+    def validate(self) -> None:
+        if self.src.nbytes != self.dst.nbytes:
+            raise ScheduleError(
+                f"local copy size mismatch: {self.src} -> {self.dst}"
+            )
+
+
+@dataclass
+class Schedule:
+    """A complete, reusable communication schedule."""
+
+    kind: str  # "alltoall" | "allgather" | "trivial-alltoall" | ...
+    neighborhood: Neighborhood
+    phases: list[Phase]
+    local_copies: list[LocalCopy] = field(default_factory=list)
+    #: bytes of scratch space the executor must provide as buffer "temp"
+    temp_nbytes: int = 0
+    #: informational: which named buffers the block sets reference
+    buffer_names: tuple[str, ...] = ("send", "recv", "temp")
+
+    # ------------------------------------------------------------------
+    # metrics (Propositions 3.2 / 3.3)
+    # ------------------------------------------------------------------
+    @property
+    def num_phases(self) -> int:
+        return len(self.phases)
+
+    @property
+    def num_rounds(self) -> int:
+        """Total communication rounds ``C``."""
+        return sum(len(ph) for ph in self.phases)
+
+    @property
+    def rounds_per_phase(self) -> tuple[int, ...]:
+        return tuple(len(ph) for ph in self.phases)
+
+    @property
+    def volume_blocks(self) -> int:
+        """Per-process communication volume ``V`` in blocks: total number
+        of block-sends across all rounds."""
+        return sum(r.block_count for ph in self.phases for r in ph.rounds)
+
+    @property
+    def volume_bytes(self) -> int:
+        """Per-process communication volume in bytes."""
+        return sum(r.nbytes for ph in self.phases for r in ph.rounds)
+
+    @property
+    def max_round_bytes(self) -> int:
+        return max(
+            (r.nbytes for ph in self.phases for r in ph.rounds), default=0
+        )
+
+    def all_rounds(self) -> list[Round]:
+        return [r for ph in self.phases for r in ph.rounds]
+
+    # ------------------------------------------------------------------
+    def validate(self, buffers: Mapping[str, np.ndarray] | None = None) -> None:
+        """Internal-consistency checks; with ``buffers`` given, also bound
+        checks every block reference."""
+        for ph in self.phases:
+            for r in ph.rounds:
+                r.validate()
+                if buffers is not None:
+                    r.send_blocks.validate_against(buffers)
+                    r.recv_blocks.validate_against(buffers)
+        for lc in self.local_copies:
+            lc.validate()
+
+    def run_local_copies(self, buffers: Mapping[str, np.ndarray]) -> int:
+        """Execute the final non-communication phase; returns bytes
+        copied (for trace accounting)."""
+        moved = 0
+        for lc in self.local_copies:
+            src_view = byte_view(buffers[lc.src.buffer])
+            dst_view = byte_view(buffers[lc.dst.buffer])
+            dst_view[lc.dst.offset : lc.dst.offset + lc.dst.nbytes] = src_view[
+                lc.src.offset : lc.src.offset + lc.src.nbytes
+            ]
+            moved += lc.src.nbytes
+        return moved
+
+    def describe(self) -> str:
+        """Human-readable summary used by examples and debugging."""
+        lines = [
+            f"{self.kind} schedule: t={self.neighborhood.t}, "
+            f"d={self.neighborhood.d}, phases={self.num_phases}, "
+            f"rounds={self.num_rounds}, volume={self.volume_blocks} blocks "
+            f"({self.volume_bytes} B), temp={self.temp_nbytes} B, "
+            f"local copies={len(self.local_copies)}"
+        ]
+        for pi, ph in enumerate(self.phases):
+            dim = "local" if ph.dim is None else f"dim {ph.dim}"
+            lines.append(f"  phase {pi} ({dim}): {len(ph)} rounds")
+            for r in ph.rounds:
+                lines.append(
+                    f"    -> {r.offset}: {r.block_count} blocks, {r.nbytes} B"
+                )
+        return "\n".join(lines)
+
+
+def uniform_block_layout(sizes: Sequence[int], buffer: str) -> list[BlockSet]:
+    """Lay out ``len(sizes)`` blocks back-to-back in one named buffer and
+    return one single-block :class:`BlockSet` per index — the standard
+    send/receive buffer convention of the MPI neighborhood collectives
+    (block ``i`` stored at offset ``Σ sizes[:i]``)."""
+    out: list[BlockSet] = []
+    off = 0
+    for s in sizes:
+        if s < 0:
+            raise ScheduleError("block sizes must be non-negative")
+        out.append(BlockSet([BlockRef(buffer, off, int(s))]))
+        off += int(s)
+    return out

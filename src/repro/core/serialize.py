@@ -1,0 +1,132 @@
+"""Schedule (de)serialization.
+
+Schedules are pure data (Proposition 3.1: computed locally, no
+communication), so they can be cached on disk and shared between runs —
+the natural continuation of the persistent-handle design.  This module
+round-trips every schedule shape through plain JSON-compatible
+dictionaries:
+
+* block sets become lists of ``[buffer, offset, nbytes]``;
+* rounds/phases/local copies keep their structure;
+* the neighborhood rides along so a loaded schedule can re-validate
+  against the communicator it is used with.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.core.neighborhood import Neighborhood
+from repro.core.schedule import LocalCopy, Phase, Round, Schedule
+from repro.mpisim.datatypes import BlockRef, BlockSet
+from repro.mpisim.exceptions import ScheduleError
+
+FORMAT_VERSION = 1
+
+
+def _blockset_to_list(bs: BlockSet) -> list[list]:
+    return [[r.buffer, r.offset, r.nbytes] for r in bs]
+
+
+def _blockset_from_list(data: list) -> BlockSet:
+    return BlockSet([BlockRef(str(b), int(o), int(n)) for b, o, n in data])
+
+
+def schedule_to_dict(sched: Schedule) -> dict[str, Any]:
+    """A JSON-compatible representation of a schedule."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": sched.kind,
+        "offsets": sched.neighborhood.offsets.tolist(),
+        "weights": (
+            list(sched.neighborhood.weights)
+            if sched.neighborhood.weights is not None
+            else None
+        ),
+        "temp_nbytes": sched.temp_nbytes,
+        "phases": [
+            {
+                "dim": ph.dim,
+                "rounds": [
+                    {
+                        "offset": list(r.offset),
+                        "send": _blockset_to_list(r.send_blocks),
+                        "recv": _blockset_to_list(r.recv_blocks),
+                        "logical_blocks": r.logical_blocks,
+                    }
+                    for r in ph.rounds
+                ],
+            }
+            for ph in sched.phases
+        ],
+        "local_copies": [
+            {
+                "src": [lc.src.buffer, lc.src.offset, lc.src.nbytes],
+                "dst": [lc.dst.buffer, lc.dst.offset, lc.dst.nbytes],
+            }
+            for lc in sched.local_copies
+        ],
+    }
+
+
+def schedule_from_dict(data: dict[str, Any]) -> Schedule:
+    """Rebuild a schedule; validates structure and internal invariants."""
+    if not isinstance(data, dict) or data.get("format") != FORMAT_VERSION:
+        raise ScheduleError(
+            f"unsupported schedule format {data.get('format')!r}"
+        )
+    nbh = Neighborhood(
+        np.asarray(data["offsets"], dtype=np.int64),
+        data.get("weights"),
+    )
+    phases = []
+    for ph in data["phases"]:
+        rounds = []
+        for r in ph["rounds"]:
+            rounds.append(
+                Round(
+                    offset=tuple(int(x) for x in r["offset"]),
+                    send_blocks=_blockset_from_list(r["send"]),
+                    recv_blocks=_blockset_from_list(r["recv"]),
+                    logical_blocks=int(r.get("logical_blocks", 0)),
+                )
+            )
+        phases.append(Phase(dim=ph["dim"], rounds=rounds))
+    copies = [
+        LocalCopy(
+            src=BlockRef(str(lc["src"][0]), int(lc["src"][1]), int(lc["src"][2])),
+            dst=BlockRef(str(lc["dst"][0]), int(lc["dst"][1]), int(lc["dst"][2])),
+        )
+        for lc in data["local_copies"]
+    ]
+    sched = Schedule(
+        kind=str(data["kind"]),
+        neighborhood=nbh,
+        phases=phases,
+        local_copies=copies,
+        temp_nbytes=int(data["temp_nbytes"]),
+    )
+    sched.validate()
+    return sched
+
+
+def schedule_to_json(sched: Schedule) -> str:
+    return json.dumps(schedule_to_dict(sched))
+
+
+def schedule_from_json(text: str) -> Schedule:
+    return schedule_from_dict(json.loads(text))
+
+
+def save_schedule(sched: Schedule, path: str) -> None:
+    """Write a schedule to a JSON file (the on-disk cache format)."""
+    with open(path, "w") as fh:
+        fh.write(schedule_to_json(sched))
+
+
+def load_schedule(path: str) -> Schedule:
+    with open(path) as fh:
+        return schedule_from_json(fh.read())

@@ -1,0 +1,194 @@
+"""d-dimensional Cartesian process topologies.
+
+Mirrors ``MPI_Cart_create`` semantics: ``p`` processes are arranged in a
+mesh/torus with dimension sizes ``p_0, …, p_{d-1}`` (``Π p_i = p``); each
+rank ``r`` is identified with the coordinate vector produced by row-major
+order (last dimension varies fastest), exactly as MPI defines it.
+
+Relative addressing follows Section 2 of the paper: a process with
+coordinates ``R`` and a relative offset vector ``v`` has
+
+* target ``(R + v) mod dims`` — the process it sends to, and
+* source ``(R − v) mod dims`` — the process it receives from,
+
+with per-dimension wraparound on periodic dimensions.  On non-periodic
+dimensions an offset that leaves the mesh yields no partner
+(``None``), the convention used by the trivial algorithm's non-periodic
+extension (the paper leaves non-periodic details open; the
+message-combining schedules require full periodicity and enforce it).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.mpisim.exceptions import TopologyError
+
+
+def dims_create(nnodes: int, ndims: int) -> tuple[int, ...]:
+    """Factor ``nnodes`` into ``ndims`` balanced dimension sizes, the
+    ``MPI_Dims_create`` heuristic: repeatedly assign the largest prime
+    factor to the currently smallest dimension, then sort descending."""
+    if nnodes <= 0 or ndims <= 0:
+        raise TopologyError("nnodes and ndims must be positive")
+    dims = [1] * ndims
+    # prime factorization, largest factors first
+    factors: list[int] = []
+    n = nnodes
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            factors.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        factors.append(n)
+    for f in sorted(factors, reverse=True):
+        dims[dims.index(min(dims))] *= f
+    return tuple(sorted(dims, reverse=True))
+
+
+class CartTopology:
+    """Immutable torus/mesh layout of ``p`` processes.
+
+    Parameters
+    ----------
+    dims:
+        dimension sizes; all must be positive.
+    periods:
+        per-dimension periodicity flags; default: all periodic (torus).
+    """
+
+    __slots__ = ("dims", "periods", "_strides", "size", "ndim")
+
+    def __init__(self, dims: Sequence[int], periods: Optional[Sequence[bool]] = None):
+        dims = tuple(int(x) for x in dims)
+        if not dims:
+            raise TopologyError("at least one dimension required")
+        if any(x <= 0 for x in dims):
+            raise TopologyError(f"dimension sizes must be positive: {dims}")
+        if periods is None:
+            periods = tuple(True for _ in dims)
+        else:
+            periods = tuple(bool(x) for x in periods)
+            if len(periods) != len(dims):
+                raise TopologyError(
+                    f"periods length {len(periods)} != dims length {len(dims)}"
+                )
+        self.dims = dims
+        self.periods = periods
+        self.ndim = len(dims)
+        self.size = int(np.prod(dims))
+        # row-major strides: stride[i] = product of dims[i+1:]
+        strides = [1] * self.ndim
+        for i in range(self.ndim - 2, -1, -1):
+            strides[i] = strides[i + 1] * dims[i + 1]
+        self._strides = tuple(strides)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_fully_periodic(self) -> bool:
+        return all(self.periods)
+
+    def rank(self, coords: Sequence[int]) -> int:
+        """Coordinate vector → rank (``MPI_Cart_rank``).  Coordinates on
+        periodic dimensions are wrapped; out-of-range coordinates on
+        non-periodic dimensions raise."""
+        if len(coords) != self.ndim:
+            raise TopologyError(
+                f"coordinate arity {len(coords)} != topology dimension {self.ndim}"
+            )
+        r = 0
+        for c, p, per, s in zip(coords, self.dims, self.periods, self._strides):
+            c = int(c)
+            if per:
+                c %= p
+            elif not (0 <= c < p):
+                raise TopologyError(
+                    f"coordinate {c} out of range [0, {p}) on non-periodic dimension"
+                )
+            r += c * s
+        return r
+
+    def coords(self, rank: int) -> tuple[int, ...]:
+        """Rank → coordinate vector (``MPI_Cart_coords``)."""
+        if not (0 <= rank < self.size):
+            raise TopologyError(f"rank {rank} out of range [0, {self.size})")
+        out = []
+        for p, s in zip(self.dims, self._strides):
+            out.append((rank // s) % p)
+        return tuple(out)
+
+    def all_coords(self) -> Iterator[tuple[int, ...]]:
+        """Iterate coordinates of all ranks, in rank order."""
+        for r in range(self.size):
+            yield self.coords(r)
+
+    # ------------------------------------------------------------------
+    def translate(self, rank: int, offset: Sequence[int]) -> Optional[int]:
+        """Rank of the process at ``coords(rank) + offset``.
+
+        Returns ``None`` when the offset leaves the mesh along any
+        non-periodic dimension.
+        """
+        if len(offset) != self.ndim:
+            raise TopologyError(
+                f"offset arity {len(offset)} != topology dimension {self.ndim}"
+            )
+        base = self.coords(rank)
+        tgt = []
+        for c, o, p, per in zip(base, offset, self.dims, self.periods):
+            v = c + int(o)
+            if per:
+                v %= p
+            elif not (0 <= v < p):
+                return None
+            tgt.append(v)
+        return self.rank(tgt)
+
+    def relative_shift(self, rank: int, offset: Sequence[int]) -> tuple[Optional[int], Optional[int]]:
+        """The paper's ``Cart_relative_shift``: for one relative offset
+        vector, return ``(source, target)`` — the rank this process
+        receives from and the rank it sends to (either may be ``None`` on
+        a non-periodic mesh)."""
+        target = self.translate(rank, offset)
+        source = self.translate(rank, [-int(o) for o in offset])
+        return source, target
+
+    def relative_coord(self, my_rank: int, other_rank: int) -> tuple[int, ...]:
+        """The paper's ``Cart_relative_coord``: the (minimal, per-dimension
+        wrapped) relative offset from ``my_rank`` to ``other_rank``.
+
+        On periodic dimensions the representative in
+        ``(-p_i/2, p_i/2]``-style canonical form is not unique; we return
+        the non-negative representative in ``[0, p_i)`` shifted to the
+        symmetric range when that is smaller in magnitude, matching how
+        one would reconstruct stencil offsets.
+        """
+        a = self.coords(my_rank)
+        b = self.coords(other_rank)
+        out = []
+        for ca, cb, p, per in zip(a, b, self.dims, self.periods):
+            d = cb - ca
+            if per:
+                d %= p
+                if d > p / 2:
+                    d -= p
+            out.append(d)
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, CartTopology)
+            and self.dims == other.dims
+            and self.periods == other.periods
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.dims, self.periods))
+
+    def __repr__(self) -> str:
+        return f"CartTopology(dims={self.dims}, periods={self.periods})"

@@ -1,0 +1,141 @@
+"""The trivial t-round algorithms (Listing 4) and the direct-delivery
+baselines.
+
+Three schedule *shapes* cover everything the paper benchmarks; all three
+are represented with the same :class:`~repro.core.schedule.Schedule`
+type, differing only in how rounds are grouped into phases:
+
+``trivial``
+    Listing 4: one **blocking** send-receive per neighbor — ``t`` phases
+    of one round each.  Correct and deadlock-free for any isomorphic
+    neighborhood because every process executes the identical round
+    sequence and round ``i``'s source has the caller as its round-``i``
+    target.
+``direct``
+    what MPI libraries typically do for ``MPI_Neighbor_alltoall``: post
+    all ``t`` receives and ``t`` sends non-blocking, then wait — a single
+    phase with ``t`` rounds.  This is the baseline the figures normalize
+    against.
+``combining``
+    the d-phase schedules of Algorithms 1 and 2 (built in
+    :mod:`repro.core.alltoall_schedule` / ``allgather_schedule``).
+
+The trivial and direct schedules place block ``i`` of the send/receive
+buffers in neighbor order, the standard MPI neighborhood-collective
+buffer convention.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.neighborhood import Neighborhood
+from repro.core.schedule import LocalCopy, Phase, Round, Schedule
+from repro.mpisim.datatypes import BlockSet
+from repro.mpisim.exceptions import ScheduleError
+from repro.core.alltoall_schedule import _pair_copies
+
+
+def _per_neighbor_rounds(
+    nbh: Neighborhood,
+    send_blocks: Sequence[BlockSet],
+    recv_blocks: Sequence[BlockSet],
+) -> tuple[list[Round], list[LocalCopy]]:
+    """One round per non-self neighbor, plus local copies for the self
+    blocks.  Shared by the trivial and direct shapes."""
+    t = nbh.t
+    if len(send_blocks) != t or len(recv_blocks) != t:
+        raise ScheduleError(
+            f"need one send/recv description per neighbor (t={t}); got "
+            f"{len(send_blocks)}/{len(recv_blocks)}"
+        )
+    rounds: list[Round] = []
+    copies: list[LocalCopy] = []
+    for i in range(t):
+        offset = nbh[i]
+        if not any(offset):
+            copies.extend(
+                _pair_copies(list(send_blocks[i]), list(recv_blocks[i]), i)
+            )
+            continue
+        if send_blocks[i].total_nbytes != recv_blocks[i].total_nbytes:
+            raise ScheduleError(
+                f"neighbor {i}: send {send_blocks[i].total_nbytes} B != "
+                f"recv {recv_blocks[i].total_nbytes} B"
+            )
+        rnd = Round(
+            offset=offset,
+            send_blocks=BlockSet(list(send_blocks[i])),
+            recv_blocks=BlockSet(list(recv_blocks[i])),
+            logical_blocks=1,
+        )
+        rounds.append(rnd)
+    return rounds, copies
+
+
+def build_trivial_alltoall_schedule(
+    nbh: Neighborhood,
+    send_blocks: Sequence[BlockSet],
+    recv_blocks: Sequence[BlockSet],
+) -> Schedule:
+    """Listing 4: ``t`` blocking send-receive rounds (volume ``V = t``)."""
+    rounds, copies = _per_neighbor_rounds(nbh, send_blocks, recv_blocks)
+    return Schedule(
+        kind="trivial-alltoall",
+        neighborhood=nbh,
+        phases=[Phase(dim=None, rounds=[r]) for r in rounds],
+        local_copies=copies,
+        temp_nbytes=0,
+    )
+
+
+def build_direct_alltoall_schedule(
+    nbh: Neighborhood,
+    send_blocks: Sequence[BlockSet],
+    recv_blocks: Sequence[BlockSet],
+) -> Schedule:
+    """Direct delivery, all non-blocking (the ``MPI_Neighbor_alltoall``
+    baseline): one phase containing all ``t`` rounds."""
+    rounds, copies = _per_neighbor_rounds(nbh, send_blocks, recv_blocks)
+    return Schedule(
+        kind="direct-alltoall",
+        neighborhood=nbh,
+        phases=[Phase(dim=None, rounds=rounds)],
+        local_copies=copies,
+        temp_nbytes=0,
+    )
+
+
+def build_trivial_allgather_schedule(
+    nbh: Neighborhood,
+    send_block: BlockSet,
+    recv_blocks: Sequence[BlockSet],
+) -> Schedule:
+    """Trivial allgather: send the same block to every neighbor, one
+    blocking round per neighbor."""
+    send_blocks = [BlockSet(list(send_block)) for _ in range(nbh.t)]
+    rounds, copies = _per_neighbor_rounds(nbh, send_blocks, recv_blocks)
+    return Schedule(
+        kind="trivial-allgather",
+        neighborhood=nbh,
+        phases=[Phase(dim=None, rounds=[r]) for r in rounds],
+        local_copies=copies,
+        temp_nbytes=0,
+    )
+
+
+def build_direct_allgather_schedule(
+    nbh: Neighborhood,
+    send_block: BlockSet,
+    recv_blocks: Sequence[BlockSet],
+) -> Schedule:
+    """Direct-delivery allgather baseline (``MPI_Neighbor_allgather``)."""
+    send_blocks = [BlockSet(list(send_block)) for _ in range(nbh.t)]
+    rounds, copies = _per_neighbor_rounds(nbh, send_blocks, recv_blocks)
+    return Schedule(
+        kind="direct-allgather",
+        neighborhood=nbh,
+        phases=[Phase(dim=None, rounds=rounds)],
+        local_copies=copies,
+        temp_nbytes=0,
+    )

@@ -1,0 +1,92 @@
+"""ASCII visualization of schedules and allgather trees.
+
+Debug/teaching aids: render a schedule's phase/round/buffer structure
+the way the paper's prose describes it, and draw Algorithm 2's routing
+trees (Figure 2 style).
+"""
+
+from __future__ import annotations
+
+from repro.core.allgather_schedule import AllgatherTree, TreeNode
+from repro.core.schedule import Schedule
+
+
+def render_tree(tree: AllgatherTree) -> str:
+    """Figure-2-style rendering of an allgather routing tree.
+
+    Each node shows its relative route; edges are labeled with the
+    dimension-order level and coordinate that created them; terminal
+    neighbor indices are listed in brackets.
+    """
+    lines = [
+        f"allgather tree (dim order {tree.dim_order}, "
+        f"{tree.edge_count} edges):"
+    ]
+
+    def rec_child(child: TreeNode, prefix, branch, cont, level, coord):
+        term = f" [terminates {child.terminal}]" if child.terminal else ""
+        lines.append(
+            f"{prefix}{branch} dim {tree.dim_order[level]} {coord:+d} -> "
+            f"{child.route}{term}"
+        )
+        for i, (lv, c, grand) in enumerate(child.children):
+            last = i == len(child.children) - 1
+            rec_child(
+                grand,
+                prefix + cont,
+                "`-" if last else "|-",
+                "  " if last else "| ",
+                lv,
+                c,
+            )
+
+    root = tree.root
+    term = f" [terminates {root.terminal}]" if root.terminal else ""
+    lines.append(f"r{term}")
+    for i, (level, coord, child) in enumerate(root.children):
+        last = i == len(root.children) - 1
+        rec_child(
+            child,
+            "",
+            "`-" if last else "|-",
+            "  " if last else "| ",
+            level,
+            coord,
+        )
+    return "\n".join(lines)
+
+
+def render_schedule(schedule: Schedule, *, max_blocks: int = 6) -> str:
+    """Phase/round/buffer rendering of any schedule."""
+    lines = [
+        f"{schedule.kind}: {schedule.num_phases} phases, "
+        f"{schedule.num_rounds} rounds, volume {schedule.volume_blocks} "
+        f"blocks / {schedule.volume_bytes} B, temp {schedule.temp_nbytes} B"
+    ]
+    for pi, phase in enumerate(schedule.phases):
+        dim = "local" if phase.dim is None else f"dim {phase.dim}"
+        lines.append(f"phase {pi} ({dim}):")
+        for rnd in phase.rounds:
+            def fmt(bs):
+                parts = [
+                    f"{ref.buffer}[{ref.offset}:{ref.offset + ref.nbytes}]"
+                    for ref in list(bs)[:max_blocks]
+                ]
+                if len(bs) > max_blocks:
+                    parts.append(f"…+{len(bs) - max_blocks}")
+                return " ".join(parts) if parts else "(empty)"
+
+            lines.append(
+                f"  -> {rnd.offset}  send {fmt(rnd.send_blocks)}  "
+                f"recv {fmt(rnd.recv_blocks)}"
+            )
+    if schedule.local_copies:
+        lines.append(f"local copies ({len(schedule.local_copies)}):")
+        for lc in schedule.local_copies[:max_blocks]:
+            lines.append(
+                f"  {lc.src.buffer}[{lc.src.offset}:{lc.src.offset + lc.src.nbytes}]"
+                f" -> {lc.dst.buffer}[{lc.dst.offset}:{lc.dst.offset + lc.dst.nbytes}]"
+            )
+        if len(schedule.local_copies) > max_blocks:
+            lines.append(f"  …+{len(schedule.local_copies) - max_blocks}")
+    return "\n".join(lines)

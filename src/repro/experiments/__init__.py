@@ -1,0 +1,39 @@
+"""Experiment drivers — one per table/figure of the paper.
+
+=============  ========================================================
+module         regenerates
+=============  ========================================================
+``table1``     Table 1: rounds, volumes and cut-off ratios for the
+               (d, n, f=−1) stencil family (exact combinatorics)
+``table2``     Table 2: the systems, from the machine-model registry
+``figures345`` Figures 3–5: relative run-time of the Cart_alltoall
+               variants vs the MPI neighborhood baseline on
+               Hydra/Open MPI, Hydra/Intel MPI and Titan/Cray MPI
+``figure6``    Figure 6: Cart_allgather (Hydra/Open MPI) and
+               Cart_alltoallv (Titan) for d=5, n=5
+``figure7``    Figure 7: run-time histograms on Titan at 128×16 and
+               1024×16 processes
+=============  ========================================================
+
+Each driver exposes ``run()`` returning structured results (consumed by
+the benchmark harness and tests) and ``main()`` pretty-printing them.
+Timings are *modeled*: schedules are priced by
+:mod:`repro.netsim.cost` under the Table 2 machine models, with the
+stochastic per-phase noise sampled per repetition and the Appendix A
+subset/mean/CI pipeline applied — see EXPERIMENTS.md for the fidelity
+discussion.
+"""
+
+from repro.experiments.runner import (
+    ExperimentPoint,
+    measure_schedule,
+    alltoall_variants,
+    allgather_variants,
+)
+
+__all__ = [
+    "ExperimentPoint",
+    "measure_schedule",
+    "alltoall_variants",
+    "allgather_variants",
+]

@@ -1,0 +1,74 @@
+"""Terminal bar charts and histograms for the figure drivers.
+
+The paper's figures are bar charts of relative run-times (Figures 3–6)
+and histograms (Figure 7); with no plotting stack available these render
+the same content as text.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    *,
+    width: int = 50,
+    title: str | None = None,
+    unit: str = "",
+    reference: float | None = None,
+) -> str:
+    """Horizontal bars scaled to the maximum value.
+
+    ``reference`` draws a marker column (e.g. at relative time 1.0 — the
+    baseline the figures normalize to).
+    """
+    if not values:
+        return "(no data)"
+    vmax = max(max(values.values()), reference or 0.0)
+    if vmax <= 0:
+        vmax = 1.0
+    label_w = max(len(k) for k in values)
+    lines = []
+    if title:
+        lines.append(title)
+    for name, v in values.items():
+        n = int(round(width * v / vmax))
+        bar = "#" * max(n, 0)
+        if reference is not None:
+            ref_col = int(round(width * reference / vmax))
+            if 0 <= ref_col <= width:
+                bar = (bar + " " * (width + 1 - len(bar)))[: width + 1]
+                bar = bar[:ref_col] + "|" + bar[ref_col + 1 :]
+                bar = bar.rstrip()
+        lines.append(f"  {name.ljust(label_w)} {bar} {v:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def text_histogram(
+    data: Sequence[float],
+    *,
+    bins: int = 25,
+    width: int = 50,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Vertical-count histogram rendered as horizontal bars per bin."""
+    x = np.asarray(list(data), dtype=float)
+    if x.size == 0:
+        return "(no data)"
+    counts, edges = np.histogram(x, bins=bins)
+    cmax = counts.max() if counts.max() > 0 else 1
+    lines = []
+    if title:
+        lines.append(title)
+    for c, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * c / cmax))
+        lines.append(f"  [{lo:10.3g}, {hi:10.3g}){unit} {bar} {c}")
+    lines.append(
+        f"  n={x.size} mean={x.mean():.4g}{unit} median={np.median(x):.4g}{unit} "
+        f"max={x.max():.4g}{unit}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Figures 3–5 — relative Cart_alltoall performance on three systems.
+
+Per figure: four neighborhood panels (d, n) ∈ {(3,3), (3,5), (5,3),
+(5,5)} with f = −1, three block sizes m ∈ {1, 10, 100} ints, four bars
+each (blocking/non-blocking MPI baseline, trivial Cartesian, combining
+Cartesian), normalized to ``MPI_Neighbor_alltoall``.
+
+=======  ==================  =========
+figure   machine             processes
+=======  ==================  =========
+3        hydra-openmpi       36 × 32
+4        hydra-intelmpi      32 × 32
+5        titan-craympi       1024 × 16
+=======  ==================  =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stencils import parameterized_stencil
+from repro.experiments.asciiplot import bar_chart
+from repro.experiments.runner import (
+    INT_BYTES,
+    ExperimentPoint,
+    alltoall_variants,
+    measure_schedule,
+)
+from repro.experiments.tables import format_table
+from repro.netsim.machines import get_machine
+
+PANELS = [(3, 3), (3, 5), (5, 3), (5, 5)]
+BLOCK_SIZES = [1, 10, 100]  # ints
+
+FIGURES = {
+    3: ("hydra-openmpi", 36 * 32),
+    4: ("hydra-intelmpi", 32 * 32),
+    5: ("titan-craympi", 1024 * 16),
+}
+
+
+@dataclass
+class FigureResult:
+    figure: int
+    machine: str
+    nprocs: int
+    #: (d, n, m_ints) -> ExperimentPoint
+    points: dict
+
+
+def run(figure: int, *, seed: int = 0, repetitions: int | None = None) -> FigureResult:
+    machine_name, nprocs = FIGURES[figure]
+    machine = get_machine(machine_name)
+    points: dict[tuple[int, int, int], ExperimentPoint] = {}
+    for d, n in PANELS:
+        nbh = parameterized_stencil(d, n, -1)
+        for m in BLOCK_SIZES:
+            variants = alltoall_variants(nbh, [m * INT_BYTES] * nbh.t)
+            points[(d, n, m)] = measure_schedule(
+                variants,
+                machine,
+                nprocs,
+                label=f"d:{d} n:{n} m:{m}",
+                m_ints=m,
+                seed=seed + 1000 * d + 100 * n + m,
+                repetitions=repetitions,
+            )
+    return FigureResult(figure=figure, machine=machine_name, nprocs=nprocs, points=points)
+
+
+def render(result: FigureResult) -> str:
+    out = [
+        f"Figure {result.figure}: Cart_alltoall relative to "
+        f"MPI_Neighbor_alltoall — {result.machine}, {result.nprocs} processes"
+    ]
+    headers = ["d", "n", "m"] + list(
+        next(iter(result.points.values())).relative.keys()
+    ) + ["abs baseline (ms)"]
+    rows = []
+    for (d, n, m), point in sorted(result.points.items()):
+        rows.append(
+            [d, n, m]
+            + [round(point.relative[k], 4) for k in point.relative]
+            + [round(point.absolute_ms(point.baseline), 4)]
+        )
+    out.append(format_table(headers, rows))
+    for (d, n, m), point in sorted(result.points.items()):
+        out.append("")
+        out.append(
+            bar_chart(
+                point.relative,
+                title=f"  d:{d} n:{n} m:{m} (relative run-time; | marks 1.0)",
+                reference=1.0,
+            )
+        )
+    return "\n".join(out)
+
+
+def main(figure: int = 3) -> str:
+    text = render(run(figure))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 3)

@@ -1,0 +1,152 @@
+"""Shared measurement harness for the figure drivers.
+
+One *experiment point* is: a neighborhood, a block size, a machine, a
+process count, and a set of library variants.  For each variant the
+harness builds the corresponding schedule shape, samples its completion
+time ``repetitions`` times under the machine's noise model (the paper's
+measurement loop), pushes the samples through the Appendix A pipeline,
+and returns absolute and baseline-normalized results.
+
+Variant naming matches the figure legends:
+
+* ``MPI_Neighbor_*``  — direct delivery, blocking entry point;
+* ``MPI_Ineighbor_*`` — direct delivery, non-blocking entry point;
+* ``Cart_* (trivial, blocking)`` — Listing 4;
+* ``Cart_*`` — the message-combining algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.allgather_schedule import build_allgather_schedule
+from repro.core.alltoall_schedule import build_alltoall_schedule
+from repro.core.neighborhood import Neighborhood
+from repro.core.schedule import Schedule, uniform_block_layout
+from repro.core.trivial import (
+    build_direct_allgather_schedule,
+    build_direct_alltoall_schedule,
+    build_trivial_allgather_schedule,
+    build_trivial_alltoall_schedule,
+)
+from repro.mpisim.datatypes import BlockRef, BlockSet
+from repro.netsim.cost import sample_schedule_times
+from repro.netsim.machine import MachineModel
+from repro.stats import ReportedStat, normalize_to_baseline, summarize
+
+#: the element type of all paper benchmarks (MPI_INT)
+INT_BYTES = 4
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One measured implementation."""
+
+    name: str
+    schedule_builder: Callable[[], Schedule]
+    cost_variant: str  # "cart" | "mpi_blocking" | "mpi_nonblock"
+
+
+@dataclass
+class ExperimentPoint:
+    """Results of one (neighborhood, m, machine, p) measurement."""
+
+    label: str
+    machine: str
+    nprocs: int
+    stats: dict[str, ReportedStat] = field(default_factory=dict)
+    relative: dict[str, float] = field(default_factory=dict)
+    baseline: str = ""
+
+    def absolute_ms(self, variant: str) -> float:
+        return self.stats[variant].mean * 1e3
+
+
+def _alltoall_layouts(sizes: Sequence[int]):
+    return (
+        uniform_block_layout(sizes, "send"),
+        uniform_block_layout(sizes, "recv"),
+    )
+
+
+def alltoall_variants(
+    nbh: Neighborhood, block_sizes: Sequence[int]
+) -> list[Variant]:
+    """The four Figure 3–5 bars (irregular sizes give the Figure 6
+    ``alltoallv`` set with the same shapes)."""
+    sizes = [int(s) for s in block_sizes]
+
+    def direct():
+        return build_direct_alltoall_schedule(nbh, *_alltoall_layouts(sizes))
+
+    def trivial():
+        return build_trivial_alltoall_schedule(nbh, *_alltoall_layouts(sizes))
+
+    def combining():
+        return build_alltoall_schedule(nbh, *_alltoall_layouts(sizes))
+
+    return [
+        Variant("MPI_Neighbor_alltoall", direct, "mpi_blocking"),
+        Variant("MPI_Ineighbor_alltoall", direct, "mpi_nonblock"),
+        Variant("Cart_alltoall (trivial, blocking)", trivial, "cart"),
+        Variant("Cart_alltoall", combining, "cart"),
+    ]
+
+
+def allgather_variants(nbh: Neighborhood, m_bytes: int) -> list[Variant]:
+    """The Figure 6 (top) bars."""
+    send_block = BlockSet([BlockRef("send", 0, m_bytes)])
+    recv_blocks = uniform_block_layout([m_bytes] * nbh.t, "recv")
+
+    def direct():
+        return build_direct_allgather_schedule(nbh, send_block, recv_blocks)
+
+    def trivial():
+        return build_trivial_allgather_schedule(nbh, send_block, recv_blocks)
+
+    def combining():
+        return build_allgather_schedule(nbh, send_block, recv_blocks)
+
+    return [
+        Variant("MPI_Neighbor_allgather", direct, "mpi_blocking"),
+        Variant("MPI_Ineighbor_allgather", direct, "mpi_nonblock"),
+        Variant("Cart_allgather (trivial, blocking)", trivial, "cart"),
+        Variant("Cart_allgather", combining, "cart"),
+    ]
+
+
+def repetitions_for(machine: MachineModel, m_ints: int) -> int:
+    """The paper's repetition counts (Section 4.1.2)."""
+    if machine.name.startswith("titan"):
+        return {1: 300, 10: 50}.get(m_ints, 40)
+    return {1: 100, 10: 30}.get(m_ints, 10)
+
+
+def measure_schedule(
+    variants: Sequence[Variant],
+    machine: MachineModel,
+    nprocs: int,
+    *,
+    label: str = "",
+    repetitions: Optional[int] = None,
+    m_ints: int = 1,
+    seed: int = 0,
+    baseline: Optional[str] = None,
+) -> ExperimentPoint:
+    """Measure all variants of one experiment point."""
+    reps = repetitions if repetitions is not None else repetitions_for(machine, m_ints)
+    system = "titan" if machine.name.startswith("titan") else "hydra"
+    point = ExperimentPoint(label=label, machine=machine.name, nprocs=nprocs)
+    rng = np.random.default_rng(seed)
+    for variant in variants:
+        schedule = variant.schedule_builder()
+        samples = sample_schedule_times(
+            schedule, machine, nprocs, reps, rng=rng, variant=variant.cost_variant
+        )
+        point.stats[variant.name] = summarize(samples, system=system)
+    point.baseline = baseline or variants[0].name
+    point.relative = normalize_to_baseline(point.stats, point.baseline)
+    return point

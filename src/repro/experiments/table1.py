@@ -1,0 +1,104 @@
+"""Table 1 — rounds, volumes, cut-off ratios for the benchmark stencils.
+
+These numbers are exact combinatorics, so reproduction means *equality*
+with the paper.  Conventions (recovered from the published values):
+
+* the ``t`` row reports the trivial algorithm's communication rounds,
+  ``n^d − 1`` (the self block is copied, not communicated);
+* ``C = d(n−1)`` is the message-combining round count;
+* allgather/alltoall volumes per Propositions 3.2/3.3;
+* the cut-off ratio ``(t − C)/(V − t)`` is evaluated with the *full*
+  neighbor count ``t = n^d`` (this is how the published ratios were
+  computed; the 2-D, n=3 entry is 5/3 ≈ 1.667).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.neighborhood import Neighborhood
+from repro.core.stencils import parameterized_stencil
+from repro.experiments.tables import format_table
+
+#: the (d, n) grid of Table 1, f = −1 throughout
+TABLE1_CONFIGS = [(d, n) for d in (2, 3, 4, 5) for n in (3, 4, 5)]
+
+#: published values: (d, n) -> (t_row, C, allgather V, alltoall V, ratio)
+PAPER_VALUES = {
+    (2, 3): (8, 4, 8, 12, 5 / 3),
+    (2, 4): (15, 6, 15, 24, 1.250),
+    (2, 5): (24, 8, 24, 40, 1.133),
+    (3, 3): (26, 6, 26, 54, 0.778),
+    (3, 4): (63, 9, 63, 144, 0.688),
+    (3, 5): (124, 12, 124, 300, 0.646),
+    (4, 3): (80, 8, 80, 216, 0.541),
+    (4, 4): (255, 12, 255, 768, 0.477),
+    (4, 5): (624, 16, 624, 2000, 0.443),
+    (5, 3): (242, 10, 242, 810, 0.411),
+    (5, 4): (1023, 15, 1023, 3840, 0.358),
+    (5, 5): (3124, 20, 3124, 12500, 0.331),
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    d: int
+    n: int
+    t_trivial_rounds: int
+    combining_rounds: int
+    allgather_volume: int
+    alltoall_volume: int
+    cutoff_ratio: float
+
+    def matches_paper(self, tol: float = 5e-3) -> bool:
+        ref = PAPER_VALUES[(self.d, self.n)]
+        return (
+            self.t_trivial_rounds == ref[0]
+            and self.combining_rounds == ref[1]
+            and self.allgather_volume == ref[2]
+            and self.alltoall_volume == ref[3]
+            and abs(self.cutoff_ratio - ref[4]) <= tol
+        )
+
+
+def compute_row(d: int, n: int) -> Table1Row:
+    nbh: Neighborhood = parameterized_stencil(d, n, -1)
+    return Table1Row(
+        d=d,
+        n=n,
+        t_trivial_rounds=nbh.trivial_rounds,
+        combining_rounds=nbh.combining_rounds,
+        allgather_volume=nbh.allgather_volume,
+        alltoall_volume=nbh.alltoall_volume,
+        cutoff_ratio=nbh.cutoff_ratio(),
+    )
+
+
+def run() -> list[Table1Row]:
+    return [compute_row(d, n) for d, n in TABLE1_CONFIGS]
+
+
+def main() -> str:
+    rows = run()
+    headers = [
+        "d", "n", "t=n^d-1", "C=d(n-1)", "Allgather V", "Alltoall V",
+        "(t-C)/(V-t)", "paper", "match",
+    ]
+    body = []
+    for r in rows:
+        ref = PAPER_VALUES[(r.d, r.n)]
+        body.append(
+            [
+                r.d, r.n, r.t_trivial_rounds, r.combining_rounds,
+                r.allgather_volume, r.alltoall_volume,
+                round(r.cutoff_ratio, 3), round(ref[4], 3),
+                "yes" if r.matches_paper() else "NO",
+            ]
+        )
+    text = format_table(headers, body, title="Table 1 (reproduced)")
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

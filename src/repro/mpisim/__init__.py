@@ -1,0 +1,43 @@
+"""Virtual MPI runtime.
+
+This subpackage provides the message-passing substrate the paper's library
+is built on.  The real library sits on top of MPI; no MPI implementation is
+available here, so this is a from-scratch, faithful-in-semantics runtime:
+
+* :mod:`repro.mpisim.engine` — spawns one OS thread per rank and gives each
+  a :class:`~repro.mpisim.comm.Communicator`.
+* :mod:`repro.mpisim.mailbox` — per-rank mailboxes with MPI message
+  matching: ``(source, tag, communicator)`` triples, wildcard source/tag,
+  and the non-overtaking guarantee for identical envelopes.
+* :mod:`repro.mpisim.request` — non-blocking request objects
+  (``test``/``wait``/``waitall``).
+* :mod:`repro.mpisim.comm` — blocking and non-blocking point-to-point plus
+  the base collectives (barrier, bcast, gather, allgather, alltoall) needed
+  by Section 2.2's isomorphism detection and by tests.
+* :mod:`repro.mpisim.datatypes` — MPI derived datatypes over NumPy buffers
+  (contiguous, vector, indexed, struct, resized) including the multi-buffer
+  ``BlockRef`` struct types that implement Algorithm 1's ``TypeApp``.
+"""
+
+from repro.mpisim.exceptions import (
+    MpiSimError,
+    DeadlockError,
+    TruncationError,
+    AbortError,
+)
+from repro.mpisim.engine import Engine
+from repro.mpisim.comm import Communicator, ANY_SOURCE, ANY_TAG
+from repro.mpisim.request import Request, waitall
+
+__all__ = [
+    "MpiSimError",
+    "DeadlockError",
+    "TruncationError",
+    "AbortError",
+    "Engine",
+    "Communicator",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Request",
+    "waitall",
+]

@@ -1,0 +1,142 @@
+"""The process engine: one thread per MPI rank.
+
+``Engine.run(fn)`` spawns ``nranks`` threads, hands each a
+:class:`~repro.mpisim.comm.Communicator` bound to its rank, and collects
+the per-rank return values.  Semantics mirrored from MPI:
+
+* ranks communicate only through the engine's mailboxes — there is no
+  shared state between rank functions unless the caller introduces it;
+* if any rank raises, the run is aborted: all ranks blocked in
+  communication wake with :class:`~repro.mpisim.exceptions.AbortError`
+  and the original exception is re-raised to the caller;
+* a global timeout converts silent deadlock into a
+  :class:`~repro.mpisim.exceptions.DeadlockError` naming the stuck ranks.
+
+The engine is the *correctness* substrate: with Python threads, rank
+interleavings are real (if GIL-serialized), so deadlock-freedom claims
+are exercised for real.  Modeled *performance* comes from replaying
+recorded traces through :mod:`repro.netsim` instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional, Sequence
+
+from repro.mpisim.exceptions import AbortError, DeadlockError, MpiSimError
+from repro.mpisim.mailbox import Mailbox
+from repro.mpisim.trace import TraceRecorder
+
+
+class Engine:
+    """Runtime shared by all ranks of one virtual MPI job.
+
+    Parameters
+    ----------
+    nranks:
+        number of MPI processes (threads) to run.
+    timeout:
+        wall-clock seconds after which a run is declared deadlocked.
+    tracing:
+        when true, communicators record their operations into
+        :attr:`trace` for inspection / network-model replay.
+    """
+
+    def __init__(self, nranks: int, *, timeout: float = 120.0, tracing: bool = False):
+        if nranks <= 0:
+            raise ValueError(f"nranks must be positive, got {nranks}")
+        self.nranks = nranks
+        self.timeout = timeout
+        self.abort_event = threading.Event()
+        self.mailboxes = [Mailbox(r, self.abort_event) for r in range(nranks)]
+        self.trace: Optional[TraceRecorder] = TraceRecorder(nranks) if tracing else None
+        self._errors: list[tuple[int, BaseException]] = []
+        self._errors_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        fn: Callable[..., Any],
+        *,
+        args: Sequence[tuple] | None = None,
+    ) -> list[Any]:
+        """Execute ``fn(comm, *rank_args)`` on every rank.
+
+        ``args`` optionally supplies one extra-argument tuple per rank.
+        Returns the list of per-rank return values, indexed by rank.
+        """
+        from repro.mpisim.comm import Communicator
+
+        if args is not None and len(args) != self.nranks:
+            raise ValueError("args must supply one tuple per rank")
+
+        self.abort_event.clear()
+        self._errors.clear()
+        results: list[Any] = [None] * self.nranks
+
+        def runner(rank: int) -> None:
+            comm = Communicator(self, rank, self.nranks)
+            extra = args[rank] if args is not None else ()
+            try:
+                results[rank] = fn(comm, *extra)
+            except AbortError:
+                pass  # secondary casualty of another rank's failure
+            except BaseException as exc:  # noqa: BLE001 - must propagate all
+                with self._errors_lock:
+                    self._errors.append((rank, exc))
+                self.abort_event.set()
+
+        threads = [
+            threading.Thread(target=runner, args=(r,), name=f"mpisim-rank-{r}", daemon=True)
+            for r in range(self.nranks)
+        ]
+        for t in threads:
+            t.start()
+
+        import time
+
+        deadline = time.monotonic() + self.timeout
+        for r, t in enumerate(threads):
+            remaining = deadline - time.monotonic()
+            t.join(timeout=max(remaining, 0.0))
+            if t.is_alive():
+                # Declare deadlock: wake everyone and gather the stuck set.
+                self.abort_event.set()
+                stuck = tuple(
+                    i for i, th in enumerate(threads) if th.is_alive()
+                )
+                for th in threads:
+                    th.join(timeout=5.0)
+                raise DeadlockError(
+                    f"engine timeout after {self.timeout}s; "
+                    f"ranks still blocked: {stuck}",
+                    stuck_ranks=stuck,
+                )
+
+        if self._errors:
+            self._errors.sort(key=lambda e: e[0])
+            rank, exc = self._errors[0]
+            raise MpiSimError(f"rank {rank} failed: {exc!r}") from exc
+        return results
+
+    # ------------------------------------------------------------------
+    def mailbox(self, rank: int) -> Mailbox:
+        return self.mailboxes[rank]
+
+    def undelivered_messages(self) -> int:
+        """Total envelopes still sitting in mailboxes — nonzero after a
+        run indicates unmatched sends (a correctness bug in the caller)."""
+        return sum(mb.queued_count for mb in self.mailboxes)
+
+
+def run_ranks(
+    nranks: int,
+    fn: Callable[..., Any],
+    *,
+    timeout: float = 120.0,
+    tracing: bool = False,
+    args: Sequence[tuple] | None = None,
+) -> list[Any]:
+    """One-shot convenience: build an engine, run ``fn`` on all ranks,
+    return the per-rank results."""
+    return Engine(nranks, timeout=timeout, tracing=tracing).run(fn, args=args)

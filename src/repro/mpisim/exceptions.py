@@ -1,0 +1,53 @@
+"""Exception hierarchy for the virtual MPI runtime."""
+
+from __future__ import annotations
+
+
+class MpiSimError(Exception):
+    """Base class for all errors raised by the virtual MPI runtime."""
+
+
+class DeadlockError(MpiSimError):
+    """Raised when the engine's global timeout expires while ranks are
+    still blocked in communication calls.
+
+    A correct Cartesian collective schedule can never deadlock
+    (Proposition 3.1 relies on all processes executing the identical round
+    sequence); this error therefore indicates either a bug in a schedule or
+    a mis-matched user communication pattern.
+    """
+
+    def __init__(self, message: str, stuck_ranks: tuple[int, ...] = ()):
+        super().__init__(message)
+        self.stuck_ranks = tuple(stuck_ranks)
+
+
+class TruncationError(MpiSimError):
+    """Raised when a received message does not fit the posted buffer."""
+
+
+class AbortError(MpiSimError):
+    """Raised inside ranks when the engine aborts the run.
+
+    The engine aborts when any rank raises: all other ranks blocked in
+    communication are woken with :class:`AbortError` so that the whole run
+    terminates promptly and the original exception can be re-raised.
+    """
+
+
+class TopologyError(MpiSimError):
+    """Raised for invalid Cartesian topology parameters (bad dims,
+    non-positive sizes, dims/periods length mismatch, coordinate out of
+    range on a non-periodic mesh)."""
+
+
+class NeighborhoodError(MpiSimError):
+    """Raised for invalid ``t``-neighborhoods (wrong offset arity, empty
+    neighborhood where one is required, non-isomorphic neighborhoods
+    detected at communicator creation)."""
+
+
+class ScheduleError(MpiSimError):
+    """Raised when schedule construction or execution detects an internal
+    inconsistency (e.g. a block that does not terminate in the receive
+    buffer, or mismatched round send/receive block counts)."""

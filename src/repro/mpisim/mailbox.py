@@ -1,0 +1,194 @@
+"""Per-rank mailboxes with MPI message-matching semantics.
+
+Every rank owns one :class:`Mailbox`.  A send deposits an
+:class:`Envelope` into the destination's mailbox (eager protocol: the
+payload is copied at send time, so a send never blocks).  A receive is
+*posted* into the mailbox and matched against envelopes.
+
+Matching follows the MPI rules:
+
+* an envelope matches a posted receive when communicator ids are equal,
+  the receive's source is :data:`ANY_SOURCE` or equals the envelope's
+  source, and the receive's tag is :data:`ANY_TAG` or equals the
+  envelope's tag;
+* *non-overtaking*: two messages from the same source on the same
+  communicator that both match a receive are delivered in send order, and
+  two posted receives that both match a message complete in post order.
+
+The implementation keeps envelopes and pending receives in arrival /
+posting order and always scans from the front, which realizes both
+non-overtaking guarantees.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.mpisim.exceptions import AbortError
+
+#: Wildcard source rank for receives (mirrors ``MPI_ANY_SOURCE``).
+ANY_SOURCE = -1
+#: Wildcard tag for receives (mirrors ``MPI_ANY_TAG``).
+ANY_TAG = -1
+
+_envelope_seq = itertools.count()
+
+
+@dataclass
+class Envelope:
+    """A message in flight.
+
+    ``payload`` is owned by the envelope (the sender copied its data), so
+    the receiver may adopt it without further copying.
+    """
+
+    src: int
+    dst: int
+    tag: int
+    comm_id: int
+    payload: Any
+    nbytes: int
+    seq: int = field(default_factory=lambda: next(_envelope_seq))
+
+    def matches(self, source: int, tag: int, comm_id: int) -> bool:
+        """True when this envelope satisfies a receive posted with the
+        given ``(source, tag, comm_id)`` triple."""
+        if self.comm_id != comm_id:
+            return False
+        if source != ANY_SOURCE and self.src != source:
+            return False
+        if tag != ANY_TAG and self.tag != tag:
+            return False
+        return True
+
+
+@dataclass
+class PostedRecv:
+    """A receive that has been posted but not yet satisfied."""
+
+    source: int
+    tag: int
+    comm_id: int
+    #: filled in when matched
+    envelope: Optional[Envelope] = None
+    done: threading.Event = field(default_factory=threading.Event)
+
+    def accepts(self, env: Envelope) -> bool:
+        return env.matches(self.source, self.tag, self.comm_id)
+
+
+class Mailbox:
+    """Mailbox of a single rank.
+
+    Thread-safe: senders call :meth:`put` from their own threads, the
+    owning rank posts receives with :meth:`post_recv` and waits on the
+    returned :class:`PostedRecv`.
+    """
+
+    def __init__(self, owner_rank: int, abort_event: threading.Event):
+        self.owner_rank = owner_rank
+        self._abort = abort_event
+        self._lock = threading.Lock()
+        self._envelopes: list[Envelope] = []
+        self._pending: list[PostedRecv] = []
+
+    # ------------------------------------------------------------------
+    # sender side
+    # ------------------------------------------------------------------
+    def put(self, env: Envelope) -> None:
+        """Deposit an envelope; satisfy the oldest matching posted receive
+        if one exists, otherwise queue the envelope."""
+        with self._lock:
+            for i, recv in enumerate(self._pending):
+                if recv.accepts(env):
+                    del self._pending[i]
+                    recv.envelope = env
+                    recv.done.set()
+                    return
+            self._envelopes.append(env)
+
+    # ------------------------------------------------------------------
+    # receiver side
+    # ------------------------------------------------------------------
+    def post_recv(self, source: int, tag: int, comm_id: int) -> PostedRecv:
+        """Post a receive; if a queued envelope already matches, the
+        receive completes immediately."""
+        recv = PostedRecv(source=source, tag=tag, comm_id=comm_id)
+        with self._lock:
+            for i, env in enumerate(self._envelopes):
+                if recv.accepts(env):
+                    del self._envelopes[i]
+                    recv.envelope = env
+                    recv.done.set()
+                    return recv
+            self._pending.append(recv)
+        return recv
+
+    def wait(self, recv: PostedRecv, timeout: Optional[float]) -> Envelope:
+        """Block until ``recv`` is satisfied or the engine aborts.
+
+        Returns the matched envelope.  Raises :class:`AbortError` when the
+        engine abort flag is raised while waiting, and ``TimeoutError``
+        when ``timeout`` elapses (the engine maps that to a
+        :class:`~repro.mpisim.exceptions.DeadlockError`).
+        """
+        deadline = None
+        if timeout is not None:
+            deadline = _monotonic() + timeout
+        while True:
+            if recv.done.wait(timeout=0.05):
+                assert recv.envelope is not None
+                return recv.envelope
+            if self._abort.is_set():
+                self.cancel(recv)
+                raise AbortError(
+                    f"rank {self.owner_rank}: run aborted while waiting for "
+                    f"message from {recv.source} (tag {recv.tag})"
+                )
+            if deadline is not None and _monotonic() > deadline:
+                self.cancel(recv)
+                raise TimeoutError(
+                    f"rank {self.owner_rank}: timed out waiting for message "
+                    f"from {recv.source} (tag {recv.tag}, comm {recv.comm_id})"
+                )
+
+    def cancel(self, recv: PostedRecv) -> None:
+        """Remove a pending receive (no-op if it already completed)."""
+        with self._lock:
+            try:
+                self._pending.remove(recv)
+            except ValueError:
+                pass
+
+    # ------------------------------------------------------------------
+    # introspection (tests, deadlock reports)
+    # ------------------------------------------------------------------
+    @property
+    def queued_count(self) -> int:
+        with self._lock:
+            return len(self._envelopes)
+
+    @property
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def drain(self, predicate: Callable[[Envelope], bool] | None = None) -> list[Envelope]:
+        """Remove and return queued envelopes (all, or those matching the
+        predicate).  Used by tests and by communicator teardown checks."""
+        with self._lock:
+            if predicate is None:
+                out, self._envelopes = self._envelopes, []
+                return out
+            out = [e for e in self._envelopes if predicate(e)]
+            self._envelopes = [e for e in self._envelopes if not predicate(e)]
+            return out
+
+
+def _monotonic() -> float:
+    import time
+
+    return time.monotonic()

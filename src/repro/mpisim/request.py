@@ -1,0 +1,138 @@
+"""Non-blocking request objects (``MPI_Request`` equivalents).
+
+The engine uses an eager send protocol: the payload is copied into the
+envelope at ``isend`` time, so send requests are born complete.  Receive
+requests wrap a posted mailbox receive and deliver their payload into the
+user buffer (or return the received object) at completion.
+
+``waitall`` mirrors ``MPI_Waitall`` as used in Listing 5 of the paper to
+complete all rounds of one communication phase.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+import numpy as np
+
+from repro.mpisim.exceptions import TruncationError
+from repro.mpisim.mailbox import Envelope, Mailbox, PostedRecv
+
+
+class Request:
+    """Base class of all requests.
+
+    Subclasses implement :meth:`_complete`; :meth:`wait` is idempotent and
+    returns the request's result (``None`` for sends, the received object /
+    the user buffer for receives).
+    """
+
+    def __init__(self) -> None:
+        self._done = False
+        self._result: Any = None
+
+    def test(self) -> bool:
+        """Non-blocking completion probe.  Send requests always test
+        ``True``; receive requests test ``True`` once a matching envelope
+        has arrived."""
+        if self._done:
+            return True
+        if self._poll():
+            self.wait()
+            return True
+        return False
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        if not self._done:
+            self._result = self._complete(timeout)
+            self._done = True
+        return self._result
+
+    @property
+    def completed(self) -> bool:
+        return self._done
+
+    # -- subclass hooks -------------------------------------------------
+    def _complete(self, timeout: Optional[float]) -> Any:
+        raise NotImplementedError
+
+    def _poll(self) -> bool:
+        raise NotImplementedError
+
+
+class SendRequest(Request):
+    """An eager send: complete on creation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._done = True
+
+    def _complete(self, timeout: Optional[float]) -> Any:  # pragma: no cover
+        return None
+
+    def _poll(self) -> bool:  # pragma: no cover - always done
+        return True
+
+
+class RecvRequest(Request):
+    """A posted receive.
+
+    ``on_envelope`` converts the matched envelope into the request result
+    (e.g. copying bytes into a user buffer, unpacking a derived datatype,
+    or unpickling an object).  The actual data movement happens in the
+    receiving rank's thread inside :meth:`wait`.
+    """
+
+    def __init__(
+        self,
+        mailbox: Mailbox,
+        posted: PostedRecv,
+        on_envelope: Callable[[Envelope], Any],
+    ) -> None:
+        super().__init__()
+        self._mailbox = mailbox
+        self._posted = posted
+        self._on_envelope = on_envelope
+        #: filled in after completion; exposes the matched source/tag the
+        #: way ``MPI_Status`` would.
+        self.status: Optional[dict] = None
+
+    def _poll(self) -> bool:
+        return self._posted.done.is_set()
+
+    def _complete(self, timeout: Optional[float]) -> Any:
+        env = self._mailbox.wait(self._posted, timeout)
+        self.status = {"source": env.src, "tag": env.tag, "nbytes": env.nbytes}
+        return self._on_envelope(env)
+
+
+def waitall(requests: Iterable[Request], timeout: Optional[float] = None) -> list:
+    """Complete every request; returns their results in order.
+
+    Equivalent of ``MPI_Waitall``.  Completion order is the iteration
+    order, which is safe because receives never depend on the waiting
+    order (matching happened at post time).
+    """
+    return [req.wait(timeout) for req in requests]
+
+
+def copy_into_buffer(buf: np.ndarray, payload: bytes) -> np.ndarray:
+    """Copy raw payload bytes into a NumPy buffer, enforcing MPI's
+    truncation rule: the message must not be longer than the buffer.
+
+    Non-contiguous receive layouts are expressed with derived datatypes at
+    a higher level; this low-level path requires a C-contiguous buffer.
+    """
+    if not buf.flags["C_CONTIGUOUS"]:
+        raise ValueError(
+            "receive buffer must be C-contiguous; use a derived datatype "
+            "for non-contiguous receive layouts"
+        )
+    view = buf.view(np.uint8).reshape(-1)
+    if len(payload) > view.nbytes:
+        raise TruncationError(
+            f"message of {len(payload)} bytes does not fit receive buffer "
+            f"of {view.nbytes} bytes"
+        )
+    view[: len(payload)] = np.frombuffer(payload, dtype=np.uint8)
+    return buf

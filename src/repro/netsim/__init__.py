@@ -1,0 +1,43 @@
+"""LogGP-style network modeling and simulation.
+
+The paper's performance claims are about communication *rounds* versus
+*volume* under linear (α–β) communication costs: each send-receive round
+costs a startup latency ``α`` plus ``β`` per byte, so message combining
+(C rounds, volume V·m) beats direct delivery (t rounds, volume t·m)
+exactly when ``Cα + βVm < t(α + βm)``.  No real interconnect is
+available here, so this subpackage reproduces the latency benchmarks by
+*modeling*:
+
+* :mod:`repro.netsim.machine` — machine models: α, β, per-request CPU
+  overheads, per-variant software overheads (including the pathological
+  per-neighbor costs the paper observed in Open MPI / Intel MPI
+  ``MPI_Neighbor_*`` at large neighbor counts), memory-copy bandwidth,
+  and pluggable noise models;
+* :mod:`repro.netsim.machines` — the Table 2 systems as calibrated
+  presets (Hydra/Open MPI, Hydra/Intel MPI, Titan/Cray MPI);
+* :mod:`repro.netsim.program` — per-rank communication programs derived
+  from a :class:`~repro.core.schedule.Schedule` (SPMD) or from a
+  recorded engine trace;
+* :mod:`repro.netsim.cost` — closed-form per-schedule time estimates
+  (the model of Section 3, used for full-scale figures);
+* :mod:`repro.netsim.des` — a discrete-event replay of per-rank
+  programs with NIC serialization, FIFO channels and noise, used to
+  validate the closed forms and to generate the run-time distributions
+  of Figure 7.
+"""
+
+from repro.netsim.machine import MachineModel, NoiseModel, VariantCosts
+from repro.netsim.machines import MACHINES, get_machine
+from repro.netsim.cost import estimate_schedule_time
+from repro.netsim.des import simulate_programs, simulate_schedule
+
+__all__ = [
+    "MachineModel",
+    "NoiseModel",
+    "VariantCosts",
+    "MACHINES",
+    "get_machine",
+    "estimate_schedule_time",
+    "simulate_programs",
+    "simulate_schedule",
+]

@@ -1,0 +1,37 @@
+"""Measurement-data processing (Appendix A).
+
+The paper found raw collective timings unstable — large outliers and
+bimodal distributions, especially at 1024 Titan nodes — and settled on
+reporting means with 95% confidence intervals over a *subset* of the
+measurements:
+
+* **Hydra**: the first and second quartiles (all values up to the
+  median);
+* **Titan**: the smallest third of all measurements.
+
+:mod:`repro.stats.processing` implements exactly that pipeline, plus the
+normalization to the blocking-MPI baseline the figures use, and
+:mod:`repro.stats.distributions` provides the histogram/bimodality
+helpers behind Figure 7.
+"""
+
+from repro.stats.processing import (
+    ReportedStat,
+    mean_ci,
+    quartile_subset,
+    smallest_fraction,
+    summarize,
+    normalize_to_baseline,
+)
+from repro.stats.distributions import histogram, bimodality_coefficient
+
+__all__ = [
+    "ReportedStat",
+    "mean_ci",
+    "quartile_subset",
+    "smallest_fraction",
+    "summarize",
+    "normalize_to_baseline",
+    "histogram",
+    "bimodality_coefficient",
+]

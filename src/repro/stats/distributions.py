@@ -1,0 +1,86 @@
+"""Distribution diagnostics behind Figure 7 and Appendix A.
+
+Figure 7 shows run-time histograms for ``Cart_alltoall`` on Titan: tight
+and unimodal at 128×16 processes, widely dispersed (heavy right tail /
+bimodal) at 1024×16.  These helpers build the histograms and quantify
+the difference so tests can assert the qualitative claim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """A plain histogram with its summary statistics."""
+
+    counts: np.ndarray
+    edges: np.ndarray
+    mean: float
+    median: float
+
+    @property
+    def nbins(self) -> int:
+        return int(self.counts.size)
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    def mode_bin(self) -> int:
+        return int(np.argmax(self.counts))
+
+
+def histogram(data: Sequence[float], bins: int = 30) -> Histogram:
+    x = np.asarray(list(data), dtype=float)
+    if x.size == 0:
+        raise ValueError("cannot histogram an empty sample")
+    counts, edges = np.histogram(x, bins=bins)
+    return Histogram(
+        counts=counts,
+        edges=edges,
+        mean=float(x.mean()),
+        median=float(np.median(x)),
+    )
+
+
+def bimodality_coefficient(data: Sequence[float]) -> float:
+    """Sarle's bimodality coefficient ``(γ² + 1) / κ`` (skewness γ,
+    kurtosis κ).  Values above ~5/9 suggest bi- or multimodality — used
+    to characterize the Figure 7b regime."""
+    x = np.asarray(list(data), dtype=float)
+    n = x.size
+    if n < 4:
+        raise ValueError("need at least 4 samples")
+    m = x.mean()
+    s = x.std(ddof=1)
+    if s == 0.0:
+        return 0.0
+    g1 = float(((x - m) ** 3).mean() / (x.std(ddof=0) ** 3))
+    g2 = float(((x - m) ** 4).mean() / (x.std(ddof=0) ** 4))
+    # sample-size corrected skewness/kurtosis (as in the usual BC formula)
+    skew = g1 * math.sqrt(n * (n - 1)) / (n - 2)
+    kurt = g2 - 3.0
+    kurt_corr = ((n - 1) / ((n - 2) * (n - 3))) * ((n + 1) * kurt + 6)
+    denom = kurt_corr + 3.0 * ((n - 1) ** 2) / ((n - 2) * (n - 3))
+    if denom <= 0:
+        return 1.0
+    return (skew**2 + 1.0) / denom
+
+
+def dispersion_ratio(data: Sequence[float]) -> float:
+    """(P95 − P5) / median — the spread measure tests use to contrast
+    the 128-node and 1024-node regimes of Figure 7."""
+    x = np.asarray(list(data), dtype=float)
+    if x.size == 0:
+        raise ValueError("empty sample")
+    med = float(np.median(x))
+    if med <= 0:
+        raise ValueError("median must be positive")
+    lo, hi = np.percentile(x, [5, 95])
+    return float((hi - lo) / med)

@@ -1,0 +1,127 @@
+"""Appendix A: subsetting, means and confidence intervals.
+
+The reporting pipeline is:
+
+1. measure a collective ``R`` times (the paper: R = 100/30/10 on Hydra
+   for m = 1/10/100 and 300/50/40 on Titan);
+2. take the stable subset — Hydra: first+second quartile (values up to
+   the median); Titan: the smallest third;
+3. report mean and 95% confidence interval over that subset;
+4. figures show times normalized to the blocking MPI baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+# Two-sided critical values of Student's t at 95% confidence, by degrees
+# of freedom; beyond the table the normal value 1.96 is used.  Kept
+# inline so the package works without scipy (scipy, when present, is
+# used by the tests to cross-check these).
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+    7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179,
+    13: 2.160, 14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101,
+    19: 2.093, 20: 2.086, 25: 2.060, 30: 2.042, 40: 2.021, 60: 2.000,
+    120: 1.980,
+}
+
+
+def _t_critical(df: int) -> float:
+    if df <= 0:
+        return float("nan")
+    if df in _T95:
+        return _T95[df]
+    keys = sorted(_T95)
+    for k in keys:
+        if df < k:
+            return _T95[k]
+    return 1.96
+
+
+@dataclass(frozen=True)
+class ReportedStat:
+    """One reported measurement: mean with a 95% CI over ``n`` samples."""
+
+    mean: float
+    ci_low: float
+    ci_high: float
+    n: int
+
+    @property
+    def ci_half_width(self) -> float:
+        return (self.ci_high - self.ci_low) / 2.0
+
+    def __str__(self) -> str:
+        return f"{self.mean:.6g} [{self.ci_low:.6g}, {self.ci_high:.6g}] (n={self.n})"
+
+
+def mean_ci(data: Sequence[float], confidence: float = 0.95) -> ReportedStat:
+    """Mean and (two-sided, Student-t) confidence interval.
+
+    Only 95% is supported without scipy; other confidence levels raise.
+    A single sample yields a degenerate interval equal to the value.
+    """
+    x = np.asarray(list(data), dtype=float)
+    if x.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    if abs(confidence - 0.95) > 1e-12:
+        raise ValueError("only 95% confidence supported")
+    m = float(x.mean())
+    if x.size == 1:
+        return ReportedStat(mean=m, ci_low=m, ci_high=m, n=1)
+    s = float(x.std(ddof=1))
+    half = _t_critical(x.size - 1) * s / math.sqrt(x.size)
+    return ReportedStat(mean=m, ci_low=m - half, ci_high=m + half, n=int(x.size))
+
+
+def quartile_subset(data: Sequence[float]) -> np.ndarray:
+    """The Hydra subset: all measurements in the first and second
+    quartiles, i.e. values not exceeding the median."""
+    x = np.sort(np.asarray(list(data), dtype=float))
+    if x.size == 0:
+        raise ValueError("cannot subset an empty sample")
+    median = float(np.median(x))
+    return x[x <= median]
+
+
+def smallest_fraction(data: Sequence[float], fraction: float = 1.0 / 3.0) -> np.ndarray:
+    """The Titan subset: the smallest ``fraction`` of the measurements
+    (at least one)."""
+    if not (0.0 < fraction <= 1.0):
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    x = np.sort(np.asarray(list(data), dtype=float))
+    if x.size == 0:
+        raise ValueError("cannot subset an empty sample")
+    k = max(1, int(math.floor(x.size * fraction)))
+    return x[:k]
+
+
+def summarize(data: Sequence[float], system: str = "hydra") -> ReportedStat:
+    """The full Appendix A pipeline for one measurement series."""
+    if system == "hydra":
+        subset = quartile_subset(data)
+    elif system == "titan":
+        subset = smallest_fraction(data, 1.0 / 3.0)
+    elif system == "all":
+        subset = np.asarray(list(data), dtype=float)
+    else:
+        raise ValueError(f"unknown system {system!r}; use hydra/titan/all")
+    return mean_ci(subset)
+
+
+def normalize_to_baseline(
+    stats: dict[str, ReportedStat], baseline: str
+) -> dict[str, float]:
+    """The figures' normalization: each variant's reported mean divided
+    by the baseline variant's reported mean."""
+    if baseline not in stats:
+        raise KeyError(f"baseline {baseline!r} not among {sorted(stats)}")
+    b = stats[baseline].mean
+    if b <= 0.0:
+        raise ValueError(f"baseline mean must be positive, got {b}")
+    return {name: s.mean / b for name, s in stats.items()}

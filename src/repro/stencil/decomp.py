@@ -1,0 +1,97 @@
+"""Block decomposition of a global grid over a process grid."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.topology import CartTopology
+from repro.mpisim.exceptions import TopologyError
+
+
+@dataclass(frozen=True)
+class GridDecomposition:
+    """Distributes a ``global_shape`` grid block-wise over ``topo``.
+
+    Dimension ``j`` of the grid is split into ``topo.dims[j]`` nearly
+    equal contiguous pieces (the first ``remainder`` pieces one cell
+    longer), matching the usual MPI block distribution.
+    """
+
+    topo: CartTopology
+    global_shape: tuple[int, ...]
+
+    def __post_init__(self):
+        if len(self.global_shape) != self.topo.ndim:
+            raise TopologyError(
+                f"grid dimension {len(self.global_shape)} != process grid "
+                f"dimension {self.topo.ndim}"
+            )
+        if any(g <= 0 for g in self.global_shape):
+            raise TopologyError(f"grid extents must be positive: {self.global_shape}")
+        object.__setattr__(self, "global_shape", tuple(int(g) for g in self.global_shape))
+
+    # ------------------------------------------------------------------
+    def _split(self, extent: int, parts: int) -> list[tuple[int, int]]:
+        """(start, stop) per part for one dimension."""
+        base, rem = divmod(extent, parts)
+        bounds = []
+        start = 0
+        for i in range(parts):
+            size = base + (1 if i < rem else 0)
+            bounds.append((start, start + size))
+            start += size
+        return bounds
+
+    def local_slices(self, rank: int) -> tuple[slice, ...]:
+        """The global-index slab owned by ``rank``."""
+        coords = self.topo.coords(rank)
+        out = []
+        for c, extent, parts in zip(coords, self.global_shape, self.topo.dims):
+            lo, hi = self._split(extent, parts)[c]
+            out.append(slice(lo, hi))
+        return tuple(out)
+
+    def local_shape(self, rank: int) -> tuple[int, ...]:
+        return tuple(s.stop - s.start for s in self.local_slices(rank))
+
+    def min_local_extent(self) -> int:
+        """Smallest local extent across ranks and dimensions — halo depth
+        must not exceed it."""
+        out = None
+        for extent, parts in zip(self.global_shape, self.topo.dims):
+            base = extent // parts
+            out = base if out is None else min(out, base)
+        return int(out)
+
+    # ------------------------------------------------------------------
+    def scatter(self, global_array: np.ndarray) -> list[np.ndarray]:
+        """Split a global array into per-rank local blocks (copies)."""
+        if tuple(global_array.shape) != self.global_shape:
+            raise ValueError(
+                f"array shape {global_array.shape} != decomposition shape "
+                f"{self.global_shape}"
+            )
+        return [
+            global_array[self.local_slices(r)].copy()
+            for r in range(self.topo.size)
+        ]
+
+    def gather(self, locals_: Sequence[np.ndarray]) -> np.ndarray:
+        """Reassemble per-rank local blocks into the global array."""
+        if len(locals_) != self.topo.size:
+            raise ValueError(
+                f"need {self.topo.size} local blocks, got {len(locals_)}"
+            )
+        out = np.empty(self.global_shape, dtype=np.asarray(locals_[0]).dtype)
+        for r, block in enumerate(locals_):
+            sl = self.local_slices(r)
+            expect = self.local_shape(r)
+            if tuple(np.asarray(block).shape) != expect:
+                raise ValueError(
+                    f"rank {r}: block shape {np.asarray(block).shape} != {expect}"
+                )
+            out[sl] = block
+        return out

@@ -1,0 +1,153 @@
+"""Stencil update kernels and serial references.
+
+The distributed runs are validated cell-for-cell against these serial
+implementations on the global (periodic) grid, so kernels exist in two
+matched forms:
+
+* ``*_local`` — operate on a local array with ghost cells already
+  exchanged, returning the updated interior;
+* ``*_global`` — operate on the whole global array with periodic
+  wraparound (``np.roll``), the ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+def weighted_stencil_local(
+    grid: np.ndarray, weights: Mapping[tuple[int, ...], float], depth: int
+) -> np.ndarray:
+    """Apply a weighted stencil to the interior of a ghosted local array.
+
+    ``weights`` maps relative cell offsets (within ±depth) to
+    coefficients.  Returns the new interior (a fresh array).
+    """
+    d = grid.ndim
+    interior = tuple(
+        slice(depth, grid.shape[j] - depth) for j in range(d)
+    )
+    out = np.zeros(tuple(s.stop - s.start for s in interior), dtype=grid.dtype)
+    for off, w in weights.items():
+        if len(off) != d:
+            raise ValueError(f"offset {off} has wrong arity for {d}-d grid")
+        if any(abs(o) > depth for o in off):
+            raise ValueError(f"offset {off} exceeds ghost depth {depth}")
+        shifted = tuple(
+            slice(depth + o, grid.shape[j] - depth + o)
+            for j, o in enumerate(off)
+        )
+        out += w * grid[shifted]
+    return out
+
+
+def weighted_stencil_global(
+    grid: np.ndarray, weights: Mapping[tuple[int, ...], float]
+) -> np.ndarray:
+    """The same stencil on the full periodic global grid."""
+    out = np.zeros_like(grid)
+    for off, w in weights.items():
+        out += w * np.roll(grid, shift=[-o for o in off], axis=tuple(range(grid.ndim)))
+    return out
+
+
+def jacobi_weights_5pt() -> dict[tuple[int, int], float]:
+    """Classic 2-D 5-point Jacobi averaging weights."""
+    return {
+        (0, 0): 0.0,
+        (-1, 0): 0.25,
+        (1, 0): 0.25,
+        (0, -1): 0.25,
+        (0, 1): 0.25,
+    }
+
+
+def jacobi_weights_9pt() -> dict[tuple[int, int], float]:
+    """2-D 9-point weights (the Listing 3 / Figure 1 pattern)."""
+    w: dict[tuple[int, int], float] = {}
+    for dx in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            if dx == 0 and dy == 0:
+                w[(dx, dy)] = 0.0
+            elif dx == 0 or dy == 0:
+                w[(dx, dy)] = 0.15
+            else:
+                w[(dx, dy)] = 0.10
+    return w
+
+
+def heat_weights(d: int, nu: float = 0.1) -> dict[tuple[int, ...], float]:
+    """Explicit heat-equation step: u + ν·Δu with the 2d+1-point
+    Laplacian."""
+    w: dict[tuple[int, ...], float] = {tuple([0] * d): 1.0 - 2.0 * d * nu}
+    for j in range(d):
+        for s in (-1, 1):
+            off = [0] * d
+            off[j] = s
+            w[tuple(off)] = nu
+    return w
+
+
+def weighted_stencil_global_dirichlet(
+    grid: np.ndarray,
+    weights: Mapping[tuple[int, ...], float],
+    boundary_value: float = 0.0,
+) -> np.ndarray:
+    """The stencil on a *non-periodic* global grid: cells outside the
+    domain hold the fixed ``boundary_value`` (Dirichlet condition) —
+    the serial reference for distributed runs on meshes."""
+    depth = max(
+        (max(abs(o) for o in off) for off in weights if any(off)), default=1
+    )
+    padded = np.pad(grid, depth, mode="constant",
+                    constant_values=boundary_value)
+    return weighted_stencil_local(padded, weights, depth)
+
+
+# ---------------------------------------------------------------------------
+# Game of Life (Moore neighborhood, the allgather-flavoured example)
+# ---------------------------------------------------------------------------
+
+
+def life_step_local(grid: np.ndarray, depth: int = 1) -> np.ndarray:
+    """One Game of Life step on the interior of a ghosted 2-D array."""
+    if grid.ndim != 2:
+        raise ValueError("Game of Life is 2-D")
+    n0 = grid.shape[0] - 2 * depth
+    n1 = grid.shape[1] - 2 * depth
+    neighbors = np.zeros((n0, n1), dtype=np.int64)
+    for dx in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            if dx == 0 and dy == 0:
+                continue
+            neighbors += grid[
+                depth + dx : depth + dx + n0, depth + dy : depth + dy + n1
+            ].astype(np.int64)
+    alive = grid[depth : depth + n0, depth : depth + n1].astype(bool)
+    new = (neighbors == 3) | (alive & (neighbors == 2))
+    return new.astype(grid.dtype)
+
+
+def life_step_global(grid: np.ndarray) -> np.ndarray:
+    """One periodic Game of Life step on the global grid."""
+    if grid.ndim != 2:
+        raise ValueError("Game of Life is 2-D")
+    neighbors = np.zeros(grid.shape, dtype=np.int64)
+    for dx in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            if dx == 0 and dy == 0:
+                continue
+            neighbors += np.roll(grid, (dx, dy), axis=(0, 1)).astype(np.int64)
+    alive = grid.astype(bool)
+    return ((neighbors == 3) | (alive & (neighbors == 2))).astype(grid.dtype)
+
+
+def glider(shape: Sequence[int], top: int = 1, left: int = 1) -> np.ndarray:
+    """A Game of Life glider on an otherwise empty grid."""
+    g = np.zeros(tuple(shape), dtype=np.int8)
+    cells = [(0, 1), (1, 2), (2, 0), (2, 1), (2, 2)]
+    for r, c in cells:
+        g[(top + r) % shape[0], (left + c) % shape[1]] = 1
+    return g

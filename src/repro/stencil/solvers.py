@@ -1,0 +1,145 @@
+"""Distributed iterative solvers on Cartesian grids.
+
+The stencil substrate composed into a complete numerical application:
+a Jacobi solver for the Poisson problem ``−Δu = f`` with Dirichlet
+boundary conditions, distributed over a Cartesian process mesh.  Each
+iteration is one halo exchange (a Cartesian collective) plus a local
+update; convergence is decided on the *global* residual, computed with
+an allreduce over the process grid — the communication pattern mix
+(sparse neighborhood collective + dense reduction) typical of real
+stencil codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.cartcomm import CartComm
+from repro.stencil.apps import DistributedStencil
+from repro.stencil.decomp import GridDecomposition
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a distributed solve (per rank: the local block)."""
+
+    local_solution: np.ndarray
+    iterations: int
+    residual: float
+    converged: bool
+
+
+def jacobi_poisson_2d(
+    cart: CartComm,
+    decomp: GridDecomposition,
+    f_local: np.ndarray,
+    *,
+    h: float = 1.0,
+    tol: float = 1e-8,
+    max_iterations: int = 10_000,
+    check_every: int = 10,
+    halo: str = "per-neighbor",
+    algorithm: str = "auto",
+) -> SolveResult:
+    """Solve ``−Δu = f`` (2-D, Dirichlet u = 0 on the boundary) with
+    Jacobi iteration.
+
+    ``f_local`` is this rank's block of the right-hand side.  Returns
+    when the relative global residual ‖f + Δu‖ / ‖f‖ drops below
+    ``tol`` (checked every ``check_every`` iterations with one
+    allreduce) or after ``max_iterations``.
+    """
+    if cart.topo.is_fully_periodic:
+        raise ValueError(
+            "the Poisson problem with Dirichlet boundaries needs a "
+            "non-periodic mesh (periods=(False, False))"
+        )
+    if f_local.ndim != 2:
+        raise ValueError("jacobi_poisson_2d is 2-D")
+    h2 = h * h
+    f = np.ascontiguousarray(f_local, dtype=np.float64)
+
+    # the ghosted iterate, updated in place via DistributedStencil's
+    # exchange machinery (boundary ghosts stay 0 = the Dirichlet value)
+    state = DistributedStencil(
+        cart,
+        decomp,
+        np.zeros_like(f),
+        kernel=lambda g: g[1:-1, 1:-1],  # kernel unused; we step manually
+        depth=1,
+        halo=halo,
+        algorithm=algorithm,
+        boundary_value=0.0,
+    )
+
+    def jacobi_step() -> None:
+        state.exchange_halos()
+        g = state.grid
+        interior = 0.25 * (
+            g[:-2, 1:-1] + g[2:, 1:-1] + g[1:-1, :-2] + g[1:-1, 2:] + h2 * f
+        )
+        state.interior[...] = interior
+
+    def global_residual() -> tuple[float, float]:
+        state.exchange_halos()
+        g = state.grid
+        lap = (
+            g[:-2, 1:-1] + g[2:, 1:-1] + g[1:-1, :-2] + g[1:-1, 2:]
+            - 4.0 * g[1:-1, 1:-1]
+        ) / h2
+        r = f + lap
+        local = (float(np.sum(r * r)), float(np.sum(f * f)))
+        total = cart.comm.allreduce(
+            local, lambda a, b: (a[0] + b[0], a[1] + b[1])
+        )
+        return total
+
+    fnorm2 = None
+    iterations = 0
+    residual = np.inf
+    while iterations < max_iterations:
+        jacobi_step()
+        iterations += 1
+        if iterations % check_every == 0:
+            rr, ff = global_residual()
+            fnorm2 = ff
+            residual = np.sqrt(rr / ff) if ff > 0 else np.sqrt(rr)
+            if residual < tol:
+                return SolveResult(
+                    local_solution=state.interior.copy(),
+                    iterations=iterations,
+                    residual=residual,
+                    converged=True,
+                )
+    rr, ff = global_residual()
+    residual = np.sqrt(rr / ff) if ff > 0 else np.sqrt(rr)
+    return SolveResult(
+        local_solution=state.interior.copy(),
+        iterations=iterations,
+        residual=residual,
+        converged=residual < tol,
+    )
+
+
+def poisson_reference_2d(
+    f: np.ndarray, h: float = 1.0
+) -> np.ndarray:
+    """Direct (dense) solve of the same discrete system, for validation:
+    the 5-point Laplacian with Dirichlet u = 0 outside the grid."""
+    n0, n1 = f.shape
+    n = n0 * n1
+    A = np.zeros((n, n))
+    idx = lambda i, j: i * n1 + j
+    for i in range(n0):
+        for j in range(n1):
+            k = idx(i, j)
+            A[k, k] = 4.0
+            for di, dj in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                ii, jj = i + di, j + dj
+                if 0 <= ii < n0 and 0 <= jj < n1:
+                    A[k, idx(ii, jj)] = -1.0
+    u = np.linalg.solve(A, (h * h) * f.reshape(-1))
+    return u.reshape(n0, n1)

@@ -1,0 +1,57 @@
+"""Shared test helpers.
+
+``expected_alltoall`` / ``expected_allgather`` compute, by brute force
+from the definition in Section 2, what every rank's receive buffer must
+contain after a Cartesian collective: block ``i`` comes from source
+``(r − N[i]) mod dims``.  All collective tests reduce to comparing an
+execution against these.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.neighborhood import Neighborhood
+from repro.core.topology import CartTopology
+
+
+def fill_send_alltoall(rank: int, t: int, m: int, dtype=np.int64) -> np.ndarray:
+    """Deterministic, distinct content per (rank, block): block i of
+    rank r is filled with r * 10000 + i."""
+    buf = np.empty(t * m, dtype=dtype)
+    for i in range(t):
+        buf[i * m : (i + 1) * m] = rank * 10000 + i
+    return buf
+
+
+def expected_alltoall(
+    topo: CartTopology, nbh: Neighborhood, rank: int, m: int, dtype=np.int64
+) -> np.ndarray:
+    """recv block i = send block i of source (r − N[i])."""
+    out = np.empty(nbh.t * m, dtype=dtype)
+    for i, off in enumerate(nbh):
+        src = topo.translate(rank, tuple(-o for o in off))
+        assert src is not None
+        out[i * m : (i + 1) * m] = src * 10000 + i
+    return out
+
+
+def fill_send_allgather(rank: int, m: int, dtype=np.int64) -> np.ndarray:
+    return np.full(m, rank * 7 + 3, dtype=dtype)
+
+
+def expected_allgather(
+    topo: CartTopology, nbh: Neighborhood, rank: int, m: int, dtype=np.int64
+) -> np.ndarray:
+    out = np.empty(nbh.t * m, dtype=dtype)
+    for i, off in enumerate(nbh):
+        src = topo.translate(rank, tuple(-o for o in off))
+        assert src is not None
+        out[i * m : (i + 1) * m] = src * 7 + 3
+    return out
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,144 @@
+"""Direct-delivery neighborhood collective baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import (
+    neighbor_allgather_direct,
+    neighbor_allgatherv_direct,
+    neighbor_alltoall_direct,
+    neighbor_alltoallv_direct,
+)
+from repro.mpisim.engine import run_ranks
+
+
+def ring_neighbors(comm):
+    p = comm.size
+    sources = [(comm.rank - 1) % p, (comm.rank + 1) % p]
+    targets = [(comm.rank + 1) % p, (comm.rank - 1) % p]
+    return sources, targets
+
+
+class TestAlltoallDirect:
+    def test_ring(self):
+        def fn(comm):
+            sources, targets = ring_neighbors(comm)
+            send = np.asarray(
+                [comm.rank * 10 + 1, comm.rank * 10 + 2], dtype=np.int64
+            )
+            recv = np.zeros(2, dtype=np.int64)
+            neighbor_alltoall_direct(comm, sources, targets, send, recv)
+            # slot 0 <- left neighbor's block 0 (addressed to its right)
+            assert recv[0] == sources[0] * 10 + 1
+            assert recv[1] == sources[1] * 10 + 2
+            return True
+
+        assert all(run_ranks(5, fn, timeout=30))
+
+    def test_none_neighbors_skipped(self):
+        def fn(comm):
+            # linear chain: rank 0 has no left, last has no right
+            p = comm.size
+            left = comm.rank - 1 if comm.rank > 0 else None
+            right = comm.rank + 1 if comm.rank < p - 1 else None
+            sources = [left, right]
+            targets = [right, left]
+            send = np.asarray([comm.rank, comm.rank], dtype=np.int64)
+            recv = np.full(2, -1, dtype=np.int64)
+            neighbor_alltoall_direct(comm, sources, targets, send, recv)
+            expect0 = left if left is not None else -1
+            expect1 = right if right is not None else -1
+            return (recv[0] == expect0) and (recv[1] == expect1)
+
+        assert all(run_ranks(4, fn, timeout=30))
+
+    def test_size_validation(self):
+        def fn(comm):
+            sources, targets = ring_neighbors(comm)
+            neighbor_alltoall_direct(
+                comm, sources, targets, np.zeros(3), np.zeros(2)
+            )
+
+        with pytest.raises(Exception, match="not divisible"):
+            run_ranks(3, fn, timeout=20)
+
+    def test_empty_neighborhood(self):
+        def fn(comm):
+            neighbor_alltoall_direct(comm, [], [], np.zeros(0), np.zeros(0))
+            return True
+
+        assert all(run_ranks(2, fn, timeout=20))
+
+
+class TestAlltoallvDirect:
+    def test_varying_counts(self):
+        def fn(comm):
+            sources, targets = ring_neighbors(comm)
+            counts = [1, 3]
+            send = np.asarray(
+                [comm.rank] + [comm.rank * 2] * 3, dtype=np.int64
+            )
+            recv = np.zeros(4, dtype=np.int64)
+            neighbor_alltoallv_direct(
+                comm, sources, targets, send, counts, recv, counts
+            )
+            assert recv[0] == sources[0]
+            assert (recv[1:] == sources[1] * 2).all()
+            return True
+
+        assert all(run_ranks(4, fn, timeout=30))
+
+    def test_explicit_displacements(self):
+        def fn(comm):
+            sources, targets = ring_neighbors(comm)
+            send = np.asarray([0, comm.rank, 0, comm.rank + 1], dtype=np.int64)
+            recv = np.zeros(4, dtype=np.int64)
+            neighbor_alltoallv_direct(
+                comm, sources, targets,
+                send, [1, 1], recv, [1, 1],
+                sdispls=[1, 3], rdispls=[0, 2],
+            )
+            assert recv[0] == sources[0]
+            assert recv[2] == sources[1] + 1
+            return True
+
+        assert all(run_ranks(3, fn, timeout=30))
+
+    def test_count_arity_validated(self):
+        def fn(comm):
+            sources, targets = ring_neighbors(comm)
+            neighbor_alltoallv_direct(
+                comm, sources, targets, np.zeros(2), [1], np.zeros(2), [1, 1]
+            )
+
+        with pytest.raises(Exception, match="one count per neighbor"):
+            run_ranks(3, fn, timeout=20)
+
+
+class TestAllgatherDirect:
+    def test_ring(self):
+        def fn(comm):
+            sources, targets = ring_neighbors(comm)
+            send = np.full(3, comm.rank, dtype=np.int64)
+            recv = np.zeros(6, dtype=np.int64)
+            neighbor_allgather_direct(comm, sources, targets, send, recv)
+            assert (recv[:3] == sources[0]).all()
+            assert (recv[3:] == sources[1]).all()
+            return True
+
+        assert all(run_ranks(5, fn, timeout=30))
+
+    def test_allgatherv_displacements(self):
+        def fn(comm):
+            sources, targets = ring_neighbors(comm)
+            send = np.full(2, comm.rank, dtype=np.int64)
+            recv = np.full(6, -1, dtype=np.int64)
+            neighbor_allgatherv_direct(
+                comm, sources, targets, send, recv, [2, 2], rdispls=[4, 0]
+            )
+            assert (recv[4:6] == sources[0]).all()
+            assert (recv[0:2] == sources[1]).all()
+            assert (recv[2:4] == -1).all()
+            return True
+
+        assert all(run_ranks(4, fn, timeout=30))

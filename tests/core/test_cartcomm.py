@@ -1,0 +1,338 @@
+"""Public API: cart_neighborhood_create, helpers, operations."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import run_cartesian, run_ranks
+from repro.core.cartcomm import (
+    cart_neighborhood_create,
+    select_algorithm,
+)
+from repro.core.neighborhood import Neighborhood
+from repro.core.stencils import (
+    listing3_9point,
+    moore_neighborhood,
+    parameterized_stencil,
+)
+from repro.core.topology import CartTopology
+from repro.mpisim.exceptions import NeighborhoodError, TopologyError
+
+from tests.conftest import (
+    expected_allgather,
+    expected_alltoall,
+    fill_send_allgather,
+    fill_send_alltoall,
+)
+
+NBH9 = moore_neighborhood(2, 1, include_self=False)
+
+
+class TestCreate:
+    def test_size_must_match(self):
+        def fn(comm):
+            cart_neighborhood_create(comm, (5, 5), None, NBH9)
+
+        with pytest.raises(Exception, match="size"):
+            run_ranks(4, fn, timeout=20)
+
+    def test_flat_offsets_accepted(self):
+        def fn(comm):
+            cart = cart_neighborhood_create(
+                comm, (2, 2), None, [0, 1, 0, -1, 1, 0, -1, 0]
+            )
+            return cart.neighbor_count()
+
+        assert run_ranks(4, fn, timeout=20) == [4] * 4
+
+    def test_flat_offsets_bad_arity(self):
+        def fn(comm):
+            cart_neighborhood_create(comm, (2, 2), None, [0, 1, 0])
+
+        with pytest.raises(Exception, match="multiple"):
+            run_ranks(4, fn, timeout=20)
+
+    def test_isomorphism_check_rejects_differing(self):
+        def fn(comm):
+            if comm.rank == 1:
+                nbh = Neighborhood([(0, 1), (1, 1)])
+            else:
+                nbh = Neighborhood([(0, 1), (1, 0)])
+            cart_neighborhood_create(comm, (2, 2), None, nbh)
+
+        with pytest.raises(Exception, match="not Cartesian"):
+            run_ranks(4, fn, timeout=20)
+
+    def test_isomorphism_check_rejects_differing_t(self):
+        def fn(comm):
+            if comm.rank == 2:
+                nbh = Neighborhood([(0, 1)])
+            else:
+                nbh = Neighborhood([(0, 1), (1, 0)])
+            cart_neighborhood_create(comm, (2, 2), None, nbh)
+
+        with pytest.raises(Exception, match="not Cartesian"):
+            run_ranks(4, fn, timeout=20)
+
+    def test_weights_attached(self):
+        def fn(comm):
+            cart = cart_neighborhood_create(
+                comm, (2, 2), None, [(0, 1), (1, 0)], weights=[5, 7]
+            )
+            return cart.neighbor_weights()
+
+        assert run_ranks(4, fn, timeout=20) == [(5, 7)] * 4
+
+    def test_info_sets_model_params(self):
+        def fn(comm):
+            cart = cart_neighborhood_create(
+                comm, (2, 2), None, NBH9, info={"alpha": 1e-5, "beta": 1e-8}
+            )
+            return (cart.alpha, cart.beta)
+
+        assert run_ranks(4, fn, timeout=20)[0] == (1e-5, 1e-8)
+
+
+class TestHelpers:
+    def test_listing2_helpers(self):
+        def fn(cart):
+            # relative_rank / relative_shift / relative_coord
+            right = cart.relative_rank((0, 1))
+            src, tgt = cart.relative_shift((0, 1))
+            assert tgt == right
+            assert cart.relative_coord(right) == (0, 1)
+            assert cart.relative_rank((0, 0)) == cart.rank
+            assert cart.neighbor_count() == 8
+            sources, targets = cart.neighbor_get()
+            for off, s, t in zip(cart.nbh, sources, targets):
+                assert cart.relative_shift(off) == (s, t)
+            return True
+
+        assert all(run_cartesian((3, 3), NBH9, fn))
+
+    def test_coords_and_dims(self):
+        def fn(cart):
+            assert cart.dims == (3, 3)
+            assert cart.periods == (True, True)
+            return cart.coords()
+
+        res = run_cartesian((3, 3), NBH9, fn)
+        assert res == [divmod(r, 3) for r in range(9)]
+
+
+class TestAlgorithmSelection:
+    def test_unknown_algorithm(self):
+        def fn(cart):
+            cart.alltoall(np.zeros(8), np.zeros(8), algorithm="nope")
+
+        with pytest.raises(Exception, match="unknown algorithm"):
+            run_cartesian((2, 2), Neighborhood([(1, 0)]), fn)
+
+    def test_combining_requires_periodic(self):
+        def fn(cart):
+            cart.alltoall(np.zeros(8), np.zeros(8), algorithm="combining")
+
+        with pytest.raises(Exception, match="periodic"):
+            run_cartesian(
+                (2, 2), Neighborhood([(1, 0)]), fn, periods=(False, True)
+            )
+
+    def test_select_algorithm_small_blocks(self):
+        nbh = parameterized_stencil(3, 3, -1)
+        assert select_algorithm(nbh, "alltoall", 4, 1e-6, 1e-10) == "combining"
+
+    def test_select_algorithm_large_blocks(self):
+        nbh = parameterized_stencil(3, 3, -1)
+        assert select_algorithm(nbh, "alltoall", 10**8, 1e-6, 1e-10) == "trivial"
+
+    def test_allgather_combining_always_for_moore(self):
+        nbh = parameterized_stencil(3, 3, -1)
+        # V_allgather == trivial volume, C << t: combining at any m
+        assert select_algorithm(nbh, "allgather", 10**8, 1e-6, 1e-10) == "combining"
+
+
+@pytest.mark.parametrize("algorithm", ["trivial", "combining", "direct", "auto"])
+class TestOperations:
+    def test_alltoall(self, algorithm):
+        topo = CartTopology((3, 3))
+
+        def fn(cart):
+            m = 2
+            send = fill_send_alltoall(cart.rank, cart.nbh.t, m)
+            recv = np.zeros_like(send)
+            cart.alltoall(send, recv, algorithm=algorithm)
+            assert np.array_equal(
+                recv, expected_alltoall(topo, cart.nbh, cart.rank, m)
+            )
+            return True
+
+        assert all(run_cartesian((3, 3), NBH9, fn))
+
+    def test_allgather(self, algorithm):
+        topo = CartTopology((3, 3))
+
+        def fn(cart):
+            m = 3
+            send = fill_send_allgather(cart.rank, m)
+            recv = np.zeros(cart.nbh.t * m, dtype=np.int64)
+            cart.allgather(send, recv, algorithm=algorithm)
+            assert np.array_equal(
+                recv, expected_allgather(topo, cart.nbh, cart.rank, m)
+            )
+            return True
+
+        assert all(run_cartesian((3, 3), NBH9, fn))
+
+    def test_alltoallv(self, algorithm):
+        """Paper's m(d−z) block-size rule, counts uniform across ranks."""
+        nbh = moore_neighborhood(2, 1)  # includes self
+        topo = CartTopology((3, 3))
+        counts = [3 * (2 - z) for z in nbh.hops]
+
+        def fn(cart):
+            total = sum(counts)
+            send = np.empty(total, dtype=np.int64)
+            pos = 0
+            for i, c in enumerate(counts):
+                send[pos : pos + c] = cart.rank * 10000 + i
+                pos += c
+            recv = np.zeros(total, dtype=np.int64)
+            cart.alltoallv(send, counts, recv, counts, algorithm=algorithm)
+            pos = 0
+            for i, (off, c) in enumerate(zip(cart.nbh, counts)):
+                src = topo.translate(cart.rank, tuple(-o for o in off))
+                assert (recv[pos : pos + c] == src * 10000 + i).all()
+                pos += c
+            return True
+
+        assert all(run_cartesian((3, 3), nbh, fn))
+
+    def test_allgatherv_with_displacements(self, algorithm):
+        nbh = NBH9
+        topo = CartTopology((3, 3))
+
+        def fn(cart):
+            m = 2
+            t = cart.nbh.t
+            send = np.full(m, cart.rank, dtype=np.int64)
+            # reversed placement: block i lands at slot t-1-i
+            displs = [(t - 1 - i) * m for i in range(t)]
+            recv = np.zeros(t * m, dtype=np.int64)
+            cart.allgatherv(
+                send, recv, [m] * t, rdispls=displs, algorithm=algorithm
+            )
+            for i, off in enumerate(cart.nbh):
+                src = topo.translate(cart.rank, tuple(-o for o in off))
+                lo = displs[i]
+                assert (recv[lo : lo + m] == src).all()
+            return True
+
+        assert all(run_cartesian((3, 3), nbh, fn))
+
+    def test_alltoallw_multi_buffer(self, algorithm):
+        """w variant gathering from one buffer into another, with
+        per-neighbor block sets."""
+        nbh = Neighborhood([(0, 1), (0, -1), (1, 0), (-1, 0)])
+        topo = CartTopology((3, 3))
+
+        def fn(cart):
+            t = cart.nbh.t
+            m = 8  # bytes
+            src_buf = np.empty(t * m, np.uint8)
+            for i in range(t):
+                src_buf[i * m : (i + 1) * m] = (cart.rank * 9 + i) % 251
+            dst_buf = np.zeros(t * m, np.uint8)
+            from repro.mpisim.datatypes import BlockRef, BlockSet
+
+            sendtypes = [
+                BlockSet([BlockRef("a", i * m, m)]) for i in range(t)
+            ]
+            recvtypes = [
+                BlockSet([BlockRef("b", i * m, m)]) for i in range(t)
+            ]
+            cart.alltoallw(
+                {"a": src_buf, "b": dst_buf}, sendtypes, recvtypes,
+                algorithm=algorithm,
+            )
+            for i, off in enumerate(cart.nbh):
+                s = topo.translate(cart.rank, tuple(-o for o in off))
+                assert (dst_buf[i * m : (i + 1) * m] == (s * 9 + i) % 251).all()
+            return True
+
+        assert all(run_cartesian((3, 3), nbh, fn))
+
+    def test_allgatherw(self, algorithm):
+        """The paper's proposed Cart_allgatherw: same block, different
+        receive layouts (here: scattered into two buffers)."""
+        nbh = Neighborhood([(0, 1), (1, 0)])
+        topo = CartTopology((3, 3))
+
+        def fn(cart):
+            from repro.mpisim.datatypes import BlockRef, BlockSet
+
+            m = 4
+            send = np.full(m, cart.rank + 1, np.uint8)
+            out_a = np.zeros(m, np.uint8)
+            out_b = np.zeros(m, np.uint8)
+            cart.allgatherw(
+                {"send": send, "a": out_a, "b": out_b},
+                BlockSet([BlockRef("send", 0, m)]),
+                [BlockSet([BlockRef("a", 0, m)]), BlockSet([BlockRef("b", 0, m)])],
+                algorithm=algorithm,
+            )
+            s0 = topo.translate(cart.rank, (0, -1))
+            s1 = topo.translate(cart.rank, (-1, 0))
+            assert (out_a == s0 + 1).all()
+            assert (out_b == s1 + 1).all()
+            return True
+
+        assert all(run_cartesian((3, 3), nbh, fn))
+
+
+class TestOperationErrors:
+    def test_alltoall_bad_buffer_size(self):
+        def fn(cart):
+            cart.alltoall(np.zeros(7), np.zeros(7))
+
+        with pytest.raises(Exception, match="not divisible"):
+            run_cartesian((2, 2), Neighborhood([(1, 0), (0, 1)]), fn)
+
+    def test_alltoall_mismatched_buffers(self):
+        def fn(cart):
+            cart.alltoall(np.zeros(4), np.zeros(8))
+
+        with pytest.raises(Exception, match="match"):
+            run_cartesian((2, 2), Neighborhood([(1, 0), (0, 1)]), fn)
+
+    def test_allgather_bad_recv_size(self):
+        def fn(cart):
+            cart.allgather(np.zeros(4), np.zeros(4))
+
+        with pytest.raises(Exception, match="blocks"):
+            run_cartesian((2, 2), Neighborhood([(1, 0), (0, 1)]), fn)
+
+    def test_alltoallv_count_mismatch(self):
+        def fn(cart):
+            cart.alltoallv(np.zeros(4), [2, 2], np.zeros(4), [3, 1])
+
+        with pytest.raises(Exception, match="matching counts"):
+            run_cartesian((2, 2), Neighborhood([(1, 0), (0, 1)]), fn)
+
+    def test_allgatherv_nonuniform_counts(self):
+        def fn(cart):
+            cart.allgatherv(np.zeros(2), np.zeros(4), [2, 1])
+
+        with pytest.raises(Exception, match="uniform"):
+            run_cartesian((2, 2), Neighborhood([(1, 0), (0, 1)]), fn)
+
+
+class TestScheduleCache:
+    def test_regular_schedules_cached(self):
+        def fn(cart):
+            a = cart._regular_alltoall_schedule(8, "combining")
+            b = cart._regular_alltoall_schedule(8, "combining")
+            c = cart._regular_alltoall_schedule(16, "combining")
+            d = cart._regular_alltoall_schedule(8, "trivial")
+            return (a is b, a is not c, a is not d)
+
+        res = run_cartesian((2, 2), Neighborhood([(1, 0)]), fn)
+        assert res[0] == (True, True, True)

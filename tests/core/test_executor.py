@@ -1,0 +1,158 @@
+"""Threaded schedule execution (Listing 5) — correctness on the engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.alltoall_schedule import build_alltoall_schedule
+from repro.core.allgather_schedule import build_allgather_schedule
+from repro.core.executor import allocate_buffers, execute_schedule
+from repro.core.neighborhood import Neighborhood
+from repro.core.schedule import uniform_block_layout
+from repro.core.stencils import listing3_9point, parameterized_stencil
+from repro.core.topology import CartTopology
+from repro.core.trivial import build_trivial_alltoall_schedule
+from repro.mpisim.datatypes import BlockRef, BlockSet
+from repro.mpisim.engine import Engine, run_ranks
+
+from tests.conftest import expected_alltoall, fill_send_alltoall
+
+
+def run_alltoall(dims, nbh, builder, m_elems=2, timeout=60):
+    topo = CartTopology(dims)
+    m = m_elems * 8  # bytes of int64
+    sizes = [m] * nbh.t
+    sched = builder(
+        nbh,
+        uniform_block_layout(sizes, "send"),
+        uniform_block_layout(sizes, "recv"),
+    )
+
+    def fn(comm):
+        send = fill_send_alltoall(comm.rank, nbh.t, m_elems)
+        recv = np.zeros_like(send)
+        execute_schedule(comm, topo, sched, {"send": send, "recv": recv},
+                         validate=True)
+        expect = expected_alltoall(topo, nbh, comm.rank, m_elems)
+        assert np.array_equal(recv, expect), (comm.rank, recv, expect)
+        return True
+
+    return run_ranks(topo.size, fn, timeout=timeout)
+
+
+class TestCombiningOnThreads:
+    def test_moore_2d(self):
+        assert all(run_alltoall((3, 4), parameterized_stencil(2, 3, -1),
+                                build_alltoall_schedule))
+
+    def test_asymmetric_n4(self):
+        assert all(run_alltoall((4, 4), parameterized_stencil(2, 4, -1),
+                                build_alltoall_schedule))
+
+    def test_moore_3d(self):
+        assert all(run_alltoall((2, 3, 2), parameterized_stencil(3, 3, -1),
+                                build_alltoall_schedule))
+
+    def test_listing3_neighborhood(self):
+        assert all(run_alltoall((3, 3), listing3_9point(),
+                                build_alltoall_schedule))
+
+    def test_offsets_larger_than_dims(self):
+        """Offsets alias through the torus (offset 4 ≡ 0 on a dim of 4):
+        self-sends through the engine must work."""
+        nbh = Neighborhood([(4, 0), (1, 0), (0, 3)])
+        assert all(run_alltoall((4, 3), nbh, build_alltoall_schedule))
+
+    def test_repeated_offsets(self):
+        nbh = Neighborhood([(1, 0), (1, 0), (0, 1)])
+        assert all(run_alltoall((3, 3), nbh, build_alltoall_schedule))
+
+    def test_self_neighbor(self):
+        nbh = Neighborhood([(0, 0), (1, 1), (-1, -1)])
+        assert all(run_alltoall((3, 3), nbh, build_alltoall_schedule))
+
+
+class TestTrivialOnThreads:
+    def test_moore_2d(self):
+        assert all(run_alltoall((3, 3), parameterized_stencil(2, 3, -1),
+                                build_trivial_alltoall_schedule))
+
+    def test_aliasing(self):
+        nbh = Neighborhood([(2, 0), (0, 2)])
+        assert all(run_alltoall((2, 2), nbh, build_trivial_alltoall_schedule))
+
+
+class TestAllgatherOnThreads:
+    def test_moore_2d(self):
+        nbh = parameterized_stencil(2, 3, -1)
+        topo = CartTopology((3, 3))
+        m = 16
+        sched = build_allgather_schedule(
+            nbh,
+            BlockSet([BlockRef("send", 0, m)]),
+            uniform_block_layout([m] * nbh.t, "recv"),
+        )
+
+        def fn(comm):
+            send = np.full(m, comm.rank + 1, np.uint8)
+            recv = np.zeros(nbh.t * m, np.uint8)
+            execute_schedule(comm, topo, sched, {"send": send, "recv": recv})
+            for i, off in enumerate(nbh):
+                src = topo.translate(comm.rank, tuple(-o for o in off))
+                assert (recv[i * m : (i + 1) * m] == src + 1).all()
+            return True
+
+        assert all(run_ranks(topo.size, fn, timeout=60))
+
+
+class TestBufferPlumbing:
+    def test_allocate_buffers_adds_temp(self):
+        nbh = Neighborhood([(1, 1)])
+        sched = build_alltoall_schedule(
+            nbh,
+            uniform_block_layout([8], "send"),
+            uniform_block_layout([8], "recv"),
+        )
+        bufs = allocate_buffers(sched, {"send": np.zeros(8, np.uint8),
+                                        "recv": np.zeros(8, np.uint8)})
+        assert "temp" in bufs
+        assert bufs["temp"].nbytes == sched.temp_nbytes
+
+    def test_existing_temp_respected(self):
+        nbh = Neighborhood([(1, 1)])
+        sched = build_alltoall_schedule(
+            nbh,
+            uniform_block_layout([8], "send"),
+            uniform_block_layout([8], "recv"),
+        )
+        mine = np.zeros(64, np.uint8)
+        bufs = allocate_buffers(sched, {"temp": mine})
+        assert bufs["temp"] is mine
+
+    def test_trace_has_phase_structure(self):
+        nbh = parameterized_stencil(2, 3, -1)
+        topo = CartTopology((3, 3))
+        m = 4
+        sched = build_alltoall_schedule(
+            nbh,
+            uniform_block_layout([m] * nbh.t, "send"),
+            uniform_block_layout([m] * nbh.t, "recv"),
+        )
+        eng = Engine(topo.size, timeout=60, tracing=True)
+
+        def fn(comm):
+            send = np.zeros(nbh.t * m, np.uint8)
+            recv = np.zeros(nbh.t * m, np.uint8)
+            execute_schedule(comm, topo, sched, {"send": send, "recv": recv})
+
+        eng.run(fn)
+        phases = eng.trace.phases(0)
+        # one waitall-group per dimension phase; each group holds
+        # C_k sends + C_k receives (a trailing group may carry the
+        # local-copy event for the self block)
+        comm_groups = [
+            g for g in phases if any(e.kind in ("isend", "irecv") for e in g)
+        ]
+        assert len(comm_groups) == nbh.d
+        for group, ck in zip(comm_groups, nbh.distinct_nonzero_per_dim):
+            assert sum(1 for e in group if e.kind == "isend") == ck
+            assert sum(1 for e in group if e.kind == "irecv") == ck

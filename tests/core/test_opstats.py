@@ -1,0 +1,104 @@
+"""Operation statistics collection."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import run_cartesian
+from repro.core.opstats import OpStats
+from repro.core.stencils import moore_neighborhood
+
+NBH = moore_neighborhood(2, 1, include_self=False)
+
+
+class TestOpStatsUnit:
+    def test_empty_summary(self):
+        assert "no collective operations" in OpStats().summary()
+
+    def test_record_and_totals(self):
+        stats = OpStats()
+        stats.record_raw("alltoall", "combining", rounds=4, blocks=12, nbytes=48)
+        stats.record_raw("alltoall", "combining", rounds=4, blocks=12, nbytes=48)
+        stats.record_raw("allgather", "trivial", rounds=8, blocks=8, nbytes=64)
+        assert stats.total_calls == 3
+        assert stats.total_rounds == 16
+        assert stats.total_bytes == 160
+        rec = stats.records[("alltoall", "combining")]
+        assert rec.calls == 2 and rec.volume_blocks == 24
+
+    def test_by_operation(self):
+        stats = OpStats()
+        stats.record_raw("alltoall", "combining", 4, 12, 48)
+        stats.record_raw("alltoall", "trivial", 8, 8, 32)
+        by = stats.by_operation("alltoall")
+        assert set(by) == {"combining", "trivial"}
+
+    def test_reset(self):
+        stats = OpStats()
+        stats.record_raw("x", "y", 1, 1, 1)
+        stats.reset()
+        assert stats.total_calls == 0
+
+    def test_summary_lists_pairs(self):
+        stats = OpStats()
+        stats.record_raw("alltoall", "combining", 4, 12, 48)
+        text = stats.summary()
+        assert "alltoall" in text and "combining" in text
+
+
+class TestCartCommIntegration:
+    def test_info_flag_enables(self):
+        def fn(cart):
+            t = cart.nbh.t
+            cart.alltoall(np.zeros(t), np.zeros(t), algorithm="combining")
+            cart.alltoall(np.zeros(t), np.zeros(t), algorithm="trivial")
+            cart.allgather(np.zeros(1), np.zeros(t), algorithm="combining")
+            s = cart.stats
+            return (
+                s.total_calls,
+                s.records[("alltoall", "combining")].rounds,
+                s.records[("alltoall", "trivial")].calls,
+                ("allgather", "combining") in s.records,
+            )
+
+        res = run_cartesian(
+            (3, 3), NBH, fn, info={"collect_stats": True}, timeout=60
+        )
+        calls, comb_rounds, triv_calls, has_ag = res[0]
+        assert calls == 3
+        assert comb_rounds == NBH.combining_rounds
+        assert triv_calls == 1
+        assert has_ag
+
+    def test_disabled_by_default(self):
+        def fn(cart):
+            t = cart.nbh.t
+            cart.alltoall(np.zeros(t), np.zeros(t))
+            return cart.stats is None
+
+        assert all(run_cartesian((2, 2), NBH, fn, timeout=60))
+
+    def test_enable_late(self):
+        def fn(cart):
+            t = cart.nbh.t
+            cart.alltoall(np.zeros(t), np.zeros(t))  # not recorded
+            stats = cart.enable_stats()
+            cart.alltoall(np.zeros(t), np.zeros(t))
+            return stats.total_calls
+
+        assert run_cartesian((2, 2), NBH, fn, timeout=60) == [1] * 4
+
+    def test_w_and_v_variants_recorded(self):
+        def fn(cart):
+            cart.enable_stats()
+            t = cart.nbh.t
+            counts = [2] * t
+            buf = np.zeros(2 * t)
+            cart.alltoallv(buf, counts, buf.copy(), counts,
+                           algorithm="trivial")
+            cart.allgatherv(np.zeros(2), np.zeros(2 * t), [2] * t,
+                            algorithm="trivial")
+            ops = {k[0] for k in cart.stats.records}
+            return ops
+
+        res = run_cartesian((3, 3), NBH, fn, timeout=60)
+        assert res[0] == {"alltoallv", "allgatherv"}

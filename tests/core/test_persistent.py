@@ -1,0 +1,251 @@
+"""Persistent (init) operations."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import run_cartesian
+from repro.core.neighborhood import Neighborhood
+from repro.core.stencils import moore_neighborhood
+from repro.core.topology import CartTopology
+from repro.mpisim.exceptions import MpiSimError
+
+NBH = moore_neighborhood(2, 1, include_self=False)
+
+
+class TestLifecycle:
+    def test_start_wait_executes(self):
+        topo = CartTopology((3, 3))
+
+        def fn(cart):
+            t = cart.nbh.t
+            send = np.full(t, float(cart.rank))
+            recv = np.zeros(t)
+            op = cart.alltoall_init(send, recv, algorithm="combining")
+            op.start()
+            op.wait()
+            for i, off in enumerate(cart.nbh):
+                src = topo.translate(cart.rank, tuple(-o for o in off))
+                assert recv[i] == src
+            return op.executions
+
+        assert run_cartesian((3, 3), NBH, fn) == [1] * 9
+
+    def test_double_start_raises(self):
+        def fn(cart):
+            t = cart.nbh.t
+            op = cart.alltoall_init(np.zeros(t), np.zeros(t))
+            op.start()
+            try:
+                op.start()
+            except MpiSimError:
+                op.wait()
+                return "raised"
+            return "no-raise"
+
+        assert set(run_cartesian((3, 3), NBH, fn)) == {"raised"}
+
+    def test_wait_without_start_raises(self):
+        def fn(cart):
+            t = cart.nbh.t
+            op = cart.alltoall_init(np.zeros(t), np.zeros(t))
+            try:
+                op.wait()
+            except MpiSimError:
+                return "raised"
+            return "no-raise"
+
+        assert set(run_cartesian((3, 3), NBH, fn)) == {"raised"}
+
+    def test_callable_form(self):
+        def fn(cart):
+            t = cart.nbh.t
+            op = cart.allgather_init(
+                np.full(2, float(cart.rank)), np.zeros(2 * t)
+            )
+            op()
+            op()
+            return op.executions
+
+        assert run_cartesian((3, 3), NBH, fn) == [2] * 9
+
+
+class TestReuse:
+    def test_buffer_updates_between_executions(self):
+        """The Listing 3 iteration pattern: same handle, fresh data."""
+        topo = CartTopology((3, 3))
+
+        def fn(cart):
+            t = cart.nbh.t
+            send = np.zeros(t)
+            recv = np.zeros(t)
+            op = cart.alltoall_init(send, recv, algorithm="combining")
+            results = []
+            for it in range(3):
+                send[:] = cart.rank * 100 + it
+                op.execute()
+                results.append(recv.copy())
+            for it, snapshot in enumerate(results):
+                for i, off in enumerate(cart.nbh):
+                    src = topo.translate(cart.rank, tuple(-o for o in off))
+                    assert snapshot[i] == src * 100 + it
+            return True
+
+        assert all(run_cartesian((3, 3), NBH, fn))
+
+    def test_temp_buffer_allocated_once(self):
+        def fn(cart):
+            t = cart.nbh.t
+            op = cart.alltoall_init(np.zeros(t), np.zeros(t),
+                                    algorithm="combining")
+            temp_before = op.buffers.get("temp")
+            op.execute()
+            op.execute()
+            return temp_before is op.buffers.get("temp")
+
+        assert all(run_cartesian((3, 3), NBH, fn))
+
+    def test_metrics_exposed(self):
+        def fn(cart):
+            t = cart.nbh.t
+            op = cart.alltoall_init(np.zeros(t), np.zeros(t),
+                                    algorithm="combining")
+            return (op.rounds, op.volume_blocks)
+
+        res = run_cartesian((3, 3), NBH, fn)
+        assert res[0] == (NBH.combining_rounds, NBH.alltoall_volume)
+
+
+class TestVariants:
+    def test_alltoallv_init(self):
+        topo = CartTopology((3, 3))
+        nbh = moore_neighborhood(2, 1)  # with self
+        counts = [2 * (2 - z) for z in nbh.hops]
+
+        def fn(cart):
+            total = sum(counts)
+            send = np.empty(total, np.int64)
+            pos = 0
+            for i, c in enumerate(counts):
+                send[pos : pos + c] = cart.rank * 50 + i
+                pos += c
+            recv = np.zeros(total, np.int64)
+            op = cart.alltoallv_init(send, counts, recv, counts,
+                                     algorithm="combining")
+            op.execute()
+            pos = 0
+            for i, (off, c) in enumerate(zip(cart.nbh, counts)):
+                src = topo.translate(cart.rank, tuple(-o for o in off))
+                assert (recv[pos : pos + c] == src * 50 + i).all()
+                pos += c
+            return True
+
+        assert all(run_cartesian((3, 3), nbh, fn))
+
+    def test_alltoallw_init_and_allgatherw_init(self):
+        from repro.mpisim.datatypes import BlockRef, BlockSet
+
+        topo = CartTopology((3, 3))
+        nbh = Neighborhood([(0, 1), (1, 0)])
+
+        def fn(cart):
+            m = 4
+            t = cart.nbh.t
+            buf_s = np.empty(t * m, np.uint8)
+            for i in range(t):
+                buf_s[i * m : (i + 1) * m] = (cart.rank + i) % 251
+            buf_r = np.zeros(t * m, np.uint8)
+            op = cart.alltoallw_init(
+                {"s": buf_s, "r": buf_r},
+                [BlockSet([BlockRef("s", i * m, m)]) for i in range(t)],
+                [BlockSet([BlockRef("r", i * m, m)]) for i in range(t)],
+                algorithm="trivial",
+            )
+            op.execute()
+            for i, off in enumerate(cart.nbh):
+                src = topo.translate(cart.rank, tuple(-o for o in off))
+                assert (buf_r[i * m : (i + 1) * m] == (src + i) % 251).all()
+
+            own = np.full(m, cart.rank, np.uint8)
+            gout = np.zeros(t * m, np.uint8)
+            op2 = cart.allgatherw_init(
+                {"send": own, "recv": gout},
+                BlockSet([BlockRef("send", 0, m)]),
+                [BlockSet([BlockRef("recv", i * m, m)]) for i in range(t)],
+                algorithm="combining",
+            )
+            op2.execute()
+            for i, off in enumerate(cart.nbh):
+                src = topo.translate(cart.rank, tuple(-o for o in off))
+                assert (gout[i * m : (i + 1) * m] == src).all()
+            return True
+
+        assert all(run_cartesian((3, 3), nbh, fn))
+
+
+class TestPersistentReduce:
+    def test_combining_reduce_handle(self):
+        from repro.core.topology import CartTopology
+
+        topo = CartTopology((3, 3))
+        nbh = moore_neighborhood(2, 1)
+
+        def fn(cart):
+            send = np.zeros(2)
+            recv = np.zeros(2)
+            op = cart.reduce_neighbors_init(send, recv, op="sum")
+            assert op.algorithm == "combining"
+            for it in range(3):
+                send[:] = cart.rank + it * 100
+                op.execute()
+                expect = sum(
+                    topo.translate(cart.rank, tuple(-o for o in off)) + it * 100
+                    for off in nbh
+                )
+                assert np.allclose(recv, expect), (it, recv, expect)
+            return op.executions
+
+        assert run_cartesian((3, 3), nbh, fn, timeout=120) == [3] * 9
+
+    def test_trivial_fallback_on_mesh(self):
+        nbh = moore_neighborhood(2, 1, include_self=False)
+
+        def fn(cart):
+            op = cart.reduce_neighbors_init(np.zeros(1), np.zeros(1))
+            return op.algorithm
+
+        res = run_cartesian(
+            (3, 3), nbh, fn, periods=(False, False), timeout=60
+        )
+        assert set(res) == {"trivial"}
+
+    def test_invalid_op_rejected_eagerly(self):
+        nbh = moore_neighborhood(2, 1)
+
+        def fn(cart):
+            cart.reduce_neighbors_init(np.zeros(1), np.zeros(1), op="median")
+
+        with pytest.raises(Exception, match="unknown reduction op"):
+            run_cartesian((2, 2), nbh, fn)
+
+    def test_start_wait_discipline(self):
+        from repro.mpisim.exceptions import MpiSimError
+
+        nbh = moore_neighborhood(2, 1)
+
+        def fn(cart):
+            op = cart.reduce_neighbors_init(np.zeros(1), np.zeros(1))
+            try:
+                op.wait()
+            except MpiSimError:
+                pass
+            else:
+                return "no-raise"
+            op.start()
+            try:
+                op.start()
+            except MpiSimError:
+                op.wait()
+                return "ok"
+            return "double-start-allowed"
+
+        assert set(run_cartesian((2, 2), nbh, fn, timeout=60)) == {"ok"}

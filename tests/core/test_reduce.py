@@ -1,0 +1,234 @@
+"""Cartesian neighborhood reductions (reverse-allgather-tree)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import run_cartesian
+from repro.core.neighborhood import Neighborhood
+from repro.core.reduce_schedule import (
+    OPS,
+    build_reduce_schedule,
+    execute_reduce_lockstep,
+    resolve_op,
+)
+from repro.core.stencils import (
+    moore_neighborhood,
+    parameterized_stencil,
+    random_neighborhood,
+)
+from repro.core.topology import CartTopology
+
+
+def brute_force_reduce(topo, nbh, values, rank, op_fn):
+    acc = None
+    for off in nbh:
+        src = topo.translate(rank, tuple(-o for o in off))
+        v = values[src]
+        acc = v.copy() if acc is None else op_fn(acc, v)
+    return acc
+
+
+class TestScheduleStructure:
+    def test_rounds_equal_c(self):
+        for d, n in [(2, 3), (3, 3), (2, 5)]:
+            nbh = parameterized_stencil(d, n, -1)
+            sched = build_reduce_schedule(nbh)
+            assert sched.num_rounds == nbh.combining_rounds
+
+    def test_volume_equals_allgather_volume(self):
+        for d, n in [(2, 3), (3, 4), (4, 3)]:
+            nbh = parameterized_stencil(d, n, -1)
+            assert build_reduce_schedule(nbh).volume_blocks == nbh.allgather_volume
+
+    def test_phases_deepest_first(self):
+        nbh = Neighborhood([(1, 1), (1, 0)])
+        sched = build_reduce_schedule(nbh)
+        # the first executed phase routes the deepest (last-tree-level)
+        # edges; a later phase routes toward the root
+        assert sched.num_phases == 2
+
+    def test_exponential_round_saving(self):
+        nbh = parameterized_stencil(5, 3, -1)
+        sched = build_reduce_schedule(nbh)
+        assert sched.num_rounds == 10  # vs 242 trivial rounds
+
+    def test_describe(self):
+        text = build_reduce_schedule(moore_neighborhood(2, 1)).describe()
+        assert "reduce schedule" in text
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError, match="unknown reduction op"):
+            resolve_op("avg")
+
+    def test_callable_op_passthrough(self):
+        f = lambda a, b: a + b  # noqa: E731
+        assert resolve_op(f) is f
+
+
+@pytest.mark.parametrize("op", ["sum", "min", "max", "prod"])
+class TestLockstepCorrectness:
+    def test_moore_2d(self, op, rng):
+        topo = CartTopology((4, 4))
+        nbh = moore_neighborhood(2, 1)  # with self
+        self._check(topo, nbh, op, rng)
+
+    def test_asymmetric(self, op, rng):
+        topo = CartTopology((3, 5))
+        nbh = parameterized_stencil(2, 4, -1)
+        self._check(topo, nbh, op, rng)
+
+    def test_3d(self, op, rng):
+        topo = CartTopology((2, 3, 2))
+        nbh = moore_neighborhood(3, 1, include_self=False)
+        self._check(topo, nbh, op, rng)
+
+    def _check(self, topo, nbh, op, rng):
+        m = 3
+        if op == "prod":
+            # keep magnitudes tame
+            values = [rng.uniform(0.5, 1.5, m) for _ in range(topo.size)]
+        else:
+            values = [rng.uniform(-10, 10, m) for _ in range(topo.size)]
+        sched = build_reduce_schedule(nbh)
+        out = execute_reduce_lockstep(topo, sched, values, op)
+        op_fn = resolve_op(op)
+        for r in range(topo.size):
+            expect = brute_force_reduce(topo, nbh, values, r, op_fn)
+            assert np.allclose(out[r], expect), (r, op)
+
+
+class TestDuplicatesAndAliasing:
+    def test_duplicate_offsets_counted_twice_in_sum(self, rng):
+        topo = CartTopology((4,))
+        nbh = Neighborhood([(1,), (1,)])
+        values = [np.asarray([float(r + 1)]) for r in range(4)]
+        out = execute_reduce_lockstep(topo, build_reduce_schedule(nbh), values, "sum")
+        for r in range(4):
+            src = (r - 1) % 4
+            assert out[r][0] == 2 * (src + 1)
+
+    def test_self_only_neighborhood(self):
+        topo = CartTopology((3,))
+        nbh = Neighborhood([(0,)])
+        values = [np.asarray([float(r)]) for r in range(3)]
+        out = execute_reduce_lockstep(topo, build_reduce_schedule(nbh), values, "sum")
+        assert [o[0] for o in out] == [0.0, 1.0, 2.0]
+
+    def test_aliasing_through_torus(self, rng):
+        topo = CartTopology((3, 3))
+        nbh = Neighborhood([(4, 0), (1, 0)])  # both ≡ (1,0) mod 3
+        values = [rng.uniform(0, 1, 2) for _ in range(9)]
+        out = execute_reduce_lockstep(topo, build_reduce_schedule(nbh), values, "sum")
+        for r in range(9):
+            src = topo.translate(r, (-1, 0))
+            assert np.allclose(out[r], 2 * values[src])
+
+
+class TestIntegerOps:
+    def test_bitwise(self):
+        topo = CartTopology((4,))
+        nbh = Neighborhood([(1,), (-1,)])
+        values = [np.asarray([1 << r], dtype=np.int64) for r in range(4)]
+        out = execute_reduce_lockstep(topo, build_reduce_schedule(nbh), values, "bor")
+        for r in range(4):
+            expect = (1 << ((r - 1) % 4)) | (1 << ((r + 1) % 4))
+            assert out[r][0] == expect
+
+
+@pytest.mark.parametrize("algorithm", ["trivial", "combining", "auto"])
+class TestThreadedAPI:
+    def test_reduce_neighbors(self, algorithm):
+        topo = CartTopology((3, 3))
+        nbh = moore_neighborhood(2, 1)
+
+        def fn(cart):
+            m = 2
+            send = np.full(m, float(cart.rank + 1))
+            recv = np.zeros(m)
+            cart.reduce_neighbors(send, recv, op="sum", algorithm=algorithm)
+            expect = sum(
+                topo.translate(cart.rank, tuple(-o for o in off)) + 1
+                for off in nbh
+            )
+            assert np.allclose(recv, expect), (cart.rank, recv, expect)
+            return True
+
+        assert all(run_cartesian((3, 3), nbh, fn, timeout=120))
+
+    def test_min_reduction(self, algorithm):
+        topo = CartTopology((3, 3))
+        nbh = moore_neighborhood(2, 1, include_self=False)
+
+        def fn(cart):
+            send = np.asarray([float(cart.rank)])
+            recv = np.zeros(1)
+            cart.reduce_neighbors(send, recv, op="min", algorithm=algorithm)
+            expect = min(
+                topo.translate(cart.rank, tuple(-o for o in off))
+                for off in nbh
+            )
+            assert recv[0] == expect
+            return True
+
+        assert all(run_cartesian((3, 3), nbh, fn, timeout=120))
+
+
+class TestAPIErrors:
+    def test_shape_mismatch(self):
+        nbh = moore_neighborhood(2, 1)
+
+        def fn(cart):
+            cart.reduce_neighbors(np.zeros(3), np.zeros(4), algorithm="combining")
+
+        with pytest.raises(Exception, match="match sendbuf"):
+            run_cartesian((2, 2), nbh, fn)
+
+    def test_combining_requires_periodic(self):
+        nbh = moore_neighborhood(2, 1)
+
+        def fn(cart):
+            cart.reduce_neighbors(np.zeros(2), np.zeros(2), algorithm="combining")
+
+        with pytest.raises(Exception, match="periodic"):
+            run_cartesian((2, 2), nbh, fn, periods=(False, True))
+
+    def test_auto_on_mesh_falls_back_to_trivial(self):
+        topo = CartTopology((3, 3), (False, False))
+        nbh = moore_neighborhood(2, 1, include_self=False)
+
+        def fn(cart):
+            send = np.asarray([float(cart.rank)])
+            recv = np.zeros(1)
+            cart.reduce_neighbors(send, recv, op="sum", algorithm="auto")
+            # on a mesh, only the in-range sources contribute — the
+            # trivial fallback skips missing neighbors
+            srcs = [
+                topo.translate(cart.rank, tuple(-o for o in off))
+                for off in nbh
+            ]
+            expect = sum(s for s in srcs if s is not None)
+            return bool(np.isclose(recv[0], expect))
+
+        assert all(
+            run_cartesian((3, 3), nbh, fn, periods=(False, False), timeout=120)
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_lockstep_random_property(data):
+    rng = np.random.default_rng(data.draw(st.integers(0, 10**6)))
+    d = data.draw(st.integers(1, 3))
+    dims = tuple(data.draw(st.integers(2, 4)) for _ in range(d))
+    t = data.draw(st.integers(1, 7))
+    nbh = random_neighborhood(d, t, 3, rng)
+    topo = CartTopology(dims)
+    values = [
+        rng.integers(-100, 100, 2).astype(np.int64) for _ in range(topo.size)
+    ]
+    out = execute_reduce_lockstep(topo, build_reduce_schedule(nbh), values, "sum")
+    for r in range(topo.size):
+        expect = brute_force_reduce(topo, nbh, values, r, OPS["sum"])
+        assert np.array_equal(out[r], expect)

@@ -1,0 +1,124 @@
+"""Schedule serialization round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core.allgather_schedule import build_allgather_schedule
+from repro.core.alltoall_schedule import build_alltoall_schedule
+from repro.core.lockstep import execute_lockstep
+from repro.core.schedule import uniform_block_layout
+from repro.core.serialize import (
+    load_schedule,
+    save_schedule,
+    schedule_from_dict,
+    schedule_from_json,
+    schedule_to_dict,
+    schedule_to_json,
+)
+from repro.core.stencils import moore_neighborhood, parameterized_stencil
+from repro.core.topology import CartTopology
+from repro.core.trivial import build_trivial_alltoall_schedule
+from repro.mpisim.datatypes import BlockRef, BlockSet
+from repro.mpisim.exceptions import ScheduleError
+
+
+def build(kind="combining", d=2, n=3, m=4):
+    nbh = parameterized_stencil(d, n, -1)
+    sizes = [m] * nbh.t
+    layouts = (
+        uniform_block_layout(sizes, "send"),
+        uniform_block_layout(sizes, "recv"),
+    )
+    if kind == "combining":
+        return build_alltoall_schedule(nbh, *layouts)
+    if kind == "trivial":
+        return build_trivial_alltoall_schedule(nbh, *layouts)
+    return build_allgather_schedule(
+        nbh,
+        BlockSet([BlockRef("send", 0, m)]),
+        uniform_block_layout([m] * nbh.t, "recv"),
+    )
+
+
+@pytest.mark.parametrize("kind", ["combining", "trivial", "allgather"])
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_metrics(self, kind):
+        orig = build(kind)
+        back = schedule_from_dict(schedule_to_dict(orig))
+        assert back.kind == orig.kind
+        assert back.num_rounds == orig.num_rounds
+        assert back.num_phases == orig.num_phases
+        assert back.volume_blocks == orig.volume_blocks
+        assert back.volume_bytes == orig.volume_bytes
+        assert back.temp_nbytes == orig.temp_nbytes
+        assert len(back.local_copies) == len(orig.local_copies)
+        assert back.neighborhood == orig.neighborhood
+
+    def test_json_roundtrip_block_identity(self, kind):
+        orig = build(kind)
+        back = schedule_from_json(schedule_to_json(orig))
+        for po, pb in zip(orig.phases, back.phases):
+            assert po.dim == pb.dim
+            for ro, rb in zip(po.rounds, pb.rounds):
+                assert ro.offset == rb.offset
+                assert ro.send_blocks == rb.send_blocks
+                assert ro.recv_blocks == rb.recv_blocks
+
+    def test_loaded_schedule_executes_correctly(self, kind):
+        if kind == "allgather":
+            pytest.skip("executed in dedicated test below")
+        orig = build(kind)
+        back = schedule_from_json(schedule_to_json(orig))
+        topo = CartTopology((3, 3))
+        nbh = orig.neighborhood
+        m = 4
+
+        def bufs():
+            out = []
+            for r in range(topo.size):
+                send = np.empty(nbh.t * m, np.uint8)
+                for i in range(nbh.t):
+                    send[i * m : (i + 1) * m] = (r + 2 * i) % 251
+                out.append(
+                    {"send": send, "recv": np.zeros(nbh.t * m, np.uint8)}
+                )
+            return out
+
+        a, b = bufs(), bufs()
+        execute_lockstep(topo, orig, a)
+        execute_lockstep(topo, back, b)
+        for x, y in zip(a, b):
+            assert np.array_equal(x["recv"], y["recv"])
+
+
+class TestFileAndErrors:
+    def test_save_load(self, tmp_path):
+        orig = build()
+        path = str(tmp_path / "sched.json")
+        save_schedule(orig, path)
+        back = load_schedule(path)
+        assert back.volume_blocks == orig.volume_blocks
+
+    def test_weights_preserved(self):
+        from repro.core.neighborhood import Neighborhood
+        from repro.core.trivial import build_trivial_alltoall_schedule
+
+        nbh = Neighborhood([(1, 0), (0, 1)], weights=[5, 7])
+        sched = build_trivial_alltoall_schedule(
+            nbh,
+            uniform_block_layout([4, 4], "send"),
+            uniform_block_layout([4, 4], "recv"),
+        )
+        back = schedule_from_dict(schedule_to_dict(sched))
+        assert back.neighborhood.weights == (5, 7)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ScheduleError, match="format"):
+            schedule_from_dict({"format": 99})
+
+    def test_corrupted_round_rejected(self):
+        data = schedule_to_dict(build())
+        # corrupt a receive block's size: round byte-balance breaks
+        data["phases"][0]["rounds"][0]["recv"][0][2] += 1
+        with pytest.raises(ScheduleError):
+            schedule_from_dict(data)

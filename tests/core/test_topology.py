@@ -1,0 +1,184 @@
+"""Cartesian topology: rank/coordinate math."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.topology import CartTopology, dims_create
+from repro.mpisim.exceptions import TopologyError
+
+
+class TestConstruction:
+    def test_size_is_product(self):
+        assert CartTopology((2, 3, 4)).size == 24
+
+    def test_default_fully_periodic(self):
+        t = CartTopology((3, 3))
+        assert t.periods == (True, True)
+        assert t.is_fully_periodic
+
+    def test_explicit_periods(self):
+        t = CartTopology((3, 3), (True, False))
+        assert not t.is_fully_periodic
+
+    def test_empty_dims_rejected(self):
+        with pytest.raises(TopologyError):
+            CartTopology(())
+
+    def test_nonpositive_dim_rejected(self):
+        with pytest.raises(TopologyError):
+            CartTopology((3, 0))
+
+    def test_periods_length_mismatch(self):
+        with pytest.raises(TopologyError):
+            CartTopology((3, 3), (True,))
+
+    def test_equality_and_hash(self):
+        assert CartTopology((2, 2)) == CartTopology((2, 2))
+        assert CartTopology((2, 2)) != CartTopology((2, 2), (True, False))
+        assert hash(CartTopology((4,))) == hash(CartTopology((4,)))
+
+
+class TestRankCoordMapping:
+    def test_row_major_like_mpi(self):
+        """MPI_Cart_create uses row-major: last dim varies fastest."""
+        t = CartTopology((2, 3))
+        assert [t.coords(r) for r in range(6)] == [
+            (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2),
+        ]
+
+    def test_matches_numpy_unravel(self):
+        dims = (3, 4, 2)
+        t = CartTopology(dims)
+        for r in range(t.size):
+            assert t.coords(r) == tuple(int(x) for x in np.unravel_index(r, dims))
+
+    def test_roundtrip_all(self):
+        t = CartTopology((4, 3, 2))
+        for r in range(t.size):
+            assert t.rank(t.coords(r)) == r
+
+    def test_periodic_wrap_in_rank(self):
+        t = CartTopology((4, 4))
+        assert t.rank((5, -1)) == t.rank((1, 3))
+
+    def test_nonperiodic_out_of_range_raises(self):
+        t = CartTopology((4, 4), (False, True))
+        with pytest.raises(TopologyError):
+            t.rank((4, 0))
+
+    def test_bad_arity(self):
+        with pytest.raises(TopologyError):
+            CartTopology((4, 4)).rank((1,))
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(TopologyError):
+            CartTopology((2, 2)).coords(4)
+
+    def test_all_coords_order(self):
+        t = CartTopology((2, 2))
+        assert list(t.all_coords()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+
+class TestTranslate:
+    def test_periodic_translate(self):
+        t = CartTopology((3, 3))
+        r = t.rank((2, 2))
+        assert t.translate(r, (1, 1)) == t.rank((0, 0))
+
+    def test_large_offsets_wrap(self):
+        t = CartTopology((4, 4))
+        r = t.rank((1, 1))
+        assert t.translate(r, (9, -7)) == t.rank((2, 2))
+
+    def test_nonperiodic_boundary_returns_none(self):
+        t = CartTopology((3, 3), (False, True))
+        r = t.rank((0, 0))
+        assert t.translate(r, (-1, 0)) is None
+        assert t.translate(r, (0, -1)) == t.rank((0, 2))
+
+    def test_arity_check(self):
+        with pytest.raises(TopologyError):
+            CartTopology((3,)).translate(0, (1, 1))
+
+    def test_relative_shift_source_target(self):
+        t = CartTopology((5,))
+        src, tgt = t.relative_shift(2, (1,))
+        assert (src, tgt) == (1, 3)
+
+    def test_shift_inverse_property(self):
+        """The i-th source of the target is the original process
+        (Listing 4's correctness argument)."""
+        t = CartTopology((3, 4))
+        off = (2, -1)
+        for r in range(t.size):
+            tgt = t.translate(r, off)
+            back = t.translate(tgt, tuple(-o for o in off))
+            assert back == r
+
+
+class TestRelativeCoord:
+    def test_simple(self):
+        t = CartTopology((5, 5))
+        a, b = t.rank((1, 1)), t.rank((2, 3))
+        assert t.relative_coord(a, b) == (1, 2)
+
+    def test_wraps_to_minimal(self):
+        t = CartTopology((6,))
+        assert t.relative_coord(0, 5) == (-1,)
+        assert t.relative_coord(5, 0) == (1,)
+
+    def test_self(self):
+        t = CartTopology((4, 4))
+        assert t.relative_coord(5, 5) == (0, 0)
+
+    def test_translate_consistency(self):
+        t = CartTopology((4, 5))
+        for a in range(t.size):
+            for b in range(t.size):
+                rel = t.relative_coord(a, b)
+                assert t.translate(a, rel) == b
+
+
+class TestDimsCreate:
+    def test_exact_square(self):
+        assert dims_create(16, 2) == (4, 4)
+
+    def test_prime(self):
+        assert dims_create(7, 2) == (7, 1)
+
+    def test_product_invariant(self):
+        for n in (1, 6, 12, 36, 100, 1024):
+            for d in (1, 2, 3):
+                dims = dims_create(n, d)
+                assert len(dims) == d
+                assert int(np.prod(dims)) == n
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            dims_create(0, 2)
+        with pytest.raises(TopologyError):
+            dims_create(4, 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(1, 6), min_size=1, max_size=4),
+    st.data(),
+)
+def test_roundtrip_property(dims, data):
+    t = CartTopology(dims)
+    r = data.draw(st.integers(0, t.size - 1))
+    off = data.draw(
+        st.lists(st.integers(-10, 10), min_size=t.ndim, max_size=t.ndim)
+    )
+    tgt = t.translate(r, off)
+    assert tgt is not None
+    # translating back with the negated offset returns home
+    assert t.translate(tgt, [-o for o in off]) == r
+    # coordinates agree with modular arithmetic
+    expect = tuple(
+        (c + o) % p for c, o, p in zip(t.coords(r), off, t.dims)
+    )
+    assert t.coords(tgt) == expect

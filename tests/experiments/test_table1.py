@@ -1,0 +1,47 @@
+"""Table 1 reproduction — exact equality with the published values."""
+
+import pytest
+
+from repro.experiments.table1 import (
+    PAPER_VALUES,
+    TABLE1_CONFIGS,
+    compute_row,
+    main,
+    run,
+)
+
+
+@pytest.mark.parametrize("d,n", TABLE1_CONFIGS)
+class TestRows:
+    def test_t(self, d, n):
+        assert compute_row(d, n).t_trivial_rounds == PAPER_VALUES[(d, n)][0]
+
+    def test_c(self, d, n):
+        assert compute_row(d, n).combining_rounds == PAPER_VALUES[(d, n)][1]
+
+    def test_allgather_volume(self, d, n):
+        assert compute_row(d, n).allgather_volume == PAPER_VALUES[(d, n)][2]
+
+    def test_alltoall_volume(self, d, n):
+        assert compute_row(d, n).alltoall_volume == PAPER_VALUES[(d, n)][3]
+
+    def test_cutoff_ratio(self, d, n):
+        assert compute_row(d, n).cutoff_ratio == pytest.approx(
+            PAPER_VALUES[(d, n)][4], abs=5e-3
+        )
+
+    def test_match_flag(self, d, n):
+        assert compute_row(d, n).matches_paper()
+
+
+def test_run_covers_all_configs():
+    rows = run()
+    assert len(rows) == 12
+    assert all(r.matches_paper() for r in rows)
+
+
+def test_main_prints_table(capsys):
+    main()
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "NO" not in out

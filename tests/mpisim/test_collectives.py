@@ -1,0 +1,108 @@
+"""Base collectives (dissemination barrier, binomial bcast, ring
+allgather, pairwise alltoall) across process counts and roots."""
+
+import pytest
+
+from repro.mpisim.engine import run_ranks
+
+SIZES = [1, 2, 3, 4, 5, 7, 8, 13, 16]
+
+
+@pytest.mark.parametrize("p", SIZES)
+class TestBcast:
+    def test_from_root_zero(self, p):
+        def fn(comm):
+            val = {"v": 42} if comm.rank == 0 else None
+            return comm.bcast(val, root=0)
+
+        assert run_ranks(p, fn, timeout=30) == [{"v": 42}] * p
+
+    def test_from_last_root(self, p):
+        def fn(comm):
+            val = comm.rank if comm.rank == comm.size - 1 else None
+            return comm.bcast(val, root=comm.size - 1)
+
+        assert run_ranks(p, fn, timeout=30) == [p - 1] * p
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_allgather(p):
+    def fn(comm):
+        return comm.allgather(comm.rank * 11)
+
+    assert run_ranks(p, fn, timeout=30) == [[r * 11 for r in range(p)]] * p
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_gather(p):
+    def fn(comm):
+        return comm.gather(str(comm.rank), root=0)
+
+    res = run_ranks(p, fn, timeout=30)
+    assert res[0] == [str(r) for r in range(p)]
+    assert all(r is None for r in res[1:])
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_alltoall(p):
+    def fn(comm):
+        objs = [f"{comm.rank}->{d}" for d in range(comm.size)]
+        return comm.alltoall(objs)
+
+    res = run_ranks(p, fn, timeout=30)
+    for r in range(p):
+        assert res[r] == [f"{s}->{r}" for s in range(p)]
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_allreduce_sum(p):
+    def fn(comm):
+        return comm.allreduce(comm.rank + 1, lambda a, b: a + b)
+
+    assert run_ranks(p, fn, timeout=30) == [p * (p + 1) // 2] * p
+
+
+@pytest.mark.parametrize("p", [2, 4, 7])
+def test_barrier_orders_phases(p):
+    """After a barrier every pre-barrier send must already be queued:
+    the post-barrier receive with ANY_TAG must see it."""
+
+    def fn(comm):
+        nxt = (comm.rank + 1) % comm.size
+        comm.send("pre", dest=nxt, tag=1)
+        comm.barrier()
+        # message is guaranteed queued now (eager sends complete at post)
+        got = comm.recv(source=(comm.rank - 1) % comm.size, tag=1)
+        return got
+
+    assert run_ranks(p, fn, timeout=30) == ["pre"] * p
+
+
+def test_alltoall_wrong_length():
+    def fn(comm):
+        comm.alltoall([1])  # needs comm.size entries
+
+    with pytest.raises(Exception, match="alltoall needs"):
+        run_ranks(3, fn, timeout=20)
+
+
+def test_bcast_invalid_root():
+    def fn(comm):
+        comm.bcast(1, root=99)
+
+    with pytest.raises(Exception, match="out of range"):
+        run_ranks(2, fn, timeout=20)
+
+
+def test_back_to_back_collectives_do_not_interfere():
+    def fn(comm):
+        a = comm.allgather(comm.rank)
+        b = comm.allgather(-comm.rank)
+        c = comm.bcast("x" if comm.rank == 1 else None, root=1)
+        return (a, b, c)
+
+    res = run_ranks(4, fn, timeout=30)
+    for a, b, c in res:
+        assert a == [0, 1, 2, 3]
+        assert b == [0, -1, -2, -3]
+        assert c == "x"

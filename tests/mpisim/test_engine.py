@@ -1,0 +1,128 @@
+"""Unit tests for the process engine."""
+
+import time
+
+import pytest
+
+from repro.mpisim.engine import Engine, run_ranks
+from repro.mpisim.exceptions import DeadlockError, MpiSimError
+
+
+class TestRun:
+    def test_results_indexed_by_rank(self):
+        res = run_ranks(5, lambda comm: comm.rank * 2)
+        assert res == [0, 2, 4, 6, 8]
+
+    def test_single_rank(self):
+        assert run_ranks(1, lambda comm: "only") == ["only"]
+
+    def test_per_rank_args(self):
+        res = run_ranks(
+            3, lambda comm, a, b: (comm.rank, a + b),
+            args=[(1, 2), (3, 4), (5, 6)],
+        )
+        assert res == [(0, 3), (1, 7), (2, 11)]
+
+    def test_args_length_mismatch(self):
+        with pytest.raises(ValueError):
+            run_ranks(3, lambda comm, a: a, args=[(1,)])
+
+    def test_invalid_nranks(self):
+        with pytest.raises(ValueError):
+            Engine(0)
+        with pytest.raises(ValueError):
+            Engine(-3)
+
+    def test_engine_reusable(self):
+        eng = Engine(4, timeout=30)
+        assert eng.run(lambda c: c.rank) == [0, 1, 2, 3]
+        assert eng.run(lambda c: -c.rank) == [0, -1, -2, -3]
+
+
+class TestFailurePropagation:
+    def test_exception_reraised(self):
+        def fn(comm):
+            if comm.rank == 2:
+                raise ValueError("boom")
+            return comm.rank
+
+        with pytest.raises(MpiSimError, match="rank 2"):
+            run_ranks(4, fn, timeout=20)
+
+    def test_blocked_ranks_woken_on_failure(self):
+        def fn(comm):
+            if comm.rank == 0:
+                raise RuntimeError("dead")
+            # everyone else blocks on a message that will never come
+            comm.recv(source=0, tag=1)
+
+        t0 = time.monotonic()
+        with pytest.raises(MpiSimError, match="rank 0"):
+            run_ranks(4, fn, timeout=60)
+        assert time.monotonic() - t0 < 30  # woke up well before timeout
+
+    def test_lowest_rank_error_wins(self):
+        def fn(comm):
+            raise RuntimeError(f"r{comm.rank}")
+
+        with pytest.raises(MpiSimError, match="rank 0"):
+            run_ranks(3, fn, timeout=20)
+
+
+class TestDeadlockDetection:
+    def test_mutual_wait_times_out(self):
+        def fn(comm):
+            # both ranks recv first: classic deadlock (no eager send yet)
+            comm.recv(source=1 - comm.rank, tag=0)
+
+        with pytest.raises(DeadlockError) as ei:
+            run_ranks(2, fn, timeout=1.0)
+        assert set(ei.value.stuck_ranks) == {0, 1}
+
+    def test_partial_deadlock_names_stuck_ranks(self):
+        def fn(comm):
+            if comm.rank == 0:
+                return "done"
+            comm.recv(source=0, tag=99)
+
+        with pytest.raises(DeadlockError) as ei:
+            run_ranks(3, fn, timeout=1.0)
+        assert 0 not in ei.value.stuck_ranks
+
+
+class TestBookkeeping:
+    def test_undelivered_messages_counted(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("orphan", dest=1, tag=3)
+            return None
+
+        eng = Engine(2, timeout=20)
+        eng.run(fn)
+        assert eng.undelivered_messages() == 1
+
+    def test_clean_run_leaves_no_messages(self):
+        def fn(comm):
+            comm.barrier()
+            return comm.allgather(comm.rank)
+
+        eng = Engine(4, timeout=20)
+        eng.run(fn)
+        assert eng.undelivered_messages() == 0
+
+    def test_tracing_disabled_by_default(self):
+        eng = Engine(2)
+        assert eng.trace is None
+
+    def test_tracing_records_events(self):
+        eng = Engine(2, timeout=20, tracing=True)
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(1, dest=1)
+            else:
+                comm.recv(source=0)
+
+        eng.run(fn)
+        assert eng.trace.message_count(0, "isend") == 1
+        assert eng.trace.message_count(1, "irecv") == 1

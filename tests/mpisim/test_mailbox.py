@@ -1,0 +1,166 @@
+"""Unit tests for mailbox matching semantics."""
+
+import threading
+
+import pytest
+
+from repro.mpisim.exceptions import AbortError
+from repro.mpisim.mailbox import ANY_SOURCE, ANY_TAG, Envelope, Mailbox
+
+
+def make_env(src=0, dst=1, tag=5, comm_id=("world",), payload=b"x"):
+    return Envelope(
+        src=src, dst=dst, tag=tag, comm_id=comm_id, payload=payload,
+        nbytes=len(payload),
+    )
+
+
+@pytest.fixture
+def abort():
+    return threading.Event()
+
+
+@pytest.fixture
+def box(abort):
+    return Mailbox(owner_rank=1, abort_event=abort)
+
+
+class TestEnvelopeMatching:
+    def test_exact_match(self):
+        env = make_env(src=3, tag=7)
+        assert env.matches(3, 7, ("world",))
+
+    def test_source_mismatch(self):
+        assert not make_env(src=3).matches(4, 5, ("world",))
+
+    def test_tag_mismatch(self):
+        assert not make_env(tag=5).matches(0, 6, ("world",))
+
+    def test_comm_mismatch(self):
+        assert not make_env().matches(0, 5, ("world", 1))
+
+    def test_any_source(self):
+        assert make_env(src=9).matches(ANY_SOURCE, 5, ("world",))
+
+    def test_any_tag(self):
+        assert make_env(tag=42).matches(0, ANY_TAG, ("world",))
+
+    def test_any_both(self):
+        assert make_env(src=2, tag=9).matches(ANY_SOURCE, ANY_TAG, ("world",))
+
+    def test_sequence_numbers_increase(self):
+        a, b = make_env(), make_env()
+        assert b.seq > a.seq
+
+
+class TestPutThenPost:
+    def test_queued_envelope_satisfies_recv(self, box):
+        env = make_env()
+        box.put(env)
+        recv = box.post_recv(0, 5, ("world",))
+        assert recv.done.is_set()
+        assert recv.envelope is env
+        assert box.queued_count == 0
+
+    def test_non_matching_stays_queued(self, box):
+        box.put(make_env(tag=5))
+        recv = box.post_recv(0, 6, ("world",))
+        assert not recv.done.is_set()
+        assert box.queued_count == 1
+        assert box.pending_count == 1
+
+    def test_fifo_order_same_source_tag(self, box):
+        e1 = make_env(payload=b"1")
+        e2 = make_env(payload=b"2")
+        box.put(e1)
+        box.put(e2)
+        r1 = box.post_recv(0, 5, ("world",))
+        r2 = box.post_recv(0, 5, ("world",))
+        assert r1.envelope is e1
+        assert r2.envelope is e2
+
+    def test_any_source_takes_oldest(self, box):
+        e1 = make_env(src=2, payload=b"1")
+        e2 = make_env(src=3, payload=b"2")
+        box.put(e1)
+        box.put(e2)
+        r = box.post_recv(ANY_SOURCE, 5, ("world",))
+        assert r.envelope is e1
+
+
+class TestPostThenPut:
+    def test_pending_recv_satisfied(self, box):
+        recv = box.post_recv(0, 5, ("world",))
+        env = make_env()
+        box.put(env)
+        assert recv.done.is_set()
+        assert recv.envelope is env
+
+    def test_recvs_satisfied_in_post_order(self, box):
+        r1 = box.post_recv(0, 5, ("world",))
+        r2 = box.post_recv(0, 5, ("world",))
+        e1, e2 = make_env(payload=b"1"), make_env(payload=b"2")
+        box.put(e1)
+        box.put(e2)
+        assert r1.envelope is e1
+        assert r2.envelope is e2
+
+    def test_selective_matching_skips_nonmatching_recv(self, box):
+        r_other = box.post_recv(9, 5, ("world",))
+        r_match = box.post_recv(0, 5, ("world",))
+        box.put(make_env(src=0))
+        assert not r_other.done.is_set()
+        assert r_match.done.is_set()
+
+
+class TestWait:
+    def test_wait_returns_envelope(self, box):
+        recv = box.post_recv(0, 5, ("world",))
+        env = make_env()
+
+        def sender():
+            box.put(env)
+
+        t = threading.Thread(target=sender)
+        t.start()
+        got = box.wait(recv, timeout=5.0)
+        t.join()
+        assert got is env
+
+    def test_wait_timeout(self, box):
+        recv = box.post_recv(0, 5, ("world",))
+        with pytest.raises(TimeoutError):
+            box.wait(recv, timeout=0.1)
+        assert box.pending_count == 0  # cancelled
+
+    def test_wait_abort(self, box, abort):
+        recv = box.post_recv(0, 5, ("world",))
+        abort.set()
+        with pytest.raises(AbortError):
+            box.wait(recv, timeout=5.0)
+
+    def test_cancel_removes_pending(self, box):
+        recv = box.post_recv(0, 5, ("world",))
+        box.cancel(recv)
+        assert box.pending_count == 0
+
+    def test_cancel_completed_is_noop(self, box):
+        box.put(make_env())
+        recv = box.post_recv(0, 5, ("world",))
+        box.cancel(recv)  # must not raise
+
+
+class TestDrain:
+    def test_drain_all(self, box):
+        box.put(make_env())
+        box.put(make_env(tag=9))
+        out = box.drain()
+        assert len(out) == 2
+        assert box.queued_count == 0
+
+    def test_drain_predicate(self, box):
+        box.put(make_env(tag=1))
+        box.put(make_env(tag=2))
+        out = box.drain(lambda e: e.tag == 1)
+        assert len(out) == 1
+        assert box.queued_count == 1

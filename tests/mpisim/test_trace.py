@@ -1,0 +1,59 @@
+"""Trace recorder behaviour and trace structure of real executions."""
+
+from repro.mpisim.engine import Engine
+from repro.mpisim.trace import TraceEvent, TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_record_and_query(self):
+        tr = TraceRecorder(2)
+        tr.record(0, TraceEvent(kind="isend", peer=1, nbytes=10))
+        tr.record(0, TraceEvent(kind="irecv", peer=1, nbytes=10))
+        tr.record(0, TraceEvent(kind="waitall"))
+        assert tr.message_count(0, "isend") == 1
+        assert tr.bytes_sent(0) == 10
+        assert tr.bytes_received(0) == 10
+        assert tr.for_rank(1) == []
+
+    def test_phases_split_on_waitall(self):
+        tr = TraceRecorder(1)
+        for kind in ["isend", "irecv", "waitall", "isend", "waitall"]:
+            tr.record(0, TraceEvent(kind=kind, peer=0, nbytes=1))
+        phases = tr.phases(0)
+        assert [len(p) for p in phases] == [2, 1]
+
+    def test_marks_excluded_from_phases(self):
+        tr = TraceRecorder(1)
+        tr.record(0, TraceEvent(kind="mark", note="begin"))
+        tr.record(0, TraceEvent(kind="isend", peer=0, nbytes=1))
+        tr.record(0, TraceEvent(kind="waitall"))
+        assert [len(p) for p in tr.phases(0)] == [1]
+
+    def test_clear(self):
+        tr = TraceRecorder(1)
+        tr.record(0, TraceEvent(kind="isend", peer=0, nbytes=1))
+        tr.clear()
+        assert tr.for_rank(0) == []
+
+
+class TestEngineTraces:
+    def test_sendrecv_trace_shape(self):
+        eng = Engine(2, timeout=20, tracing=True)
+
+        def fn(comm):
+            peer = 1 - comm.rank
+            comm.sendrecv("x", peer, peer)
+
+        eng.run(fn)
+        for r in (0, 1):
+            kinds = [e.kind for e in eng.trace.for_rank(r)]
+            assert kinds == ["irecv", "isend", "waitall"]
+
+    def test_trace_reset_between_runs_is_manual(self):
+        eng = Engine(1, timeout=20, tracing=True)
+        eng.run(lambda c: c.mark("a"))
+        eng.run(lambda c: c.mark("b"))
+        notes = [e.note for e in eng.trace.for_rank(0)]
+        assert notes == ["a", "b"]  # accumulates until cleared
+        eng.trace.clear()
+        assert eng.trace.for_rank(0) == []

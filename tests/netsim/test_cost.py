@@ -1,0 +1,205 @@
+"""Closed-form schedule cost model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.alltoall_schedule import build_alltoall_schedule
+from repro.core.schedule import uniform_block_layout
+from repro.core.stencils import parameterized_stencil
+from repro.core.trivial import (
+    build_direct_alltoall_schedule,
+    build_trivial_alltoall_schedule,
+)
+from repro.netsim.cost import (
+    _harmonic,
+    _harmonic2,
+    estimate_phase_time,
+    estimate_schedule_time,
+    sample_schedule_time,
+    sample_schedule_times,
+)
+from repro.netsim.machine import MachineModel, NoiseModel, VariantCosts
+
+MACHINE = MachineModel(
+    name="unit",
+    alpha=1e-6,
+    beta=1e-9,
+    copy_bandwidth=1e9,
+    variants={
+        "cart": VariantCosts(request_overhead=1e-7),
+        "mpi_blocking": VariantCosts(
+            request_overhead=1e-7, per_neighbor_quadratic=1e-8
+        ),
+    },
+)
+
+
+def schedules(d, n, m):
+    nbh = parameterized_stencil(d, n, -1)
+    sizes = [m] * nbh.t
+    layouts = (
+        uniform_block_layout(sizes, "send"),
+        uniform_block_layout(sizes, "recv"),
+    )
+    return (
+        nbh,
+        build_alltoall_schedule(nbh, *layouts),
+        build_trivial_alltoall_schedule(nbh, *layouts),
+        build_direct_alltoall_schedule(nbh, *layouts),
+    )
+
+
+class TestPhaseTime:
+    def test_empty_phase_free(self):
+        assert estimate_phase_time([], MACHINE, "cart") == 0.0
+
+    def test_one_round(self):
+        got = estimate_phase_time([100], MACHINE, "cart")
+        assert got == pytest.approx(1e-6 + 2e-7 + 100e-9)
+
+    def test_alpha_charged_once_per_phase(self):
+        one = estimate_phase_time([100], MACHINE, "cart")
+        four = estimate_phase_time([100] * 4, MACHINE, "cart")
+        assert four == pytest.approx(one + 3 * (2e-7 + 100e-9))
+
+    def test_pathology_above_threshold(self):
+        base = estimate_phase_time(
+            [4] * 100, MACHINE, "mpi_blocking", pathological_threshold=1000
+        )
+        sick = estimate_phase_time(
+            [4] * 100, MACHINE, "mpi_blocking", pathological_threshold=50
+        )
+        assert sick == pytest.approx(base + 1e-8 * 100 * 100)
+
+    def test_cart_variant_never_pathological(self):
+        a = estimate_phase_time([4] * 100, MACHINE, "cart",
+                                pathological_threshold=10)
+        b = estimate_phase_time([4] * 100, MACHINE, "cart",
+                                pathological_threshold=10**6)
+        assert a == b
+
+
+class TestScheduleTime:
+    def test_trivial_matches_paper_formula(self):
+        """T_trivial = t · (α + 2o + βm)."""
+        nbh, _, triv, _ = schedules(2, 3, 40)
+        t = nbh.trivial_rounds
+        expect = t * (1e-6 + 2e-7 + 40e-9) + MACHINE.local_copy_cost(40)
+        assert estimate_schedule_time(triv, MACHINE, "cart") == pytest.approx(expect)
+
+    def test_combining_matches_paper_formula(self):
+        """T_combining = dα + C·2o + βVm (+ local copy)."""
+        nbh, comb, _, _ = schedules(2, 3, 40)
+        d, C, V = nbh.d, nbh.combining_rounds, nbh.alltoall_volume
+        expect = (
+            d * 1e-6 + C * 2e-7 + V * 40 * 1e-9 + MACHINE.local_copy_cost(40)
+        )
+        assert estimate_schedule_time(comb, MACHINE, "cart") == pytest.approx(expect)
+
+    def test_direct_single_alpha(self):
+        nbh, _, _, direct = schedules(2, 3, 40)
+        t = nbh.trivial_rounds
+        expect = 1e-6 + t * (2e-7 + 40e-9) + MACHINE.local_copy_cost(40)
+        assert estimate_schedule_time(direct, MACHINE, "cart") == pytest.approx(expect)
+
+    def test_combining_beats_trivial_small_blocks(self):
+        _, comb, triv, _ = schedules(3, 3, 4)
+        assert estimate_schedule_time(comb, MACHINE) < estimate_schedule_time(
+            triv, MACHINE
+        )
+
+    def test_trivial_beats_combining_huge_blocks(self):
+        _, comb, triv, _ = schedules(3, 3, 10**7)
+        assert estimate_schedule_time(triv, MACHINE) < estimate_schedule_time(
+            comb, MACHINE
+        )
+
+    def test_crossover_at_cutoff(self):
+        """The model's crossover must sit at the Table 1 cut-off."""
+        nbh, *_ = schedules(3, 3, 4)
+        # solve for equality using the explicit formulas (with overheads
+        # folded into per-round constants the crossover shifts slightly;
+        # use the pure alpha/beta machine to recover the paper's rule)
+        pure = MachineModel(
+            name="pure", alpha=1e-6, beta=1e-9,
+            variants={"cart": VariantCosts()},
+        )
+        m_star = (pure.alpha / pure.beta) * nbh.cutoff_ratio()
+        sizes_lo = [int(m_star * 0.8)] * nbh.t
+        sizes_hi = [int(m_star * 1.25)] * nbh.t
+        for sizes, comb_wins in ((sizes_lo, True), (sizes_hi, False)):
+            layouts = (
+                uniform_block_layout(sizes, "send"),
+                uniform_block_layout(sizes, "recv"),
+            )
+            comb = build_alltoall_schedule(nbh, *layouts)
+            triv = build_trivial_alltoall_schedule(nbh, *layouts)
+            tc = estimate_schedule_time(comb, pure, "cart")
+            tt = estimate_schedule_time(triv, pure, "cart")
+            # paper formula compares t(α+βm) with full t=n^d; the model
+            # uses trivial_rounds = t−1 — allow the small offset
+            assert (tc < tt) == comb_wins, (sizes[0], tc, tt)
+
+
+class TestHarmonics:
+    def test_harmonic_small(self):
+        assert _harmonic(1) == 1.0
+        assert _harmonic(3) == pytest.approx(1 + 0.5 + 1 / 3)
+
+    def test_harmonic_large_approx(self):
+        exact = sum(1.0 / i for i in range(1, 1001))
+        assert _harmonic(1000) == pytest.approx(exact, rel=1e-6)
+
+    def test_harmonic2(self):
+        assert _harmonic2(2) == pytest.approx(1.25)
+        assert _harmonic2(10**6) == pytest.approx(math.pi**2 / 6, rel=1e-3)
+
+    def test_zero(self):
+        assert _harmonic(0) == 0.0
+        assert _harmonic2(0) == 0.0
+
+
+class TestSampling:
+    @pytest.fixture
+    def noisy(self):
+        return MACHINE.with_noise(
+            NoiseModel(per_message_scale=1e-6, outlier_probability=1e-4,
+                       outlier_scale=1e-3)
+        )
+
+    def test_no_noise_equals_estimate(self):
+        _, comb, _, _ = schedules(2, 3, 4)
+        rng = np.random.default_rng(0)
+        assert sample_schedule_time(comb, MACHINE, 64, rng) == pytest.approx(
+            estimate_schedule_time(comb, MACHINE)
+        )
+
+    def test_noise_adds_positive_delay(self, noisy):
+        _, comb, _, _ = schedules(2, 3, 4)
+        rng = np.random.default_rng(0)
+        base = estimate_schedule_time(comb, noisy)
+        assert sample_schedule_time(comb, noisy, 64, rng) > base
+
+    def test_deterministic_with_seed(self, noisy):
+        _, comb, _, _ = schedules(2, 3, 4)
+        a = sample_schedule_times(comb, noisy, 64, 5, np.random.default_rng(3))
+        b = sample_schedule_times(comb, noisy, 64, 5, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_more_procs_more_noise(self, noisy):
+        """Extreme-value coupling: the expected makespan grows with p."""
+        _, comb, _, _ = schedules(2, 3, 4)
+        small = sample_schedule_times(
+            comb, noisy, 128, 200, np.random.default_rng(1)
+        ).mean()
+        large = sample_schedule_times(
+            comb, noisy, 16384, 200, np.random.default_rng(1)
+        ).mean()
+        assert large > small
+
+    def test_repetition_count(self, noisy):
+        _, comb, _, _ = schedules(2, 3, 4)
+        out = sample_schedule_times(comb, noisy, 8, 17)
+        assert out.shape == (17,)

@@ -1,0 +1,215 @@
+"""Discrete-event simulator: semantics and cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.alltoall_schedule import build_alltoall_schedule
+from repro.core.schedule import uniform_block_layout
+from repro.core.stencils import parameterized_stencil
+from repro.core.topology import CartTopology
+from repro.core.trivial import build_trivial_alltoall_schedule
+from repro.netsim.cost import estimate_schedule_time
+from repro.netsim.des import simulate_programs, simulate_schedule
+from repro.netsim.machine import MachineModel, NoiseModel, VariantCosts
+
+MACHINE = MachineModel(
+    name="unit",
+    alpha=1e-6,
+    beta=1e-9,
+    copy_bandwidth=1e9,
+    variants={"cart": VariantCosts(request_overhead=1e-7)},
+)
+
+
+def make_schedule(d, n, m, builder=build_alltoall_schedule):
+    nbh = parameterized_stencil(d, n, -1)
+    sizes = [m] * nbh.t
+    return nbh, builder(
+        nbh,
+        uniform_block_layout(sizes, "send"),
+        uniform_block_layout(sizes, "recv"),
+    )
+
+
+class TestBasics:
+    def test_two_rank_pingpong(self):
+        programs = [
+            [("irecv", 1, 100), ("isend", 1, 100), ("waitall",)],
+            [("irecv", 0, 100), ("isend", 0, 100), ("waitall",)],
+        ]
+        res = simulate_programs(programs, MACHINE)
+        assert res.messages == 2
+        assert res.network_bytes == 200
+        # both ranks symmetric
+        assert res.finish_times[0] == pytest.approx(res.finish_times[1])
+        # completion >= alpha + transfer + overheads
+        assert res.makespan >= 1e-6 + 100e-9
+
+    def test_local_op_costed(self):
+        programs = [[("local", 10**6)]]
+        res = simulate_programs(programs, MACHINE)
+        assert res.makespan == pytest.approx(1e-3)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown op"):
+            simulate_programs([[("fly", 1, 2)]], MACHINE)
+
+    def test_deadlock_detected(self):
+        # rank 0 waits for a message rank 1 never sends
+        programs = [
+            [("irecv", 1, 4), ("waitall",)],
+            [("irecv", 0, 4), ("waitall",)],
+        ]
+        with pytest.raises(RuntimeError, match="deadlock"):
+            simulate_programs(programs, MACHINE)
+
+    def test_dependency_chain_resolves(self):
+        # rank 0 sends; rank 1 forwards; rank 2 receives: multi-pass
+        programs = [
+            [("isend", 1, 8), ("waitall",)],
+            [("irecv", 0, 8), ("waitall",), ("isend", 2, 8), ("waitall",)],
+            [("irecv", 1, 8), ("waitall",)],
+        ]
+        res = simulate_programs(programs, MACHINE)
+        # rank 2's finish strictly after rank 0's
+        assert res.finish_times[2] > res.finish_times[0]
+
+    def test_fifo_channels(self):
+        # two same-channel messages must arrive in order: receiver's
+        # second-posted receive matches the second message
+        programs = [
+            [("isend", 1, 10), ("isend", 1, 10), ("waitall",)],
+            [("irecv", 0, 10), ("irecv", 0, 10), ("waitall",)],
+        ]
+        res = simulate_programs(programs, MACHINE)
+        assert res.messages == 2
+
+
+class TestCrossValidation:
+    """The DES and the closed form implement the same semantics; on
+    symmetric SPMD schedules they must agree closely (the closed form
+    charges α once per phase; the DES pipelines injections, so the DES
+    is never slower than the estimate by more than the per-phase α
+    bound)."""
+
+    @pytest.mark.parametrize("d,n,m", [(2, 3, 4), (2, 3, 400), (2, 5, 40)])
+    def test_combining_close_to_estimate(self, d, n, m):
+        nbh, sched = make_schedule(d, n, m)
+        topo = CartTopology(tuple([4] * d))
+        res = simulate_schedule(sched, topo, MACHINE)
+        est = estimate_schedule_time(sched, MACHINE)
+        assert res.makespan == pytest.approx(est, rel=0.35)
+
+    def test_trivial_close_to_estimate(self):
+        nbh, sched = make_schedule(2, 3, 4, build_trivial_alltoall_schedule)
+        topo = CartTopology((4, 4))
+        res = simulate_schedule(sched, topo, MACHINE)
+        est = estimate_schedule_time(sched, MACHINE)
+        assert res.makespan == pytest.approx(est, rel=0.35)
+
+    def test_message_and_byte_accounting(self):
+        nbh, sched = make_schedule(2, 3, 8)
+        topo = CartTopology((3, 3))
+        res = simulate_schedule(sched, topo, MACHINE)
+        assert res.messages == topo.size * sched.num_rounds
+        assert res.network_bytes == topo.size * sched.volume_bytes
+
+    def test_ordering_combining_faster_than_trivial(self):
+        _, comb = make_schedule(3, 3, 4)
+        _, triv = make_schedule(3, 3, 4, build_trivial_alltoall_schedule)
+        topo = CartTopology((3, 3, 3))
+        t_comb = simulate_schedule(comb, topo, MACHINE).makespan
+        t_triv = simulate_schedule(triv, topo, MACHINE).makespan
+        assert t_comb < t_triv
+
+
+class TestNoiseInDes:
+    def test_noise_widens_makespan(self):
+        noisy = MACHINE.with_noise(NoiseModel(per_message_scale=5e-6))
+        _, sched = make_schedule(2, 3, 4)
+        topo = CartTopology((4, 4))
+        clean = simulate_schedule(sched, topo, MACHINE).makespan
+        rng = np.random.default_rng(0)
+        with_noise = simulate_schedule(
+            sched, topo, noisy, rng=rng
+        ).makespan
+        assert with_noise > clean
+
+    def test_noise_requires_rng(self):
+        """Without an rng the noise model is ignored (deterministic)."""
+        noisy = MACHINE.with_noise(NoiseModel(per_message_scale=5e-6))
+        _, sched = make_schedule(2, 3, 4)
+        topo = CartTopology((3, 3))
+        a = simulate_schedule(sched, topo, noisy).makespan
+        b = simulate_schedule(sched, topo, MACHINE).makespan
+        assert a == pytest.approx(b)
+
+
+class TestPathologyInDes:
+    def test_pathological_variant_slows_large_phases(self):
+        """The DES must price the per-request pathology the same way the
+        closed form does: huge for >threshold outstanding partners."""
+        from repro.netsim.machine import VariantCosts
+
+        sick = MachineModel(
+            name="sick",
+            alpha=1e-6,
+            beta=1e-9,
+            variants={
+                "cart": VariantCosts(request_overhead=1e-7),
+                "mpi_blocking": VariantCosts(
+                    request_overhead=1e-7, per_neighbor_quadratic=1e-8
+                ),
+            },
+        )
+        # a single phase with 200 partners and a threshold of 50
+        programs = [[]]
+        for peer in range(1, 201):
+            programs[0].append(("irecv", 1, 4))
+            programs[0].append(("isend", 1, 4))
+        programs[0].append(("waitall",))
+        programs.append(
+            [("irecv", 0, 4), ("isend", 0, 4), ("waitall",)] * 200
+        )
+        # rank 1 just mirrors rank 0's messages
+        programs[1] = []
+        for _ in range(200):
+            programs[1].append(("irecv", 0, 4))
+            programs[1].append(("isend", 0, 4))
+        programs[1].append(("waitall",))
+
+        healthy = simulate_programs(
+            programs, sick, "cart", pathological_threshold=50
+        ).makespan
+        pathological = simulate_programs(
+            programs, sick, "mpi_blocking", pathological_threshold=50
+        ).makespan
+        # 200 recv posts at ~1e-8 * 200 each ≈ 400 µs extra
+        assert pathological > healthy + 3e-4
+
+    def test_threshold_respected(self):
+        from repro.netsim.machine import VariantCosts
+
+        sick = MachineModel(
+            name="sick2",
+            alpha=1e-6,
+            beta=1e-9,
+            variants={
+                "mpi_blocking": VariantCosts(
+                    request_overhead=1e-7, per_neighbor_quadratic=1e-8
+                ),
+            },
+        )
+        programs = [
+            [("irecv", 1, 4), ("isend", 1, 4), ("waitall",)],
+            [("irecv", 0, 4), ("isend", 0, 4), ("waitall",)],
+        ]
+        a = simulate_programs(
+            programs, sick, "mpi_blocking", pathological_threshold=1000
+        ).makespan
+        b = simulate_programs(
+            programs, sick, "mpi_blocking", pathological_threshold=0
+        ).makespan
+        # one outstanding partner: tiny extra only when threshold crossed
+        assert b > a
+        assert b - a < 1e-6

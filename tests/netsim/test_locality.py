@@ -1,0 +1,58 @@
+"""Locality-aware cost model (with_locality) unit tests."""
+
+import pytest
+
+from repro.core.alltoall_schedule import build_alltoall_schedule
+from repro.core.schedule import uniform_block_layout
+from repro.core.stencils import parameterized_stencil
+from repro.netsim.cost import estimate_schedule_time
+from repro.netsim.machines import get_machine
+
+
+@pytest.fixture
+def schedule():
+    nbh = parameterized_stencil(2, 3, -1)
+    sizes = [400] * nbh.t
+    return build_alltoall_schedule(
+        nbh,
+        uniform_block_layout(sizes, "send"),
+        uniform_block_layout(sizes, "recv"),
+    )
+
+
+class TestWithLocality:
+    def test_full_locality_uses_intra_factors(self):
+        m = get_machine("hydra-openmpi")
+        local = m.with_locality(1.0)
+        assert local.alpha == pytest.approx(
+            m.alpha * m.intra_node_alpha_factor
+        )
+        assert local.beta == pytest.approx(m.beta * m.intra_node_beta_factor)
+
+    def test_partial_locality_interpolates(self):
+        m = get_machine("titan-craympi")
+        half = m.with_locality(0.5)
+        assert m.with_locality(0.0).alpha == m.alpha
+        assert (
+            m.alpha * m.intra_node_alpha_factor < half.alpha < m.alpha
+        )
+
+    def test_original_untouched(self):
+        m = get_machine("hydra-intelmpi")
+        alpha = m.alpha
+        m.with_locality(0.9)
+        assert m.alpha == alpha  # frozen dataclass: replace, not mutate
+
+    def test_monotone_cost_in_locality(self, schedule):
+        m = get_machine("hydra-openmpi")
+        times = [
+            estimate_schedule_time(schedule, m.with_locality(f), "cart")
+            for f in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_noise_and_variants_preserved(self):
+        m = get_machine("titan-craympi")
+        local = m.with_locality(0.7)
+        assert local.noise == m.noise
+        assert local.costs("cart") == m.costs("cart")

@@ -1,0 +1,94 @@
+"""Machine model unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.machine import MachineModel, NoiseModel, VariantCosts
+
+
+@pytest.fixture
+def machine():
+    return MachineModel(
+        name="test",
+        alpha=1e-6,
+        beta=1e-9,
+        copy_bandwidth=1e9,
+        variants={
+            "cart": VariantCosts(request_overhead=1e-7),
+            "mpi_blocking": VariantCosts(
+                request_overhead=2e-7, per_byte_overhead=1e-10,
+                per_neighbor_quadratic=1e-8,
+            ),
+        },
+    )
+
+
+class TestCosts:
+    def test_round_cost_linear(self, machine):
+        c0 = machine.round_cost(0)
+        c1000 = machine.round_cost(1000)
+        assert c0 == pytest.approx(1e-6 + 2e-7)
+        assert c1000 - c0 == pytest.approx(1000 * 1e-9)
+
+    def test_variant_overheads(self, machine):
+        assert machine.round_cost(100, "mpi_blocking") > machine.round_cost(
+            100, "cart"
+        )
+
+    def test_unknown_variant(self, machine):
+        with pytest.raises(KeyError, match="unknown cost variant"):
+            machine.costs("nope")
+
+    def test_local_copy_cost(self, machine):
+        assert machine.local_copy_cost(1_000_000) == pytest.approx(1e-3)
+        assert machine.local_copy_cost(0) == 0.0
+
+    def test_cutoff_block_bytes(self, machine):
+        # t=27, C=6, V=54: ratio (27-6)/(54-27) = 21/27
+        got = machine.cutoff_block_bytes(27, 6, 54)
+        assert got == pytest.approx((1e-6 / 1e-9) * 21 / 27)
+
+    def test_cutoff_edge_cases(self, machine):
+        assert machine.cutoff_block_bytes(5, 5, 100) == 0.0
+        assert machine.cutoff_block_bytes(5, 2, 5) == float("inf")
+
+    def test_with_without_noise(self, machine):
+        noisy = machine.with_noise(NoiseModel(per_message_scale=1e-6))
+        assert noisy.noise is not None
+        assert noisy.without_noise().noise is None
+        assert machine.noise is None  # original untouched (frozen)
+
+
+class TestNoiseModel:
+    def test_silent(self):
+        assert NoiseModel().is_silent
+        assert not NoiseModel(per_message_scale=1e-7).is_silent
+        assert not NoiseModel(outlier_probability=0.1, outlier_scale=1e-3).is_silent
+
+    def test_sample_deterministic_with_seed(self):
+        nm = NoiseModel(per_message_scale=1e-6, outlier_probability=0.5,
+                        outlier_scale=1e-4)
+        a = [nm.sample_message_delay(np.random.default_rng(7)) for _ in range(3)]
+        b = [nm.sample_message_delay(np.random.default_rng(7)) for _ in range(3)]
+        assert a == b
+
+    def test_sample_nonnegative(self):
+        nm = NoiseModel(per_message_scale=1e-6)
+        rng = np.random.default_rng(0)
+        assert all(nm.sample_message_delay(rng) >= 0 for _ in range(100))
+
+    def test_mean_roughly_scale(self):
+        nm = NoiseModel(per_message_scale=1e-6)
+        rng = np.random.default_rng(0)
+        samples = [nm.sample_message_delay(rng) for _ in range(5000)]
+        assert np.mean(samples) == pytest.approx(1e-6, rel=0.1)
+
+    def test_outliers_raise_tail(self):
+        base = NoiseModel(per_message_scale=1e-6)
+        tail = NoiseModel(per_message_scale=1e-6, outlier_probability=0.2,
+                          outlier_scale=1e-3)
+        rng = np.random.default_rng(0)
+        s_base = [base.sample_message_delay(rng) for _ in range(2000)]
+        rng = np.random.default_rng(0)
+        s_tail = [tail.sample_message_delay(rng) for _ in range(2000)]
+        assert np.percentile(s_tail, 99) > 10 * np.percentile(s_base, 99)

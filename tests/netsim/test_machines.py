@@ -1,0 +1,63 @@
+"""Table 2 machine registry."""
+
+import pytest
+
+from repro.netsim.machines import (
+    HYDRA_INTELMPI,
+    HYDRA_OPENMPI,
+    MACHINES,
+    PATHOLOGICAL_THRESHOLD,
+    TITAN_CRAYMPI,
+    get_machine,
+    table2_rows,
+)
+
+
+class TestRegistry:
+    def test_three_systems(self):
+        assert set(MACHINES) == {
+            "hydra-openmpi", "hydra-intelmpi", "titan-craympi",
+        }
+
+    def test_lookup(self):
+        assert get_machine("titan-craympi") is TITAN_CRAYMPI
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="unknown machine"):
+            get_machine("summit")
+
+    def test_table2_rows_content(self):
+        rows = table2_rows()
+        assert len(rows) == 3
+        names = {r["name"] for r in rows}
+        assert names == {"Hydra", "Titan"}
+        libs = {r["mpi_library"] for r in rows}
+        assert libs == {"Open MPI 3.1.0", "Intel MPI 2018", "cray-mpich/7.6.3"}
+
+
+class TestCalibration:
+    def test_hydra_pathology_present(self):
+        for m in (HYDRA_OPENMPI, HYDRA_INTELMPI):
+            assert m.costs("mpi_blocking").per_neighbor_quadratic > 0
+            assert m.costs("cart").per_neighbor_quadratic == 0
+
+    def test_titan_no_pathology(self):
+        for v in ("cart", "mpi_blocking", "mpi_nonblock"):
+            assert TITAN_CRAYMPI.costs(v).per_neighbor_quadratic == 0
+
+    def test_titan_noise_has_outliers(self):
+        assert TITAN_CRAYMPI.noise.outlier_probability > 0
+
+    def test_threshold_between_d5n3_and_d5n5(self):
+        """The paper's pathology strikes t=3125, not t=243 (for m=1):
+        the threshold must separate them."""
+        assert 243 < PATHOLOGICAL_THRESHOLD < 3125
+
+    def test_titan_slower_latency_than_hydra(self):
+        assert TITAN_CRAYMPI.alpha > HYDRA_OPENMPI.alpha
+
+    def test_positive_parameters(self):
+        for m in MACHINES.values():
+            assert m.alpha > 0 and m.beta > 0 and m.copy_bandwidth > 0
+            for v in ("cart", "mpi_blocking", "mpi_nonblock"):
+                assert m.costs(v).request_overhead > 0

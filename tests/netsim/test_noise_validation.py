@@ -1,0 +1,80 @@
+"""Cross-validation: the sampled extreme-value noise estimator against
+the brute-force discrete-event simulation at a scale where the DES is
+affordable.  Both implement the same semantics (per-message exponential
+noise, completion = slowest rank), so their distributions must agree in
+location and spread."""
+
+import numpy as np
+import pytest
+
+from repro.core.alltoall_schedule import build_alltoall_schedule
+from repro.core.schedule import uniform_block_layout
+from repro.core.stencils import parameterized_stencil
+from repro.core.topology import CartTopology
+from repro.netsim.cost import sample_schedule_times
+from repro.netsim.des import simulate_schedule
+from repro.netsim.machine import MachineModel, NoiseModel, VariantCosts
+
+
+@pytest.fixture(scope="module")
+def setup():
+    machine = MachineModel(
+        name="unit",
+        alpha=1e-6,
+        beta=1e-9,
+        variants={"cart": VariantCosts(request_overhead=1e-7)},
+        noise=NoiseModel(per_message_scale=2e-6),
+    )
+    nbh = parameterized_stencil(2, 3, -1)
+    sizes = [4] * nbh.t
+    sched = build_alltoall_schedule(
+        nbh,
+        uniform_block_layout(sizes, "send"),
+        uniform_block_layout(sizes, "recv"),
+    )
+    topo = CartTopology((8, 8))
+    return machine, sched, topo
+
+
+def test_means_agree(setup):
+    machine, sched, topo = setup
+    reps = 60
+    rng = np.random.default_rng(0)
+    des = np.asarray(
+        [
+            simulate_schedule(sched, topo, machine, "cart", rng=rng).makespan
+            for _ in range(reps)
+        ]
+    )
+    evt = sample_schedule_times(
+        sched, machine, topo.size, reps, np.random.default_rng(1), "cart"
+    )
+    # same location within 35% (both models, same α/β/overheads; they
+    # differ in how injection pipelining interacts with noise)
+    assert evt.mean() == pytest.approx(des.mean(), rel=0.35)
+
+
+def test_both_above_noise_free_baseline(setup):
+    machine, sched, topo = setup
+    from repro.netsim.cost import estimate_schedule_time
+
+    base = estimate_schedule_time(sched, machine.without_noise(), "cart")
+    rng = np.random.default_rng(2)
+    des = simulate_schedule(sched, topo, machine, "cart", rng=rng).makespan
+    evt = sample_schedule_times(
+        sched, machine, topo.size, 10, np.random.default_rng(3)
+    )
+    assert des > base
+    assert (evt > base).all()
+
+
+def test_spread_grows_with_noise_scale(setup):
+    machine, sched, topo = setup
+    small = machine.with_noise(NoiseModel(per_message_scale=5e-7))
+    large = machine.with_noise(NoiseModel(per_message_scale=5e-6))
+    s = sample_schedule_times(sched, small, topo.size, 100,
+                              np.random.default_rng(4))
+    l = sample_schedule_times(sched, large, topo.size, 100,
+                              np.random.default_rng(4))
+    assert l.std() > s.std()
+    assert l.mean() > s.mean()

@@ -1,0 +1,69 @@
+"""Histogram and modality diagnostics (Figure 7 support)."""
+
+import numpy as np
+import pytest
+
+from repro.stats.distributions import (
+    bimodality_coefficient,
+    dispersion_ratio,
+    histogram,
+)
+
+
+class TestHistogram:
+    def test_counts_sum(self, rng):
+        data = rng.normal(0, 1, 500)
+        h = histogram(data, bins=20)
+        assert h.total == 500
+        assert h.nbins == 20
+
+    def test_summary_stats(self):
+        h = histogram([1.0, 2.0, 3.0, 4.0])
+        assert h.mean == 2.5
+        assert h.median == 2.5
+
+    def test_mode_bin(self):
+        data = [1.0] * 50 + [10.0]
+        h = histogram(data, bins=10)
+        assert h.mode_bin() == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            histogram([])
+
+
+class TestBimodality:
+    def test_unimodal_below_threshold(self, rng):
+        data = rng.normal(10, 1, 2000)
+        assert bimodality_coefficient(data) < 5 / 9
+
+    def test_bimodal_above_threshold(self, rng):
+        data = np.concatenate(
+            [rng.normal(0, 0.3, 1000), rng.normal(10, 0.3, 1000)]
+        )
+        assert bimodality_coefficient(data) > 5 / 9
+
+    def test_constant_sample(self):
+        assert bimodality_coefficient([2.0] * 10) == 0.0
+
+    def test_needs_four_samples(self):
+        with pytest.raises(ValueError):
+            bimodality_coefficient([1.0, 2.0, 3.0])
+
+
+class TestDispersion:
+    def test_tight_sample_small_ratio(self, rng):
+        data = rng.normal(100, 0.1, 1000)
+        assert dispersion_ratio(data) < 0.02
+
+    def test_wide_sample_large_ratio(self, rng):
+        data = rng.exponential(100, 1000) + 1.0
+        assert dispersion_ratio(data) > 1.0
+
+    def test_requires_positive_median(self):
+        with pytest.raises(ValueError):
+            dispersion_ratio([-1.0, -2.0, -3.0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            dispersion_ratio([])

@@ -1,0 +1,127 @@
+"""Appendix A data processing."""
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.stats.processing import (
+    ReportedStat,
+    mean_ci,
+    normalize_to_baseline,
+    quartile_subset,
+    smallest_fraction,
+    summarize,
+)
+
+
+class TestMeanCI:
+    def test_mean(self, rng):
+        data = rng.normal(10, 2, 50)
+        stat = mean_ci(data)
+        assert stat.mean == pytest.approx(data.mean())
+        assert stat.n == 50
+
+    def test_matches_scipy_t_interval(self, rng):
+        data = rng.normal(5, 1, 25)
+        stat = mean_ci(data)
+        lo, hi = scipy.stats.t.interval(
+            0.95, len(data) - 1, loc=data.mean(),
+            scale=scipy.stats.sem(data),
+        )
+        assert stat.ci_low == pytest.approx(lo, rel=1e-2)
+        assert stat.ci_high == pytest.approx(hi, rel=1e-2)
+
+    def test_single_sample_degenerate(self):
+        stat = mean_ci([3.0])
+        assert stat.mean == stat.ci_low == stat.ci_high == 3.0
+
+    def test_symmetric_interval(self, rng):
+        stat = mean_ci(rng.normal(0, 1, 30))
+        assert stat.ci_high - stat.mean == pytest.approx(
+            stat.mean - stat.ci_low
+        )
+        assert stat.ci_half_width > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+    def test_only_95_supported(self):
+        with pytest.raises(ValueError):
+            mean_ci([1.0, 2.0], confidence=0.9)
+
+    def test_str(self):
+        assert "n=2" in str(mean_ci([1.0, 2.0]))
+
+
+class TestSubsets:
+    def test_quartile_subset_keeps_lower_half(self):
+        data = list(range(1, 101))
+        subset = quartile_subset(data)
+        assert subset.max() <= np.median(data)
+        assert subset.min() == 1
+        assert len(subset) >= 50
+
+    def test_quartile_subset_robust_to_outliers(self):
+        data = [1.0] * 50 + [1000.0] * 10
+        stat = mean_ci(quartile_subset(data))
+        assert stat.mean == 1.0
+
+    def test_smallest_third(self):
+        data = list(range(30))
+        subset = smallest_fraction(data, 1 / 3)
+        assert list(subset) == list(range(10))
+
+    def test_smallest_fraction_at_least_one(self):
+        assert len(smallest_fraction([5.0, 1.0], 0.1)) == 1
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            smallest_fraction([1.0], 0.0)
+        with pytest.raises(ValueError):
+            smallest_fraction([1.0], 1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            quartile_subset([])
+        with pytest.raises(ValueError):
+            smallest_fraction([])
+
+
+class TestSummarize:
+    def test_hydra_uses_quartiles(self):
+        data = [1.0] * 10 + [100.0] * 5
+        assert summarize(data, "hydra").mean == 1.0
+
+    def test_titan_uses_smallest_third(self):
+        data = [1.0] * 5 + [50.0] * 10
+        assert summarize(data, "titan").mean == 1.0
+
+    def test_all_uses_everything(self):
+        data = [1.0, 3.0]
+        assert summarize(data, "all").mean == 2.0
+
+    def test_unknown_system(self):
+        with pytest.raises(ValueError, match="unknown system"):
+            summarize([1.0], "frontier")
+
+
+class TestNormalization:
+    def test_baseline_is_one(self):
+        stats = {
+            "base": ReportedStat(2.0, 1.9, 2.1, 10),
+            "fast": ReportedStat(0.5, 0.4, 0.6, 10),
+        }
+        rel = normalize_to_baseline(stats, "base")
+        assert rel["base"] == 1.0
+        assert rel["fast"] == 0.25
+
+    def test_missing_baseline(self):
+        with pytest.raises(KeyError):
+            normalize_to_baseline({"a": ReportedStat(1, 1, 1, 1)}, "b")
+
+    def test_nonpositive_baseline(self):
+        with pytest.raises(ValueError):
+            normalize_to_baseline(
+                {"a": ReportedStat(0.0, 0, 0, 1)}, "a"
+            )

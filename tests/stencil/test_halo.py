@@ -1,0 +1,154 @@
+"""Halo datatype construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.neighborhood import Neighborhood
+from repro.core.stencils import moore_neighborhood
+from repro.mpisim.exceptions import NeighborhoodError
+from repro.stencil.halo import halo_specs, region_from_slices
+
+
+def region_mask(shape, bs, itemsize=1):
+    """Boolean mask of the bytes a block set covers (for comparison with
+    NumPy slicing ground truth)."""
+    flat = np.zeros(int(np.prod(shape)) * itemsize, dtype=bool)
+    for ref in bs:
+        flat[ref.offset : ref.offset + ref.nbytes] = True
+    return flat.reshape(tuple(shape) + (itemsize,)).any(axis=-1) if itemsize > 1 \
+        else flat.reshape(shape)
+
+
+class TestRegionFromSlices:
+    def test_full_row_contiguous(self):
+        bs = region_from_slices((4, 6), (slice(1, 2), slice(0, 6)), 1, "g")
+        assert len(bs) == 1
+        assert list(bs)[0].offset == 6 and list(bs)[0].nbytes == 6
+
+    def test_column_one_run_per_row(self):
+        bs = region_from_slices((4, 6), (slice(0, 4), slice(2, 3)), 1, "g")
+        assert len(bs) == 4
+        assert [r.offset for r in bs] == [2, 8, 14, 20]
+
+    def test_matches_numpy_slicing(self, rng):
+        shape = (5, 7, 3)
+        slices = (slice(1, 4), slice(2, 6), slice(0, 2))
+        bs = region_from_slices(shape, slices, 1, "g")
+        expect = np.zeros(shape, dtype=bool)
+        expect[slices] = True
+        assert np.array_equal(region_mask(shape, bs), expect)
+
+    def test_itemsize_scales_bytes(self):
+        bs = region_from_slices((3, 3), (slice(0, 1), slice(0, 3)), 8, "g")
+        assert list(bs)[0].nbytes == 24
+
+    def test_empty_slice(self):
+        bs = region_from_slices((3, 3), (slice(1, 1), slice(0, 3)), 1, "g")
+        assert len(bs) == 0
+
+    def test_stride_rejected(self):
+        with pytest.raises(ValueError, match="unit-stride"):
+            region_from_slices((4,), (slice(0, 4, 2),), 1, "g")
+
+    def test_arity_check(self):
+        with pytest.raises(ValueError):
+            region_from_slices((4, 4), (slice(0, 1),), 1, "g")
+
+
+class TestHaloSpecs:
+    def test_listing3_type_shapes(self):
+        """9-point, depth 1, n×n interior: rows are 1 run of n, columns
+        n runs of 1, corners 1 run of 1 (the ROW/COL/COR structure)."""
+        n = 4
+        nbh = moore_neighborhood(2, 1, include_self=False)
+        sends, recvs = halo_specs((n, n), 1, nbh, 8)
+        for off, s in zip(nbh, sends):
+            nz = sum(1 for o in off if o)
+            if nz == 2:  # corner: one 1x1 cell
+                assert len(s) == 1 and s.total_nbytes == 8
+            elif off[1] == 0:  # up/down neighbor: one contiguous row
+                assert len(s) == 1 and s.total_nbytes == n * 8
+            else:  # left/right neighbor: a column = n runs of 1
+                assert len(s) == n and s.total_nbytes == n * 8
+
+    def test_send_recv_sizes_match(self):
+        nbh = moore_neighborhood(2, 1, include_self=False)
+        sends, recvs = halo_specs((5, 3), 1, nbh, 4)
+        for s, r in zip(sends, recvs):
+            assert s.total_nbytes == r.total_nbytes
+
+    def test_send_regions_inside_interior(self):
+        n = (4, 5)
+        nbh = moore_neighborhood(2, 1, include_self=False)
+        sends, _ = halo_specs(n, 1, nbh, 1)
+        full = (n[0] + 2, n[1] + 2)
+        interior = np.zeros(full, dtype=bool)
+        interior[1:-1, 1:-1] = True
+        for s in sends:
+            assert region_mask(full, s)[~interior].sum() == 0
+
+    def test_recv_regions_in_ghost_frame(self):
+        n = (4, 5)
+        nbh = moore_neighborhood(2, 1, include_self=False)
+        _, recvs = halo_specs(n, 1, nbh, 1)
+        full = (n[0] + 2, n[1] + 2)
+        interior = np.zeros(full, dtype=bool)
+        interior[1:-1, 1:-1] = True
+        for r in recvs:
+            assert region_mask(full, r)[interior].sum() == 0
+
+    def test_recv_regions_disjoint_and_cover_frame(self):
+        n = (4, 4)
+        nbh = moore_neighborhood(2, 1, include_self=False)
+        _, recvs = halo_specs(n, 1, nbh, 1)
+        full = (n[0] + 2, n[1] + 2)
+        total = np.zeros(full, dtype=int)
+        for r in recvs:
+            total += region_mask(full, r).astype(int)
+        # every ghost cell covered exactly once, interior untouched
+        assert total[1:-1, 1:-1].sum() == 0
+        frame = total.copy()
+        frame[1:-1, 1:-1] = 1
+        assert (frame == 1).all()
+
+    def test_depth_two(self):
+        nbh = moore_neighborhood(2, 1, include_self=False)
+        sends, recvs = halo_specs((6, 6), 2, nbh, 1)
+        # a corner block is depth×depth
+        corner_idx = next(
+            i for i, off in enumerate(nbh) if off == (1, 1)
+        )
+        assert sends[corner_idx].total_nbytes == 4
+
+    def test_self_offset_empty(self):
+        nbh = moore_neighborhood(2, 1, include_self=True)
+        sends, recvs = halo_specs((4, 4), 1, nbh, 1)
+        i = next(i for i, off in enumerate(nbh) if off == (0, 0))
+        assert len(sends[i]) == 0 and len(recvs[i]) == 0
+
+    def test_3d_halo(self):
+        nbh = moore_neighborhood(3, 1, include_self=False)
+        sends, recvs = halo_specs((3, 4, 5), 1, nbh, 4)
+        # face along dim0: full 4x5 slab
+        i = next(i for i, off in enumerate(nbh) if off == (1, 0, 0))
+        assert sends[i].total_nbytes == 4 * 5 * 4
+
+    def test_depth_exceeds_interior_rejected(self):
+        nbh = moore_neighborhood(2, 1, include_self=False)
+        with pytest.raises(ValueError, match="smaller than halo depth"):
+            halo_specs((1, 4), 2, nbh, 1)
+
+    def test_offsets_beyond_one_rejected(self):
+        nbh = Neighborhood([(2, 0)])
+        with pytest.raises(NeighborhoodError):
+            halo_specs((4, 4), 1, nbh, 1)
+
+    def test_dimension_mismatch(self):
+        nbh = moore_neighborhood(3, 1)
+        with pytest.raises(NeighborhoodError):
+            halo_specs((4, 4), 1, nbh, 1)
+
+    def test_zero_depth_rejected(self):
+        nbh = moore_neighborhood(2, 1)
+        with pytest.raises(ValueError):
+            halo_specs((4, 4), 0, nbh, 1)

@@ -1,0 +1,110 @@
+"""Stencil kernels: local/global agreement and physical sanity."""
+
+import numpy as np
+import pytest
+
+from repro.stencil.kernels import (
+    glider,
+    heat_weights,
+    jacobi_weights_5pt,
+    jacobi_weights_9pt,
+    life_step_global,
+    life_step_local,
+    weighted_stencil_global,
+    weighted_stencil_local,
+)
+
+
+def ghost_wrap(grid, depth=1):
+    """Surround a global periodic grid with its wrapped ghost layers, so
+    the *local* kernel applied to it must equal the *global* kernel."""
+    return np.pad(grid, depth, mode="wrap")
+
+
+class TestWeightedStencil:
+    @pytest.mark.parametrize("weights_fn", [jacobi_weights_5pt, jacobi_weights_9pt])
+    def test_local_equals_global_on_wrapped(self, weights_fn, rng):
+        g = rng.random((8, 9))
+        w = weights_fn()
+        local = weighted_stencil_local(ghost_wrap(g), w, 1)
+        global_ = weighted_stencil_global(g, w)
+        assert np.allclose(local, global_)
+
+    def test_3d_heat(self, rng):
+        g = rng.random((5, 6, 4))
+        w = heat_weights(3, 0.05)
+        local = weighted_stencil_local(ghost_wrap(g), w, 1)
+        assert np.allclose(local, weighted_stencil_global(g, w))
+
+    def test_identity_stencil(self, rng):
+        g = rng.random((6, 6))
+        w = {(0, 0): 1.0}
+        assert np.allclose(weighted_stencil_global(g, w), g)
+
+    def test_offset_exceeding_depth_rejected(self):
+        with pytest.raises(ValueError, match="ghost depth"):
+            weighted_stencil_local(np.zeros((6, 6)), {(2, 0): 1.0}, 1)
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="arity"):
+            weighted_stencil_local(np.zeros((6, 6)), {(1,): 1.0}, 1)
+
+    def test_heat_weights_sum_to_one(self):
+        for d in (1, 2, 3):
+            assert sum(heat_weights(d, 0.1).values()) == pytest.approx(1.0)
+
+    def test_heat_conserves_mass(self, rng):
+        g = rng.random((10, 10))
+        w = heat_weights(2, 0.2)
+        g2 = weighted_stencil_global(g, w)
+        assert g2.sum() == pytest.approx(g.sum())
+
+    def test_jacobi5_weights(self):
+        w = jacobi_weights_5pt()
+        assert sum(w.values()) == pytest.approx(1.0)
+        assert w[(0, 0)] == 0.0
+
+
+class TestGameOfLife:
+    def test_local_equals_global(self, rng):
+        g = (rng.random((9, 11)) < 0.4).astype(np.int8)
+        local = life_step_local(ghost_wrap(g))
+        assert np.array_equal(local, life_step_global(g))
+
+    def test_block_still_life(self):
+        g = np.zeros((6, 6), dtype=np.int8)
+        g[2:4, 2:4] = 1
+        assert np.array_equal(life_step_global(g), g)
+
+    def test_blinker_period_two(self):
+        g = np.zeros((5, 5), dtype=np.int8)
+        g[2, 1:4] = 1
+        g2 = life_step_global(life_step_global(g))
+        assert np.array_equal(g2, g)
+
+    def test_glider_translates_with_period_four(self):
+        g = glider((12, 12), top=3, left=3)
+        h = g.copy()
+        for _ in range(4):
+            h = life_step_global(h)
+        # after 4 generations the glider has moved one cell diagonally
+        assert np.array_equal(h, np.roll(g, (1, 1), axis=(0, 1)))
+
+    def test_rules_birth_and_death(self):
+        # lone cell dies; cell with three neighbors is born
+        g = np.zeros((5, 5), dtype=np.int8)
+        g[2, 2] = 1
+        assert life_step_global(g).sum() == 0
+        g = np.zeros((5, 5), dtype=np.int8)
+        g[1, 1] = g[1, 2] = g[2, 1] = 1
+        out = life_step_global(g)
+        assert out[2, 2] == 1  # birth
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            life_step_global(np.zeros((3, 3, 3), dtype=np.int8))
+        with pytest.raises(ValueError):
+            life_step_local(np.zeros((3, 3, 3), dtype=np.int8))
+
+    def test_glider_cell_count(self):
+        assert glider((10, 10)).sum() == 5

@@ -1,0 +1,40 @@
+"""Every shipped example must run clean end-to-end (they are all
+self-verifying: internal asserts check their own results)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "stencil_9pt.py",
+    "heat_diffusion.py",
+    "game_of_life.py",
+    "latency_planner.py",
+    "distgraph_detection.py",
+    "reductions_and_halos.py",
+    "heat_3d_combined.py",
+    "schedule_tools.py",
+    "poisson_solver.py",
+    "hexagonal_stencil.py",
+]
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    path = os.path.join(EXAMPLES_DIR, name)
+    assert os.path.exists(path), f"example {name} missing"
+    proc = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{name} failed\nstdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert proc.stdout.strip(), f"{name} produced no output"
