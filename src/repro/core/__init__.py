@@ -20,6 +20,9 @@ Modules
     Algorithm 2 — the allgather routing tree and its schedule.
 ``schedule``
     shared schedule representation (phases, rounds, block sets).
+``schedule_cache``
+    process-wide, thread-safe LRU of built schedules keyed by the
+    canonical (kind, neighborhood, layout, block-signature) fingerprint.
 ``executor`` / ``lockstep``
     Listing 5 — schedule execution on the threaded engine, and a
     deterministic all-ranks executor for correctness tests at large p.
@@ -43,6 +46,12 @@ from repro.core.distgraph import (
     dist_graph_create,
     dist_graph_create_adjacent,
 )
+from repro.core.schedule_cache import (
+    ScheduleCache,
+    cache_clear,
+    cache_info,
+    cache_resize,
+)
 from repro.core.serialize import load_schedule, save_schedule
 from repro.core.verify import verify_allgather, verify_alltoall, verify_halo
 from repro.core.visualize import render_schedule, render_tree
@@ -55,6 +64,10 @@ __all__ = [
     "DistGraphComm",
     "dist_graph_create",
     "dist_graph_create_adjacent",
+    "ScheduleCache",
+    "cache_clear",
+    "cache_info",
+    "cache_resize",
     "load_schedule",
     "save_schedule",
     "verify_alltoall",

@@ -36,11 +36,13 @@ from typing import Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core import schedule_cache
 from repro.core.allgather_schedule import build_allgather_schedule
 from repro.core.alltoall_schedule import build_alltoall_schedule
 from repro.core.executor import execute_schedule
 from repro.core.neighborhood import Neighborhood
 from repro.core.schedule import Schedule, uniform_block_layout
+from repro.core.schedule_cache import blockset_signature, layout_signature
 from repro.core.topology import CartTopology
 from repro.core.trivial import (
     build_direct_allgather_schedule,
@@ -170,6 +172,17 @@ class CartComm:
         return self.stats
 
     @staticmethod
+    def schedule_cache_info():
+        """Counters of the process-wide schedule cache (hits, misses,
+        builds, cumulative build time, size, bound)."""
+        return schedule_cache.cache_info()
+
+    @staticmethod
+    def schedule_cache_clear() -> None:
+        """Empty the process-wide schedule cache."""
+        schedule_cache.cache_clear()
+
+    @staticmethod
     def _algorithm_of(schedule: Schedule) -> str:
         kind = schedule.kind
         if kind.startswith("trivial"):
@@ -290,28 +303,76 @@ class CartComm:
             return build_trivial_allgather_schedule(self.nbh, send_block, recv_blocks)
         return build_direct_allgather_schedule(self.nbh, send_block, recv_blocks)
 
-    def _cached(self, key: tuple, build) -> Schedule:
+    def _cached(self, key: tuple, kind: str, make) -> Schedule:
+        """Two-level schedule lookup.
+
+        Level 1 is the per-communicator dictionary under a cheap ``key``
+        (no block layouts constructed on a hit).  Level 2 is the
+        process-wide :mod:`repro.core.schedule_cache` under the
+        canonical fingerprint — shared between communicators with the
+        same layout and, by isomorphism, between sibling rank threads,
+        which would otherwise each build an identical schedule.
+
+        ``make()`` is called only on a level-1 miss and returns
+        ``(layout_signature, build_callable)``.
+        """
         sched = self._schedule_cache.get(key)
-        if sched is None:
-            sched = build()
-            self._schedule_cache[key] = sched
+        if sched is not None:
+            if self.stats is not None:
+                self.stats.record_cache(True)
+            return sched
+        layout_sig, build = make()
+        gkey = schedule_cache.schedule_key(
+            kind, self.nbh, layout_sig, self.dims, self.periods
+        )
+        sched, hit, build_seconds = schedule_cache.get_or_build(gkey, build)
+        self._schedule_cache[key] = sched
+        if self.stats is not None:
+            self.stats.record_cache(hit, build_seconds)
         return sched
+
+    def _layout_cached(
+        self,
+        op: str,  # "alltoall" | "allgather"
+        algorithm: str,
+        send_blocks: Sequence[BlockSet],
+        recv_blocks: Sequence[BlockSet],
+    ) -> Schedule:
+        """Cache lookup for the v/w variants, whose block layouts come
+        from user arguments: the canonical layout signature doubles as
+        the per-communicator key.  Layouts identical to a regular call's
+        share the same global entry."""
+        sig = (layout_signature(send_blocks), layout_signature(recv_blocks))
+        if op == "allgather":
+            build = lambda: self._build_allgather(
+                algorithm, send_blocks[0], recv_blocks
+            )
+        else:
+            build = lambda: self._build_alltoall(
+                algorithm, send_blocks, recv_blocks
+            )
+        return self._cached(
+            (op, algorithm, sig), f"{op}/{algorithm}", lambda: (sig, build)
+        )
 
     # ------------------------------------------------------------------
     # regular operations
     # ------------------------------------------------------------------
     def _regular_alltoall_schedule(self, m_bytes: int, algorithm: str) -> Schedule:
         algorithm = self._resolve_algorithm(algorithm, "alltoall", m_bytes)
-        sizes = [m_bytes] * self.nbh.t
 
-        def build():
-            return self._build_alltoall(
-                algorithm,
-                uniform_block_layout(sizes, "send"),
-                uniform_block_layout(sizes, "recv"),
+        def make():
+            sizes = [m_bytes] * self.nbh.t
+            send_blocks = uniform_block_layout(sizes, "send")
+            recv_blocks = uniform_block_layout(sizes, "recv")
+            sig = (layout_signature(send_blocks), layout_signature(recv_blocks))
+            return sig, lambda: self._build_alltoall(
+                algorithm, send_blocks, recv_blocks
             )
 
-        return self._cached(("a2a", algorithm, m_bytes), build)
+        return self._cached(
+            ("a2a", algorithm, m_bytes), f"alltoall/{algorithm}", make
+        )
 
     def alltoall(
         self,
@@ -341,12 +402,17 @@ class CartComm:
     def _regular_allgather_schedule(self, m_bytes: int, algorithm: str) -> Schedule:
         algorithm = self._resolve_algorithm(algorithm, "allgather", m_bytes)
 
-        def build():
+        def make():
             send_block = BlockSet([BlockRef("send", 0, m_bytes)])
             recv_blocks = uniform_block_layout([m_bytes] * self.nbh.t, "recv")
-            return self._build_allgather(algorithm, send_block, recv_blocks)
+            sig = (layout_signature([send_block]), layout_signature(recv_blocks))
+            return sig, lambda: self._build_allgather(
+                algorithm, send_block, recv_blocks
+            )
 
-        return self._cached(("ag", algorithm, m_bytes), build)
+        return self._cached(
+            ("ag", algorithm, m_bytes), f"allgather/{algorithm}", make
+        )
 
     def allgather(
         self,
@@ -422,7 +488,9 @@ class CartComm:
         recv_blocks = self._v_layout(recvcounts, rdispls, recvbuf.itemsize, "recv")
         m_bytes = max((b.total_nbytes for b in send_blocks), default=0)
         algorithm = self._resolve_algorithm(algorithm, "alltoall", m_bytes)
-        sched = self._build_alltoall(algorithm, send_blocks, recv_blocks)
+        sched = self._layout_cached(
+            "alltoall", algorithm, send_blocks, recv_blocks
+        )
         self._note_op("alltoallv", sched)
         execute_schedule(
             self.comm, self.topo, sched, {"send": sendbuf, "recv": recvbuf}
@@ -455,7 +523,9 @@ class CartComm:
         send_block = BlockSet([BlockRef("send", 0, sendbuf.nbytes)])
         recv_blocks = self._v_layout(recvcounts, rdispls, recvbuf.itemsize, "recv")
         algorithm = self._resolve_algorithm(algorithm, "allgather", sendbuf.nbytes)
-        sched = self._build_allgather(algorithm, send_block, recv_blocks)
+        sched = self._layout_cached(
+            "allgather", algorithm, [send_block], recv_blocks
+        )
         self._note_op("allgatherv", sched)
         execute_schedule(
             self.comm, self.topo, sched, {"send": sendbuf, "recv": recvbuf}
@@ -479,7 +549,9 @@ class CartComm:
         recv_blocks = [_as_blockset(s) for s in recvtypes]
         m_bytes = max((b.total_nbytes for b in send_blocks), default=0)
         algorithm = self._resolve_algorithm(algorithm, "alltoall", m_bytes)
-        sched = self._build_alltoall(algorithm, send_blocks, recv_blocks)
+        sched = self._layout_cached(
+            "alltoall", algorithm, send_blocks, recv_blocks
+        )
         self._note_op("alltoallw", sched)
         execute_schedule(self.comm, self.topo, sched, buffers)
 
@@ -497,7 +569,9 @@ class CartComm:
         algorithm = self._resolve_algorithm(
             algorithm, "allgather", send_block.total_nbytes
         )
-        sched = self._build_allgather(algorithm, send_block, recv_blocks)
+        sched = self._layout_cached(
+            "allgather", algorithm, [send_block], recv_blocks
+        )
         self._note_op("allgatherw", sched)
         execute_schedule(self.comm, self.topo, sched, buffers)
 
@@ -573,28 +647,58 @@ class CartComm:
                 f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
             )
         if algorithm in ("auto", "direct"):
-            algorithm = (
-                "combining"
-                if self.topo.is_fully_periodic
-                and self.nbh.combining_rounds < self.nbh.trivial_rounds
-                else "trivial"
-            )
+            algorithm = rs.select_reduce_algorithm(self.topo, self.nbh)
         if algorithm == "combining":
             if not self.topo.is_fully_periodic:
                 raise TopologyError(
                     "message-combining reductions require a fully periodic "
                     "torus; use algorithm='trivial' on meshes"
                 )
-            key = ("reduce", "combining")
-            sched = self._reduce_cache.get(key)
-            if sched is None:
-                sched = rs.build_reduce_schedule(self.nbh)
-                self._reduce_cache[key] = sched
+            sched = self._reduce_schedule()
+            self._note_reduce("combining", sched, sendbuf.nbytes)
             return rs.execute_reduce(
                 self.comm, self.topo, sched, sendbuf, recvbuf, op
             )
+        self._note_reduce("trivial", None, sendbuf.nbytes)
         return rs.reduce_neighbors_trivial(
             self.comm, self.topo, self.nbh, sendbuf, recvbuf, op
+        )
+
+    def _reduce_schedule(self):
+        """The combining reduction schedule, via both cache levels (the
+        reduce schedule depends only on the neighborhood, not on block
+        sizes, so the key carries no layout signature)."""
+        from repro.core import reduce_schedule as rs
+
+        key = ("reduce", "combining")
+        sched = self._reduce_cache.get(key)
+        if sched is not None:
+            if self.stats is not None:
+                self.stats.record_cache(True)
+            return sched
+        gkey = schedule_cache.schedule_key(
+            "reduce/combining", self.nbh, None, self.dims, self.periods
+        )
+        sched, hit, build_seconds = schedule_cache.get_or_build(
+            gkey, lambda: rs.build_reduce_schedule(self.nbh)
+        )
+        self._reduce_cache[key] = sched
+        if self.stats is not None:
+            self.stats.record_cache(hit, build_seconds)
+        return sched
+
+    def _note_reduce(self, algorithm: str, schedule, block_nbytes: int) -> None:
+        """Record one neighborhood reduction into the stats, with the
+        same ``(op, algorithm)`` keying the collectives use."""
+        if self.stats is None:
+            return
+        if schedule is not None:
+            rounds, blocks = schedule.num_rounds, schedule.volume_blocks
+        else:
+            rounds = blocks = self.nbh.trivial_rounds
+        self.stats.record_raw(
+            "reduce_neighbors", algorithm, rounds, blocks,
+            blocks * int(block_nbytes),
         )
 
     # ------------------------------------------------------------------
@@ -610,7 +714,9 @@ class CartComm:
         t = self.nbh.t
         m_bytes = sendbuf.nbytes // t
         sched = self._regular_alltoall_schedule(m_bytes, algorithm)
-        return PersistentOp(self, sched, {"send": sendbuf, "recv": recvbuf})
+        return PersistentOp(
+            self, sched, {"send": sendbuf, "recv": recvbuf}, op="alltoall"
+        )
 
     def allgather_init(
         self, sendbuf: np.ndarray, recvbuf: np.ndarray, algorithm: str = "auto"
@@ -618,7 +724,9 @@ class CartComm:
         from repro.core.persistent import PersistentOp
 
         sched = self._regular_allgather_schedule(sendbuf.nbytes, algorithm)
-        return PersistentOp(self, sched, {"send": sendbuf, "recv": recvbuf})
+        return PersistentOp(
+            self, sched, {"send": sendbuf, "recv": recvbuf}, op="allgather"
+        )
 
     def alltoallv_init(
         self,
@@ -637,8 +745,12 @@ class CartComm:
         recv_blocks = self._v_layout(recvcounts, rdispls, recvbuf.itemsize, "recv")
         m_bytes = max((b.total_nbytes for b in send_blocks), default=0)
         algorithm = self._resolve_algorithm(algorithm, "alltoall", m_bytes)
-        sched = self._build_alltoall(algorithm, send_blocks, recv_blocks)
-        return PersistentOp(self, sched, {"send": sendbuf, "recv": recvbuf})
+        sched = self._layout_cached(
+            "alltoall", algorithm, send_blocks, recv_blocks
+        )
+        return PersistentOp(
+            self, sched, {"send": sendbuf, "recv": recvbuf}, op="alltoallv"
+        )
 
     def alltoallw_init(
         self,
@@ -653,8 +765,10 @@ class CartComm:
         recv_blocks = [_as_blockset(s) for s in recvtypes]
         m_bytes = max((b.total_nbytes for b in send_blocks), default=0)
         algorithm = self._resolve_algorithm(algorithm, "alltoall", m_bytes)
-        sched = self._build_alltoall(algorithm, send_blocks, recv_blocks)
-        return PersistentOp(self, sched, dict(buffers))
+        sched = self._layout_cached(
+            "alltoall", algorithm, send_blocks, recv_blocks
+        )
+        return PersistentOp(self, sched, dict(buffers), op="alltoallw")
 
     def reduce_neighbors_init(
         self,
@@ -683,8 +797,10 @@ class CartComm:
         algorithm = self._resolve_algorithm(
             algorithm, "allgather", send_block.total_nbytes
         )
-        sched = self._build_allgather(algorithm, send_block, recv_blocks)
-        return PersistentOp(self, sched, dict(buffers))
+        sched = self._layout_cached(
+            "allgather", algorithm, [send_block], recv_blocks
+        )
+        return PersistentOp(self, sched, dict(buffers), op="allgatherw")
 
     def __repr__(self) -> str:
         return (

@@ -51,6 +51,9 @@ def execute_schedule(
     buffers = allocate_buffers(schedule, buffers)
     if validate:
         schedule.validate(buffers)
+    # Idempotent: cached schedules arrive prepared; one-shot schedules
+    # get their coalesced-copy plans computed before the timed phases.
+    schedule.prepare()
     rank = comm.rank
     comm.mark(f"begin {schedule.kind}")
     for phase in schedule.phases:

@@ -103,7 +103,9 @@ class Neighborhood:
         )
 
     def __hash__(self) -> int:
-        return hash(self.offsets.tobytes())
+        # The shape must participate: a t×d and a (t·d)×1 neighborhood
+        # can share the same raw bytes while comparing unequal.
+        return hash((self.offsets.shape, self.offsets.tobytes()))
 
     def __repr__(self) -> str:
         return f"Neighborhood(t={self.t}, d={self.d})"

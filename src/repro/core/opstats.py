@@ -37,6 +37,19 @@ class OpStats:
     """All counters of one communicator."""
 
     records: dict = field(default_factory=dict)
+    #: schedule-cache observability: how often this communicator's
+    #: collectives reused a cached schedule vs. built one, and the
+    #: cumulative build time it paid on misses.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_build_seconds: float = 0.0
+
+    def record_cache(self, hit: bool, build_seconds: float = 0.0) -> None:
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+            self.cache_build_seconds += build_seconds
 
     def record_schedule(self, op: str, algorithm: str, schedule) -> None:
         key = (op, algorithm)
@@ -85,7 +98,16 @@ class OpStats:
                 f"rounds={rec.rounds:6d} blocks={rec.volume_blocks:8d} "
                 f"bytes={rec.volume_bytes}"
             )
+        if self.cache_hits or self.cache_misses:
+            lines.append(
+                f"  schedule cache: {self.cache_hits} hits / "
+                f"{self.cache_misses} misses, "
+                f"{self.cache_build_seconds * 1e3:.3f} ms building"
+            )
         return "\n".join(lines)
 
     def reset(self) -> None:
         self.records.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_build_seconds = 0.0

@@ -28,9 +28,13 @@ class PersistentOp:
         cart,  # CartComm; untyped to avoid the import cycle
         schedule: Schedule,
         buffers: Mapping[str, np.ndarray],
+        op: str | None = None,
     ):
         self.cart = cart
         self.schedule = schedule
+        #: operation name under which executions are recorded in the
+        #: communicator's OpStats (same keys as the direct calls)
+        self.op = op or schedule.kind.split("-")[-1]
         self.buffers = dict(buffers)
         # Scratch space allocated once and reused across executions —
         # the point of schedule persistence.
@@ -48,6 +52,9 @@ class PersistentOp:
         execution of the operation."""
         if self._started:
             raise MpiSimError("persistent operation already started")
+        # Persistent executions count in the communicator's stats with
+        # the same (op, algorithm) keys as the direct calls.
+        self.cart._note_op(self.op, self.schedule)
         execute_schedule(
             self.cart.comm, self.cart.topo, self.schedule, self.buffers
         )
@@ -100,17 +107,12 @@ class PersistentReduce:
         self.op = op
         rs.resolve_op(op)  # validate eagerly
         if algorithm == "auto":
-            algorithm = (
-                "combining"
-                if cart.topo.is_fully_periodic
-                and cart.nbh.combining_rounds < cart.nbh.trivial_rounds
-                else "trivial"
-            )
+            # one shared cut-off with CartComm.reduce_neighbors — the
+            # two selection paths cannot diverge
+            algorithm = rs.select_reduce_algorithm(cart.topo, cart.nbh)
         self.algorithm = algorithm
         self.schedule = (
-            rs.build_reduce_schedule(cart.nbh)
-            if algorithm == "combining"
-            else None
+            cart._reduce_schedule() if algorithm == "combining" else None
         )
         self._started = False
         self.executions = 0
@@ -120,6 +122,9 @@ class PersistentReduce:
 
         if self._started:
             raise MpiSimError("persistent operation already started")
+        self.cart._note_reduce(
+            self.algorithm, self.schedule, self.sendbuf.nbytes
+        )
         if self.schedule is not None:
             rs.execute_reduce(
                 self.cart.comm, self.cart.topo, self.schedule,

@@ -72,6 +72,19 @@ def resolve_op(op: ReduceOp) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
         ) from None
 
 
+def select_reduce_algorithm(topo: CartTopology, nbh: Neighborhood) -> str:
+    """The ``algorithm="auto"`` cut-off for neighborhood reductions,
+    shared by the direct call path (``CartComm.reduce_neighbors``) and
+    the persistent handle (``PersistentReduce``) so the two cannot
+    diverge: the reverse-tree combining schedule needs a fully periodic
+    torus and wins exactly when it saves rounds (``C < t``; per-process
+    volume grows from ``t`` to the tree edge count, but each round's
+    latency dominates for the block sizes reductions carry)."""
+    if topo.is_fully_periodic and nbh.combining_rounds < nbh.trivial_rounds:
+        return "combining"
+    return "trivial"
+
+
 @dataclass(frozen=True)
 class ReduceEdge:
     """One tree edge in one reverse round: send the accumulator of slot

@@ -103,6 +103,10 @@ class Schedule:
     temp_nbytes: int = 0
     #: informational: which named buffers the block sets reference
     buffer_names: tuple[str, ...] = ("send", "recv", "temp")
+    #: coalesced local-copy plan, precomputed by :meth:`prepare`
+    _copy_runs: list[LocalCopy] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # metrics (Propositions 3.2 / 3.3)
@@ -153,11 +157,54 @@ class Schedule:
         for lc in self.local_copies:
             lc.validate()
 
+    def prepare(self) -> "Schedule":
+        """Precompute the coalesced-copy fast path: every round's block
+        sets collapse adjacent regions into single slice copies, and
+        consecutive local copies whose source *and* destination are both
+        contiguous merge into one.  Idempotent and cheap to re-call;
+        cached schedules are prepared once at build time so repeated
+        executions pay nothing."""
+        if self._copy_runs is None:
+            for ph in self.phases:
+                for r in ph.rounds:
+                    r.send_blocks.coalesced_runs()
+                    r.recv_blocks.coalesced_runs()
+            runs: list[LocalCopy] = []
+            for lc in self.local_copies:
+                if lc.src.nbytes == 0:
+                    continue
+                if runs:
+                    last = runs[-1]
+                    if (
+                        last.src.buffer == lc.src.buffer
+                        and last.dst.buffer == lc.dst.buffer
+                        and lc.src.offset == last.src.end()
+                        and lc.dst.offset == last.dst.end()
+                    ):
+                        runs[-1] = LocalCopy(
+                            src=BlockRef(
+                                last.src.buffer,
+                                last.src.offset,
+                                last.src.nbytes + lc.src.nbytes,
+                            ),
+                            dst=BlockRef(
+                                last.dst.buffer,
+                                last.dst.offset,
+                                last.dst.nbytes + lc.dst.nbytes,
+                            ),
+                        )
+                        continue
+                runs.append(lc)
+            self._copy_runs = runs
+        return self
+
     def run_local_copies(self, buffers: Mapping[str, np.ndarray]) -> int:
         """Execute the final non-communication phase; returns bytes
         copied (for trace accounting)."""
+        if self._copy_runs is None:
+            self.prepare()
         moved = 0
-        for lc in self.local_copies:
+        for lc in self._copy_runs:
             src_view = byte_view(buffers[lc.src.buffer])
             dst_view = byte_view(buffers[lc.dst.buffer])
             dst_view[lc.dst.offset : lc.dst.offset + lc.dst.nbytes] = src_view[

@@ -26,6 +26,7 @@ from repro.core.allgather_schedule import build_allgather_schedule
 from repro.core.alltoall_schedule import build_alltoall_schedule
 from repro.core.neighborhood import Neighborhood
 from repro.core.schedule import Schedule, uniform_block_layout
+from repro.core.schedule_cache import get_or_build, schedule_key
 from repro.core.trivial import (
     build_direct_allgather_schedule,
     build_direct_alltoall_schedule,
@@ -72,21 +73,41 @@ def _alltoall_layouts(sizes: Sequence[int]):
     )
 
 
+def _cached_builder(kind: str, nbh: Neighborhood, layout_sig: tuple, build):
+    """Route a variant's schedule construction through the process-wide
+    cache: the figure drivers measure the same (neighborhood, sizes)
+    point for several machines and repetition settings, and the schedule
+    is identical every time."""
+
+    def builder():
+        sched, _, _ = get_or_build(
+            schedule_key(kind, nbh, layout_sig), build
+        )
+        return sched
+
+    return builder
+
+
 def alltoall_variants(
     nbh: Neighborhood, block_sizes: Sequence[int]
 ) -> list[Variant]:
     """The four Figure 3–5 bars (irregular sizes give the Figure 6
     ``alltoallv`` set with the same shapes)."""
     sizes = [int(s) for s in block_sizes]
+    sig = ("uniform", tuple(sizes))
 
-    def direct():
-        return build_direct_alltoall_schedule(nbh, *_alltoall_layouts(sizes))
-
-    def trivial():
-        return build_trivial_alltoall_schedule(nbh, *_alltoall_layouts(sizes))
-
-    def combining():
-        return build_alltoall_schedule(nbh, *_alltoall_layouts(sizes))
+    direct = _cached_builder(
+        "runner/alltoall/direct", nbh, sig,
+        lambda: build_direct_alltoall_schedule(nbh, *_alltoall_layouts(sizes)),
+    )
+    trivial = _cached_builder(
+        "runner/alltoall/trivial", nbh, sig,
+        lambda: build_trivial_alltoall_schedule(nbh, *_alltoall_layouts(sizes)),
+    )
+    combining = _cached_builder(
+        "runner/alltoall/combining", nbh, sig,
+        lambda: build_alltoall_schedule(nbh, *_alltoall_layouts(sizes)),
+    )
 
     return [
         Variant("MPI_Neighbor_alltoall", direct, "mpi_blocking"),
@@ -100,15 +121,20 @@ def allgather_variants(nbh: Neighborhood, m_bytes: int) -> list[Variant]:
     """The Figure 6 (top) bars."""
     send_block = BlockSet([BlockRef("send", 0, m_bytes)])
     recv_blocks = uniform_block_layout([m_bytes] * nbh.t, "recv")
+    sig = ("uniform", m_bytes)
 
-    def direct():
-        return build_direct_allgather_schedule(nbh, send_block, recv_blocks)
-
-    def trivial():
-        return build_trivial_allgather_schedule(nbh, send_block, recv_blocks)
-
-    def combining():
-        return build_allgather_schedule(nbh, send_block, recv_blocks)
+    direct = _cached_builder(
+        "runner/allgather/direct", nbh, sig,
+        lambda: build_direct_allgather_schedule(nbh, send_block, recv_blocks),
+    )
+    trivial = _cached_builder(
+        "runner/allgather/trivial", nbh, sig,
+        lambda: build_trivial_allgather_schedule(nbh, send_block, recv_blocks),
+    )
+    combining = _cached_builder(
+        "runner/allgather/combining", nbh, sig,
+        lambda: build_allgather_schedule(nbh, send_block, recv_blocks),
+    )
 
     return [
         Variant("MPI_Neighbor_allgather", direct, "mpi_blocking"),

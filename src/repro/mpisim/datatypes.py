@@ -491,16 +491,25 @@ class BlockSet:
     The block order is significant: sender and receiver commit block lists
     with *matching order and sizes*, so the wire format (plain
     concatenation) needs no headers.
+
+    Runs of *contiguous* blocks (same buffer, each starting where the
+    previous one ends) are indistinguishable on the wire from one large
+    block, so packing and unpacking operate on a coalesced run list —
+    computed once per block set (at schedule-build time for cached
+    schedules) and reused for every execution.  Halo-style layouts whose
+    regions are contiguous in memory collapse to a single slice copy.
     """
 
-    __slots__ = ("blocks",)
+    __slots__ = ("blocks", "_runs")
 
     def __init__(self, blocks: Sequence[BlockRef] = ()):
         self.blocks: list[BlockRef] = list(blocks)
+        self._runs: list[BlockRef] | None = None
 
     def append(self, ref: BlockRef) -> None:
         """The ``TypeApp`` operation."""
         self.blocks.append(ref)
+        self._runs = None
 
     def __len__(self) -> int:
         return len(self.blocks)
@@ -517,6 +526,31 @@ class BlockSet:
     @property
     def total_nbytes(self) -> int:
         return sum(b.nbytes for b in self.blocks)
+
+    def coalesced_runs(self) -> list[BlockRef]:
+        """Order-preserving merge of adjacent blocks.
+
+        Only *exactly consecutive* blocks in list order are merged
+        (same buffer, next offset == previous end), which leaves the
+        concatenated byte stream — and hence the wire format — unchanged.
+        Overlapping or out-of-order blocks are kept as-is (the send side
+        may legally gather the same bytes twice)."""
+        runs = self._runs
+        if runs is None:
+            runs = []
+            for b in self.blocks:
+                if b.nbytes == 0:
+                    continue
+                if runs:
+                    last = runs[-1]
+                    if last.buffer == b.buffer and b.offset == last.end():
+                        runs[-1] = BlockRef(
+                            last.buffer, last.offset, last.nbytes + b.nbytes
+                        )
+                        continue
+                runs.append(b)
+            self._runs = runs
+        return runs
 
     def buffers_used(self) -> set[str]:
         return {b.buffer for b in self.blocks}
@@ -550,12 +584,17 @@ class BlockSet:
     # ------------------------------------------------------------------
     def pack(self, buffers: Mapping[str, np.ndarray]) -> bytes:
         """Gather all blocks, in order, into one wire payload."""
+        runs = self.coalesced_runs()
+        if not runs:
+            return b""
+        if len(runs) == 1:
+            b = runs[0]
+            view = byte_view(buffers[b.buffer])
+            return view[b.offset : b.offset + b.nbytes].tobytes()
         parts = []
-        for b in self.blocks:
+        for b in runs:
             view = byte_view(buffers[b.buffer])
             parts.append(view[b.offset : b.offset + b.nbytes])
-        if not parts:
-            return b""
         return np.concatenate(parts).tobytes()
 
     def unpack(self, buffers: Mapping[str, np.ndarray], payload: bytes) -> None:
@@ -567,7 +606,7 @@ class BlockSet:
                 f"{self.total_nbytes} bytes"
             )
         pos = 0
-        for b in self.blocks:
+        for b in self.coalesced_runs():
             view = byte_view(buffers[b.buffer])
             view[b.offset : b.offset + b.nbytes] = data[pos : pos + b.nbytes]
             pos += b.nbytes

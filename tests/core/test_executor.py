@@ -156,3 +156,73 @@ class TestBufferPlumbing:
         for group, ck in zip(comm_groups, nbh.distinct_nonzero_per_dim):
             assert sum(1 for e in group if e.kind == "isend") == ck
             assert sum(1 for e in group if e.kind == "irecv") == ck
+
+
+class TestPrepare:
+    """Schedule.prepare(): the precomputed coalesced-copy plan."""
+
+    def _schedule_with_copies(self, copies):
+        from repro.core.schedule import LocalCopy, Schedule
+
+        nbh = Neighborhood([(1,)])
+        return Schedule(
+            kind="test", neighborhood=nbh, phases=[],
+            local_copies=[LocalCopy(BlockRef(*s), BlockRef(*d)) for s, d in copies],
+        )
+
+    def test_contiguous_copies_merge(self):
+        sched = self._schedule_with_copies(
+            [
+                (("send", 0, 4), ("recv", 8, 4)),
+                (("send", 4, 4), ("recv", 12, 4)),  # both sides contiguous
+                (("send", 8, 4), ("recv", 0, 4)),   # dst jumps back: no merge
+            ]
+        )
+        sched.prepare()
+        runs = sched._copy_runs
+        assert [(c.src.offset, c.src.nbytes, c.dst.offset) for c in runs] == [
+            (0, 8, 8),
+            (8, 4, 0),
+        ]
+
+    def test_prepare_is_idempotent(self):
+        sched = self._schedule_with_copies(
+            [(("send", 0, 4), ("recv", 0, 4)), (("send", 4, 4), ("recv", 4, 4))]
+        )
+        sched.prepare()
+        first = sched._copy_runs
+        sched.prepare()
+        assert sched._copy_runs is first
+
+    def test_run_local_copies_equivalent(self):
+        # merged plan moves exactly the bytes the per-copy plan would
+        copies = [
+            (("send", 0, 4), ("recv", 4, 4)),
+            (("send", 4, 4), ("recv", 8, 4)),
+            (("send", 12, 2), ("recv", 0, 2)),
+            (("send", 14, 0), ("recv", 2, 0)),  # zero-size: dropped
+        ]
+        send = np.arange(16, dtype=np.uint8)
+        recv_merged = np.zeros(16, np.uint8)
+        sched = self._schedule_with_copies(copies)
+        moved = sched.run_local_copies({"send": send, "recv": recv_merged})
+        assert moved == 10
+        recv_ref = np.zeros(16, np.uint8)
+        for (sb, so, sn), (db, do, dn) in copies:
+            recv_ref[do : do + dn] = send[so : so + sn]
+        assert np.array_equal(recv_merged, recv_ref)
+
+    def test_combining_schedule_prepares_runs(self):
+        nbh = parameterized_stencil(2, 3, -1)
+        m = 4
+        sched = build_alltoall_schedule(
+            nbh,
+            uniform_block_layout([m] * nbh.t, "send"),
+            uniform_block_layout([m] * nbh.t, "recv"),
+        )
+        sched.prepare()
+        assert sched._copy_runs is not None
+        for ph in sched.phases:
+            for r in ph.rounds:
+                assert len(r.send_blocks.coalesced_runs()) <= len(r.send_blocks)
+                assert len(r.recv_blocks.coalesced_runs()) <= len(r.recv_blocks)

@@ -50,6 +50,16 @@ class TestConstruction:
         assert a == b and hash(a) == hash(b)
         assert a != Neighborhood([(0, 1)])
 
+    def test_hash_distinguishes_reshaped_offsets(self):
+        # regression: a t×d and a (t·d)×1 offset array share the same
+        # raw bytes; the hash must include the shape or the two collide
+        # (and dict/cache lookups conflate 2-D with flattened stencils)
+        a = Neighborhood([(1, 2), (3, 4)])
+        b = Neighborhood([(1,), (2,), (3,), (4,)])
+        assert a.offsets.tobytes() == b.offsets.tobytes()
+        assert a != b
+        assert hash(a) != hash(b)
+
     def test_from_flat(self):
         nbh = neighborhood_from_flat(2, [0, 1, 0, -1, -1, 0, 1, 0])
         assert nbh.t == 4 and nbh[0] == (0, 1)

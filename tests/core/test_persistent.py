@@ -182,6 +182,119 @@ class TestVariants:
         assert all(run_cartesian((3, 3), nbh, fn))
 
 
+class TestStatsParity:
+    """Persistent executions must appear in OpStats under exactly the
+    (op, algorithm) keys the direct calls use."""
+
+    def test_persistent_alltoall_shares_direct_key(self):
+        def fn(cart):
+            t = cart.nbh.t
+            send = np.zeros(t)
+            recv = np.zeros(t)
+            cart.alltoall(send, recv, algorithm="combining")
+            op = cart.alltoall_init(send, recv, algorithm="combining")
+            op.execute()
+            op.execute()
+            return {k: r.calls for k, r in cart.stats.records.items()}
+
+        res = run_cartesian(
+            (3, 3), NBH, fn, info={"collect_stats": True}
+        )
+        assert res[0] == {("alltoall", "combining"): 3}
+
+    def test_persistent_variants_share_direct_keys(self):
+        def fn(cart):
+            t = cart.nbh.t
+            send = np.full(2, float(cart.rank))
+            recv = np.zeros(2 * t)
+            cart.allgather(send, recv, algorithm="trivial")
+            cart.allgather_init(send, recv, algorithm="trivial").execute()
+            counts = [1] * t
+            vs = np.zeros(t, np.int64)
+            vr = np.zeros(t, np.int64)
+            cart.alltoallv(vs, counts, vr, counts, algorithm="trivial")
+            cart.alltoallv_init(
+                vs, counts, vr, counts, algorithm="trivial"
+            ).execute()
+            return {k: r.calls for k, r in cart.stats.records.items()}
+
+        res = run_cartesian(
+            (3, 3), NBH, fn, info={"collect_stats": True}
+        )
+        assert res[0] == {
+            ("allgather", "trivial"): 2,
+            ("alltoallv", "trivial"): 2,
+        }
+
+    def test_persistent_reduce_shares_direct_key(self):
+        def fn(cart):
+            send = np.zeros(2)
+            recv = np.zeros(2)
+            cart.reduce_neighbors(send, recv, algorithm="auto")
+            op = cart.reduce_neighbors_init(send, recv, algorithm="auto")
+            op.execute()
+            return (
+                op.algorithm,
+                {k: r.calls for k, r in cart.stats.records.items()},
+            )
+
+        res = run_cartesian(
+            (3, 3), moore_neighborhood(2, 1), fn,
+            info={"collect_stats": True}, timeout=60,
+        )
+        algorithm, records = res[0]
+        assert records == {("reduce_neighbors", algorithm): 2}
+
+
+class TestSelectionAgreement:
+    """The auto cut-off is one shared helper; the direct and persistent
+    reduce paths must agree, including exactly at the C == t boundary."""
+
+    # (nbh, dims, periods): moore has C < t (combining); the 1-D chain
+    # {1, 2} sits exactly on the boundary C == t (trivial); the mesh
+    # case disables combining regardless of C
+    CASES = [
+        (moore_neighborhood(2, 1), (3, 3), None),
+        (Neighborhood([(1,), (2,)]), (5,), None),
+        (moore_neighborhood(2, 1), (3, 3), (True, False)),
+    ]
+
+    @pytest.mark.parametrize("nbh,dims,periods", CASES)
+    def test_direct_and_persistent_agree(self, nbh, dims, periods):
+        from repro.core.reduce_schedule import select_reduce_algorithm
+
+        expected = select_reduce_algorithm(CartTopology(dims, periods), nbh)
+
+        def fn(cart):
+            send = np.zeros(1)
+            recv = np.zeros(1)
+            cart.reduce_neighbors(send, recv, algorithm="auto")
+            op = cart.reduce_neighbors_init(send, recv, algorithm="auto")
+            op.execute()
+            return (op.algorithm, set(cart.stats.records))
+
+        res = run_cartesian(
+            dims, nbh, fn, periods=periods,
+            info={"collect_stats": True}, timeout=60,
+        )
+        for algorithm, keys in res:
+            assert algorithm == expected
+            assert keys == {("reduce_neighbors", expected)}
+
+    def test_boundary_is_exact(self):
+        nbh = Neighborhood([(1,), (2,)])
+        assert nbh.combining_rounds == nbh.trivial_rounds  # C == t
+        from repro.core.reduce_schedule import select_reduce_algorithm
+
+        assert select_reduce_algorithm(CartTopology((5,)), nbh) == "trivial"
+        # one more distinct offset in a second dimension tips it over
+        wide = moore_neighborhood(2, 1)
+        assert wide.combining_rounds < wide.trivial_rounds
+        assert (
+            select_reduce_algorithm(CartTopology((3, 3)), wide) == "combining"
+        )
+
+
 class TestPersistentReduce:
     def test_combining_reduce_handle(self):
         from repro.core.topology import CartTopology

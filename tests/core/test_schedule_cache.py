@@ -1,0 +1,363 @@
+"""Process-wide schedule cache: correctness, keying, concurrency."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import schedule_cache
+from repro.core.allgather_schedule import build_allgather_schedule
+from repro.core.alltoall_schedule import build_alltoall_schedule
+from repro.core.api import run_cartesian
+from repro.core.neighborhood import Neighborhood
+from repro.core.reduce_schedule import build_reduce_schedule
+from repro.core.schedule import uniform_block_layout
+from repro.core.schedule_cache import (
+    ScheduleCache,
+    blockset_signature,
+    layout_signature,
+    schedule_key,
+)
+from repro.core.serialize import schedule_to_json
+from repro.core.stencils import moore_neighborhood
+from repro.core.trivial import build_trivial_alltoall_schedule
+from repro.mpisim.datatypes import BlockRef, BlockSet
+
+NBH = moore_neighborhood(2, 1, include_self=False)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    schedule_cache.cache_clear()
+    yield
+    schedule_cache.cache_clear()
+
+
+class TestScheduleCacheUnit:
+    def test_hit_miss_counters(self):
+        cache = ScheduleCache(maxsize=4)
+        built = []
+
+        def build():
+            built.append(1)
+            return object()
+
+        s1, hit, secs = cache.get_or_build(("k",), build)
+        assert not hit and len(built) == 1
+        s2, hit, _ = cache.get_or_build(("k",), build)
+        assert hit and s2 is s1 and len(built) == 1
+        info = cache.info()
+        assert info.hits == 1 and info.misses == 1 and info.builds == 1
+        assert info.currsize == 1 and info.maxsize == 4
+        assert info.build_seconds >= 0.0
+
+    def test_lru_eviction(self):
+        cache = ScheduleCache(maxsize=2)
+        for k in range(3):
+            cache.get_or_build((k,), lambda: object())
+        assert len(cache) == 2
+        # key 0 was evicted: rebuilding it counts a miss/build
+        cache.get_or_build((0,), lambda: object())
+        assert cache.info().builds == 4
+
+    def test_lru_recency_order(self):
+        cache = ScheduleCache(maxsize=2)
+        a = cache.get_or_build(("a",), lambda: object())[0]
+        cache.get_or_build(("b",), lambda: object())
+        # touch "a" so "b" is the LRU victim
+        assert cache.get_or_build(("a",), lambda: object())[0] is a
+        cache.get_or_build(("c",), lambda: object())
+        assert cache.get_or_build(("a",), lambda: object())[1]  # still a hit
+
+    def test_resize_and_clear(self):
+        cache = ScheduleCache(maxsize=8)
+        for k in range(6):
+            cache.get_or_build((k,), lambda: object())
+        cache.resize(2)
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0 and cache.info().builds == 0
+        with pytest.raises(ValueError):
+            cache.resize(0)
+        with pytest.raises(ValueError):
+            ScheduleCache(maxsize=0)
+
+    def test_single_flight_concurrent_builds(self):
+        """However many threads ask for one key at once, exactly one
+        builds; the rest wait and share the result object."""
+        cache = ScheduleCache()
+        builds = []
+        barrier = threading.Barrier(8)
+        results = []
+
+        def build():
+            builds.append(threading.get_ident())
+            time.sleep(0.05)  # widen the race window
+            return object()
+
+        def worker():
+            barrier.wait()
+            results.append(cache.get_or_build(("shared",), build)[0])
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(builds) == 1
+        assert all(r is results[0] for r in results)
+        assert cache.info().builds == 1
+
+    def test_failed_build_is_retried(self):
+        cache = ScheduleCache()
+        calls = []
+
+        def bad():
+            calls.append(1)
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_build(("k",), bad)
+        # the failure left nothing cached; the next caller builds again
+        obj, hit, _ = cache.get_or_build(("k",), lambda: object())
+        assert not hit and len(calls) == 1 and obj is not None
+
+
+class TestKeying:
+    def test_neighborhood_fingerprint_includes_shape(self):
+        a = Neighborhood([[1, 2], [3, 4]])
+        b = Neighborhood([[1, 2, 3, 4]])
+        assert a.offsets.tobytes() == b.offsets.tobytes()
+        fa = schedule_cache.neighborhood_fingerprint(a)
+        fb = schedule_cache.neighborhood_fingerprint(b)
+        assert fa != fb
+
+    def test_blockset_signature_is_exact(self):
+        bs = BlockSet([BlockRef("send", 0, 8), BlockRef("send", 8, 8)])
+        assert blockset_signature(bs) == (("send", 0, 8), ("send", 8, 8))
+        assert layout_signature([bs, BlockSet()]) == (
+            (("send", 0, 8), ("send", 8, 8)),
+            (),
+        )
+
+    def test_key_varies_with_dims_periods_layout(self):
+        sig = (("send", 0, 4),)
+        base = schedule_key("alltoall/combining", NBH, sig, (3, 3), (True, True))
+        assert base != schedule_key(
+            "alltoall/combining", NBH, sig, (9, 1), (True, True)
+        )
+        assert base != schedule_key(
+            "alltoall/combining", NBH, sig, (3, 3), (True, False)
+        )
+        assert base != schedule_key(
+            "alltoall/combining", NBH, (("send", 0, 8),), (3, 3), (True, True)
+        )
+        assert base == schedule_key(
+            "alltoall/combining",
+            moore_neighborhood(2, 1, include_self=False),
+            sig,
+            (3, 3),
+            (True, True),
+        )
+
+
+def _grab_alltoall_schedule(cart, m_bytes, algorithm):
+    return cart._regular_alltoall_schedule(m_bytes, algorithm)
+
+
+class TestCachedScheduleEquivalence:
+    """Schedules served from the cache are byte-for-byte the schedules a
+    fresh build would produce, for every kind and layout family."""
+
+    @pytest.mark.parametrize("algorithm", ["combining", "trivial", "direct"])
+    def test_alltoall_equivalence_and_sharing(self, algorithm):
+        m = 8
+
+        def fn(cart):
+            return cart._regular_alltoall_schedule(m, algorithm)
+
+        scheds = run_cartesian((3, 3), NBH, fn)
+        # every rank thread shares the one cached object
+        assert all(s is scheds[0] for s in scheds)
+        sizes = [m] * NBH.t
+        fresh = {
+            "combining": build_alltoall_schedule,
+            "trivial": build_trivial_alltoall_schedule,
+        }.get(algorithm)
+        if fresh is not None:
+            expected = fresh(
+                NBH,
+                uniform_block_layout(sizes, "send"),
+                uniform_block_layout(sizes, "recv"),
+            )
+            assert schedule_to_json(scheds[0]) == schedule_to_json(expected)
+        # a second communicator (new engine) reuses the same entry
+        scheds2 = run_cartesian((3, 3), NBH, fn)
+        assert scheds2[0] is scheds[0]
+
+    def test_allgather_equivalence(self):
+        m = 16
+
+        def fn(cart):
+            return cart._regular_allgather_schedule(m, "combining")
+
+        scheds = run_cartesian((3, 3), NBH, fn)
+        expected = build_allgather_schedule(
+            NBH,
+            BlockSet([BlockRef("send", 0, m)]),
+            uniform_block_layout([m] * NBH.t, "recv"),
+        )
+        assert schedule_to_json(scheds[0]) == schedule_to_json(expected)
+
+    def test_v_layout_equivalence(self):
+        """alltoallv with displacements caches and stays correct."""
+        t = NBH.t
+        counts = [2] * t
+        displs = [3 * i for i in range(t)]
+
+        def fn(cart):
+            send = np.arange(3 * t, dtype=np.int64)
+            recv = np.zeros(3 * t, dtype=np.int64)
+            cart.alltoallv(
+                send, counts, recv, counts,
+                sdispls=displs, rdispls=displs, algorithm="combining",
+            )
+            cart.alltoallv(
+                send, counts, recv, counts,
+                sdispls=displs, rdispls=displs, algorithm="combining",
+            )
+            return recv
+
+        before = schedule_cache.cache_info().builds
+        run_cartesian((3, 3), NBH, fn)
+        after = schedule_cache.cache_info()
+        # 9 ranks x 2 calls share a single build; the second call per
+        # rank is a per-communicator (L1) hit and never reaches here
+        assert after.builds - before == 1
+        assert after.misses == 1 and after.hits == 8
+
+    def test_w_layout_equivalence(self):
+        """allgatherw with per-source placements round-trips through the
+        cache and matches a fresh build."""
+        m = 8
+        t = NBH.t
+        send_t = BlockSet([BlockRef("s", 0, m)])
+        recv_ts = [BlockSet([BlockRef("r", m * (t - 1 - i), m)]) for i in range(t)]
+
+        def fn(cart):
+            bufs = {
+                "s": np.full(m, cart.rank, dtype=np.uint8),
+                "r": np.zeros(m * t, dtype=np.uint8),
+            }
+            cart.allgatherw(bufs, send_t, recv_ts, algorithm="combining")
+            return cart._layout_cached(
+                "allgather", "combining", [send_t], recv_ts
+            )
+
+        scheds = run_cartesian((3, 3), NBH, fn)
+        expected = build_allgather_schedule(NBH, send_t, recv_ts)
+        assert schedule_to_json(scheds[0]) == schedule_to_json(expected)
+
+    def test_reduce_schedule_shared(self):
+        def fn(cart):
+            return cart._reduce_schedule()
+
+        scheds = run_cartesian((3, 3), NBH, fn)
+        assert all(s is scheds[0] for s in scheds)
+        fresh = build_reduce_schedule(NBH)
+        assert scheds[0].describe() == fresh.describe()
+        assert [ph.dim for ph in scheds[0].phases] == [
+            ph.dim for ph in fresh.phases
+        ]
+        assert [
+            [r.offset for r in ph.rounds] for ph in scheds[0].phases
+        ] == [[r.offset for r in ph.rounds] for ph in fresh.phases]
+
+
+class TestCacheMissKeys:
+    """The cache is missed — never wrongly shared — when the layout
+    fingerprint changes."""
+
+    def _builds_for(self, dims, periods, nbh, m):
+        before = schedule_cache.cache_info().builds
+
+        def fn(cart):
+            t = cart.nbh.t
+            send = np.zeros(t * m, np.uint8)
+            recv = np.zeros(t * m, np.uint8)
+            cart.alltoall(send, recv, algorithm="trivial")
+
+        run_cartesian(dims, nbh, fn, periods=periods)
+        return schedule_cache.cache_info().builds - before
+
+    def test_miss_on_dims_change(self):
+        assert self._builds_for((3, 3), None, NBH, 4) == 1
+        assert self._builds_for((9, 1), None, NBH, 4) == 1  # new dims: rebuild
+        assert self._builds_for((3, 3), None, NBH, 4) == 0  # back: cached
+
+    def test_miss_on_periods_change(self):
+        assert self._builds_for((3, 3), (True, True), NBH, 4) == 1
+        assert self._builds_for((3, 3), (True, False), NBH, 4) == 1
+
+    def test_miss_on_block_size_change(self):
+        assert self._builds_for((3, 3), None, NBH, 4) == 1
+        assert self._builds_for((3, 3), None, NBH, 8) == 1
+
+    def test_miss_on_neighborhood_change(self):
+        assert self._builds_for((3, 3), None, NBH, 4) == 1
+        bigger = moore_neighborhood(2, 1, include_self=True)
+        assert self._builds_for((3, 3), None, bigger, 4) == 1
+
+
+class TestConcurrentRanks:
+    def test_rank_threads_share_one_build(self):
+        """Under the engine all p isomorphic rank threads need the same
+        schedule; exactly one build must happen."""
+
+        def fn(cart):
+            t = cart.nbh.t
+            send = np.full(t * 4, cart.rank, np.uint8)
+            recv = np.zeros(t * 4, np.uint8)
+            cart.alltoall(send, recv, algorithm="combining")
+            cart.alltoall(send, recv, algorithm="combining")
+            return True
+
+        run_cartesian((4, 4), NBH, fn)
+        info = schedule_cache.cache_info()
+        assert info.builds == 1
+        # 16 ranks reach the global cache once each (second calls are
+        # L1 hits): one miss for the builder, 15 hits for the rest
+        assert info.misses == 1 and info.hits == 15
+
+    def test_stats_cache_counters(self):
+        def fn(cart):
+            t = cart.nbh.t
+            send = np.zeros(t * 4, np.uint8)
+            recv = np.zeros(t * 4, np.uint8)
+            cart.alltoall(send, recv, algorithm="combining")
+            cart.alltoall(send, recv, algorithm="combining")
+            s = cart.stats
+            return (s.cache_hits, s.cache_misses, s.cache_build_seconds)
+
+        results = run_cartesian(
+            (3, 3), NBH, fn, info={"collect_stats": True}
+        )
+        # every rank saw 2 lookups; at most one rank paid a build
+        assert all(h + m == 2 for h, m, _ in results)
+        builders = [m for _, m, _ in results if m]
+        assert sum(builders) == 1
+        total_build = sum(b for _, _, b in results)
+        assert total_build >= 0.0
+
+    def test_summary_mentions_cache(self):
+        def fn(cart):
+            t = cart.nbh.t
+            cart.alltoall(
+                np.zeros(t, np.uint8), np.zeros(t, np.uint8),
+                algorithm="trivial",
+            )
+            return cart.stats.summary()
+
+        out = run_cartesian((3, 3), NBH, fn, info={"collect_stats": True})
+        assert "schedule cache" in out[0]

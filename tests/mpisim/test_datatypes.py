@@ -219,6 +219,96 @@ class TestBlockSet:
         assert BlockSet().pack({}) == b""
 
 
+class TestCoalescedRuns:
+    """The pack/unpack fast path: runs of exactly-consecutive blocks
+    collapse to single slice copies without changing the wire format."""
+
+    def test_adjacent_blocks_merge(self):
+        bs = BlockSet(
+            [BlockRef("b", 0, 4), BlockRef("b", 4, 4), BlockRef("b", 8, 2)]
+        )
+        assert bs.coalesced_runs() == [BlockRef("b", 0, 10)]
+
+    def test_gap_and_buffer_boundaries_preserved(self):
+        bs = BlockSet(
+            [
+                BlockRef("b", 0, 4),
+                BlockRef("b", 8, 4),   # gap: no merge
+                BlockRef("c", 12, 4),  # other buffer: no merge
+            ]
+        )
+        assert bs.coalesced_runs() == bs.blocks
+
+    def test_out_of_order_and_overlap_not_merged(self):
+        # the send side may revisit bytes; order defines the wire format
+        bs = BlockSet([BlockRef("b", 4, 4), BlockRef("b", 0, 4)])
+        assert bs.coalesced_runs() == bs.blocks
+        bs2 = BlockSet([BlockRef("b", 0, 6), BlockRef("b", 4, 4)])
+        assert bs2.coalesced_runs() == bs2.blocks
+
+    def test_zero_size_blocks_dropped(self):
+        bs = BlockSet(
+            [BlockRef("b", 0, 4), BlockRef("b", 4, 0), BlockRef("b", 4, 4)]
+        )
+        assert bs.coalesced_runs() == [BlockRef("b", 0, 8)]
+
+    def test_append_invalidates_cached_runs(self):
+        bs = BlockSet([BlockRef("b", 0, 4)])
+        assert bs.coalesced_runs() == [BlockRef("b", 0, 4)]
+        bs.append(BlockRef("b", 4, 4))
+        assert bs.coalesced_runs() == [BlockRef("b", 0, 8)]
+
+    def _naive_pack(self, bs, buffers):
+        return b"".join(
+            byte_view(buffers[b.buffer])[b.offset : b.offset + b.nbytes].tobytes()
+            for b in bs
+        )
+
+    def test_pack_matches_per_block_reference(self):
+        src = np.arange(64, dtype=np.uint8)
+        other = np.arange(64, 128, dtype=np.uint8)
+        bufs = {"b": src, "c": other}
+        cases = [
+            BlockSet([BlockRef("b", 0, 8)]),  # single-run fast path
+            BlockSet([BlockRef("b", 0, 8), BlockRef("b", 8, 8)]),
+            BlockSet(
+                [
+                    BlockRef("b", 8, 8),
+                    BlockRef("b", 0, 8),   # out of order
+                    BlockRef("c", 0, 4),
+                    BlockRef("c", 4, 4),   # merges
+                    BlockRef("b", 4, 8),   # overlaps earlier bytes
+                ]
+            ),
+        ]
+        for bs in cases:
+            assert bs.pack(bufs) == self._naive_pack(bs, bufs)
+
+    def test_unpack_matches_per_block_reference(self):
+        rng = np.random.default_rng(7)
+        payload_src = rng.integers(0, 255, 32).astype(np.uint8)
+        bs = BlockSet(
+            [
+                BlockRef("x", 0, 8),
+                BlockRef("x", 8, 8),   # merges with previous
+                BlockRef("y", 4, 8),
+                BlockRef("x", 24, 8),  # gap
+            ]
+        )
+        payload = payload_src.tobytes()
+        out = {"x": np.zeros(32, np.uint8), "y": np.zeros(16, np.uint8)}
+        bs.unpack(out, payload)
+        ref = {"x": np.zeros(32, np.uint8), "y": np.zeros(16, np.uint8)}
+        pos = 0
+        for b in bs:
+            byte_view(ref[b.buffer])[b.offset : b.offset + b.nbytes] = (
+                payload_src[pos : pos + b.nbytes]
+            )
+            pos += b.nbytes
+        assert np.array_equal(out["x"], ref["x"])
+        assert np.array_equal(out["y"], ref["y"])
+
+
 # ---------------------------------------------------------------------------
 # property-based roundtrips
 # ---------------------------------------------------------------------------
