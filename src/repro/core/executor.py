@@ -56,16 +56,18 @@ def execute_schedule(
     schedule.prepare()
     rank = comm.rank
     comm.mark(f"begin {schedule.kind}")
-    for phase in schedule.phases:
+    comm.progress(op=schedule.kind)
+    for phase_index, phase in enumerate(schedule.phases):
+        comm.progress(phase=phase_index)
         requests = []
-        for rnd in phase.rounds:
+        for round_index, rnd in enumerate(phase.rounds):
             neg = tuple(-o for o in rnd.offset)
             source = topo.translate(rank, neg)
             target = topo.translate(rank, rnd.offset)
             if source is not None:
-                requests.append(
-                    comm.irecv_blocks(rnd.recv_blocks, buffers, source, tag)
-                )
+                rreq = comm.irecv_blocks(rnd.recv_blocks, buffers, source, tag)
+                rreq.round_index = round_index
+                requests.append(rreq)
             if target is not None:
                 requests.append(
                     comm.isend_blocks(rnd.send_blocks, buffers, target, tag)
@@ -75,3 +77,4 @@ def execute_schedule(
     if moved:
         comm.record_local(moved, note="self-block copies")
     comm.mark(f"end {schedule.kind}")
+    comm.progress(op="idle")

@@ -43,6 +43,18 @@ class OpStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_build_seconds: float = 0.0
+    #: injected-fault observability: counts per fault kind survived or
+    #: failed under (filled from the engine's fault-event log, e.g. by
+    #: the chaos harness).
+    faults: dict = field(default_factory=dict)
+
+    def record_fault(self, kind: str, n: int = 1) -> None:
+        self.faults[kind] = self.faults.get(kind, 0) + n
+
+    def record_fault_events(self, events) -> None:
+        """Fold an engine's fault-event log into the counters."""
+        for event in events:
+            self.record_fault(event.kind)
 
     def record_cache(self, hit: bool, build_seconds: float = 0.0) -> None:
         if hit:
@@ -104,6 +116,11 @@ class OpStats:
                 f"{self.cache_misses} misses, "
                 f"{self.cache_build_seconds * 1e3:.3f} ms building"
             )
+        if self.faults:
+            injected = ", ".join(
+                f"{kind}={n}" for kind, n in sorted(self.faults.items())
+            )
+            lines.append(f"  injected faults: {injected}")
         return "\n".join(lines)
 
     def reset(self) -> None:
@@ -111,3 +128,4 @@ class OpStats:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_build_seconds = 0.0
+        self.faults.clear()

@@ -287,7 +287,7 @@ def execute_reduce(
             recvs.append((rnd, scratch, comm.irecv_into(scratch, source, tag)))
             comm.isend_buffer(accs[payload_slots], target, tag)
         for rnd, scratch, req in recvs:
-            req.wait(comm.engine.timeout)
+            req.wait()
             for k, edge in enumerate(rnd.edges):
                 _combine(accs, valid, edge.parent_slot, scratch[k], op_fn)
         comm._rec(TraceEvent(kind="waitall"))
@@ -358,7 +358,7 @@ def reduce_neighbors_trivial(
             if target is not None:
                 comm.isend_buffer(send, target, tag)
             if req is not None:
-                req.wait(comm.engine.timeout)
+                req.wait()
                 comm._rec(TraceEvent(kind="waitall"))
         if incoming is not None:
             acc = incoming if acc is None else op_fn(acc, incoming)

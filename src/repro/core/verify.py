@@ -26,6 +26,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.lockstep import execute_lockstep
+from repro.core.neighborhood import Neighborhood
 from repro.core.schedule import Schedule
 from repro.core.topology import CartTopology
 from repro.mpisim.exceptions import ScheduleError
@@ -37,17 +38,15 @@ def _sentinel(rank: int, index: int, nbytes: int) -> np.ndarray:
     return rng.integers(0, 256, nbytes).astype(np.uint8)
 
 
-def verify_alltoall(
-    schedule: Schedule,
+def alltoall_sentinel_buffers(
     topo: CartTopology,
-    block_sizes: Sequence[int] | None = None,
-) -> None:
-    """Certify an alltoall-semantics schedule (any shape: trivial,
-    direct, combining, or custom) against the definition."""
-    nbh = schedule.neighborhood
+    nbh: "Neighborhood",
+    block_sizes: Sequence[int],
+) -> list[dict[str, np.ndarray]]:
+    """Per-rank ``{"send", "recv"}`` buffers with deterministic distinct
+    sentinel content per (rank, block) — the input side of an alltoall
+    certification (threaded or lockstep)."""
     t = nbh.t
-    if block_sizes is None:
-        block_sizes = [4] * t
     if len(block_sizes) != t:
         raise ScheduleError(f"need {t} block sizes, got {len(block_sizes)}")
     offs = np.concatenate([[0], np.cumsum(block_sizes)]).astype(int)
@@ -58,7 +57,20 @@ def verify_alltoall(
         for i in range(t):
             send[offs[i] : offs[i + 1]] = _sentinel(r, i, block_sizes[i])
         bufs.append({"send": send, "recv": np.zeros(total, np.uint8)})
-    execute_lockstep(topo, schedule, bufs)
+    return bufs
+
+
+def check_alltoall_buffers(
+    topo: CartTopology,
+    nbh: "Neighborhood",
+    bufs: Sequence[dict],
+    block_sizes: Sequence[int],
+) -> None:
+    """Certify executed alltoall receive buffers byte-for-byte against
+    the definition: receive block ``i`` of rank ``r`` must equal send
+    block ``i`` of process ``(r − N[i]) mod dims``.  The buffers must
+    have been produced by :func:`alltoall_sentinel_buffers`."""
+    offs = np.concatenate([[0], np.cumsum(block_sizes)]).astype(int)
     for r in range(topo.size):
         for i, off in enumerate(nbh):
             src = topo.translate(r, tuple(-o for o in off))
@@ -73,23 +85,47 @@ def verify_alltoall(
                 )
 
 
-def verify_allgather(
+def verify_alltoall(
     schedule: Schedule,
     topo: CartTopology,
-    m_bytes: int = 4,
+    block_sizes: Sequence[int] | None = None,
 ) -> None:
-    """Certify an allgather-semantics schedule."""
+    """Certify an alltoall-semantics schedule (any shape: trivial,
+    direct, combining, or custom) against the definition."""
     nbh = schedule.neighborhood
-    t = nbh.t
+    if block_sizes is None:
+        block_sizes = [4] * nbh.t
+    bufs = alltoall_sentinel_buffers(topo, nbh, block_sizes)
+    execute_lockstep(topo, schedule, bufs)
+    check_alltoall_buffers(topo, nbh, bufs, block_sizes)
+
+
+def allgather_sentinel_buffers(
+    topo: CartTopology,
+    nbh: "Neighborhood",
+    m_bytes: int,
+) -> list[dict[str, np.ndarray]]:
+    """Per-rank ``{"send", "recv"}`` buffers for an allgather
+    certification: each rank contributes one distinct sentinel block."""
     bufs = []
     for r in range(topo.size):
         bufs.append(
             {
                 "send": _sentinel(r, 0, m_bytes),
-                "recv": np.zeros(t * m_bytes, np.uint8),
+                "recv": np.zeros(nbh.t * m_bytes, np.uint8),
             }
         )
-    execute_lockstep(topo, schedule, bufs)
+    return bufs
+
+
+def check_allgather_buffers(
+    topo: CartTopology,
+    nbh: "Neighborhood",
+    bufs: Sequence[dict],
+    m_bytes: int,
+) -> None:
+    """Certify executed allgather receive buffers: slot ``i`` of rank
+    ``r`` must equal the contributed block of ``(r − N[i]) mod dims``."""
     for r in range(topo.size):
         for i, off in enumerate(nbh):
             src = topo.translate(r, tuple(-o for o in off))
@@ -101,6 +137,18 @@ def verify_allgather(
                     f"allgather verification failed: rank {r}, slot {i} "
                     f"(offset {off}): block from {src} corrupted"
                 )
+
+
+def verify_allgather(
+    schedule: Schedule,
+    topo: CartTopology,
+    m_bytes: int = 4,
+) -> None:
+    """Certify an allgather-semantics schedule."""
+    nbh = schedule.neighborhood
+    bufs = allgather_sentinel_buffers(topo, nbh, m_bytes)
+    execute_lockstep(topo, schedule, bufs)
+    check_allgather_buffers(topo, nbh, bufs, m_bytes)
 
 
 def verify_halo(

@@ -24,20 +24,58 @@ from repro.mpisim.exceptions import (
     DeadlockError,
     TruncationError,
     AbortError,
+    DuplicateMessageError,
+    FaultError,
+    RankFailedError,
+    RankKilledError,
+    RankState,
+    RecvTimeoutError,
 )
 from repro.mpisim.engine import Engine
 from repro.mpisim.comm import Communicator, ANY_SOURCE, ANY_TAG
+from repro.mpisim.mailbox import WaitPolicy
 from repro.mpisim.request import Request, waitall
+
+#: fault-injection exports resolved lazily (PEP 562) so that running
+#: ``python -m repro.mpisim.faults`` does not import the module twice
+#: (once as ``__main__``, once here) with distinct class identities.
+_FAULT_EXPORTS = (
+    "ChaosViolation",
+    "FaultEvent",
+    "FaultPlan",
+    "chaos_run",
+    "chaos_sweep",
+)
+
+
+def __getattr__(name):
+    if name in _FAULT_EXPORTS:
+        from repro.mpisim import faults
+
+        return getattr(faults, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "MpiSimError",
     "DeadlockError",
     "TruncationError",
     "AbortError",
+    "DuplicateMessageError",
+    "FaultError",
+    "RankFailedError",
+    "RankKilledError",
+    "RankState",
+    "RecvTimeoutError",
     "Engine",
     "Communicator",
     "ANY_SOURCE",
     "ANY_TAG",
+    "WaitPolicy",
     "Request",
     "waitall",
+    "ChaosViolation",
+    "FaultEvent",
+    "FaultPlan",
+    "chaos_run",
+    "chaos_sweep",
 ]

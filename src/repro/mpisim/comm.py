@@ -35,7 +35,6 @@ from repro.mpisim.request import (
     Request,
     SendRequest,
     copy_into_buffer,
-    waitall,
 )
 from repro.mpisim.trace import TraceEvent
 
@@ -112,6 +111,26 @@ class Communicator:
         if self.engine.trace is not None:
             self.engine.trace.record(self._trace_rank, event)
 
+    def _fault_hook(self, op: str) -> None:
+        """Operation-boundary fault injection point (stall / kill)."""
+        injector = self.engine.injector
+        if injector is not None:
+            injector.on_op(self._trace_rank, op)
+
+    def progress(
+        self,
+        op: Optional[str] = None,
+        phase: Optional[int] = None,
+        round: Optional[int] = None,
+        detail: Optional[str] = None,
+    ) -> None:
+        """Update this rank's structured progress state (surfaced in
+        deadlock/abort diagnostics).  The executor calls this with the
+        schedule kind, phase, and round it is executing."""
+        self.engine.rank_states[self._trace_rank].update(
+            op=op, phase=phase, round=round, detail=detail
+        )
+
     def mark(self, note: str) -> None:
         """Insert a free-form annotation into the trace."""
         self._rec(TraceEvent(kind="mark", note=note))
@@ -135,6 +154,7 @@ class Communicator:
 
     def _post_send(self, payload: Any, nbytes: int, dest: int, tag: int) -> SendRequest:
         self._check_peer(dest, "destination")
+        self._fault_hook(f"send(dest={dest}, tag={tag})")
         env = Envelope(
             src=self.rank,
             dst=dest,
@@ -152,6 +172,7 @@ class Communicator:
     ) -> RecvRequest:
         if source != ANY_SOURCE:
             self._check_peer(source, "source")
+        self._fault_hook(f"recv(src={source}, tag={tag})")
         posted = self._mailbox.post_recv(source, tag, self.comm_id)
         self._rec(TraceEvent(kind="irecv", peer=source, nbytes=nbytes_hint, tag=tag))
         return RecvRequest(self._mailbox, posted, on_envelope)
@@ -169,8 +190,16 @@ class Communicator:
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
         return self._post_recv(source, tag, lambda env: pickle.loads(env.payload))
 
-    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
-        return self.irecv(source, tag).wait(timeout=self.engine.timeout)
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        """Blocking receive.  Blocks without polling until the message
+        arrives or the engine aborts; ``timeout`` (or the engine's wait
+        policy) bounds the wait with backoff retries."""
+        return self.irecv(source, tag).wait(timeout=timeout)
 
     def sendrecv(
         self,
@@ -186,7 +215,7 @@ class Communicator:
             recvtag = sendtag
         rreq = self.irecv(source, recvtag)
         self.isend(sendobj, dest, sendtag)
-        out = rreq.wait(timeout=self.engine.timeout)
+        out = rreq.wait()
         self._rec(TraceEvent(kind="waitall"))
         return out
 
@@ -217,7 +246,7 @@ class Communicator:
     def recv_into(
         self, buf: np.ndarray, source: int = ANY_SOURCE, tag: int = ANY_TAG
     ) -> np.ndarray:
-        return self.irecv_into(buf, source, tag).wait(timeout=self.engine.timeout)
+        return self.irecv_into(buf, source, tag).wait()
 
     def sendrecv_buffer(
         self,
@@ -229,7 +258,7 @@ class Communicator:
     ) -> np.ndarray:
         rreq = self.irecv_into(recvbuf, source, tag)
         self.isend_buffer(sendbuf, dest, tag)
-        out = rreq.wait(timeout=self.engine.timeout)
+        out = rreq.wait()
         self._rec(TraceEvent(kind="waitall"))
         return out
 
@@ -307,7 +336,11 @@ class Communicator:
             _time.sleep(0.001)
 
     def waitall(self, requests: Sequence[Request]) -> list:
-        out = waitall(requests, timeout=self.engine.timeout)
+        out = []
+        for req in requests:
+            if req.round_index is not None:
+                self.progress(round=req.round_index)
+            out.append(req.wait())
         self._rec(TraceEvent(kind="waitall"))
         return out
 

@@ -8,14 +8,21 @@ the per-rank return values.  Semantics mirrored from MPI:
   shared state between rank functions unless the caller introduces it;
 * if any rank raises, the run is aborted: all ranks blocked in
   communication wake with :class:`~repro.mpisim.exceptions.AbortError`
-  and the original exception is re-raised to the caller;
+  and the original exception is re-raised to the caller wrapped in
+  :class:`~repro.mpisim.exceptions.RankFailedError`;
 * a global timeout converts silent deadlock into a
-  :class:`~repro.mpisim.exceptions.DeadlockError` naming the stuck ranks.
+  :class:`~repro.mpisim.exceptions.DeadlockError` naming the stuck ranks
+  and, via per-rank :class:`~repro.mpisim.exceptions.RankState`, what
+  each was doing (operation, phase, round, in-flight receives).
 
 The engine is the *correctness* substrate: with Python threads, rank
 interleavings are real (if GIL-serialized), so deadlock-freedom claims
-are exercised for real.  Modeled *performance* comes from replaying
-recorded traces through :mod:`repro.netsim` instead.
+are exercised for real.  A :class:`~repro.mpisim.faults.FaultPlan` makes
+the interleavings *hostile*: delivery faults are injected in the
+mailboxes, stall/kill faults at communicator operation boundaries, and
+every failure is attributable through :meth:`Engine.fault_events`.
+Modeled *performance* comes from replaying recorded traces through
+:mod:`repro.netsim` instead.
 """
 
 from __future__ import annotations
@@ -23,8 +30,13 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Optional, Sequence
 
-from repro.mpisim.exceptions import AbortError, DeadlockError, MpiSimError
-from repro.mpisim.mailbox import Mailbox
+from repro.mpisim.exceptions import (
+    AbortError,
+    DeadlockError,
+    RankFailedError,
+    RankState,
+)
+from repro.mpisim.mailbox import Mailbox, WaitPolicy
 from repro.mpisim.trace import TraceRecorder
 
 
@@ -40,20 +52,60 @@ class Engine:
     tracing:
         when true, communicators record their operations into
         :attr:`trace` for inspection / network-model replay.
+    faults:
+        optional :class:`~repro.mpisim.faults.FaultPlan` injected into
+        message delivery and operation boundaries.
+    wait_policy:
+        default :class:`~repro.mpisim.mailbox.WaitPolicy` for receives
+        (per-receive timeout and retry backoff); the default blocks
+        without polling and relies on abort/deadlock detection.
     """
 
-    def __init__(self, nranks: int, *, timeout: float = 120.0, tracing: bool = False):
+    def __init__(
+        self,
+        nranks: int,
+        *,
+        timeout: float = 120.0,
+        tracing: bool = False,
+        faults=None,
+        wait_policy: Optional[WaitPolicy] = None,
+    ):
         if nranks <= 0:
             raise ValueError(f"nranks must be positive, got {nranks}")
         self.nranks = nranks
         self.timeout = timeout
         self.abort_event = threading.Event()
-        self.mailboxes = [Mailbox(r, self.abort_event) for r in range(nranks)]
+        self.rank_states = [RankState() for _ in range(nranks)]
+        self.mailboxes = [
+            Mailbox(r, self.abort_event, policy=wait_policy)
+            for r in range(nranks)
+        ]
         self.trace: Optional[TraceRecorder] = TraceRecorder(nranks) if tracing else None
+        self.injector = None
+        if faults is not None:
+            from repro.mpisim.faults import FaultInjector, FaultPlan
+
+            plan = faults
+            if not isinstance(plan, FaultPlan):
+                raise TypeError(
+                    f"faults must be a FaultPlan, got {type(faults)}"
+                )
+            self.injector = FaultInjector(plan, nranks)
+            self.injector.trace = self.trace
+        for mb in self.mailboxes:
+            mb.faults = self.injector
+            mb.rank_states = self.rank_states
         self._errors: list[tuple[int, BaseException]] = []
         self._errors_lock = threading.Lock()
 
     # ------------------------------------------------------------------
+    def abort(self) -> None:
+        """Abort the run: raise the abort flag and wake every rank
+        blocked in an untimed receive."""
+        self.abort_event.set()
+        for mb in self.mailboxes:
+            mb.abort_all()
+
     def run(
         self,
         fn: Callable[..., Any],
@@ -72,6 +124,12 @@ class Engine:
 
         self.abort_event.clear()
         self._errors.clear()
+        for mb in self.mailboxes:
+            mb.reset()
+        for state in self.rank_states:
+            state.update(op="idle")
+        if self.injector is not None:
+            self.injector.reset()
         results: list[Any] = [None] * self.nranks
 
         def runner(rank: int) -> None:
@@ -84,7 +142,7 @@ class Engine:
             except BaseException as exc:  # noqa: BLE001 - must propagate all
                 with self._errors_lock:
                     self._errors.append((rank, exc))
-                self.abort_event.set()
+                self.abort()
 
         threads = [
             threading.Thread(target=runner, args=(r,), name=f"mpisim-rank-{r}", daemon=True)
@@ -100,32 +158,86 @@ class Engine:
             remaining = deadline - time.monotonic()
             t.join(timeout=max(remaining, 0.0))
             if t.is_alive():
-                # Declare deadlock: wake everyone and gather the stuck set.
-                self.abort_event.set()
+                # Declare deadlock: wake everyone and gather the stuck set
+                # *with* their in-flight state before they unwind.
                 stuck = tuple(
                     i for i, th in enumerate(threads) if th.is_alive()
                 )
+                stuck_info = {i: self._stuck_state(i) for i in stuck}
+                self.abort()
                 for th in threads:
                     th.join(timeout=5.0)
                 raise DeadlockError(
-                    f"engine timeout after {self.timeout}s; "
-                    f"ranks still blocked: {stuck}",
+                    self._deadlock_message(stuck, stuck_info),
                     stuck_ranks=stuck,
+                    stuck_info=stuck_info,
                 )
 
         if self._errors:
             self._errors.sort(key=lambda e: e[0])
             rank, exc = self._errors[0]
-            raise MpiSimError(f"rank {rank} failed: {exc!r}") from exc
+            if isinstance(exc, TimeoutError):
+                # a per-receive timeout is a locally detected deadlock
+                state = self._stuck_state(rank)
+                raise DeadlockError(
+                    f"rank {rank} timed out in a receive ({exc}); "
+                    f"state: {state.describe()}",
+                    stuck_ranks=(rank,),
+                    stuck_info={rank: state},
+                ) from exc
+            raise RankFailedError(
+                f"rank {rank} failed: {exc!r}", rank=rank, cause=exc
+            ) from exc
         return results
+
+    def _stuck_state(self, rank: int) -> RankState:
+        """The rank's progress state enriched with its in-flight
+        receives (for deadlock/abort reports)."""
+        state = self.rank_states[rank]
+        pending = self.mailboxes[rank].pending_summary()
+        if pending:
+            waits = ", ".join(
+                f"recv(src={s}, tag={t})" for s, t in pending
+            )
+            detail = f"waiting on {waits}"
+            state = RankState(
+                op=state.op, phase=state.phase, round=state.round,
+                detail=detail if not state.detail else f"{state.detail}; {detail}",
+            )
+        return state
+
+    def _deadlock_message(
+        self, stuck: tuple[int, ...], stuck_info: dict[int, RankState]
+    ) -> str:
+        lines = [
+            f"engine timeout after {self.timeout}s; "
+            f"ranks still blocked: {stuck}"
+        ]
+        for r in stuck:
+            lines.append(f"  rank {r}: {stuck_info[r].describe()}")
+        if self.injector is not None and self.injector.events:
+            injected = ", ".join(
+                e.describe() for e in self.injector.snapshot()
+            )
+            lines.append(f"  injected faults: {injected}")
+        return "\n".join(lines)
 
     # ------------------------------------------------------------------
     def mailbox(self, rank: int) -> Mailbox:
         return self.mailboxes[rank]
 
+    def fault_events(self) -> list:
+        """Faults injected during the last run (empty without a plan)."""
+        if self.injector is None:
+            return []
+        return self.injector.snapshot()
+
     def undelivered_messages(self) -> int:
         """Total envelopes still sitting in mailboxes — nonzero after a
-        run indicates unmatched sends (a correctness bug in the caller)."""
+        run indicates unmatched sends (a correctness bug in the caller,
+        or leftovers of an injected duplicate)."""
+        for mb in self.mailboxes:
+            mb.flush_held()
         return sum(mb.queued_count for mb in self.mailboxes)
 
 
@@ -136,7 +248,10 @@ def run_ranks(
     timeout: float = 120.0,
     tracing: bool = False,
     args: Sequence[tuple] | None = None,
+    faults=None,
 ) -> list[Any]:
     """One-shot convenience: build an engine, run ``fn`` on all ranks,
     return the per-rank results."""
-    return Engine(nranks, timeout=timeout, tracing=tracing).run(fn, args=args)
+    return Engine(nranks, timeout=timeout, tracing=tracing, faults=faults).run(
+        fn, args=args
+    )

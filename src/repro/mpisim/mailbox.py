@@ -18,16 +18,37 @@ Matching follows the MPI rules:
 The implementation keeps envelopes and pending receives in arrival /
 posting order and always scans from the front, which realizes both
 non-overtaking guarantees.
+
+Waiting is event-based: a receive with no timeout blocks on its
+completion event without any periodic wakeup; the engine wakes blocked
+receivers explicitly on abort (:meth:`Mailbox.abort_all`).  A receive
+*with* a timeout — per-call or via the mailbox's default
+:class:`WaitPolicy` — waits in exponentially growing backoff slices so
+the deadline is honoured without a hard-coded poll tick.
+
+Fault injection (:mod:`repro.mpisim.faults`) hooks into delivery:
+:meth:`Mailbox.put` consults the engine's injector, which may hold a
+``(source, communicator)`` stream back (delay / reorder) or re-deliver a
+marked duplicate.  Held streams stay FIFO — later messages of the same
+stream queue behind the held one — so MPI's non-overtaking guarantee
+survives every injected fault.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
+import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterator, Optional
 
-from repro.mpisim.exceptions import AbortError
+from repro.mpisim.exceptions import (
+    AbortError,
+    DuplicateMessageError,
+    RankState,
+    RecvTimeoutError,
+)
 
 #: Wildcard source rank for receives (mirrors ``MPI_ANY_SOURCE``).
 ANY_SOURCE = -1
@@ -37,12 +58,55 @@ ANY_TAG = -1
 _envelope_seq = itertools.count()
 
 
+@dataclass(frozen=True)
+class WaitPolicy:
+    """Configurable receive-wait behaviour.
+
+    ``timeout``
+        default per-receive timeout in seconds (``None`` blocks until
+        completion or engine abort — with *no* periodic wakeups).
+    ``initial_interval`` / ``backoff`` / ``max_interval``
+        when a timeout is in effect, the wait retries in slices growing
+        geometrically from ``initial_interval`` by ``backoff`` up to
+        ``max_interval`` (retry-with-backoff, replacing the historical
+        hard-coded 50 ms poll tick).
+    """
+
+    timeout: Optional[float] = None
+    initial_interval: float = 0.001
+    backoff: float = 2.0
+    max_interval: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.initial_interval <= 0:
+            raise ValueError("initial_interval must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if self.max_interval < self.initial_interval:
+            raise ValueError("max_interval must be >= initial_interval")
+
+    def intervals(self) -> Iterator[float]:
+        """The unbounded backoff sequence."""
+        interval = self.initial_interval
+        while True:
+            yield interval
+            interval = min(interval * self.backoff, self.max_interval)
+
+
+#: Default policy: block indefinitely (the engine's abort/deadlock
+#: machinery is the backstop), 1 ms → 250 ms backoff when a timeout is
+#: requested.
+DEFAULT_WAIT_POLICY = WaitPolicy()
+
+
 @dataclass
 class Envelope:
     """A message in flight.
 
     ``payload`` is owned by the envelope (the sender copied its data), so
-    the receiver may adopt it without further copying.
+    the receiver may adopt it without further copying.  ``fault`` marks
+    envelopes manufactured by the fault injector (e.g. ``"duplicate"``);
+    matching one fails the receive with a typed error.
     """
 
     src: int
@@ -52,6 +116,7 @@ class Envelope:
     payload: Any
     nbytes: int
     seq: int = field(default_factory=lambda: next(_envelope_seq))
+    fault: Optional[str] = None
 
     def matches(self, source: int, tag: int, comm_id: int) -> bool:
         """True when this envelope satisfies a receive posted with the
@@ -75,9 +140,26 @@ class PostedRecv:
     #: filled in when matched
     envelope: Optional[Envelope] = None
     done: threading.Event = field(default_factory=threading.Event)
+    #: set by :meth:`Mailbox.abort_all` when the engine aborts the run
+    aborted: bool = False
+    #: backoff retries performed while waiting (diagnostics)
+    retries: int = 0
 
     def accepts(self, env: Envelope) -> bool:
         return env.matches(self.source, self.tag, self.comm_id)
+
+
+@dataclass
+class _HeldStream:
+    """A ``(src, comm_id)`` stream held back by the fault injector.
+
+    Envelopes release strictly from the front (FIFO); each hold schedules
+    one release, and a release pops whatever is at the front, so ordering
+    within the stream is preserved no matter when timers fire."""
+
+    envelopes: deque = field(default_factory=deque)
+    #: release the front early when another stream delivers (reorder)
+    release_on_foreign_put: bool = False
 
 
 class Mailbox:
@@ -88,27 +170,137 @@ class Mailbox:
     returned :class:`PostedRecv`.
     """
 
-    def __init__(self, owner_rank: int, abort_event: threading.Event):
+    def __init__(
+        self,
+        owner_rank: int,
+        abort_event: threading.Event,
+        *,
+        policy: Optional[WaitPolicy] = None,
+    ):
         self.owner_rank = owner_rank
         self._abort = abort_event
         self._lock = threading.Lock()
         self._envelopes: list[Envelope] = []
         self._pending: list[PostedRecv] = []
+        #: default wait behaviour (engine-configurable)
+        self.policy = policy or DEFAULT_WAIT_POLICY
+        #: fault injector consulted at delivery time (set by the engine)
+        self.faults = None
+        #: the engine's per-rank progress states (set by the engine) —
+        #: lets abort/timeout errors name what this rank was doing
+        self.rank_states: Optional[list[RankState]] = None
+        #: backoff-slice expiries while waiting with a timeout; stays 0
+        #: for untimed receives (they block without polling)
+        self.poll_wakeups = 0
+        self._held: dict[tuple, _HeldStream] = {}
 
     # ------------------------------------------------------------------
     # sender side
     # ------------------------------------------------------------------
     def put(self, env: Envelope) -> None:
-        """Deposit an envelope; satisfy the oldest matching posted receive
-        if one exists, otherwise queue the envelope."""
+        """Deposit an envelope, applying any injected delivery faults;
+        satisfy the oldest matching posted receive if one exists,
+        otherwise queue the envelope."""
+        injector = self.faults
+        if injector is None or not injector.plan.is_active:
+            with self._lock:
+                self._deliver_locked(env)
+            return
+
+        fault = injector.delivery_fault(env.src, self.owner_rank)
+        duplicate = None
+        if fault.duplicate:
+            duplicate = Envelope(
+                src=env.src,
+                dst=env.dst,
+                tag=env.tag,
+                comm_id=env.comm_id,
+                payload=env.payload,
+                nbytes=env.nbytes,
+                fault="duplicate",
+            )
+        stream = (env.src, env.comm_id)
         with self._lock:
-            for i, recv in enumerate(self._pending):
-                if recv.accepts(env):
-                    del self._pending[i]
-                    recv.envelope = env
-                    recv.done.set()
-                    return
-            self._envelopes.append(env)
+            held = self._held.get(stream)
+            if held is not None:
+                # stream is blocked: queue behind it (FIFO) and schedule
+                # one release for this envelope
+                held.envelopes.append(env)
+                self._schedule_release(stream, 0.0)
+            elif fault.delay is not None:
+                held = _HeldStream(
+                    envelopes=deque([env]),
+                    release_on_foreign_put=fault.reorder,
+                )
+                self._held[stream] = held
+                self._schedule_release(stream, fault.delay)
+            else:
+                self._deliver_locked(env)
+                self._release_reordered_locked(exclude=stream)
+        if duplicate is not None:
+            # the copy trails the original so it can never overtake it
+            lag = max(injector.plan.duplicate_lag, 0.0)
+            timer = threading.Timer(lag, self._put_duplicate, args=(duplicate,))
+            timer.daemon = True
+            timer.start()
+
+    def _put_duplicate(self, env: Envelope) -> None:
+        with self._lock:
+            self._deliver_locked(env)
+
+    def _deliver_locked(self, env: Envelope) -> None:
+        """Match or queue one envelope.  Caller holds the lock."""
+        for i, recv in enumerate(self._pending):
+            if recv.accepts(env):
+                del self._pending[i]
+                recv.envelope = env
+                recv.done.set()
+                return
+        self._envelopes.append(env)
+
+    # ------------------------------------------------------------------
+    # held-stream machinery (fault injection)
+    # ------------------------------------------------------------------
+    def _schedule_release(self, stream: tuple, delay: float) -> None:
+        timer = threading.Timer(delay, self._release_one, args=(stream,))
+        timer.daemon = True
+        timer.start()
+
+    def _release_one(self, stream: tuple) -> None:
+        """Deliver the front envelope of a held stream (no-op if the
+        stream already drained via an early reorder release)."""
+        with self._lock:
+            self._release_one_locked(stream)
+
+    def _release_one_locked(self, stream: tuple) -> None:
+        held = self._held.get(stream)
+        if held is None or not held.envelopes:
+            return
+        env = held.envelopes.popleft()
+        if not held.envelopes:
+            del self._held[stream]
+        self._deliver_locked(env)
+
+    def _release_reordered_locked(self, exclude: tuple) -> None:
+        """A foreign delivery just happened: release the front of every
+        reorder-held stream (the reordering has been achieved)."""
+        for stream in [
+            s
+            for s, h in self._held.items()
+            if h.release_on_foreign_put and s != exclude
+        ]:
+            self._release_one_locked(stream)
+
+    def flush_held(self) -> int:
+        """Deliver every held envelope immediately (engine teardown);
+        returns how many were flushed."""
+        flushed = 0
+        with self._lock:
+            while self._held:
+                stream = next(iter(self._held))
+                self._release_one_locked(stream)
+                flushed += 1
+        return flushed
 
     # ------------------------------------------------------------------
     # receiver side
@@ -118,6 +310,10 @@ class Mailbox:
         receive completes immediately."""
         recv = PostedRecv(source=source, tag=tag, comm_id=comm_id)
         with self._lock:
+            if self._abort.is_set():
+                recv.aborted = True
+                recv.done.set()
+                return recv
             for i, env in enumerate(self._envelopes):
                 if recv.accepts(env):
                     del self._envelopes[i]
@@ -127,33 +323,80 @@ class Mailbox:
             self._pending.append(recv)
         return recv
 
-    def wait(self, recv: PostedRecv, timeout: Optional[float]) -> Envelope:
+    def wait(
+        self,
+        recv: PostedRecv,
+        timeout: Optional[float] = None,
+        policy: Optional[WaitPolicy] = None,
+    ) -> Envelope:
         """Block until ``recv`` is satisfied or the engine aborts.
 
-        Returns the matched envelope.  Raises :class:`AbortError` when the
-        engine abort flag is raised while waiting, and ``TimeoutError``
-        when ``timeout`` elapses (the engine maps that to a
-        :class:`~repro.mpisim.exceptions.DeadlockError`).
+        With no timeout (neither the argument nor the effective policy
+        supplies one) the wait is a single event block — idle ranks do
+        not spin.  With a timeout, the wait retries in the policy's
+        backoff slices until the deadline.  Returns the matched envelope;
+        raises :class:`AbortError` when the engine aborts,
+        :class:`RecvTimeoutError` on deadline expiry, and
+        :class:`DuplicateMessageError` when the match is an injected
+        duplicate.
         """
-        deadline = None
-        if timeout is not None:
-            deadline = _monotonic() + timeout
-        while True:
-            if recv.done.wait(timeout=0.05):
-                assert recv.envelope is not None
-                return recv.envelope
-            if self._abort.is_set():
-                self.cancel(recv)
-                raise AbortError(
-                    f"rank {self.owner_rank}: run aborted while waiting for "
-                    f"message from {recv.source} (tag {recv.tag})"
+        pol = policy or self.policy
+        effective = timeout if timeout is not None else pol.timeout
+        start = time.monotonic()
+        if self._abort.is_set() and not recv.done.is_set():
+            self.cancel(recv)
+            raise self._abort_error(recv)
+        if effective is None:
+            recv.done.wait()
+        else:
+            deadline = start + effective
+            intervals = pol.intervals()
+            while not recv.done.is_set():
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self.cancel(recv)
+                    raise RecvTimeoutError(
+                        f"rank {self.owner_rank}: timed out after "
+                        f"{effective}s waiting for message from "
+                        f"{recv.source} (tag {recv.tag}, comm "
+                        f"{recv.comm_id}, {recv.retries} retries)",
+                        rank=self.owner_rank,
+                        source=recv.source,
+                        tag=recv.tag,
+                        waited=time.monotonic() - start,
+                        retries=recv.retries,
+                    )
+                if recv.done.wait(timeout=min(next(intervals), remaining)):
+                    break
+                recv.retries += 1
+                self.poll_wakeups += 1
+                if self._abort.is_set():
+                    break
+        env = recv.envelope
+        if env is not None:
+            if env.fault == "duplicate":
+                raise DuplicateMessageError(
+                    f"rank {self.owner_rank}: receive from {recv.source} "
+                    f"(tag {recv.tag}) matched an injected duplicate of "
+                    f"message {env.src}->{env.dst}",
+                    fault=f"duplicate@rank{self.owner_rank}",
                 )
-            if deadline is not None and _monotonic() > deadline:
-                self.cancel(recv)
-                raise TimeoutError(
-                    f"rank {self.owner_rank}: timed out waiting for message "
-                    f"from {recv.source} (tag {recv.tag}, comm {recv.comm_id})"
-                )
+            return env
+        # woken without an envelope: engine abort
+        self.cancel(recv)
+        raise self._abort_error(recv)
+
+    def _abort_error(self, recv: PostedRecv) -> AbortError:
+        state = None
+        if self.rank_states is not None:
+            state = self.rank_states[self.owner_rank]
+        doing = f" during {state.describe()}" if state is not None else ""
+        return AbortError(
+            f"rank {self.owner_rank}: run aborted while waiting for "
+            f"message from {recv.source} (tag {recv.tag}){doing}",
+            rank=self.owner_rank,
+            state=state,
+        )
 
     def cancel(self, recv: PostedRecv) -> None:
         """Remove a pending receive (no-op if it already completed)."""
@@ -162,6 +405,30 @@ class Mailbox:
                 self._pending.remove(recv)
             except ValueError:
                 pass
+
+    # ------------------------------------------------------------------
+    # engine hooks
+    # ------------------------------------------------------------------
+    def abort_all(self) -> None:
+        """Wake every pending receive with the abort flag.  Called by the
+        engine after setting the abort event, so untimed waits (which
+        block without polling) terminate promptly."""
+        with self._lock:
+            pending, self._pending = self._pending, []
+        for recv in pending:
+            recv.aborted = True
+            recv.done.set()
+
+    def reset(self) -> None:
+        """Drop all queued/held/pending state (engine run start)."""
+        with self._lock:
+            self._envelopes.clear()
+            pending, self._pending = self._pending, []
+            self._held.clear()
+            self.poll_wakeups = 0
+        for recv in pending:
+            recv.aborted = True
+            recv.done.set()
 
     # ------------------------------------------------------------------
     # introspection (tests, deadlock reports)
@@ -176,6 +443,17 @@ class Mailbox:
         with self._lock:
             return len(self._pending)
 
+    @property
+    def held_count(self) -> int:
+        with self._lock:
+            return sum(len(h.envelopes) for h in self._held.values())
+
+    def pending_summary(self) -> list[tuple[int, int]]:
+        """``(source, tag)`` of every in-flight posted receive — the
+        engine's deadlock report names these."""
+        with self._lock:
+            return [(r.source, r.tag) for r in self._pending]
+
     def drain(self, predicate: Callable[[Envelope], bool] | None = None) -> list[Envelope]:
         """Remove and return queued envelopes (all, or those matching the
         predicate).  Used by tests and by communicator teardown checks."""
@@ -186,9 +464,3 @@ class Mailbox:
             out = [e for e in self._envelopes if predicate(e)]
             self._envelopes = [e for e in self._envelopes if not predicate(e)]
             return out
-
-
-def _monotonic() -> float:
-    import time
-
-    return time.monotonic()

@@ -30,6 +30,9 @@ class Request:
     def __init__(self) -> None:
         self._done = False
         self._result: Any = None
+        #: schedule-round index, set by the executor so ``waitall`` can
+        #: report which round a rank is blocked in (diagnostics)
+        self.round_index: Optional[int] = None
 
     def test(self) -> bool:
         """Non-blocking completion probe.  Send requests always test

@@ -21,7 +21,10 @@ The event vocabulary matches what the network simulator can interpret:
     rank-local work attributed to the collective (block copies for the
     self-neighbor phase);
 ``mark``
-    a free-form annotation (phase boundaries, collective names).
+    a free-form annotation (phase boundaries, collective names);
+``fault``
+    an injected fault (:mod:`repro.mpisim.faults`) attributed to the
+    affected rank — annotation only, ignored by the network model.
 
 Blocking operations are recorded in terms of the non-blocking vocabulary
 (``sendrecv`` = isend + irecv + waitall), which is also how they are
@@ -38,7 +41,7 @@ from typing import Optional
 class TraceEvent:
     """One recorded communication event of a single rank."""
 
-    kind: str  # "isend" | "irecv" | "waitall" | "local" | "mark"
+    kind: str  # "isend" | "irecv" | "waitall" | "local" | "mark" | "fault"
     peer: Optional[int] = None
     nbytes: int = 0
     tag: Optional[int] = None
@@ -79,7 +82,7 @@ class TraceRecorder:
         for e in self.events[rank]:
             if e.kind == "waitall":
                 groups.append([])
-            elif e.kind != "mark":
+            elif e.kind not in ("mark", "fault"):
                 groups[-1].append(e)
         if groups and not groups[-1]:
             groups.pop()

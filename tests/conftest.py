@@ -9,8 +9,30 @@ execution against these.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+try:
+    from hypothesis import HealthCheck, settings as _hyp_settings
+
+    # "ci" is derandomized so property tests are reproducible in CI; the
+    # default "dev" profile keeps random exploration for local runs.
+    _hyp_settings.register_profile(
+        "ci",
+        derandomize=True,
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    _hyp_settings.register_profile(
+        "dev", max_examples=40, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    _hyp_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis is a test dependency
+    pass
 
 from repro.core.neighborhood import Neighborhood
 from repro.core.topology import CartTopology

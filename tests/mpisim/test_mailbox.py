@@ -164,3 +164,120 @@ class TestDrain:
         out = box.drain(lambda e: e.tag == 1)
         assert len(out) == 1
         assert box.queued_count == 1
+
+
+class TestWaitPolicy:
+    def test_defaults_block_without_timeout(self):
+        from repro.mpisim.mailbox import DEFAULT_WAIT_POLICY
+
+        assert DEFAULT_WAIT_POLICY.timeout is None
+
+    def test_interval_sequence_backs_off_geometrically(self):
+        from repro.mpisim.mailbox import WaitPolicy
+
+        pol = WaitPolicy(initial_interval=0.001, backoff=2.0, max_interval=0.008)
+        it = pol.intervals()
+        got = [next(it) for _ in range(6)]
+        assert got == [0.001, 0.002, 0.004, 0.008, 0.008, 0.008]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"initial_interval": 0.0},
+            {"backoff": 0.5},
+            {"initial_interval": 0.1, "max_interval": 0.01},
+        ],
+    )
+    def test_invalid_policy_rejected(self, kwargs):
+        from repro.mpisim.mailbox import WaitPolicy
+
+        with pytest.raises(ValueError):
+            WaitPolicy(**kwargs)
+
+    def test_timed_wait_retries_with_backoff(self, box):
+        from repro.mpisim.exceptions import RecvTimeoutError
+
+        recv = box.post_recv(3, 8, ("world",))
+        with pytest.raises(RecvTimeoutError) as ei:
+            box.wait(recv, timeout=0.05)
+        err = ei.value
+        assert isinstance(err, TimeoutError)  # generic-handler compat
+        assert err.rank == 1 and err.source == 3 and err.tag == 8
+        assert err.retries > 0  # slices expired and were retried
+        assert err.waited >= 0.05
+        assert box.poll_wakeups == err.retries
+
+    def test_policy_timeout_used_when_no_argument(self, abort):
+        from repro.mpisim.exceptions import RecvTimeoutError
+        from repro.mpisim.mailbox import Mailbox, WaitPolicy
+
+        mb = Mailbox(
+            owner_rank=0,
+            abort_event=abort,
+            policy=WaitPolicy(timeout=0.05),
+        )
+        recv = mb.post_recv(1, 0, ("world",))
+        with pytest.raises(RecvTimeoutError):
+            mb.wait(recv)  # no explicit timeout: policy's applies
+
+
+class TestNoBusyPoll:
+    """Regression for the historical hard-coded 50 ms poll tick: an
+    untimed receive must block on its event with zero periodic wakeups,
+    no matter how long the sender takes."""
+
+    def test_untimed_wait_never_wakes(self, box):
+        recv = box.post_recv(0, 5, ("world",))
+
+        def sender():
+            import time
+
+            time.sleep(0.4)  # 8 ticks of the old 50 ms poll loop
+            box.put(make_env())
+
+        t = threading.Thread(target=sender)
+        t.start()
+        got = box.wait(recv)  # no timeout anywhere: pure event block
+        t.join()
+        assert got is not None
+        assert box.poll_wakeups == 0
+
+    def test_long_idle_recv_in_engine_has_no_wakeups(self):
+        from repro.mpisim.engine import Engine
+
+        engine = Engine(2, timeout=30.0)
+
+        def fn(comm):
+            if comm.rank == 0:
+                import time
+
+                time.sleep(1.0)
+                comm.send("late", dest=1, tag=0)
+            else:
+                assert comm.recv(source=0, tag=0) == "late"
+
+        engine.run(fn)
+        # the old implementation would have ticked ~20 times here
+        assert engine.mailbox(1).poll_wakeups == 0
+
+    def test_abort_wakes_untimed_wait(self, box, abort):
+        # the event-based replacement must still be interruptible
+        result = {}
+
+        def waiter():
+            recv = box.post_recv(0, 5, ("world",))
+            try:
+                box.wait(recv)
+            except AbortError as exc:
+                result["error"] = exc
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        import time
+
+        time.sleep(0.05)
+        abort.set()
+        box.abort_all()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert isinstance(result["error"], AbortError)
