@@ -1,0 +1,126 @@
+"""Command-line front end for the static-analysis subsystem.
+
+Two subcommands, both CI gates:
+
+``python -m repro.analyze verify --all-stencils``
+    Build every schedule kind for every paper stencil and run the full
+    static verifier (structure, hop parity, Prop 3.1 deadlock freedom,
+    Prop 3.2/3.3 conformance, content simulation) on each; exit 1 if
+    any combination has a violation.
+
+``python -m repro.analyze verify --stencil 9-point --dims 4x4 [--kind alltoall]``
+    Verify one stencil/torus combination (all kinds unless ``--kind``).
+
+``python -m repro.analyze lint <paths...>``
+    Run the custom concurrency/typing lint (rules L001-L005).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analyze import lint as lint_mod
+from repro.analyze.schedule_verifier import (
+    SWEEP_KINDS,
+    build_for_kind,
+    sweep_stencils,
+    verify_schedule,
+)
+
+
+def _parse_dims(text: str) -> tuple[int, ...]:
+    parts = text.replace(",", "x").split("x")
+    dims = tuple(int(p) for p in parts if p)
+    if not dims or any(n <= 0 for n in dims):
+        raise argparse.ArgumentTypeError(f"bad dims {text!r}: want e.g. 4x4")
+    return dims
+
+
+def _cmd_verify(ns: argparse.Namespace) -> int:
+    if ns.all_stencils:
+        results = sweep_stencils()
+        bad = 0
+        for name, kind, dims, report in results:
+            status = "ok" if report.ok else "FAIL"
+            line = f"{status:4s}  {name:10s} {kind:18s} dims={dims}"
+            if not report.ok:
+                bad += 1
+                line += f"  codes={sorted(report.codes())}"
+            print(line)
+            if not report.ok and ns.verbose:
+                for v in report.violations:
+                    print(f"      {v.describe()}")
+        print(
+            f"{len(results) - bad}/{len(results)} stencil/kind combinations "
+            "certified"
+        )
+        return 1 if bad else 0
+
+    if not ns.stencil or not ns.dims:
+        print("verify: need --all-stencils or --stencil NAME --dims DxD",
+              file=sys.stderr)
+        return 2
+    from repro.core.stencils import named_stencil
+
+    nbh = named_stencil(ns.stencil)
+    dims = ns.dims
+    if nbh.d != len(dims):
+        print(
+            f"verify: stencil {ns.stencil!r} is {nbh.d}-dimensional but "
+            f"dims={dims}",
+            file=sys.stderr,
+        )
+        return 2
+    nbh.validate_for_dims(dims)
+    kinds = [ns.kind] if ns.kind else list(SWEEP_KINDS)
+    bad = 0
+    for kind in kinds:
+        report = verify_schedule(build_for_kind(kind, nbh), dims, True)
+        print(report.summary())
+        if not report.ok:
+            bad += 1
+            for v in report.violations:
+                print(f"  {v.describe()}")
+    return 1 if bad else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description="static schedule verifier and concurrency lint",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_verify = sub.add_parser(
+        "verify", help="statically verify built schedules"
+    )
+    p_verify.add_argument(
+        "--all-stencils",
+        action="store_true",
+        help="sweep every schedule kind over every paper stencil",
+    )
+    p_verify.add_argument("--stencil", help="stencil name, e.g. 9-point")
+    p_verify.add_argument(
+        "--dims", type=_parse_dims, help="torus dims, e.g. 4x4"
+    )
+    p_verify.add_argument(
+        "--kind", choices=list(SWEEP_KINDS), help="verify one kind only"
+    )
+    p_verify.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print every violation in sweep mode",
+    )
+
+    p_lint = sub.add_parser("lint", help="run the custom lint (L001-L005)")
+    p_lint.add_argument("paths", nargs="+", help="files or directories")
+
+    ns = parser.parse_args(argv)
+    if ns.command == "verify":
+        return _cmd_verify(ns)
+    return lint_mod.main(ns.paths)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

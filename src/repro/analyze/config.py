@@ -1,0 +1,37 @@
+"""Process-wide switch for build-time schedule verification.
+
+When enabled, :class:`~repro.core.schedule_cache.ScheduleCache` runs the
+static verifier on every schedule it builds — once per cache entry, so
+repeated executions pay nothing.  Tests and CI turn it on (the conftest
+does); benchmarks leave it off so verification never lands in a timed
+region.
+
+The environment variable ``REPRO_VERIFY_SCHEDULES`` (``1``/``true``/
+``on`` vs ``0``/``false``/``off``) sets the initial state; it defaults
+to off so library users opt in explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+_lock = threading.Lock()
+_enabled = os.environ.get("REPRO_VERIFY_SCHEDULES", "0").strip().lower() in _TRUTHY
+
+
+def verify_on_build() -> bool:
+    """Whether cache builds should run the static verifier."""
+    with _lock:
+        return _enabled
+
+
+def set_verify_on_build(enabled: bool) -> bool:
+    """Set the flag; returns the previous value (for try/finally reset)."""
+    global _enabled
+    with _lock:
+        previous = _enabled
+        _enabled = bool(enabled)
+        return previous

@@ -1,0 +1,265 @@
+"""Symbolic instantiation and matching of a schedule across the torus.
+
+Proposition 3.1 means one :class:`~repro.core.schedule.Schedule` object
+*is* the program of every rank: instantiating it for each rank of a
+:class:`~repro.core.topology.CartTopology` yields the complete set of
+send and receive operations the collective will ever perform.  This
+module materialises those operations, pairs sends with receives under
+the engine's matching discipline, and builds cross-rank wait-for graphs
+whose acyclicity proves deadlock-freedom.
+
+Matching discipline: the engine issues every schedule operation with one
+tag (``CARTTAG``) on one communicator, and the mailbox guarantees
+non-overtaking FIFO per ``(source, destination)`` channel — so the k-th
+send from ``s`` to ``r`` matches the k-th receive posted at ``r`` from
+``s``, ordered by (phase, round), across phase boundaries.
+
+Two deadlock models are checked, because the repo has two executors:
+
+* **phase/eager** (Listing 5, the threaded engine): sends are eager and
+  never block; a rank blocks only in the per-phase ``waitall``.  Rank
+  ``r``'s phase ``p`` can complete once every matched sender has
+  *reached* its sending phase.
+* **round/rendezvous** (Listing 4, blocking ``sendrecv``): the classical
+  model where each round is one synchronous exchange; a round completes
+  only when both partners reach their matched operations.  This is the
+  stricter model — a schedule certified here is safe under any MPI
+  send mode, including synchronous sends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.core.schedule import Schedule
+from repro.core.topology import CartTopology
+from repro.mpisim.datatypes import BlockSet
+
+
+@dataclass(frozen=True)
+class SendOp:
+    """One instantiated send: rank → peer, with its schedule position."""
+
+    rank: int
+    peer: int
+    phase: int
+    round_index: int
+    #: position in the rank's global round sequence (Listing-4 op order)
+    seq: int
+    nbytes: int
+    blocks: BlockSet
+
+
+@dataclass(frozen=True)
+class RecvOp:
+    """One instantiated receive: rank ← peer."""
+
+    rank: int
+    peer: int
+    phase: int
+    round_index: int
+    seq: int
+    nbytes: int
+    blocks: BlockSet
+
+
+@dataclass
+class Instantiation:
+    """All operations of one collective, per rank, in posting order."""
+
+    topo: CartTopology
+    sends: list[list[SendOp]]
+    recvs: list[list[RecvOp]]
+
+    def all_sends(self) -> Iterator[SendOp]:
+        for ops in self.sends:
+            yield from ops
+
+    def all_recvs(self) -> Iterator[RecvOp]:
+        for ops in self.recvs:
+            yield from ops
+
+
+def instantiate(schedule: Schedule, topo: CartTopology) -> Instantiation:
+    """Materialise every rank's send/recv operations.
+
+    Mirrors the executor exactly: per phase, per round, the receive
+    source is ``translate(rank, −recv_source_offset)`` and the send
+    target ``translate(rank, offset)``; a missing peer on a non-periodic
+    boundary skips that half of the round.
+    """
+    sends: list[list[SendOp]] = [[] for _ in range(topo.size)]
+    recvs: list[list[RecvOp]] = [[] for _ in range(topo.size)]
+    for rank in range(topo.size):
+        seq = 0
+        for phase_index, phase in enumerate(schedule.phases):
+            for round_index, rnd in enumerate(phase.rounds):
+                neg = tuple(-o for o in rnd.recv_source_offset)
+                source = topo.translate(rank, neg)
+                target = topo.translate(rank, rnd.offset)
+                if source is not None:
+                    recvs[rank].append(
+                        RecvOp(
+                            rank=rank,
+                            peer=source,
+                            phase=phase_index,
+                            round_index=round_index,
+                            seq=seq,
+                            nbytes=rnd.recv_blocks.total_nbytes,
+                            blocks=rnd.recv_blocks,
+                        )
+                    )
+                if target is not None:
+                    sends[rank].append(
+                        SendOp(
+                            rank=rank,
+                            peer=target,
+                            phase=phase_index,
+                            round_index=round_index,
+                            seq=seq,
+                            nbytes=rnd.send_blocks.total_nbytes,
+                            blocks=rnd.send_blocks,
+                        )
+                    )
+                seq += 1
+    return Instantiation(topo=topo, sends=sends, recvs=recvs)
+
+
+@dataclass
+class Matching:
+    """Result of pairing sends with receives channel by channel."""
+
+    pairs: list[tuple[SendOp, RecvOp]]
+    orphan_sends: list[SendOp]
+    orphan_recvs: list[RecvOp]
+
+
+def match_operations(inst: Instantiation) -> Matching:
+    """Pair every send with its receive under FIFO channel matching.
+
+    Sends from ``s`` to ``r`` and receives at ``r`` from ``s`` form one
+    channel; position k on one side matches position k on the other.
+    Leftovers on either side are orphans.
+    """
+    send_channels: dict[tuple[int, int], list[SendOp]] = {}
+    recv_channels: dict[tuple[int, int], list[RecvOp]] = {}
+    for op in inst.all_sends():
+        send_channels.setdefault((op.rank, op.peer), []).append(op)
+    for op in inst.all_recvs():
+        recv_channels.setdefault((op.peer, op.rank), []).append(op)
+
+    pairs: list[tuple[SendOp, RecvOp]] = []
+    orphan_sends: list[SendOp] = []
+    orphan_recvs: list[RecvOp] = []
+    for channel in sorted(set(send_channels) | set(recv_channels)):
+        ss = send_channels.get(channel, [])
+        rr = recv_channels.get(channel, [])
+        for s_op, r_op in zip(ss, rr):
+            pairs.append((s_op, r_op))
+        orphan_sends.extend(ss[len(rr) :])
+        orphan_recvs.extend(rr[len(ss) :])
+    return Matching(pairs=pairs, orphan_sends=orphan_sends, orphan_recvs=orphan_recvs)
+
+
+# ----------------------------------------------------------------------
+# wait-for graphs
+# ----------------------------------------------------------------------
+
+Node = tuple[int, int]
+Graph = dict[Node, set[Node]]
+
+
+def phase_wait_graph(
+    schedule: Schedule, matching: Matching
+) -> Graph:
+    """Wait-for graph under the eager/waitall executor (Listing 5).
+
+    Node ``(rank, p)`` = "rank completes phase p".  Completing a phase
+    requires (program order) the previous phase, and — for every receive
+    matched to a send posted in the sender's phase ``q`` — the sender to
+    have *reached* phase ``q``, i.e. completed phase ``q − 1``.  Eager
+    sends themselves never block, so sends add no edges.
+    """
+    graph: Graph = {}
+    num_phases = len(schedule.phases)
+    ranks = {op.rank for op, _ in matching.pairs} | {
+        op.rank for _, op in matching.pairs
+    }
+    for rank in ranks:
+        for p in range(num_phases):
+            node = (rank, p)
+            graph.setdefault(node, set())
+            if p > 0:
+                graph[node].add((rank, p - 1))
+    for s_op, r_op in matching.pairs:
+        if s_op.phase > 0:
+            graph.setdefault((r_op.rank, r_op.phase), set()).add(
+                (s_op.rank, s_op.phase - 1)
+            )
+    return graph
+
+
+def round_wait_graph(
+    schedule: Schedule, inst: Instantiation, matching: Matching
+) -> Graph:
+    """Wait-for graph under blocking rendezvous sendrecv (Listing 4).
+
+    Node ``(rank, seq)`` = "rank completes round op seq".  A round
+    completes only when (program order) the previous op is done, the
+    matched sender has reached its sending op (recv side), and the
+    matched receiver has reached its receiving op (synchronous-send
+    side).  "Reached op j" = "completed op j − 1".
+    """
+    graph: Graph = {}
+    num_ops = sum(len(ph.rounds) for ph in schedule.phases)
+    for rank in range(inst.topo.size):
+        for seq in range(num_ops):
+            node = (rank, seq)
+            graph.setdefault(node, set())
+            if seq > 0:
+                graph[node].add((rank, seq - 1))
+    for s_op, r_op in matching.pairs:
+        if s_op.seq > 0:
+            graph[(r_op.rank, r_op.seq)].add((s_op.rank, s_op.seq - 1))
+        if r_op.seq > 0:
+            graph[(s_op.rank, s_op.seq)].add((r_op.rank, r_op.seq - 1))
+    return graph
+
+
+def find_cycle(graph: Graph) -> Optional[list[Node]]:
+    """Return one dependency cycle, or ``None`` if the graph is acyclic.
+
+    Iterative three-colour DFS (the instantiated graph has |ranks| ×
+    |rounds| nodes; recursion would overflow on large tori).
+    """
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: dict[Node, int] = {node: WHITE for node in graph}
+    for root in graph:
+        if colour[root] != WHITE:
+            continue
+        stack: list[tuple[Node, Iterator[Node]]] = [
+            (root, iter(sorted(graph[root])))
+        ]
+        colour[root] = GREY
+        path = [root]
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                state = colour.get(child, BLACK)
+                if state == GREY:
+                    # cycle: slice the active path from child onwards
+                    start = path.index(child)
+                    return path[start:] + [child]
+                if state == WHITE:
+                    colour[child] = GREY
+                    path.append(child)
+                    stack.append((child, iter(sorted(graph[child]))))
+                    advanced = True
+                    break
+            if not advanced:
+                colour[node] = BLACK
+                path.pop()
+                stack.pop()
+    return None

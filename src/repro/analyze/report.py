@@ -1,0 +1,201 @@
+"""Typed violation reports shared by the static verifier and the runtime.
+
+Proposition 3.1 makes correctness of a :class:`~repro.core.schedule.Schedule`
+a property of the data structure itself: every rank derives the identical
+schedule locally, so whether the schedule matches, terminates and routes
+correctly is decidable *before* any rank thread runs.  This module holds
+the vocabulary for stating the answer:
+
+* :class:`Violation` — one defect, pinned to (rank, phase, round, block)
+  where applicable, tagged with a stable ``V…`` code;
+* :class:`VerificationReport` — the complete result of one verification
+  pass (all violations, never just the first);
+* :class:`ScheduleValidationError` — the exception both the static
+  verifier and the runtime ``validate()`` methods raise, so callers catch
+  one error taxonomy regardless of when a defect is detected.
+
+``ScheduleValidationError`` subclasses
+:class:`~repro.mpisim.exceptions.ScheduleError`: existing ``except
+ScheduleError`` handlers keep working, but now carry structured
+violations instead of a bare message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.mpisim.exceptions import ScheduleError
+
+#: Stable violation codes.  Tests and CI gates match on these, so codes
+#: are append-only: never renumber or reuse one.
+CODES: dict[str, str] = {
+    # --- send/receive matching (check a) ------------------------------
+    "V101": "orphaned send: a send has no matching posted receive",
+    "V102": "orphaned receive: a posted receive no send ever satisfies",
+    "V103": "matched send/receive pair disagrees in byte count",
+    "V104": "local copy source and destination disagree in byte count",
+    # --- deadlock-freedom (check b) -----------------------------------
+    "V201": "cross-rank wait-for cycle: schedule can deadlock",
+    # --- buffer-aliasing safety (check c) -----------------------------
+    "V301": "overlapping receive blocks within one round",
+    "V302": "round reads a region another round of the phase writes",
+    "V303": "two rounds of one phase write overlapping regions",
+    "V304": "hop-parity buffer alternation violates Prop. 3.2 discipline",
+    "V305": "block reference exceeds its buffer bounds",
+    # --- quantitative conformance (check d) ---------------------------
+    "V401": "round count differs from C = sum of C_k (Prop. 3.1)",
+    "V402": "per-process volume differs from V = sum of z_i (Prop. 3.2)",
+    "V403": "allgather volume differs from tree edge count (Prop. 3.3)",
+    "V404": "delivered content differs from the collective's definition",
+    "V405": "round packs scratch bytes no earlier round ever wrote",
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One verified defect of a schedule.
+
+    ``rank``/``phase``/``round_index``/``block`` locate the defect in the
+    symbolic instantiation; each is ``None`` when the defect is global
+    (e.g. a volume mismatch is a property of the whole schedule).
+    """
+
+    code: str
+    message: str
+    rank: Optional[int] = None
+    phase: Optional[int] = None
+    round_index: Optional[int] = None
+    block: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown violation code {self.code!r}")
+
+    def location(self) -> str:
+        parts = []
+        if self.rank is not None:
+            parts.append(f"rank {self.rank}")
+        if self.phase is not None:
+            parts.append(f"phase {self.phase}")
+        if self.round_index is not None:
+            parts.append(f"round {self.round_index}")
+        if self.block is not None:
+            parts.append(f"block {self.block}")
+        return ", ".join(parts) if parts else "global"
+
+    def describe(self) -> str:
+        return f"{self.code} [{self.location()}]: {self.message}"
+
+
+@dataclass
+class VerificationReport:
+    """Everything one verification pass found.
+
+    The verifier never stops at the first defect: ``violations`` lists
+    all of them so a broken schedule is diagnosed in one pass.
+    """
+
+    kind: str
+    dims: tuple[int, ...]
+    periods: tuple[bool, ...]
+    violations: list[Violation] = field(default_factory=list)
+    #: which checks ran (content simulation may be skipped on size)
+    checks_run: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(
+        self,
+        code: str,
+        message: str,
+        *,
+        rank: Optional[int] = None,
+        phase: Optional[int] = None,
+        round_index: Optional[int] = None,
+        block: Optional[int] = None,
+    ) -> None:
+        self.violations.append(
+            Violation(
+                code=code,
+                message=message,
+                rank=rank,
+                phase=phase,
+                round_index=round_index,
+                block=block,
+            )
+        )
+
+    def codes(self) -> set[str]:
+        return {v.code for v in self.violations}
+
+    def by_code(self, code: str) -> list[Violation]:
+        return [v for v in self.violations if v.code == code]
+
+    def summary(self) -> str:
+        head = (
+            f"{self.kind} schedule on dims={self.dims} "
+            f"periods={self.periods}: "
+        )
+        if self.ok:
+            checks = ", ".join(self.checks_run) or "none"
+            return head + f"OK ({checks})"
+        lines = [head + f"{len(self.violations)} violation(s)"]
+        lines.extend("  " + v.describe() for v in self.violations)
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise ScheduleValidationError.from_report(self)
+
+
+class ScheduleValidationError(ScheduleError):
+    """A schedule failed validation — statically or at runtime.
+
+    Carries the structured :class:`Violation` list (``violations``) and,
+    when raised by the static verifier, the full
+    :class:`VerificationReport` (``report``).  Runtime ``validate()``
+    methods raise it with a single violation, so the error taxonomy is
+    one and the same everywhere.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        violations: Sequence[Violation] = (),
+        report: Optional[VerificationReport] = None,
+    ):
+        super().__init__(message)
+        self.violations = tuple(violations)
+        self.report = report
+
+    @property
+    def codes(self) -> set[str]:
+        return {v.code for v in self.violations}
+
+    @classmethod
+    def from_report(cls, report: VerificationReport) -> "ScheduleValidationError":
+        return cls(report.summary(), report.violations, report)
+
+    @classmethod
+    def single(
+        cls,
+        code: str,
+        message: str,
+        *,
+        rank: Optional[int] = None,
+        phase: Optional[int] = None,
+        round_index: Optional[int] = None,
+        block: Optional[int] = None,
+    ) -> "ScheduleValidationError":
+        v = Violation(
+            code=code,
+            message=message,
+            rank=rank,
+            phase=phase,
+            round_index=round_index,
+            block=block,
+        )
+        return cls(v.describe(), (v,))

@@ -1,0 +1,728 @@
+"""The static schedule verifier.
+
+Proposition 3.1 states that every rank of a Cartesian topology can
+compute the *same* correct, deadlock-free schedule locally, with no
+communication.  The flip side, which this module exploits: correctness
+of a built :class:`~repro.core.schedule.Schedule` is a decidable
+property of the data structure plus ``(dims, periods)`` — no rank
+thread needs to run to check it.  :func:`verify_schedule` symbolically
+instantiates the schedule for every rank of the torus and checks:
+
+(a) **global send/receive matching** — every send pairs with exactly one
+    posted receive of equal byte count under the engine's FIFO channel
+    matching; no orphans (V101–V103);
+(b) **deadlock-freedom** — the cross-rank wait-for graph is acyclic
+    under both the eager/waitall executor model and the strict blocking
+    rendezvous sendrecv model of Listing 4 (V201);
+(c) **buffer-aliasing safety** — receive blocks of a round are disjoint,
+    no round of a phase reads a region another round of the phase
+    writes, no two rounds write overlapping regions, temp references
+    stay in bounds, and the combining alltoall's temp/recv alternation
+    follows the hop-parity discipline of Prop. 3.2 (V301–V305);
+(d) **quantitative conformance** — round count ``C = Σ_k C_k`` and
+    volume ``V = Σ_i z_i`` for the alltoall (Props. 3.1/3.2), tree-edge
+    volume for the allgather (Prop. 3.3) (V401–V403);
+
+plus a concrete **content simulation**: a single-threaded interpretation
+of the schedule over all ranks with rank-unique sentinel bytes, proving
+that every receive slot ends up holding exactly the bytes the
+collective's definition demands, and that no round ever forwards
+scratch bytes nothing wrote (V404/V405).
+
+All violations are collected into one
+:class:`~repro.analyze.report.VerificationReport`; nothing stops at the
+first defect.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.analyze import match_graph
+from repro.analyze.report import VerificationReport
+from repro.core.allgather_schedule import AllgatherTree
+from repro.core.neighborhood import Neighborhood
+from repro.core.schedule import Schedule
+from repro.core.topology import CartTopology
+from repro.mpisim.datatypes import BlockRef, BlockSet
+
+ALLTOALL_KINDS = frozenset({"alltoall", "trivial-alltoall", "direct-alltoall"})
+ALLGATHER_KINDS = frozenset(
+    {"allgather", "trivial-allgather", "direct-allgather"}
+)
+
+#: content simulation is skipped above this total simulated-state size
+DEFAULT_CONTENT_BUDGET = 1 << 24
+
+
+# ----------------------------------------------------------------------
+# small geometry helpers
+# ----------------------------------------------------------------------
+def _intervals(blocks: Iterable[BlockRef]) -> Iterator[tuple[str, int, int]]:
+    for ref in blocks:
+        if ref.nbytes > 0:
+            yield (ref.buffer, ref.offset, ref.offset + ref.nbytes)
+
+
+def _overlap(
+    a: Iterable[BlockRef], b: Iterable[BlockRef]
+) -> Optional[tuple[str, int, int]]:
+    """First overlapping (buffer, start, end) region between two block
+    collections, or ``None``."""
+    by_buffer: dict[str, list[tuple[int, int]]] = {}
+    for buf, lo, hi in _intervals(a):
+        by_buffer.setdefault(buf, []).append((lo, hi))
+    for buf, lo, hi in _intervals(b):
+        for alo, ahi in by_buffer.get(buf, ()):
+            if lo < ahi and alo < hi:
+                return (buf, max(lo, alo), min(hi, ahi))
+    return None
+
+
+def _buffer_extents(schedule: Schedule) -> dict[str, int]:
+    """Max end offset referenced per named buffer, across rounds, local
+    copies and the recorded layouts."""
+    extents: dict[str, int] = {}
+
+    def touch(refs: Iterable[BlockRef]) -> None:
+        for ref in refs:
+            end = ref.offset + ref.nbytes
+            if end > extents.get(ref.buffer, 0):
+                extents[ref.buffer] = end
+
+    for ph in schedule.phases:
+        for rnd in ph.rounds:
+            touch(rnd.send_blocks)
+            touch(rnd.recv_blocks)
+    for lc in schedule.local_copies:
+        touch([lc.src, lc.dst])
+    for layout in (schedule.send_layout, schedule.recv_layout):
+        if layout:
+            for bs in layout:
+                touch(bs)
+    return extents
+
+
+# ----------------------------------------------------------------------
+# check (c): structural / aliasing
+# ----------------------------------------------------------------------
+def _check_structure(schedule: Schedule, report: VerificationReport) -> None:
+    for pi, ph in enumerate(schedule.phases):
+        for ri, rnd in enumerate(ph.rounds):
+            if rnd.send_blocks.total_nbytes != rnd.recv_blocks.total_nbytes:
+                report.add(
+                    "V103",
+                    f"round to {rnd.offset}: send "
+                    f"{rnd.send_blocks.total_nbytes} B != recv "
+                    f"{rnd.recv_blocks.total_nbytes} B",
+                    phase=pi,
+                    round_index=ri,
+                )
+            # receive blocks of one round must be pairwise disjoint
+            seen: list[BlockRef] = []
+            for bi, ref in enumerate(rnd.recv_blocks):
+                clash = _overlap([ref], seen)
+                if clash is not None:
+                    buf, lo, hi = clash
+                    report.add(
+                        "V301",
+                        f"receive blocks overlap in {buf!r} [{lo}, {hi})",
+                        phase=pi,
+                        round_index=ri,
+                        block=bi,
+                    )
+                seen.append(ref)
+        # phase-level hazards: rounds of a phase run concurrently
+        for ri, rnd in enumerate(ph.rounds):
+            for rj, other in enumerate(ph.rounds):
+                clash = _overlap(rnd.send_blocks, other.recv_blocks)
+                if clash is not None:
+                    buf, lo, hi = clash
+                    report.add(
+                        "V302",
+                        f"round {ri} reads {buf!r} [{lo}, {hi}) which "
+                        f"round {rj} of the same phase writes",
+                        phase=pi,
+                        round_index=ri,
+                    )
+                if rj > ri:
+                    clash = _overlap(rnd.recv_blocks, other.recv_blocks)
+                    if clash is not None:
+                        buf, lo, hi = clash
+                        report.add(
+                            "V303",
+                            f"rounds {ri} and {rj} both write {buf!r} "
+                            f"[{lo}, {hi})",
+                            phase=pi,
+                            round_index=ri,
+                        )
+    for ci, lc in enumerate(schedule.local_copies):
+        if lc.src.nbytes != lc.dst.nbytes:
+            report.add(
+                "V104",
+                f"local copy {ci}: src {lc.src.nbytes} B != dst "
+                f"{lc.dst.nbytes} B",
+                block=ci,
+            )
+    # temp-buffer bounds: the schedule declares its scratch requirement
+    extents = _buffer_extents(schedule)
+    temp_used = extents.get("temp", 0)
+    if temp_used > schedule.temp_nbytes:
+        report.add(
+            "V305",
+            f"temp references reach {temp_used} B but the schedule "
+            f"declares temp_nbytes={schedule.temp_nbytes}",
+        )
+
+
+# ----------------------------------------------------------------------
+# check (c): hop-parity discipline (Prop. 3.2) for combining alltoall
+# ----------------------------------------------------------------------
+def _check_hop_parity(schedule: Schedule, report: VerificationReport) -> None:
+    """Re-derive the expected per-round buffer composition from the
+    neighborhood and the recorded layouts, independently of the builder's
+    temp-slot assignment: block ``i`` leaves the send buffer on its first
+    hop, then alternates so a hop with an odd remaining count lands in
+    the receive buffer and an even one in temp (the last hop therefore
+    always lands in the receive buffer)."""
+    nbh = schedule.neighborhood
+    if schedule.send_layout is None or schedule.recv_layout is None:
+        return
+    if len(schedule.send_layout) != nbh.t or len(schedule.recv_layout) != nbh.t:
+        return
+    sizes = [bs.total_nbytes for bs in schedule.send_layout]
+
+    def side_bytes(refs: Iterable[BlockRef]) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for buf, lo, hi in _intervals(refs):
+            out[buf] = out.get(buf, 0) + (hi - lo)
+        return out
+
+    def layout_bytes(bs: BlockSet) -> dict[str, int]:
+        return side_bytes(bs)
+
+    hops = list(nbh.hops)
+    first_hop = [True] * nbh.t
+    # expected[(phase, coordinate value)] -> (send-side bytes, recv-side bytes)
+    expected: dict[tuple[int, int], tuple[dict[str, int], dict[str, int]]] = {}
+    for k in range(nbh.d):
+        for i in nbh.canonical_bucket_order(k):
+            val = int(nbh.offsets[i, k])
+            if val == 0:
+                continue
+            snd, rcv = expected.setdefault((k, val), ({}, {}))
+            if sizes[i] == 0:
+                # zero-size blocks still open their round but carry no bytes
+                hops[i] -= 1
+                first_hop[i] = False
+                continue
+            if first_hop[i]:
+                src = layout_bytes(schedule.send_layout[i])
+                first_hop[i] = False
+            elif hops[i] % 2 == 1:
+                src = {"temp": sizes[i]}
+            else:
+                src = layout_bytes(schedule.recv_layout[i])
+            if hops[i] % 2 == 1:
+                dst = layout_bytes(schedule.recv_layout[i])
+            else:
+                dst = {"temp": sizes[i]}
+            hops[i] -= 1
+            for buf, n in src.items():
+                snd[buf] = snd.get(buf, 0) + n
+            for buf, n in dst.items():
+                rcv[buf] = rcv.get(buf, 0) + n
+
+    for pi, ph in enumerate(schedule.phases):
+        if ph.dim != pi:
+            report.add(
+                "V304",
+                f"phase routes dimension {ph.dim}, expected {pi} "
+                f"(combining alltoall phases follow dimension order)",
+                phase=pi,
+            )
+            return
+        for ri, rnd in enumerate(ph.rounds):
+            val = rnd.offset[pi]
+            want = expected.pop((pi, val), None)
+            if want is None:
+                report.add(
+                    "V304",
+                    f"unexpected round offset {rnd.offset} in phase {pi}",
+                    phase=pi,
+                    round_index=ri,
+                )
+                continue
+            got_snd = side_bytes(rnd.send_blocks)
+            got_rcv = side_bytes(rnd.recv_blocks)
+            if got_snd != want[0] or got_rcv != want[1]:
+                report.add(
+                    "V304",
+                    f"round to {rnd.offset}: buffer bytes "
+                    f"send={got_snd} recv={got_rcv}, hop-parity "
+                    f"discipline requires send={want[0]} recv={want[1]}",
+                    phase=pi,
+                    round_index=ri,
+                )
+    for (k, val) in sorted(expected):
+        report.add(
+            "V304",
+            f"missing round for coordinate {val} in phase {k}",
+            phase=k,
+        )
+
+
+# ----------------------------------------------------------------------
+# check (d): quantitative conformance (Props. 3.1-3.3)
+# ----------------------------------------------------------------------
+def _check_quantitative(schedule: Schedule, report: VerificationReport) -> None:
+    nbh = schedule.neighborhood
+    kind = schedule.kind
+    if kind == "alltoall":
+        if schedule.rounds_per_phase != nbh.distinct_nonzero_per_dim:
+            report.add(
+                "V401",
+                f"rounds per phase {schedule.rounds_per_phase} != C_k "
+                f"{nbh.distinct_nonzero_per_dim} (C = Σ C_k, Prop. 3.1)",
+            )
+        if schedule.volume_blocks != nbh.alltoall_volume:
+            report.add(
+                "V402",
+                f"volume {schedule.volume_blocks} blocks != Σ z_i = "
+                f"{nbh.alltoall_volume} (Prop. 3.2)",
+            )
+    elif kind == "allgather":
+        if schedule.num_rounds != nbh.combining_rounds:
+            report.add(
+                "V401",
+                f"round count {schedule.num_rounds} != C = "
+                f"{nbh.combining_rounds} (Prop. 3.1)",
+            )
+        dim_order = tuple(ph.dim for ph in schedule.phases)
+        if sorted(dim_order) == list(range(nbh.d)):
+            edges = AllgatherTree.build(nbh, dim_order).edge_count
+            if schedule.volume_blocks != edges:
+                report.add(
+                    "V403",
+                    f"volume {schedule.volume_blocks} blocks != tree "
+                    f"edge count {edges} (Prop. 3.3)",
+                )
+    elif kind in ("trivial-alltoall", "trivial-allgather"):
+        if schedule.num_rounds != nbh.trivial_rounds:
+            report.add(
+                "V401",
+                f"round count {schedule.num_rounds} != t − |self| = "
+                f"{nbh.trivial_rounds}",
+            )
+        bad = [len(ph) for ph in schedule.phases if len(ph) != 1]
+        if bad:
+            report.add(
+                "V401",
+                "trivial schedule must have one round per phase "
+                f"(got phase sizes {schedule.rounds_per_phase})",
+            )
+    elif kind in ("direct-alltoall", "direct-allgather"):
+        if schedule.num_phases != 1:
+            report.add(
+                "V401",
+                f"direct schedule must be a single phase, got "
+                f"{schedule.num_phases}",
+            )
+        if schedule.num_rounds != nbh.trivial_rounds:
+            report.add(
+                "V401",
+                f"round count {schedule.num_rounds} != t − |self| = "
+                f"{nbh.trivial_rounds}",
+            )
+
+
+# ----------------------------------------------------------------------
+# checks (a) + (b): matching and deadlock-freedom over the torus
+# ----------------------------------------------------------------------
+def _check_matching(
+    schedule: Schedule, topo: CartTopology, report: VerificationReport
+) -> match_graph.Matching:
+    inst = match_graph.instantiate(schedule, topo)
+    matching = match_graph.match_operations(inst)
+    for op in matching.orphan_sends:
+        report.add(
+            "V101",
+            f"send to rank {op.peer} ({op.nbytes} B) never matched by a "
+            f"posted receive",
+            rank=op.rank,
+            phase=op.phase,
+            round_index=op.round_index,
+        )
+    for op in matching.orphan_recvs:
+        report.add(
+            "V102",
+            f"receive from rank {op.peer} ({op.nbytes} B) never "
+            f"satisfied by any send",
+            rank=op.rank,
+            phase=op.phase,
+            round_index=op.round_index,
+        )
+    for s_op, r_op in matching.pairs:
+        if s_op.nbytes != r_op.nbytes:
+            report.add(
+                "V103",
+                f"send of {s_op.nbytes} B from rank {s_op.rank} matches "
+                f"receive of {r_op.nbytes} B at rank {r_op.rank}",
+                rank=r_op.rank,
+                phase=r_op.phase,
+                round_index=r_op.round_index,
+            )
+
+    def _report_cycle(
+        cycle: list[tuple[int, int]], model: str, unit: str
+    ) -> None:
+        shown = cycle[:6]
+        desc = " -> ".join(f"(rank {r}, {unit} {x})" for r, x in shown)
+        if len(cycle) > len(shown):
+            desc += f" -> … ({len(cycle) - 1} nodes total)"
+        rank, pos = cycle[0]
+        report.add(
+            "V201",
+            f"wait-for cycle under the {model} model: {desc}",
+            rank=rank,
+            phase=pos if unit == "phase" else None,
+        )
+
+    cycle = match_graph.find_cycle(
+        match_graph.phase_wait_graph(schedule, matching)
+    )
+    if cycle is not None:
+        _report_cycle(cycle, "eager/waitall (Listing 5)", "phase")
+    cycle = match_graph.find_cycle(
+        match_graph.round_wait_graph(schedule, inst, matching)
+    )
+    if cycle is not None:
+        _report_cycle(cycle, "blocking-sendrecv (Listing 4)", "op")
+    return matching
+
+
+# ----------------------------------------------------------------------
+# content simulation (V404 / V405)
+# ----------------------------------------------------------------------
+def _simulate_content(
+    schedule: Schedule,
+    topo: CartTopology,
+    report: VerificationReport,
+    *,
+    max_bytes: int,
+) -> bool:
+    """Interpret the schedule for all ranks with sentinel bytes.
+
+    Per phase, all sends are packed from the pre-phase buffer state and
+    enqueued on their (source, destination) channel, then all receives
+    of the phase drain their channels in posting order — exactly the
+    engine's eager FIFO semantics (a send posted in an earlier phase may
+    satisfy a later phase's receive).  A shadow "written" mask per
+    buffer tracks initialisation so forwarding never-written scratch
+    bytes is caught (V405).  Returns False when skipped (size budget or
+    unknown kind/layouts)."""
+    kind = schedule.kind
+    nbh = schedule.neighborhood
+    if kind in ALLTOALL_KINDS:
+        is_allgather = False
+    elif kind in ALLGATHER_KINDS:
+        is_allgather = True
+    else:
+        return False
+    send_layout = schedule.send_layout
+    recv_layout = schedule.recv_layout
+    if send_layout is None or recv_layout is None:
+        return False
+    if len(recv_layout) != nbh.t:
+        return False
+    if len(send_layout) != (1 if is_allgather else nbh.t):
+        return False
+
+    extents = _buffer_extents(schedule)
+    input_buffers = {ref.buffer for bs in send_layout for ref in bs}
+    output_buffers = {ref.buffer for bs in recv_layout for ref in bs}
+    if input_buffers & output_buffers:
+        return False  # in-place layouts have no closed-form expectation
+    total_state = topo.size * sum(extents.values())
+    if total_state > max_bytes:
+        return False
+
+    buffer_names = sorted(extents)
+    data: list[dict[str, np.ndarray]] = []
+    written: list[dict[str, np.ndarray]] = []
+    for rank in range(topo.size):
+        d_bufs: dict[str, np.ndarray] = {}
+        w_bufs: dict[str, np.ndarray] = {}
+        for bi, name in enumerate(buffer_names):
+            n = extents[name]
+            if name in input_buffers:
+                rng = np.random.default_rng(rank * 1_000_003 + bi * 7919 + 23)
+                d_bufs[name] = rng.integers(0, 256, n).astype(np.uint8)
+                w_bufs[name] = np.ones(n, dtype=bool)
+            else:
+                d_bufs[name] = np.zeros(n, np.uint8)
+                w_bufs[name] = np.zeros(n, dtype=bool)
+        data.append(d_bufs)
+        written.append(w_bufs)
+
+    def pack(
+        rank: int, blocks: Iterable[BlockRef]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        parts_d = [
+            data[rank][ref.buffer][ref.offset : ref.offset + ref.nbytes]
+            for ref in blocks
+        ]
+        parts_w = [
+            written[rank][ref.buffer][ref.offset : ref.offset + ref.nbytes]
+            for ref in blocks
+        ]
+        if not parts_d:
+            return np.zeros(0, np.uint8), np.zeros(0, dtype=bool)
+        return np.concatenate(parts_d), np.concatenate(parts_w)
+
+    def unpack(
+        rank: int, blocks: Iterable[BlockRef], payload: np.ndarray, valid: np.ndarray
+    ) -> None:
+        off = 0
+        for ref in blocks:
+            data[rank][ref.buffer][ref.offset : ref.offset + ref.nbytes] = payload[
+                off : off + ref.nbytes
+            ]
+            written[rank][ref.buffer][ref.offset : ref.offset + ref.nbytes] = valid[
+                off : off + ref.nbytes
+            ]
+            off += ref.nbytes
+
+    channels: dict[tuple[int, int], deque] = {}
+    uninit_reported: set[tuple[int, int]] = set()
+    for pi, ph in enumerate(schedule.phases):
+        staged: list[tuple[int, int, int, tuple[np.ndarray, np.ndarray]]] = []
+        for rank in range(topo.size):
+            for ri, rnd in enumerate(ph.rounds):
+                target = topo.translate(rank, rnd.offset)
+                if target is None:
+                    continue
+                payload, valid = pack(rank, rnd.send_blocks)
+                if not valid.all() and (pi, ri) not in uninit_reported:
+                    uninit_reported.add((pi, ri))
+                    report.add(
+                        "V405",
+                        f"round to {rnd.offset} packs "
+                        f"{int((~valid).sum())} scratch byte(s) no earlier "
+                        f"round or input wrote",
+                        rank=rank,
+                        phase=pi,
+                        round_index=ri,
+                    )
+                staged.append((rank, target, ri, (payload, valid)))
+        for rank, target, ri, msg in staged:
+            channels.setdefault((rank, target), deque()).append(msg)
+        for rank in range(topo.size):
+            for ri, rnd in enumerate(ph.rounds):
+                neg = tuple(-o for o in rnd.recv_source_offset)
+                source = topo.translate(rank, neg)
+                if source is None:
+                    continue
+                queue = channels.get((source, rank))
+                if not queue:
+                    continue  # orphan receive: already reported as V102
+                payload, valid = queue.popleft()
+                if payload.nbytes != rnd.recv_blocks.total_nbytes:
+                    continue  # size mismatch: already reported as V103
+                unpack(rank, rnd.recv_blocks, payload, valid)
+    for rank in range(topo.size):
+        for lc in schedule.local_copies:
+            src_d = data[rank][lc.src.buffer][
+                lc.src.offset : lc.src.offset + lc.src.nbytes
+            ]
+            src_w = written[rank][lc.src.buffer][
+                lc.src.offset : lc.src.offset + lc.src.nbytes
+            ]
+            data[rank][lc.dst.buffer][
+                lc.dst.offset : lc.dst.offset + lc.dst.nbytes
+            ] = src_d
+            written[rank][lc.dst.buffer][
+                lc.dst.offset : lc.dst.offset + lc.dst.nbytes
+            ] = src_w
+
+    # final state vs. the collective's definition: receive slot i of
+    # rank r must hold the block of process translate(r, −N[i])
+    for rank in range(topo.size):
+        for i, off in enumerate(nbh):
+            src = topo.translate(rank, tuple(-o for o in off))
+            if src is None:
+                continue
+            src_blocks = send_layout[0] if is_allgather else send_layout[i]
+            expect, _ = pack(src, src_blocks)
+            # re-pack from pristine inputs: input buffers are never
+            # written (checked above), so pack() still reads originals
+            got, got_valid = pack(rank, recv_layout[i])
+            if got.nbytes != expect.nbytes or not np.array_equal(got, expect):
+                detail = (
+                    "never fully written"
+                    if not got_valid.all()
+                    else "holds wrong bytes"
+                )
+                report.add(
+                    "V404",
+                    f"receive slot {i} (offset {tuple(off)}) should hold "
+                    f"the block of rank {src} but {detail}",
+                    rank=rank,
+                    block=i,
+                )
+    return True
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def verify_schedule(
+    schedule: Schedule,
+    dims: Sequence[int],
+    periods: Sequence[bool] | bool = True,
+    *,
+    content: bool = True,
+    max_content_bytes: int = DEFAULT_CONTENT_BUDGET,
+) -> VerificationReport:
+    """Statically verify ``schedule`` against the whole torus.
+
+    Returns a :class:`VerificationReport` listing *every* violation
+    found; ``report.ok`` means the schedule is certified for the given
+    ``(dims, periods)``.
+    """
+    dims_t = tuple(int(n) for n in dims)
+    if isinstance(periods, bool):
+        periods_t: tuple[bool, ...] = (periods,) * len(dims_t)
+    else:
+        periods_t = tuple(bool(p) for p in periods)
+    topo = CartTopology(dims_t, periods_t)
+    report = VerificationReport(
+        kind=schedule.kind, dims=dims_t, periods=periods_t
+    )
+
+    _check_structure(schedule, report)
+    report.checks_run.append("structure")
+    if schedule.kind == "alltoall":
+        _check_hop_parity(schedule, report)
+        report.checks_run.append("hop-parity")
+    _check_quantitative(schedule, report)
+    report.checks_run.append("quantitative")
+    _check_matching(schedule, topo, report)
+    report.checks_run.append("matching+deadlock")
+    if content:
+        if _simulate_content(
+            schedule, topo, report, max_bytes=max_content_bytes
+        ):
+            report.checks_run.append("content")
+    return report
+
+
+def certify_schedule(
+    schedule: Schedule,
+    dims: Sequence[int],
+    periods: Sequence[bool] | bool = True,
+    *,
+    content: bool = True,
+    max_content_bytes: int = DEFAULT_CONTENT_BUDGET,
+) -> VerificationReport:
+    """Like :func:`verify_schedule` but raises
+    :class:`~repro.analyze.report.ScheduleValidationError` on any
+    violation.  This is the ``verify_on_build`` hook."""
+    report = verify_schedule(
+        schedule,
+        dims,
+        periods,
+        content=content,
+        max_content_bytes=max_content_bytes,
+    )
+    report.raise_if_failed()
+    return report
+
+
+# ----------------------------------------------------------------------
+# paper-stencil conformance sweep (CLI + CI)
+# ----------------------------------------------------------------------
+def paper_stencil_grid() -> list[tuple[str, tuple[int, ...]]]:
+    """(stencil name, dims) pairs covering the paper's Table 1/2 shapes
+    on small fully periodic tori."""
+    return [
+        ("5-point", (4, 4)),
+        ("5-point", (3, 5)),
+        ("9-point", (4, 4)),
+        ("13-point", (5, 5, 5)),
+        ("7-point", (3, 3, 3)),
+        ("7-point", (4, 3, 3)),
+        ("27-point", (3, 3, 3)),
+        ("125-point", (5, 5, 5)),
+    ]
+
+
+SWEEP_KINDS = (
+    "alltoall",
+    "trivial-alltoall",
+    "direct-alltoall",
+    "allgather",
+    "trivial-allgather",
+    "direct-allgather",
+)
+
+
+def build_for_kind(
+    kind: str, nbh: Neighborhood, block_bytes: int = 4
+) -> Schedule:
+    """Build one schedule of the named shape with the standard uniform
+    buffer layout (used by the sweep and the conformance tests)."""
+    from repro.core.alltoall_schedule import (
+        build_alltoall_schedule,
+        build_trivial_alltoall_blocksets,
+    )
+    from repro.core.allgather_schedule import build_allgather_schedule
+    from repro.core.schedule import uniform_block_layout
+    from repro.core.trivial import (
+        build_direct_allgather_schedule,
+        build_direct_alltoall_schedule,
+        build_trivial_allgather_schedule,
+        build_trivial_alltoall_schedule,
+    )
+
+    if kind.endswith("allgather"):
+        send_block = BlockSet([BlockRef("send", 0, block_bytes)])
+        recv_blocks = uniform_block_layout([block_bytes] * nbh.t, "recv")
+        builder = {
+            "allgather": build_allgather_schedule,
+            "trivial-allgather": build_trivial_allgather_schedule,
+            "direct-allgather": build_direct_allgather_schedule,
+        }[kind]
+        return builder(nbh, send_block, recv_blocks)
+    sizes = [block_bytes * (1 + i % 3) for i in range(nbh.t)]
+    send_blocks, recv_blocks = build_trivial_alltoall_blocksets(sizes)
+    builder = {
+        "alltoall": build_alltoall_schedule,
+        "trivial-alltoall": build_trivial_alltoall_schedule,
+        "direct-alltoall": build_direct_alltoall_schedule,
+    }[kind]
+    return builder(nbh, send_blocks, recv_blocks)
+
+
+def sweep_stencils(
+    kinds: Sequence[str] = SWEEP_KINDS,
+) -> list[tuple[str, str, tuple[int, ...], VerificationReport]]:
+    """Verify every sweep kind for every paper stencil; returns
+    (stencil, kind, dims, report) for each combination."""
+    from repro.core.stencils import named_stencil
+
+    results = []
+    for name, dims in paper_stencil_grid():
+        nbh = named_stencil(name)
+        if nbh.d != len(dims):
+            continue
+        nbh.validate_for_dims(dims)
+        for kind in kinds:
+            schedule = build_for_kind(kind, nbh)
+            results.append(
+                (name, kind, dims, verify_schedule(schedule, dims, True))
+            )
+    return results

@@ -30,7 +30,7 @@ edge count match the paper's closed form for Moore-type neighborhoods,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -67,7 +67,7 @@ class TreeNode:
     #: neighbor indices terminating exactly at this node
     terminal: list[int] = field(default_factory=list)
 
-    def walk(self):
+    def walk(self) -> Iterator["TreeNode"]:
         yield self
         for _, _, child in self.children:
             yield from child.walk()
@@ -288,6 +288,8 @@ def build_allgather_schedule(
         phases=phases,
         local_copies=local_copies,
         temp_nbytes=temp_nbytes,
+        send_layout=[send_block],
+        recv_layout=list(recv_blocks),
     )
     # Internal consistency: Proposition 3.3.
     if sched.volume_blocks != tree.edge_count:

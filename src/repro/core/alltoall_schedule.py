@@ -166,6 +166,8 @@ def build_alltoall_schedule(
         phases=phases,
         local_copies=local_copies,
         temp_nbytes=temp_nbytes,
+        send_layout=list(send_blocks),
+        recv_layout=list(recv_blocks),
     )
     # Internal consistency: Proposition 3.2.
     if sched.volume_blocks != nbh.alltoall_volume:

@@ -13,7 +13,7 @@ examples and tests read like MPI programs:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -37,7 +37,7 @@ def run_ranks(
 
 def run_cartesian(
     dims: Sequence[int],
-    offsets,
+    offsets: Union[Neighborhood, np.ndarray, Sequence[int], Sequence[Sequence[int]]],
     fn: Callable[..., Any],
     *,
     periods: Optional[Sequence[bool]] = None,

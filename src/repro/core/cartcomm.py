@@ -32,9 +32,14 @@ implemented as well.
 from __future__ import annotations
 
 import math
-from typing import Mapping, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Mapping, Optional, Sequence, Union
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.core.nonblocking import SplitPhaseOp
+    from repro.core.opstats import OpStats
+    from repro.core.persistent import PersistentOp, PersistentReduce
 
 from repro.core import schedule_cache
 from repro.core.allgather_schedule import build_allgather_schedule
@@ -162,7 +167,7 @@ class CartComm:
     # ------------------------------------------------------------------
     # operation statistics (observability)
     # ------------------------------------------------------------------
-    def enable_stats(self):
+    def enable_stats(self) -> "OpStats":
         """Start recording per-operation counters (see
         :mod:`repro.core.opstats`); returns the collector."""
         from repro.core.opstats import OpStats
@@ -172,7 +177,7 @@ class CartComm:
         return self.stats
 
     @staticmethod
-    def schedule_cache_info():
+    def schedule_cache_info() -> schedule_cache.CacheInfo:
         """Counters of the process-wide schedule cache (hits, misses,
         builds, cumulative build time, size, bound)."""
         return schedule_cache.cache_info()
@@ -325,11 +330,31 @@ class CartComm:
         gkey = schedule_cache.schedule_key(
             kind, self.nbh, layout_sig, self.dims, self.periods
         )
-        sched, hit, build_seconds = schedule_cache.get_or_build(gkey, build)
+        sched, hit, build_seconds = schedule_cache.get_or_build(
+            gkey, build, self._build_verifier()
+        )
         self._schedule_cache[key] = sched
         if self.stats is not None:
             self.stats.record_cache(hit, build_seconds)
         return sched
+
+    def _build_verifier(self) -> Optional[Callable[[object], None]]:
+        """The ``verify_on_build`` hook: when enabled (tests/CI), every
+        schedule entering the process-wide cache is first certified by
+        the static verifier — once per entry, never in a timed region."""
+        from repro.analyze import config
+
+        if not config.verify_on_build():
+            return None
+        dims, periods = self.dims, self.periods
+
+        def _verify(sched: object) -> None:
+            if isinstance(sched, Schedule):
+                from repro.analyze.schedule_verifier import certify_schedule
+
+                certify_schedule(sched, dims, periods)
+
+        return _verify
 
     def _layout_cached(
         self,
@@ -588,7 +613,7 @@ class CartComm:
 
     def ialltoall(
         self, sendbuf: np.ndarray, recvbuf: np.ndarray, algorithm: str = "auto"
-    ):
+    ) -> "SplitPhaseOp":
         """Non-blocking ``Cart_alltoall``: posts the first phase and
         returns a :class:`~repro.core.nonblocking.SplitPhaseOp` —
         ``test()`` to progress, ``wait()`` to complete.  Computation can
@@ -607,7 +632,7 @@ class CartComm:
 
     def iallgather(
         self, sendbuf: np.ndarray, recvbuf: np.ndarray, algorithm: str = "auto"
-    ):
+    ) -> "SplitPhaseOp":
         """Non-blocking ``Cart_allgather`` (see :meth:`ialltoall`)."""
         from repro.core.nonblocking import start_schedule
 
@@ -627,7 +652,7 @@ class CartComm:
         self,
         sendbuf: np.ndarray,
         recvbuf: np.ndarray,
-        op="sum",
+        op: Union[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = "sum",
         algorithm: str = "auto",
     ) -> np.ndarray:
         """``Cart_reduce``-style neighborhood reduction: ``recvbuf`` =
@@ -706,7 +731,7 @@ class CartComm:
     # ------------------------------------------------------------------
     def alltoall_init(
         self, sendbuf: np.ndarray, recvbuf: np.ndarray, algorithm: str = "auto"
-    ):
+    ) -> "PersistentOp":
         """``Cart_alltoall_init``: precompute the schedule and bind the
         buffers; returns a reusable handle (see Listing 3's usage)."""
         from repro.core.persistent import PersistentOp
@@ -720,7 +745,7 @@ class CartComm:
 
     def allgather_init(
         self, sendbuf: np.ndarray, recvbuf: np.ndarray, algorithm: str = "auto"
-    ):
+    ) -> "PersistentOp":
         from repro.core.persistent import PersistentOp
 
         sched = self._regular_allgather_schedule(sendbuf.nbytes, algorithm)
@@ -738,7 +763,7 @@ class CartComm:
         sdispls: Optional[Sequence[int]] = None,
         rdispls: Optional[Sequence[int]] = None,
         algorithm: str = "auto",
-    ):
+    ) -> "PersistentOp":
         from repro.core.persistent import PersistentOp
 
         send_blocks = self._v_layout(sendcounts, sdispls, sendbuf.itemsize, "send")
@@ -758,7 +783,7 @@ class CartComm:
         sendtypes: Sequence[TypeSpecLike],
         recvtypes: Sequence[TypeSpecLike],
         algorithm: str = "auto",
-    ):
+    ) -> "PersistentOp":
         from repro.core.persistent import PersistentOp
 
         send_blocks = [_as_blockset(s) for s in sendtypes]
@@ -774,9 +799,9 @@ class CartComm:
         self,
         sendbuf: np.ndarray,
         recvbuf: np.ndarray,
-        op="sum",
+        op: Union[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = "sum",
         algorithm: str = "auto",
-    ):
+    ) -> "PersistentReduce":
         """Persistent neighborhood reduction: schedule and accumulator
         layout precomputed, buffers bound."""
         from repro.core.persistent import PersistentReduce
@@ -789,7 +814,7 @@ class CartComm:
         sendtype: TypeSpecLike,
         recvtypes: Sequence[TypeSpecLike],
         algorithm: str = "auto",
-    ):
+    ) -> "PersistentOp":
         from repro.core.persistent import PersistentOp
 
         send_block = _as_blockset(sendtype)
@@ -813,7 +838,7 @@ def cart_neighborhood_create(
     comm: Communicator,
     dims: Sequence[int],
     periods: Optional[Sequence[bool]],
-    offsets,
+    offsets: Union[Neighborhood, np.ndarray, Sequence[int], Sequence[Sequence[int]]],
     *,
     weights: Optional[Sequence[int]] = None,
     info: Optional[dict] = None,

@@ -61,7 +61,7 @@ def execute_schedule(
         comm.progress(phase=phase_index)
         requests = []
         for round_index, rnd in enumerate(phase.rounds):
-            neg = tuple(-o for o in rnd.offset)
+            neg = tuple(-o for o in rnd.recv_source_offset)
             source = topo.translate(rank, neg)
             target = topo.translate(rank, rnd.offset)
             if source is not None:

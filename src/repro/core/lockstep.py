@@ -77,7 +77,7 @@ def execute_lockstep(
             packed.append(row)
         # … then deliver them.
         for rnd, row in zip(phase.rounds, packed):
-            neg = tuple(-o for o in rnd.offset)
+            neg = tuple(-o for o in rnd.recv_source_offset)
             for r in range(p):
                 src = topo.translate(r, neg)
                 if src is None:

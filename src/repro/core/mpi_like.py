@@ -30,11 +30,14 @@ Conventions preserved from the C interface:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
 from repro.core.cartcomm import CartComm, cart_neighborhood_create
+
+if TYPE_CHECKING:
+    from repro.core.persistent import PersistentOp
 from repro.core.neighborhood import neighborhood_from_flat
 from repro.mpisim.comm import Communicator
 from repro.mpisim.datatypes import BlockSet, Datatype, blockset_from_datatype
@@ -50,7 +53,7 @@ def Cart_neighborhood_create(
     periods: Sequence[int],
     t: int,
     targetrelative: Sequence[int],
-    weight=MPI_UNWEIGHTED,
+    weight: Optional[Sequence[int]] = MPI_UNWEIGHTED,
     info: Optional[dict] = None,
     reorder: int = 0,
 ) -> CartComm:
@@ -223,18 +226,27 @@ def Cart_allgatherw(
 # ---------------------------------------------------------------------------
 
 
-def Cart_alltoall_init(sendbuf, recvbuf, cartcomm: CartComm):
+def Cart_alltoall_init(
+    sendbuf: np.ndarray, recvbuf: np.ndarray, cartcomm: CartComm
+) -> "PersistentOp":
     return cartcomm.alltoall_init(sendbuf, recvbuf)
 
 
-def Cart_allgather_init(sendbuf, recvbuf, cartcomm: CartComm):
+def Cart_allgather_init(
+    sendbuf: np.ndarray, recvbuf: np.ndarray, cartcomm: CartComm
+) -> "PersistentOp":
     return cartcomm.allgather_init(sendbuf, recvbuf)
 
 
 def Cart_alltoallv_init(
-    sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls,
+    sendbuf: np.ndarray,
+    sendcounts: Sequence[int],
+    sdispls: Sequence[int],
+    recvbuf: np.ndarray,
+    recvcounts: Sequence[int],
+    rdispls: Sequence[int],
     cartcomm: CartComm,
-):
+) -> "PersistentOp":
     return cartcomm.alltoallv_init(
         sendbuf, sendcounts, recvbuf, recvcounts,
         sdispls=sdispls, rdispls=rdispls,
@@ -242,10 +254,16 @@ def Cart_alltoallv_init(
 
 
 def Cart_alltoallw_init(
-    sendbuf, sendcounts, senddispls, sendtypes,
-    recvbuf, recvcounts, recvdispls, recvtypes,
+    sendbuf: np.ndarray,
+    sendcounts: Sequence[int],
+    senddispls: Sequence[int],
+    sendtypes: Sequence[Datatype],
+    recvbuf: np.ndarray,
+    recvcounts: Sequence[int],
+    recvdispls: Sequence[int],
+    recvtypes: Sequence[Datatype],
     cartcomm: CartComm,
-):
+) -> "PersistentOp":
     buffers = {"sendw": sendbuf, "recvw": recvbuf}
     return cartcomm.alltoallw_init(
         buffers,

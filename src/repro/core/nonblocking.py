@@ -62,7 +62,7 @@ class SplitPhaseOp:
                 rank = self.comm.rank
                 reqs = []
                 for rnd in phase.rounds:
-                    neg = tuple(-o for o in rnd.offset)
+                    neg = tuple(-o for o in rnd.recv_source_offset)
                     source = self.topo.translate(rank, neg)
                     target = self.topo.translate(rank, rnd.offset)
                     if source is not None:

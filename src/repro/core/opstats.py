@@ -14,6 +14,11 @@ communicator via ``info={"collect_stats": True}`` or
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:
+    from repro.core.schedule import Schedule
+    from repro.mpisim.faults import FaultEvent
 
 
 @dataclass
@@ -51,7 +56,7 @@ class OpStats:
     def record_fault(self, kind: str, n: int = 1) -> None:
         self.faults[kind] = self.faults.get(kind, 0) + n
 
-    def record_fault_events(self, events) -> None:
+    def record_fault_events(self, events: Iterable["FaultEvent"]) -> None:
         """Fold an engine's fault-event log into the counters."""
         for event in events:
             self.record_fault(event.kind)
@@ -63,7 +68,9 @@ class OpStats:
             self.cache_misses += 1
             self.cache_build_seconds += build_seconds
 
-    def record_schedule(self, op: str, algorithm: str, schedule) -> None:
+    def record_schedule(
+        self, op: str, algorithm: str, schedule: "Schedule"
+    ) -> None:
         key = (op, algorithm)
         rec = self.records.get(key)
         if rec is None:

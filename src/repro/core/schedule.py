@@ -25,10 +25,11 @@ persistent operations hand back.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.analyze.report import ScheduleValidationError
 from repro.core.neighborhood import Neighborhood
 from repro.mpisim.datatypes import BlockRef, BlockSet, byte_view
 from repro.mpisim.exceptions import ScheduleError
@@ -38,19 +39,33 @@ from repro.mpisim.exceptions import ScheduleError
 class Round:
     """One send-receive exchange: all blocks sharing a direction."""
 
-    #: relative offset of the send target (receive source is its negation)
+    #: relative offset of the send target (receive source is its negation
+    #: unless ``recv_offset`` overrides it)
     offset: tuple[int, ...]
     send_blocks: BlockSet
     recv_blocks: BlockSet
     #: number of *logical* data blocks combined into this round (a logical
     #: block described by a multi-region `w` datatype still counts once)
     logical_blocks: int = 0
+    #: optional independent receive-source offset: the receive source is
+    #: ``(R − recv_offset) mod dims``.  ``None`` (the isomorphic default)
+    #: means ``recv_offset == offset`` — the symmetric sendrecv exchange
+    #: of Listing 4.  The general form exists because MPI sendrecv allows
+    #: it; the static verifier is what proves a given choice sound.
+    recv_offset: Optional[tuple[int, ...]] = None
+
+    @property
+    def recv_source_offset(self) -> tuple[int, ...]:
+        """Offset whose *negation* locates the receive source."""
+        return self.offset if self.recv_offset is None else self.recv_offset
 
     def validate(self) -> None:
         if self.send_blocks.total_nbytes != self.recv_blocks.total_nbytes:
-            raise ScheduleError(
-                f"round to {self.offset}: send {self.send_blocks.total_nbytes} B "
-                f"!= recv {self.recv_blocks.total_nbytes} B"
+            raise ScheduleValidationError.single(
+                "V103",
+                f"round to {self.offset}: send "
+                f"{self.send_blocks.total_nbytes} B != recv "
+                f"{self.recv_blocks.total_nbytes} B",
             )
         # Send/receive *byte* sizes must match; block-reference counts may
         # differ (a multi-region `w` layout can pair with one temp slot).
@@ -86,8 +101,8 @@ class LocalCopy:
 
     def validate(self) -> None:
         if self.src.nbytes != self.dst.nbytes:
-            raise ScheduleError(
-                f"local copy size mismatch: {self.src} -> {self.dst}"
+            raise ScheduleValidationError.single(
+                "V104", f"local copy size mismatch: {self.src} -> {self.dst}"
             )
 
 
@@ -103,6 +118,16 @@ class Schedule:
     temp_nbytes: int = 0
     #: informational: which named buffers the block sets reference
     buffer_names: tuple[str, ...] = ("send", "recv", "temp")
+    #: per-neighbor user-buffer layout (``send_layout[i]`` = where block
+    #: ``i`` lives in the send buffer); builders record these so the
+    #: static verifier can check delivered content against the
+    #: collective's definition.  ``None`` for hand-built schedules.
+    send_layout: Optional[list[BlockSet]] = field(
+        default=None, repr=False, compare=False
+    )
+    recv_layout: Optional[list[BlockSet]] = field(
+        default=None, repr=False, compare=False
+    )
     #: coalesced local-copy plan, precomputed by :meth:`prepare`
     _copy_runs: list[LocalCopy] | None = field(
         default=None, repr=False, compare=False
@@ -204,7 +229,7 @@ class Schedule:
         if self._copy_runs is None:
             self.prepare()
         moved = 0
-        for lc in self._copy_runs:
+        for lc in self._copy_runs or ():
             src_view = byte_view(buffers[lc.src.buffer])
             dst_view = byte_view(buffers[lc.dst.buffer])
             dst_view[lc.dst.offset : lc.dst.offset + lc.dst.nbytes] = src_view[

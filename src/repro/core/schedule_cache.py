@@ -109,13 +109,22 @@ class ScheduleCache:
 
     # ------------------------------------------------------------------
     def get_or_build(
-        self, key: tuple, build: Callable[[], object]
+        self,
+        key: tuple,
+        build: Callable[[], object],
+        verify: Optional[Callable[[object], None]] = None,
     ) -> tuple[object, bool, float]:
         """Return ``(schedule, hit, build_seconds)``.
 
         ``hit`` is True when the schedule came from the cache (including
         waiting on another thread's in-flight build); ``build_seconds``
         is non-zero only for the thread that actually built.
+
+        ``verify``, when given, runs once on a freshly built schedule
+        inside the single-flight section (the ``verify_on_build`` hook):
+        if it raises, the entry is *not* cached and the error propagates
+        to every caller of this key's in-flight build — a defective
+        schedule never enters the cache.
         """
         while True:
             with self._lock:
@@ -140,6 +149,8 @@ class ScheduleCache:
             prepare = getattr(sched, "prepare", None)
             if prepare is not None:
                 prepare()
+            if verify is not None:
+                verify(sched)
             with self._lock:
                 self._builds += 1
                 self._build_seconds += elapsed
@@ -201,8 +212,12 @@ class ScheduleCache:
 GLOBAL_CACHE = ScheduleCache()
 
 
-def get_or_build(key: tuple, build: Callable[[], object]):
-    return GLOBAL_CACHE.get_or_build(key, build)
+def get_or_build(
+    key: tuple,
+    build: Callable[[], object],
+    verify: Optional[Callable[[object], None]] = None,
+) -> tuple[object, bool, float]:
+    return GLOBAL_CACHE.get_or_build(key, build, verify)
 
 
 def cache_info() -> CacheInfo:

@@ -56,6 +56,11 @@ def schedule_to_dict(sched: Schedule) -> dict[str, Any]:
                         "send": _blockset_to_list(r.send_blocks),
                         "recv": _blockset_to_list(r.recv_blocks),
                         "logical_blocks": r.logical_blocks,
+                        **(
+                            {"recv_offset": list(r.recv_offset)}
+                            if r.recv_offset is not None
+                            else {}
+                        ),
                     }
                     for r in ph.rounds
                 ],
@@ -86,12 +91,18 @@ def schedule_from_dict(data: dict[str, Any]) -> Schedule:
     for ph in data["phases"]:
         rounds = []
         for r in ph["rounds"]:
+            raw_recv_offset = r.get("recv_offset")
             rounds.append(
                 Round(
                     offset=tuple(int(x) for x in r["offset"]),
                     send_blocks=_blockset_from_list(r["send"]),
                     recv_blocks=_blockset_from_list(r["recv"]),
                     logical_blocks=int(r.get("logical_blocks", 0)),
+                    recv_offset=(
+                        tuple(int(x) for x in raw_recv_offset)
+                        if raw_recv_offset is not None
+                        else None
+                    ),
                 )
             )
         phases.append(Phase(dim=ph["dim"], rounds=rounds))

@@ -86,6 +86,8 @@ def build_trivial_alltoall_schedule(
         phases=[Phase(dim=None, rounds=[r]) for r in rounds],
         local_copies=copies,
         temp_nbytes=0,
+        send_layout=list(send_blocks),
+        recv_layout=list(recv_blocks),
     )
 
 
@@ -103,6 +105,8 @@ def build_direct_alltoall_schedule(
         phases=[Phase(dim=None, rounds=rounds)],
         local_copies=copies,
         temp_nbytes=0,
+        send_layout=list(send_blocks),
+        recv_layout=list(recv_blocks),
     )
 
 
@@ -121,6 +125,8 @@ def build_trivial_allgather_schedule(
         phases=[Phase(dim=None, rounds=[r]) for r in rounds],
         local_copies=copies,
         temp_nbytes=0,
+        send_layout=[BlockSet(list(send_block))],
+        recv_layout=list(recv_blocks),
     )
 
 
@@ -138,4 +144,6 @@ def build_direct_allgather_schedule(
         phases=[Phase(dim=None, rounds=rounds)],
         local_copies=copies,
         temp_nbytes=0,
+        send_layout=[BlockSet(list(send_block))],
+        recv_layout=list(recv_blocks),
     )

@@ -314,7 +314,12 @@ class Communicator:
         self, source: int = ANY_SOURCE, tag: int = ANY_TAG
     ) -> dict:
         """Blocking probe: wait until a matching message is queued and
-        return its status (the message stays queued)."""
+        return its status (the message stays queued).
+
+        Parks on the mailbox's delivery condition rather than polling:
+        each arrival wakes the prober, and a bounded wait slice keeps
+        the abort/deadline checks responsive even without traffic.
+        """
         import time as _time
 
         deadline = _time.monotonic() + self.engine.timeout
@@ -328,12 +333,13 @@ class Communicator:
                 raise AbortError(
                     f"rank {self.rank}: run aborted while probing"
                 )
-            if _time.monotonic() > deadline:
+            remaining = deadline - _time.monotonic()
+            if remaining <= 0:
                 raise TimeoutError(
                     f"rank {self.rank}: probe timed out (source={source}, "
                     f"tag={tag})"
                 )
-            _time.sleep(0.001)
+            self._mailbox.wait_for_arrival(min(0.05, remaining))
 
     def waitall(self, requests: Sequence[Request]) -> list:
         out = []

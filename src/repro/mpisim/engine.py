@@ -28,7 +28,10 @@ Modeled *performance* comes from replaying recorded traces through
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.mpisim.faults import FaultPlan
 
 from repro.mpisim.exceptions import (
     AbortError,
@@ -139,7 +142,7 @@ class Engine:
                 results[rank] = fn(comm, *extra)
             except AbortError:
                 pass  # secondary casualty of another rank's failure
-            except BaseException as exc:  # noqa: BLE001 - must propagate all
+            except BaseException as exc:  # noqa: BLE001  # lint: allow(L004) - recorded per rank, re-raised as RankFailedError by run()
                 with self._errors_lock:
                     self._errors.append((rank, exc))
                 self.abort()
@@ -248,7 +251,7 @@ def run_ranks(
     timeout: float = 120.0,
     tracing: bool = False,
     args: Sequence[tuple] | None = None,
-    faults=None,
+    faults: Optional["FaultPlan"] = None,
 ) -> list[Any]:
     """One-shot convenience: build an engine, run ``fn`` on all ranks,
     return the per-rank results."""

@@ -56,7 +56,7 @@ from __future__ import annotations
 import random
 import threading
 from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from repro.mpisim.exceptions import FaultError, RankKilledError
 
@@ -459,7 +459,9 @@ def _attributable(error: BaseException, events: Sequence[FaultEvent]) -> bool:
     return False
 
 
-def chaos_run(case_or_seed, *, timeout: float = 30.0) -> ChaosCase:
+def chaos_run(
+    case_or_seed: Union[ChaosCase, int], *, timeout: float = 30.0
+) -> ChaosCase:
     """Execute one chaos case and certify the dichotomy.
 
     Runs the case's Cartesian collective on a threaded engine under its
@@ -520,7 +522,7 @@ def chaos_run(case_or_seed, *, timeout: float = 30.0) -> ChaosCase:
     error: Optional[BaseException] = None
     try:
         engine.run(bootstrap)
-    except Exception as exc:  # noqa: BLE001 - classify every failure mode
+    except Exception as exc:  # noqa: BLE001  # lint: allow(L004) - chaos harness classifies every failure mode downstream
         error = exc
     case.events = engine.fault_events()
 

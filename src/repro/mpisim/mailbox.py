@@ -180,6 +180,9 @@ class Mailbox:
         self.owner_rank = owner_rank
         self._abort = abort_event
         self._lock = threading.Lock()
+        #: signalled on every delivery/abort; the blocking-probe
+        #: primitive (Condition.wait releases the mailbox lock)
+        self._cond = threading.Condition(self._lock)
         self._envelopes: list[Envelope] = []
         self._pending: list[PostedRecv] = []
         #: default wait behaviour (engine-configurable)
@@ -250,13 +253,16 @@ class Mailbox:
 
     def _deliver_locked(self, env: Envelope) -> None:
         """Match or queue one envelope.  Caller holds the lock."""
-        for i, recv in enumerate(self._pending):
-            if recv.accepts(env):
-                del self._pending[i]
-                recv.envelope = env
-                recv.done.set()
-                return
-        self._envelopes.append(env)
+        try:
+            for i, recv in enumerate(self._pending):
+                if recv.accepts(env):
+                    del self._pending[i]
+                    recv.envelope = env
+                    recv.done.set()
+                    return
+            self._envelopes.append(env)
+        finally:
+            self._cond.notify_all()
 
     # ------------------------------------------------------------------
     # held-stream machinery (fault injection)
@@ -401,10 +407,15 @@ class Mailbox:
     def cancel(self, recv: PostedRecv) -> None:
         """Remove a pending receive (no-op if it already completed)."""
         with self._lock:
-            try:
+            if recv in self._pending:
                 self._pending.remove(recv)
-            except ValueError:
-                pass
+
+    def wait_for_arrival(self, timeout: float) -> None:
+        """Block until the next delivery into this mailbox (matched or
+        queued) or ``timeout`` seconds — the blocking-probe primitive.
+        Spurious wakeups are fine: callers re-check their predicate."""
+        with self._cond:
+            self._cond.wait(timeout)
 
     # ------------------------------------------------------------------
     # engine hooks
@@ -415,6 +426,7 @@ class Mailbox:
         block without polling) terminate promptly."""
         with self._lock:
             pending, self._pending = self._pending, []
+            self._cond.notify_all()
         for recv in pending:
             recv.aborted = True
             recv.done.set()

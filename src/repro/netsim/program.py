@@ -41,7 +41,7 @@ def program_from_schedule(
     for phase in schedule.phases:
         posted = 0
         for rnd in phase.rounds:
-            neg = tuple(-o for o in rnd.offset)
+            neg = tuple(-o for o in rnd.recv_source_offset)
             source = topo.translate(rank, neg)
             target = topo.translate(rank, rnd.offset)
             if source is not None:

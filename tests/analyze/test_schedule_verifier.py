@@ -1,0 +1,184 @@
+"""Static schedule verifier: certification of good schedules and
+rejection (with the right violation codes) of known-bad ones.
+
+The three bad schedules are the canonical counterexamples from the
+issue: an orphaned send (a round whose receive source never sends),
+a swapped round order (a rendezvous deadlock cycle inside one phase),
+and an overlapping receive block pair (aliasing).  Each is produced by
+mutating a correct builder schedule, so the tests also demonstrate that
+the verifier sees through the `recv_offset` generality rather than
+assuming the isomorphic default.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyze.report import (
+    CODES,
+    ScheduleValidationError,
+    VerificationReport,
+    Violation,
+)
+from repro.analyze.schedule_verifier import (
+    SWEEP_KINDS,
+    build_for_kind,
+    certify_schedule,
+    paper_stencil_grid,
+    sweep_stencils,
+    verify_schedule,
+)
+from repro.core import schedule_cache
+from repro.core.stencils import named_stencil
+from repro.mpisim.datatypes import BlockRef
+
+
+# ----------------------------------------------------------------------
+# report plumbing
+# ----------------------------------------------------------------------
+class TestReport:
+    def test_violation_rejects_unknown_code(self):
+        with pytest.raises(ValueError):
+            Violation(code="V999", message="nope")
+
+    def test_all_codes_documented(self):
+        for code in CODES:
+            v = Violation(code=code, message="x")
+            assert code in v.describe()
+
+    def test_empty_report_is_ok(self):
+        report = VerificationReport(
+            kind="alltoall", dims=(4, 4), periods=(True, True)
+        )
+        assert report.ok
+        report.raise_if_failed()  # no-op when clean
+        assert "OK" in report.summary()
+
+    def test_raise_if_failed_carries_violations(self):
+        report = VerificationReport(
+            kind="alltoall", dims=(4, 4), periods=(True, True)
+        )
+        report.add("V101", "orphan", rank=3)
+        assert not report.ok
+        with pytest.raises(ScheduleValidationError) as ei:
+            report.raise_if_failed()
+        assert isinstance(ei.value, ScheduleValidationError)
+        assert {v.code for v in ei.value.violations} == {"V101"}
+
+
+# ----------------------------------------------------------------------
+# good schedules certify clean
+# ----------------------------------------------------------------------
+class TestCertification:
+    def test_paper_stencil_sweep_all_clean(self):
+        results = sweep_stencils()
+        # every (stencil, kind) combination from the paper's tables
+        assert len(results) == len(paper_stencil_grid()) * len(SWEEP_KINDS)
+        bad = [
+            (name, kind, sorted(rep.codes()))
+            for name, kind, _, rep in results
+            if not rep.ok
+        ]
+        assert bad == []
+
+    def test_checks_run_recorded(self):
+        nbh = named_stencil("9-point")
+        report = verify_schedule(
+            build_for_kind("alltoall", nbh), (4, 4), True
+        )
+        assert report.ok
+        assert "structure" in report.checks_run
+        assert "hop-parity" in report.checks_run
+        assert "quantitative" in report.checks_run
+        assert "matching+deadlock" in report.checks_run
+        assert "content" in report.checks_run
+
+    def test_certify_returns_report(self):
+        nbh = named_stencil("5-point")
+        report = certify_schedule(
+            build_for_kind("trivial-alltoall", nbh), (3, 5), True
+        )
+        assert report.ok
+
+
+# ----------------------------------------------------------------------
+# the three known-bad schedules
+# ----------------------------------------------------------------------
+def _first_round(sched):
+    for ph in sched.phases:
+        if ph.rounds:
+            return ph.rounds[0]
+    raise AssertionError("schedule has no rounds")
+
+
+class TestKnownBadSchedules:
+    def test_orphaned_send_is_rejected(self):
+        # A round that receives from a source that never targets this
+        # rank: its intended sender's message is orphaned (V101) and the
+        # posted receive never completes (V102).
+        nbh = named_stencil("5-point")
+        sched = build_for_kind("trivial-alltoall", nbh)
+        _first_round(sched).recv_offset = (2, 2)
+        report = verify_schedule(sched, (4, 4), True)
+        assert not report.ok
+        assert "V101" in report.codes()
+        assert "V102" in report.codes()
+
+    def test_swapped_round_order_deadlocks(self):
+        # Cross the receive sources of two rounds of one phase: each
+        # rank's first receive waits for the peer's *second* send while
+        # that peer symmetrically waits on this rank's second send — a
+        # cycle under rendezvous sends (Prop 3.1's deadlock argument).
+        nbh = named_stencil("9-point")
+        sched = build_for_kind("alltoall", nbh)
+        phase = next(ph for ph in sched.phases if len(ph.rounds) >= 2)
+        a, b = phase.rounds[0], phase.rounds[1]
+        a.recv_offset, b.recv_offset = b.offset, a.offset
+        report = verify_schedule(sched, (4, 4), True)
+        assert not report.ok
+        assert "V201" in report.codes()
+        [v] = [v for v in report.violations if v.code == "V201"]
+        assert "cycle" in v.message
+
+    def test_overlapping_recv_blocks_rejected(self):
+        # Two receive block references of one round aliasing the same
+        # bytes: the second write clobbers the first.
+        nbh = named_stencil("5-point")
+        sched = build_for_kind("direct-alltoall", nbh)
+        rnd = _first_round(sched)
+        first = rnd.recv_blocks.blocks[0]
+        rnd.recv_blocks.append(
+            BlockRef(first.buffer, first.offset, first.nbytes)
+        )
+        report = verify_schedule(sched, (4, 4), True)
+        assert not report.ok
+        assert "V301" in report.codes()
+
+
+# ----------------------------------------------------------------------
+# verify-on-build hook: a defective schedule never enters the cache
+# ----------------------------------------------------------------------
+class TestVerifyOnBuildHook:
+    def test_bad_schedule_rejected_and_not_cached(self):
+        cache = schedule_cache.ScheduleCache()
+        nbh = named_stencil("5-point")
+
+        def build_bad():
+            sched = build_for_kind("trivial-alltoall", nbh)
+            _first_round(sched).recv_offset = (2, 2)
+            return sched
+
+        def verify(sched):
+            certify_schedule(sched, (4, 4), True)
+
+        with pytest.raises(ScheduleValidationError) as ei:
+            cache.get_or_build(("bad",), build_bad, verify)
+        assert "V101" in {v.code for v in ei.value.violations}
+        assert len(cache) == 0
+
+        # the same key can be rebuilt (the failed build left no residue)
+        sched, hit, _ = cache.get_or_build(
+            ("bad",), lambda: build_for_kind("trivial-alltoall", nbh), verify
+        )
+        assert not hit
+        assert len(cache) == 1

@@ -34,8 +34,15 @@ try:
 except ImportError:  # pragma: no cover - hypothesis is a test dependency
     pass
 
+from repro.analyze.config import set_verify_on_build
 from repro.core.neighborhood import Neighborhood
 from repro.core.topology import CartTopology
+
+# The whole suite runs with build-time schedule verification enabled:
+# every schedule built through the process-wide cache is certified by
+# the static verifier before any rank executes it (benchmarks leave the
+# hook off; see repro.analyze.config).
+set_verify_on_build(True)
 
 
 def fill_send_alltoall(rank: int, t: int, m: int, dtype=np.int64) -> np.ndarray:
