@@ -48,6 +48,7 @@ from repro.core.stencils import (
     parameterized_stencil,
     named_stencil,
 )
+from repro.core.backend import BACKENDS, get_backend
 from repro.core.cartcomm import CartComm, cart_neighborhood_create
 from repro.core.distgraph import DistGraphComm, dist_graph_create_adjacent
 from repro.core.api import run_cartesian, run_ranks
@@ -63,6 +64,8 @@ __all__ = [
     "von_neumann_neighborhood",
     "parameterized_stencil",
     "named_stencil",
+    "BACKENDS",
+    "get_backend",
     "CartComm",
     "cart_neighborhood_create",
     "DistGraphComm",

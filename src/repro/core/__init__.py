@@ -23,9 +23,15 @@ Modules
 ``schedule_cache``
     process-wide, thread-safe LRU of built schedules keyed by the
     canonical (kind, neighborhood, layout, block-signature) fingerprint.
+``backend``
+    execution backends: the ``Transport`` verb protocol, the single
+    schedule interpreter shared by every execution mode, and the
+    ``threaded`` / ``lockstep`` / ``shm`` backends behind
+    ``CartComm(backend=...)`` and ``$REPRO_BACKEND``.
 ``executor`` / ``lockstep``
-    Listing 5 — schedule execution on the threaded engine, and a
-    deterministic all-ranks executor for correctness tests at large p.
+    Listing 5 — thin front-ends over ``backend``: blocking execution on
+    the threaded engine, and the deterministic all-ranks executor for
+    correctness tests at large p.
 ``cartcomm``
     the public API of Listings 1 and 2 (``cart_neighborhood_create``,
     ``CartComm`` with alltoall/allgather in regular, v and w variants,
@@ -40,6 +46,15 @@ Modules
 
 from repro.core.topology import CartTopology
 from repro.core.neighborhood import Neighborhood
+from repro.core.backend import (
+    BACKENDS,
+    Backend,
+    BackendError,
+    ScheduleInterpreter,
+    Transport,
+    TransportCapabilities,
+    get_backend,
+)
 from repro.core.cartcomm import CartComm, cart_neighborhood_create
 from repro.core.distgraph import (
     DistGraphComm,
@@ -59,6 +74,13 @@ from repro.core.visualize import render_schedule, render_tree
 __all__ = [
     "CartTopology",
     "Neighborhood",
+    "BACKENDS",
+    "Backend",
+    "BackendError",
+    "ScheduleInterpreter",
+    "Transport",
+    "TransportCapabilities",
+    "get_backend",
     "CartComm",
     "cart_neighborhood_create",
     "DistGraphComm",

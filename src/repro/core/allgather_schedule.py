@@ -34,11 +34,11 @@ from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
+from repro.core.blockcopy import pair_copies
 from repro.core.neighborhood import Neighborhood
 from repro.core.schedule import LocalCopy, Phase, Round, Schedule
 from repro.mpisim.datatypes import BlockRef, BlockSet
 from repro.mpisim.exceptions import ScheduleError
-from repro.core.alltoall_schedule import _pair_copies
 
 
 def increasing_ck_order(nbh: Neighborhood) -> tuple[int, ...]:
@@ -236,7 +236,7 @@ def build_allgather_schedule(
     for i in tree.root.terminal:
         # the self-block(s): plain send->recv copies
         local_copies.extend(
-            _pair_copies(list(send_block), list(recv_blocks[i]), neighbor=i)
+            pair_copies(list(send_block), list(recv_blocks[i]), neighbor=i)
         )
 
     for node in tree.root.walk():
@@ -247,7 +247,7 @@ def build_allgather_schedule(
             storage[id(node)] = recv_blocks[first]
             for j in rest:
                 local_copies.extend(
-                    _pair_copies(
+                    pair_copies(
                         list(recv_blocks[first]), list(recv_blocks[j]), neighbor=j
                     )
                 )

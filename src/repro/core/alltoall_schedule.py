@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.core.blockcopy import pair_copies
 from repro.core.neighborhood import Neighborhood
 from repro.core.schedule import (
     LocalCopy,
@@ -157,7 +158,7 @@ def build_alltoall_schedule(
             src_refs = list(send_blocks[i])
             dst_refs = list(recv_blocks[i])
             local_copies.extend(
-                _pair_copies(src_refs, dst_refs, neighbor=i)
+                pair_copies(src_refs, dst_refs, neighbor=i)
             )
 
     sched = Schedule(
@@ -181,36 +182,6 @@ def build_alltoall_schedule(
             f"{nbh.distinct_nonzero_per_dim}"
         )
     return sched
-
-
-def _pair_copies(
-    src_refs: list[BlockRef], dst_refs: list[BlockRef], neighbor: int
-) -> list[LocalCopy]:
-    """Pair up source and destination block refs of one neighbor for the
-    local-copy phase, splitting where region boundaries differ."""
-    copies: list[LocalCopy] = []
-    si = di = 0
-    s_off = d_off = 0
-    while si < len(src_refs) and di < len(dst_refs):
-        s = src_refs[si]
-        dch = dst_refs[di]
-        take = min(s.nbytes - s_off, dch.nbytes - d_off)
-        if take > 0:
-            copies.append(
-                LocalCopy(
-                    src=BlockRef(s.buffer, s.offset + s_off, take),
-                    dst=BlockRef(dch.buffer, dch.offset + d_off, take),
-                )
-            )
-        s_off += take
-        d_off += take
-        if s_off >= s.nbytes:
-            si += 1
-            s_off = 0
-        if d_off >= dch.nbytes:
-            di += 1
-            d_off = 0
-    return copies
 
 
 def build_trivial_alltoall_blocksets(

@@ -1,0 +1,170 @@
+"""Transport protocol and backend base classes.
+
+Proposition 3.1 makes a schedule pure local data; *executing* one only
+needs four verbs — post a receive, post a send, complete the posted
+operations of a phase, and (for process-parallel transports) a barrier.
+:class:`Transport` is that verb set for a single rank;
+:class:`Backend` is the factory/driver layer above it: it either hands
+out per-rank transports (threaded execution inside an engine) or runs a
+schedule for *all* ranks at once (lockstep, shared-memory processes).
+
+The capability flags let callers pick front-ends honestly: split-phase
+(non-blocking) execution needs a per-rank transport; all-ranks backends
+are driven collectively and fall back to the threaded transport for
+``i*`` operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.mpisim.exceptions import MpiSimError
+
+if TYPE_CHECKING:
+    from repro.core.schedule import Schedule
+    from repro.core.topology import CartTopology
+    from repro.mpisim.datatypes import BlockSet
+
+
+class BackendError(MpiSimError):
+    """An execution backend was misused or failed."""
+
+
+# ---------------------------------------------------------------------------
+# scratch-buffer allocation (shared by every backend and front-end)
+# ---------------------------------------------------------------------------
+
+
+def allocate_buffers(
+    schedule: "Schedule", user_buffers: Mapping[str, np.ndarray]
+) -> dict[str, np.ndarray]:
+    """Combine the caller's named buffers with the scratch buffer the
+    schedule requires (``"temp"``)."""
+    buffers = dict(user_buffers)
+    if schedule.temp_nbytes > 0 and "temp" not in buffers:
+        buffers["temp"] = np.empty(schedule.temp_nbytes, dtype=np.uint8)
+    return buffers
+
+
+def allocate_rank_buffers(
+    schedule: "Schedule",
+    user_buffers: Sequence[Mapping[str, np.ndarray]],
+) -> list[dict[str, np.ndarray]]:
+    """Per-rank buffer dictionaries with scratch space added."""
+    return [allocate_buffers(schedule, b) for b in user_buffers]
+
+
+# ---------------------------------------------------------------------------
+# capabilities
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TransportCapabilities:
+    """What a backend's transports can honestly promise."""
+
+    #: registry name ("threaded", "lockstep", "shm")
+    name: str
+    #: ranks make progress concurrently (threads or processes)
+    true_parallel: bool
+    #: sends are captured at post time and delivered at ``waitall``
+    #: (pack-then-unpack discipline) rather than flowing eagerly
+    deferred_delivery: bool
+    #: a single rank can drive phases incrementally (``i*`` operations)
+    split_phase: bool
+    #: one transport per rank, usable from inside an engine rank thread
+    per_rank: bool
+    #: the backend executes a schedule for all ranks in one call
+    all_ranks: bool
+    #: the backend executes reduction schedules natively (otherwise the
+    #: reduction funnels through the all-ranks lockstep path)
+    native_reduce: bool
+
+
+class Transport:
+    """One rank's executor verbs.
+
+    ``post_recv``/``post_send`` return opaque pending tokens; ``waitall``
+    consumes the tokens of one phase and guarantees every receive has
+    been scattered into its block set when it returns.  The optional
+    observability hooks (``mark``/``progress``/``record_local``) default
+    to no-ops — only the threaded transport has a trace to feed.
+    """
+
+    capabilities: TransportCapabilities
+    rank: int
+
+    def post_recv(
+        self,
+        blocks: "BlockSet",
+        buffers: Mapping[str, np.ndarray],
+        source: int,
+        tag: int,
+        seq: tuple[int, int],
+    ) -> Any:
+        """Post one round's receive; ``seq`` is (phase, round)."""
+        raise NotImplementedError
+
+    def post_send(
+        self,
+        blocks: "BlockSet",
+        buffers: Mapping[str, np.ndarray],
+        dest: int,
+        tag: int,
+        seq: tuple[int, int],
+    ) -> Any:
+        """Post one round's send."""
+        raise NotImplementedError
+
+    def waitall(self, pending: Sequence[Any]) -> None:
+        """Complete every pending token of the current phase."""
+        raise NotImplementedError
+
+    def barrier(self) -> None:
+        """Synchronize all ranks (no-op where phases already are)."""
+
+    # observability hooks --------------------------------------------------
+    def mark(self, note: str) -> None:
+        """Trace annotation (no-op unless the transport has a trace)."""
+
+    def progress(self, **kwargs: Any) -> None:
+        """Structured progress-state update (no-op by default)."""
+
+    def record_local(self, nbytes: int, note: str = "") -> None:
+        """Attribute rank-local data movement (no-op by default)."""
+
+
+class Backend:
+    """Factory/driver for one execution strategy."""
+
+    name: str
+    capabilities: TransportCapabilities
+
+    def transport(self, comm: Any) -> Transport:
+        """A per-rank transport bound to ``comm`` (per-rank backends
+        only)."""
+        raise BackendError(
+            f"backend {self.name!r} has no per-rank transports; drive it "
+            f"with execute_all()"
+        )
+
+    def execute_all(
+        self,
+        topo: "CartTopology",
+        schedule: "Schedule",
+        rank_buffers: Sequence[Mapping[str, np.ndarray]],
+        *,
+        tag: int = -7,
+        validate: bool = False,
+    ) -> None:
+        """Execute ``schedule`` for every rank of ``topo`` in one call,
+        mutating ``rank_buffers`` in place (all-ranks backends only)."""
+        raise BackendError(
+            f"backend {self.name!r} cannot execute all ranks in one call"
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,169 @@
+"""The one schedule interpreter (Listing 5, transport-agnostic).
+
+Every execution mode in the library — blocking collectives, the
+split-phase ``i*`` operations, persistent handles, the all-ranks
+lockstep and shared-memory paths, and the certification helpers in
+``verify.py`` — drives a :class:`ScheduleInterpreter` over some
+:class:`~repro.core.backend.base.Transport`.  The phase/round
+interpretation of a :class:`~repro.core.schedule.Schedule` lives *only*
+here:
+
+* per round, the receive is posted before the send (so a self-send
+  matches immediately);
+* source = ``translate(rank, -recv_source_offset)``, target =
+  ``translate(rank, offset)``; a missing source/target (non-periodic
+  mesh boundary) skips that half of the round — the halo semantics of
+  stencil codes;
+* one ``waitall`` completes each phase;
+* the final non-communication phase performs the rank-local copies.
+
+Blocking execution is :meth:`run`.  Split-phase front-ends call
+:meth:`begin` / :meth:`post_next_phase` / :meth:`complete_phase` /
+:meth:`finish` themselves; all-ranks drivers interleave those calls
+across ranks to preserve the pack-all-then-unpack discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.backend.base import Transport, allocate_buffers
+from repro.core.schedule import Schedule
+from repro.core.topology import CartTopology
+
+#: Tag used by Cartesian collective schedules (the paper's ``CARTTAG``);
+#: kept numerically identical to ``repro.mpisim.comm.CARTTAG``.
+CARTTAG = -7
+
+
+class ScheduleInterpreter:
+    """Drives one execution of ``schedule`` for one rank over
+    ``transport``.
+
+    ``observe`` routes trace marks and progress updates through the
+    transport (the blocking collectives do; split-phase operations
+    historically do not).  ``skip_empty_phases`` advances silently over
+    phases with no rounds (split-phase semantics) instead of issuing an
+    empty ``waitall`` for them (blocking semantics).
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        topo: CartTopology,
+        schedule: Schedule,
+        buffers: Mapping[str, np.ndarray],
+        *,
+        tag: int = CARTTAG,
+        validate: bool = False,
+        observe: bool = True,
+        skip_empty_phases: bool = False,
+    ) -> None:
+        self.transport = transport
+        self.topo = topo
+        self.schedule = schedule
+        self.buffers = allocate_buffers(schedule, buffers)
+        self.tag = tag
+        self.validate = validate
+        self.observe = observe
+        self.skip_empty_phases = skip_empty_phases
+        #: index of the phase currently posted / next to post
+        self._phase_index = 0
+        self.pending: list[Any] = []
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._finished
+
+    @property
+    def phases_remaining(self) -> int:
+        return len(self.schedule.phases) - self._phase_index
+
+    # ------------------------------------------------------------------
+    def begin(self) -> None:
+        """Prepare the schedule and open the (optional) trace region."""
+        if self.validate:
+            self.schedule.validate(self.buffers)
+        # Idempotent: cached schedules arrive prepared; one-shot
+        # schedules get their coalesced-copy plans computed before the
+        # timed phases.
+        self.schedule.prepare()
+        if self.observe:
+            self.transport.mark(f"begin {self.schedule.kind}")
+            self.transport.progress(op=self.schedule.kind)
+
+    def post_next_phase(self) -> bool:
+        """Post the receives (first) and sends of the next phase.
+
+        Returns ``False`` when no phase remains to post.  This is the
+        single phase/round interpretation loop of the library.
+        """
+        phases = self.schedule.phases
+        while self._phase_index < len(phases):
+            phase = phases[self._phase_index]
+            if self.skip_empty_phases and not phase.rounds:
+                self._phase_index += 1
+                continue
+            if self.observe:
+                self.transport.progress(phase=self._phase_index)
+            t = self.transport
+            rank = t.rank
+            pending: list[Any] = []
+            for round_index, rnd in enumerate(phase.rounds):
+                neg = tuple(-o for o in rnd.recv_source_offset)
+                source = self.topo.translate(rank, neg)
+                target = self.topo.translate(rank, rnd.offset)
+                seq = (self._phase_index, round_index)
+                if source is not None:
+                    pending.append(
+                        t.post_recv(
+                            rnd.recv_blocks, self.buffers, source,
+                            self.tag, seq,
+                        )
+                    )
+                if target is not None:
+                    pending.append(
+                        t.post_send(
+                            rnd.send_blocks, self.buffers, target,
+                            self.tag, seq,
+                        )
+                    )
+            self.pending = pending
+            return True
+        return False
+
+    def complete_phase(self) -> None:
+        """Complete the posted phase's operations and advance."""
+        self.transport.waitall(self.pending)
+        self.pending = []
+        self._phase_index += 1
+
+    def finish(self) -> None:
+        """The final non-communication phase: rank-local copies."""
+        moved = self.schedule.run_local_copies(self.buffers)
+        if self.observe:
+            if moved:
+                self.transport.record_local(moved, note="self-block copies")
+            self.transport.mark(f"end {self.schedule.kind}")
+            self.transport.progress(op="idle")
+        self._finished = True
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """One full blocking execution."""
+        self.begin()
+        while self.post_next_phase():
+            self.complete_phase()
+        self.finish()
+
+    def __repr__(self) -> str:
+        return (
+            f"ScheduleInterpreter({self.schedule.kind}, "
+            f"transport={type(self.transport).__name__}, "
+            f"phase={self._phase_index}/{len(self.schedule.phases)}, "
+            f"done={self._finished})"
+        )

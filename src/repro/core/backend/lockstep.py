@@ -1,0 +1,153 @@
+"""Lockstep backend: deterministic all-ranks execution, no threads.
+
+Because Cartesian collective schedules are SPMD — every process executes
+the identical phase/round sequence — a schedule can be executed for
+*all* ``p`` ranks inside one Python process.  This is how correctness is
+validated at the paper's scales (e.g. 1024×16 = 16384 processes for the
+Titan experiments) where one OS thread per rank is infeasible.
+
+The transport defers delivery: ``post_send`` packs the round's payload
+into an in-memory exchange at post time, ``waitall`` unpacks the posted
+receives.  The backend drives one interpreter per rank and interleaves
+them phase by phase, so every rank's sends of a phase are packed before
+any rank unpacks — within a phase, schedule construction guarantees
+reads and writes touch disjoint storage, and the pack-then-unpack
+discipline makes the executor insensitive to that guarantee being
+violated (a violation would surface as a data mismatch in validation
+tests rather than silently depending on rank order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.backend.base import Backend, Transport, TransportCapabilities
+from repro.core.backend.interpreter import CARTTAG, ScheduleInterpreter
+from repro.core.schedule import Schedule
+from repro.core.topology import CartTopology
+from repro.mpisim.datatypes import BlockSet
+from repro.mpisim.exceptions import ScheduleError
+
+LOCKSTEP_CAPS = TransportCapabilities(
+    name="lockstep",
+    true_parallel=False,
+    deferred_delivery=True,
+    split_phase=False,
+    per_rank=False,
+    all_ranks=True,
+    native_reduce=False,
+)
+
+
+class LockstepExchange:
+    """The shared in-memory "wire": packed payloads keyed by
+    (source, destination, (phase, round))."""
+
+    def __init__(self) -> None:
+        self.messages: dict[tuple[int, int, tuple[int, int]], bytes] = {}
+
+
+@dataclass
+class _PendingRecv:
+    blocks: BlockSet
+    buffers: Mapping[str, np.ndarray]
+    source: int
+    seq: tuple[int, int]
+
+
+_SEND_TOKEN = object()
+
+
+class LockstepTransport(Transport):
+    """One rank's verbs over the shared exchange."""
+
+    capabilities = LOCKSTEP_CAPS
+
+    def __init__(self, exchange: LockstepExchange, rank: int) -> None:
+        self.exchange = exchange
+        self.rank = rank
+
+    def post_send(
+        self,
+        blocks: BlockSet,
+        buffers: Mapping[str, np.ndarray],
+        dest: int,
+        tag: int,
+        seq: tuple[int, int],
+    ) -> Any:
+        # pack at post time: the concurrent-semantics snapshot
+        self.exchange.messages[(self.rank, dest, seq)] = blocks.pack(buffers)
+        return _SEND_TOKEN
+
+    def post_recv(
+        self,
+        blocks: BlockSet,
+        buffers: Mapping[str, np.ndarray],
+        source: int,
+        tag: int,
+        seq: tuple[int, int],
+    ) -> Any:
+        return _PendingRecv(blocks, buffers, source, seq)
+
+    def waitall(self, pending: Sequence[Any]) -> None:
+        for token in pending:
+            if not isinstance(token, _PendingRecv):
+                continue
+            payload = self.exchange.messages.pop(
+                (token.source, self.rank, token.seq), None
+            )
+            if payload is None:  # pragma: no cover - mesh symmetry
+                raise ScheduleError(
+                    f"rank {self.rank} expects a message from "
+                    f"{token.source} which sent none"
+                )
+            token.blocks.unpack(token.buffers, payload)
+
+
+class LockstepBackend(Backend):
+    """All ranks in one process, phases interleaved across ranks."""
+
+    name = "lockstep"
+    capabilities = LOCKSTEP_CAPS
+
+    def execute_all(
+        self,
+        topo: CartTopology,
+        schedule: Schedule,
+        rank_buffers: Sequence[Mapping[str, np.ndarray]],
+        *,
+        tag: int = CARTTAG,
+        validate: bool = False,
+    ) -> None:
+        p = topo.size
+        if len(rank_buffers) != p:
+            raise ScheduleError(
+                f"need one buffer set per rank: p={p}, got {len(rank_buffers)}"
+            )
+        exchange = LockstepExchange()
+        interps = [
+            ScheduleInterpreter(
+                LockstepTransport(exchange, r),
+                topo,
+                schedule,
+                rank_buffers[r],
+                tag=tag,
+                validate=validate,
+                observe=False,
+            )
+            for r in range(p)
+        ]
+        for it in interps:
+            it.begin()
+        for _ in range(len(schedule.phases)):
+            # all ranks post (and pack) the phase first …
+            for it in interps:
+                it.post_next_phase()
+            # … then all ranks deliver it.
+            for it in interps:
+                it.complete_phase()
+        for it in interps:
+            it.finish()

@@ -1,0 +1,112 @@
+"""Threaded backend: the mpisim engine as a transport.
+
+The per-rank transport is a thin adapter over
+:class:`~repro.mpisim.comm.Communicator`'s block mode — it is what the
+original ``executor.py`` hard-wired.  ``execute_all`` exists for parity
+testing and certification: it spins up a fresh engine with one thread
+per rank and runs the interpreter in each.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.backend.base import Backend, Transport, TransportCapabilities
+from repro.core.backend.interpreter import CARTTAG, ScheduleInterpreter
+from repro.core.schedule import Schedule
+from repro.core.topology import CartTopology
+from repro.mpisim.comm import Communicator
+from repro.mpisim.datatypes import BlockSet
+
+THREADED_CAPS = TransportCapabilities(
+    name="threaded",
+    true_parallel=True,   # concurrent threads (GIL-bound for compute)
+    deferred_delivery=False,
+    split_phase=True,
+    per_rank=True,
+    all_ranks=True,       # via a private engine in execute_all
+    native_reduce=True,
+)
+
+
+class ThreadedTransport(Transport):
+    """One rank's verbs over an mpisim communicator."""
+
+    capabilities = THREADED_CAPS
+
+    def __init__(self, comm: Communicator) -> None:
+        self.comm = comm
+        self.rank = comm.rank
+
+    def post_recv(
+        self,
+        blocks: BlockSet,
+        buffers: Mapping[str, np.ndarray],
+        source: int,
+        tag: int,
+        seq: tuple[int, int],
+    ) -> Any:
+        req = self.comm.irecv_blocks(blocks, buffers, source, tag)
+        req.round_index = seq[1]
+        return req
+
+    def post_send(
+        self,
+        blocks: BlockSet,
+        buffers: Mapping[str, np.ndarray],
+        dest: int,
+        tag: int,
+        seq: tuple[int, int],
+    ) -> Any:
+        return self.comm.isend_blocks(blocks, buffers, dest, tag)
+
+    def waitall(self, pending: Sequence[Any]) -> None:
+        self.comm.waitall(pending)
+
+    def barrier(self) -> None:
+        self.comm.barrier()
+
+    # observability --------------------------------------------------------
+    def mark(self, note: str) -> None:
+        self.comm.mark(note)
+
+    def progress(self, **kwargs: Any) -> None:
+        self.comm.progress(**kwargs)
+
+    def record_local(self, nbytes: int, note: str = "") -> None:
+        self.comm.record_local(nbytes, note=note)
+
+
+class ThreadedBackend(Backend):
+    """One OS thread per rank (the mpisim engine)."""
+
+    name = "threaded"
+    capabilities = THREADED_CAPS
+
+    def transport(self, comm: Any) -> ThreadedTransport:
+        return ThreadedTransport(comm)
+
+    def execute_all(
+        self,
+        topo: CartTopology,
+        schedule: Schedule,
+        rank_buffers: Sequence[Mapping[str, np.ndarray]],
+        *,
+        tag: int = CARTTAG,
+        validate: bool = False,
+    ) -> None:
+        from repro.mpisim.engine import Engine
+
+        def fn(comm: Communicator) -> None:
+            ScheduleInterpreter(
+                ThreadedTransport(comm),
+                topo,
+                schedule,
+                rank_buffers[comm.rank],
+                tag=tag,
+                validate=validate,
+            ).run()
+
+        Engine(topo.size, timeout=120.0).run(fn)

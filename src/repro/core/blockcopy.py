@@ -1,0 +1,59 @@
+"""Shared block-copy pairing for the local (non-communication) phase.
+
+Several schedule builders — combining alltoall, combining allgather, and
+the trivial/direct shapes — must turn "neighbor ``i``'s data stays on
+this rank" into concrete :class:`~repro.core.schedule.LocalCopy`
+entries.  The source and destination block lists may split the same
+bytes at different region boundaries (a multi-region ``w`` layout on one
+side, a contiguous slab on the other), so the pairing walks both lists
+in lockstep and splits copies wherever either side's region ends.
+
+This used to live as a private helper inside ``alltoall_schedule`` and
+was imported cross-module; it is shared vocabulary of every builder and
+now has a home of its own.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.schedule import LocalCopy
+from repro.mpisim.datatypes import BlockRef
+
+
+def pair_copies(
+    src_refs: Sequence[BlockRef],
+    dst_refs: Sequence[BlockRef],
+    neighbor: int,
+) -> list[LocalCopy]:
+    """Pair up source and destination block refs of one neighbor for the
+    local-copy phase, splitting where region boundaries differ.
+
+    ``neighbor`` identifies the stay-at-home neighborhood index being
+    paired; the byte totals of both sides must match (the schedule
+    builders validate this before calling).
+    """
+    del neighbor  # reserved for diagnostics
+    copies: list[LocalCopy] = []
+    si = di = 0
+    s_off = d_off = 0
+    while si < len(src_refs) and di < len(dst_refs):
+        s = src_refs[si]
+        dch = dst_refs[di]
+        take = min(s.nbytes - s_off, dch.nbytes - d_off)
+        if take > 0:
+            copies.append(
+                LocalCopy(
+                    src=BlockRef(s.buffer, s.offset + s_off, take),
+                    dst=BlockRef(dch.buffer, dch.offset + d_off, take),
+                )
+            )
+        s_off += take
+        d_off += take
+        if s_off >= s.nbytes:
+            si += 1
+            s_off = 0
+        if d_off >= dch.nbytes:
+            di += 1
+            d_off = 0
+    return copies

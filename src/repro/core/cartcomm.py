@@ -44,7 +44,7 @@ if TYPE_CHECKING:
 from repro.core import schedule_cache
 from repro.core.allgather_schedule import build_allgather_schedule
 from repro.core.alltoall_schedule import build_alltoall_schedule
-from repro.core.executor import execute_schedule
+from repro.core.backend import Backend, ScheduleInterpreter, get_backend
 from repro.core.neighborhood import Neighborhood
 from repro.core.schedule import Schedule, uniform_block_layout
 from repro.core.schedule_cache import blockset_signature, layout_signature
@@ -61,8 +61,9 @@ from repro.mpisim.datatypes import (
     BlockSet,
     Datatype,
     blockset_from_datatype,
+    byte_view,
 )
-from repro.mpisim.exceptions import NeighborhoodError, TopologyError
+from repro.mpisim.exceptions import NeighborhoodError, ScheduleError, TopologyError
 
 #: Default linear-cost parameters for ``algorithm="auto"`` when the
 #: caller provides none: 1.5 µs latency, 10 GB/s bandwidth — ballpark for
@@ -71,6 +72,11 @@ DEFAULT_ALPHA = 1.5e-6
 DEFAULT_BETA = 1.0e-10
 
 ALGORITHMS = ("auto", "combining", "trivial", "direct")
+
+#: Tag for the funnel pattern's result distribution (all-ranks backends
+#: executed at rank 0).  Safe as a fixed tag: the funnel is fully
+#: synchronous, so no two funnelled operations are ever in flight at once.
+_FUNNEL_TAG = -9
 
 #: Things accepted as a per-neighbor "datatype" by the ``w`` variants:
 #: a ready BlockSet, or a (buffer name, Datatype, byte displacement,
@@ -140,6 +146,7 @@ class CartComm:
         *,
         info: Optional[dict] = None,
         validate: bool = True,
+        backend: Union[str, Backend, None] = None,
     ):
         if comm.size != topo.size:
             raise TopologyError(
@@ -155,6 +162,16 @@ class CartComm:
         self.info = dict(info or {})
         self.alpha = float(self.info.get("alpha", DEFAULT_ALPHA))
         self.beta = float(self.info.get("beta", DEFAULT_BETA))
+        # Execution backend: explicit argument, then info["backend"],
+        # then $REPRO_BACKEND, then "threaded" (see repro.core.backend).
+        self.backend = get_backend(
+            backend if backend is not None else self.info.get("backend")
+        )
+        self._transport = (
+            self.backend.transport(self.comm)
+            if self.backend.capabilities.per_rank
+            else None
+        )
         if validate:
             verify_isomorphic(self.comm, nbh)
         self._schedule_cache: dict[tuple, Schedule] = {}
@@ -199,8 +216,47 @@ class CartComm:
     def _note_op(self, op: str, schedule: Schedule) -> None:
         if self.stats is not None:
             self.stats.record_schedule(
-                op, self._algorithm_of(schedule), schedule
+                op, self._algorithm_of(schedule), schedule,
+                backend=self.backend.name,
             )
+
+    # ------------------------------------------------------------------
+    # schedule execution (backend dispatch)
+    # ------------------------------------------------------------------
+    def _execute(
+        self, schedule: Schedule, buffers: Mapping[str, np.ndarray]
+    ) -> None:
+        """Execute ``schedule`` for the calling rank on the selected
+        backend: per-rank backends run the interpreter right here, on
+        this rank's transport; all-ranks backends are driven collectively
+        through rank 0 (:meth:`_execute_funneled`)."""
+        if self._transport is not None:
+            ScheduleInterpreter(
+                self._transport, self.topo, schedule, buffers
+            ).run()
+        else:
+            self._execute_funneled(schedule, buffers)
+
+    def _execute_funneled(
+        self, schedule: Schedule, buffers: Mapping[str, np.ndarray]
+    ) -> None:
+        """The collective driver for all-ranks backends: gather every
+        rank's buffers at rank 0, run ``backend.execute_all`` there, and
+        distribute the mutated buffers back.  Rank 0's own arrays are
+        mutated in place (object-mode gather passes them by reference);
+        the other ranks copy the returned contents into theirs."""
+        gathered = self.comm.gather(dict(buffers), root=0)
+        if self.rank == 0:
+            assert gathered is not None
+            self.backend.execute_all(self.topo, schedule, gathered)
+            for r in range(1, self.size):
+                self.comm.send(gathered[r], r, tag=_FUNNEL_TAG)
+        else:
+            result = self.comm.recv(source=0, tag=_FUNNEL_TAG)
+            for name, arr in buffers.items():
+                byte_view(arr)[:] = byte_view(
+                    np.ascontiguousarray(result[name])
+                )
 
     # ------------------------------------------------------------------
     # identity / layout
@@ -324,7 +380,7 @@ class CartComm:
         sched = self._schedule_cache.get(key)
         if sched is not None:
             if self.stats is not None:
-                self.stats.record_cache(True)
+                self.stats.record_cache(True, backend=self.backend.name)
             return sched
         layout_sig, build = make()
         gkey = schedule_cache.schedule_key(
@@ -335,7 +391,9 @@ class CartComm:
         )
         self._schedule_cache[key] = sched
         if self.stats is not None:
-            self.stats.record_cache(hit, build_seconds)
+            self.stats.record_cache(
+                hit, build_seconds, backend=self.backend.name
+            )
         return sched
 
     def _build_verifier(self) -> Optional[Callable[[object], None]]:
@@ -419,9 +477,7 @@ class CartComm:
         m_bytes = sendbuf.nbytes // t
         sched = self._regular_alltoall_schedule(m_bytes, algorithm)
         self._note_op("alltoall", sched)
-        execute_schedule(
-            self.comm, self.topo, sched, {"send": sendbuf, "recv": recvbuf}
-        )
+        self._execute(sched, {"send": sendbuf, "recv": recvbuf})
         return recvbuf
 
     def _regular_allgather_schedule(self, m_bytes: int, algorithm: str) -> Schedule:
@@ -454,9 +510,7 @@ class CartComm:
             )
         sched = self._regular_allgather_schedule(sendbuf.nbytes, algorithm)
         self._note_op("allgather", sched)
-        execute_schedule(
-            self.comm, self.topo, sched, {"send": sendbuf, "recv": recvbuf}
-        )
+        self._execute(sched, {"send": sendbuf, "recv": recvbuf})
         return recvbuf
 
     # ------------------------------------------------------------------
@@ -517,9 +571,7 @@ class CartComm:
             "alltoall", algorithm, send_blocks, recv_blocks
         )
         self._note_op("alltoallv", sched)
-        execute_schedule(
-            self.comm, self.topo, sched, {"send": sendbuf, "recv": recvbuf}
-        )
+        self._execute(sched, {"send": sendbuf, "recv": recvbuf})
         return recvbuf
 
     def allgatherv(
@@ -552,9 +604,7 @@ class CartComm:
             "allgather", algorithm, [send_block], recv_blocks
         )
         self._note_op("allgatherv", sched)
-        execute_schedule(
-            self.comm, self.topo, sched, {"send": sendbuf, "recv": recvbuf}
-        )
+        self._execute(sched, {"send": sendbuf, "recv": recvbuf})
         return recvbuf
 
     # ------------------------------------------------------------------
@@ -578,7 +628,7 @@ class CartComm:
             "alltoall", algorithm, send_blocks, recv_blocks
         )
         self._note_op("alltoallw", sched)
-        execute_schedule(self.comm, self.topo, sched, buffers)
+        self._execute(sched, buffers)
 
     def allgatherw(
         self,
@@ -598,7 +648,7 @@ class CartComm:
             "allgather", algorithm, [send_block], recv_blocks
         )
         self._note_op("allgatherw", sched)
-        execute_schedule(self.comm, self.topo, sched, buffers)
+        self._execute(sched, buffers)
 
     # ------------------------------------------------------------------
     # non-blocking (split-phase) operations
@@ -681,13 +731,103 @@ class CartComm:
                 )
             sched = self._reduce_schedule()
             self._note_reduce("combining", sched, sendbuf.nbytes)
-            return rs.execute_reduce(
-                self.comm, self.topo, sched, sendbuf, recvbuf, op
-            )
+            return self._run_reduce("combining", sched, sendbuf, recvbuf, op)
         self._note_reduce("trivial", None, sendbuf.nbytes)
-        return rs.reduce_neighbors_trivial(
-            self.comm, self.topo, self.nbh, sendbuf, recvbuf, op
-        )
+        return self._run_reduce("trivial", None, sendbuf, recvbuf, op)
+
+    def _run_reduce(
+        self,
+        algorithm: str,
+        sched: object,
+        sendbuf: np.ndarray,
+        recvbuf: np.ndarray,
+        op: Union[str, Callable[[np.ndarray, np.ndarray], np.ndarray]],
+    ) -> np.ndarray:
+        """Execute one neighborhood reduction on the selected backend
+        (shared by :meth:`reduce_neighbors` and the persistent handle)."""
+        from repro.core import reduce_schedule as rs
+
+        if self.backend.capabilities.native_reduce:
+            if algorithm == "combining":
+                return rs.execute_reduce(
+                    self.comm, self.topo, sched, sendbuf, recvbuf, op
+                )
+            return rs.reduce_neighbors_trivial(
+                self.comm, self.topo, self.nbh, sendbuf, recvbuf, op
+            )
+        return self._reduce_funneled(algorithm, sched, sendbuf, recvbuf, op)
+
+    def _reduce_funneled(
+        self,
+        algorithm: str,
+        sched: object,
+        sendbuf: np.ndarray,
+        recvbuf: np.ndarray,
+        op: Union[str, Callable[[np.ndarray, np.ndarray], np.ndarray]],
+    ) -> np.ndarray:
+        """Reduction funnel for all-ranks backends: gather the send
+        blocks at rank 0, reduce all ranks there (deterministically, in
+        the same combination order the threaded paths use), scatter the
+        results back."""
+        from repro.core import reduce_schedule as rs
+
+        op_fn = rs.resolve_op(op)
+        send = np.ascontiguousarray(sendbuf).reshape(-1)
+        if algorithm == "combining" and (
+            recvbuf.shape != send.shape or recvbuf.dtype != send.dtype
+        ):
+            raise ValueError(
+                "recvbuf must match sendbuf in shape and dtype for reductions"
+            )
+        gathered = self.comm.gather(send, root=0)
+        if self.rank == 0:
+            assert gathered is not None
+            if algorithm == "combining":
+                results = rs.execute_reduce_lockstep(
+                    self.topo, sched, gathered, op
+                )
+            else:
+                results = self._reduce_all_trivial(gathered, op_fn)
+            for r in range(1, self.size):
+                self.comm.send(results[r], r, tag=_FUNNEL_TAG)
+            mine = results[0]
+        else:
+            mine = self.comm.recv(source=0, tag=_FUNNEL_TAG)
+        recvbuf[...] = np.asarray(mine).reshape(recvbuf.shape)
+        return recvbuf
+
+    def _reduce_all_trivial(
+        self,
+        sends: Sequence[np.ndarray],
+        op_fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    ) -> list[np.ndarray]:
+        """All-ranks reference reduction, combining in neighbor order
+        with the mesh semantics of
+        :func:`repro.core.reduce_schedule.reduce_neighbors_trivial`: a
+        contribution is present iff its *source* process exists."""
+        results: list[np.ndarray] = []
+        for r in range(self.size):
+            acc: Optional[np.ndarray] = None
+            for off in self.nbh:
+                if not any(off):
+                    incoming: Optional[np.ndarray] = sends[r]
+                else:
+                    src = self.topo.translate(
+                        r, tuple(-int(o) for o in off)
+                    )
+                    incoming = None if src is None else sends[src]
+                if incoming is not None:
+                    acc = (
+                        incoming.copy() if acc is None
+                        else op_fn(acc, incoming)
+                    )
+            if acc is None:
+                raise ScheduleError(
+                    "reduction received no contributions (all neighbors "
+                    "off the mesh)"
+                )
+            results.append(acc)
+        return results
 
     def _reduce_schedule(self):
         """The combining reduction schedule, via both cache levels (the
@@ -699,7 +839,7 @@ class CartComm:
         sched = self._reduce_cache.get(key)
         if sched is not None:
             if self.stats is not None:
-                self.stats.record_cache(True)
+                self.stats.record_cache(True, backend=self.backend.name)
             return sched
         gkey = schedule_cache.schedule_key(
             "reduce/combining", self.nbh, None, self.dims, self.periods
@@ -709,7 +849,9 @@ class CartComm:
         )
         self._reduce_cache[key] = sched
         if self.stats is not None:
-            self.stats.record_cache(hit, build_seconds)
+            self.stats.record_cache(
+                hit, build_seconds, backend=self.backend.name
+            )
         return sched
 
     def _note_reduce(self, algorithm: str, schedule, block_nbytes: int) -> None:
@@ -723,7 +865,7 @@ class CartComm:
             rounds = blocks = self.nbh.trivial_rounds
         self.stats.record_raw(
             "reduce_neighbors", algorithm, rounds, blocks,
-            blocks * int(block_nbytes),
+            blocks * int(block_nbytes), backend=self.backend.name,
         )
 
     # ------------------------------------------------------------------
@@ -844,6 +986,7 @@ def cart_neighborhood_create(
     info: Optional[dict] = None,
     reorder: bool = False,
     validate: bool = True,
+    backend: Union[str, Backend, None] = None,
 ) -> CartComm:
     """Listing 1's ``Cart_neighborhood_create``.
 
@@ -871,4 +1014,6 @@ def cart_neighborhood_create(
             arr = arr.reshape(-1, topo.ndim)
         nbh = Neighborhood(arr, weights)
     del reorder  # accepted, not acted upon (matches measured MPI libraries)
-    return CartComm(comm, topo, nbh, info=info, validate=validate)
+    return CartComm(
+        comm, topo, nbh, info=info, validate=validate, backend=backend
+    )

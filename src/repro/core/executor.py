@@ -1,9 +1,12 @@
 """Schedule execution on the threaded engine (Listing 5).
 
-Executes a schedule phase by phase: every round's receive and send are
-initiated non-blocking (receive posted first so a self-send matches
-immediately), and one ``waitall`` completes the phase.  The final
-non-communication phase performs the rank-local copies.
+This module is the blocking front-end over the transport/interpreter
+core in :mod:`repro.core.backend`: the phase/round interpretation loop
+itself lives in
+:class:`~repro.core.backend.interpreter.ScheduleInterpreter` and is
+shared with the split-phase, lockstep and shared-memory execution
+modes.  ``execute_schedule`` binds it to the calling rank's
+:class:`~repro.mpisim.comm.Communicator` via the threaded transport.
 
 On non-periodic meshes a round's source or target may not exist
 (boundary process): the corresponding half of the round is skipped, the
@@ -18,20 +21,14 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.core.backend.base import allocate_buffers
+from repro.core.backend.interpreter import ScheduleInterpreter
+from repro.core.backend.threaded import ThreadedTransport
 from repro.core.schedule import Schedule
 from repro.core.topology import CartTopology
 from repro.mpisim.comm import CARTTAG, Communicator
 
-
-def allocate_buffers(
-    schedule: Schedule, user_buffers: Mapping[str, np.ndarray]
-) -> dict[str, np.ndarray]:
-    """Combine the caller's named buffers with the scratch buffer the
-    schedule requires (``"temp"``)."""
-    buffers = dict(user_buffers)
-    if schedule.temp_nbytes > 0 and "temp" not in buffers:
-        buffers["temp"] = np.empty(schedule.temp_nbytes, dtype=np.uint8)
-    return buffers
+__all__ = ["allocate_buffers", "execute_schedule"]
 
 
 def execute_schedule(
@@ -46,35 +43,13 @@ def execute_schedule(
     """Run one collective execution of ``schedule`` for the calling rank.
 
     ``buffers`` must contain every named buffer the schedule's block sets
-    reference; ``allocate_buffers`` adds the scratch buffer.
+    reference; the scratch buffer (``"temp"``) is added automatically.
     """
-    buffers = allocate_buffers(schedule, buffers)
-    if validate:
-        schedule.validate(buffers)
-    # Idempotent: cached schedules arrive prepared; one-shot schedules
-    # get their coalesced-copy plans computed before the timed phases.
-    schedule.prepare()
-    rank = comm.rank
-    comm.mark(f"begin {schedule.kind}")
-    comm.progress(op=schedule.kind)
-    for phase_index, phase in enumerate(schedule.phases):
-        comm.progress(phase=phase_index)
-        requests = []
-        for round_index, rnd in enumerate(phase.rounds):
-            neg = tuple(-o for o in rnd.recv_source_offset)
-            source = topo.translate(rank, neg)
-            target = topo.translate(rank, rnd.offset)
-            if source is not None:
-                rreq = comm.irecv_blocks(rnd.recv_blocks, buffers, source, tag)
-                rreq.round_index = round_index
-                requests.append(rreq)
-            if target is not None:
-                requests.append(
-                    comm.isend_blocks(rnd.send_blocks, buffers, target, tag)
-                )
-        comm.waitall(requests)
-    moved = schedule.run_local_copies(buffers)
-    if moved:
-        comm.record_local(moved, note="self-block copies")
-    comm.mark(f"end {schedule.kind}")
-    comm.progress(op="idle")
+    ScheduleInterpreter(
+        ThreadedTransport(comm),
+        topo,
+        schedule,
+        buffers,
+        tag=tag,
+        validate=validate,
+    ).run()

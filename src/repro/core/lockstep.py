@@ -1,18 +1,9 @@
 """Deterministic all-ranks schedule execution (no threads).
 
-Because Cartesian collective schedules are SPMD — every process executes
-the identical phase/round sequence — a schedule can be executed for *all*
-``p`` ranks inside one Python process, moving real data between per-rank
-buffer sets.  This is how correctness is validated at the paper's scales
-(e.g. 1024×16 = 16384 processes for the Titan experiments) where one OS
-thread per rank is infeasible.
-
-Concurrency semantics are preserved by packing every round's payloads for
-all ranks *before* unpacking any of them: within a phase, schedule
-construction guarantees reads and writes touch disjoint storage, and the
-pack-then-unpack discipline makes the executor insensitive to that
-guarantee being violated (a violation would surface as a data mismatch in
-the validation tests rather than silently depending on rank order).
+Thin front-end over :class:`~repro.core.backend.lockstep.LockstepBackend`
+— the deferred-delivery transport and the phase-interleaved all-ranks
+driver live there, sharing the single phase/round interpretation loop in
+:mod:`repro.core.backend.interpreter` with every other execution mode.
 """
 
 from __future__ import annotations
@@ -21,23 +12,12 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.core.backend.base import allocate_rank_buffers
+from repro.core.backend.lockstep import LockstepBackend
 from repro.core.schedule import Schedule
 from repro.core.topology import CartTopology
-from repro.mpisim.exceptions import ScheduleError
 
-
-def allocate_rank_buffers(
-    schedule: Schedule,
-    user_buffers: Sequence[Mapping[str, np.ndarray]],
-) -> list[dict[str, np.ndarray]]:
-    """Per-rank buffer dictionaries with scratch space added."""
-    out = []
-    for b in user_buffers:
-        d = dict(b)
-        if schedule.temp_nbytes > 0 and "temp" not in d:
-            d["temp"] = np.empty(schedule.temp_nbytes, dtype=np.uint8)
-        out.append(d)
-    return out
+__all__ = ["allocate_rank_buffers", "execute_lockstep"]
 
 
 def execute_lockstep(
@@ -54,40 +34,6 @@ def execute_lockstep(
     place, exactly as ``p`` concurrent executions of
     :func:`repro.core.executor.execute_schedule` would.
     """
-    p = topo.size
-    if len(rank_buffers) != p:
-        raise ScheduleError(
-            f"need one buffer set per rank: p={p}, got {len(rank_buffers)}"
-        )
-    buffers = allocate_rank_buffers(schedule, rank_buffers)
-    if validate:
-        for b in buffers:
-            schedule.validate(b)
-
-    for phase in schedule.phases:
-        # pack all payloads of the phase first (concurrent semantics) …
-        packed: list[list[bytes | None]] = []
-        for rnd in phase.rounds:
-            row: list[bytes | None] = []
-            for r in range(p):
-                if topo.translate(r, rnd.offset) is None:
-                    row.append(None)  # non-periodic boundary: no send
-                else:
-                    row.append(rnd.send_blocks.pack(buffers[r]))
-            packed.append(row)
-        # … then deliver them.
-        for rnd, row in zip(phase.rounds, packed):
-            neg = tuple(-o for o in rnd.recv_source_offset)
-            for r in range(p):
-                src = topo.translate(r, neg)
-                if src is None:
-                    continue
-                payload = row[src]
-                if payload is None:  # pragma: no cover - mesh symmetry
-                    raise ScheduleError(
-                        f"rank {r} expects a message from {src} which sent none"
-                    )
-                rnd.recv_blocks.unpack(buffers[r], payload)
-
-    for b in buffers:
-        schedule.run_local_copies(b)
+    LockstepBackend().execute_all(
+        topo, schedule, rank_buffers, validate=validate
+    )

@@ -3,7 +3,11 @@
 The paper specifies the ``*_init`` calls "in order to later provide for
 non-blocking, persistent versions of the Cartesian collectives (as
 currently discussed in the MPI Forum)".  This module supplies that
-non-blocking execution mode for any precomputed schedule:
+non-blocking execution mode for any precomputed schedule, as a
+split-phase front-end over the shared
+:class:`~repro.core.backend.interpreter.ScheduleInterpreter` (empty
+phases are skipped silently; no trace marks are emitted — consistent
+with real non-blocking collectives whose progress is not observable):
 
 * ``start()`` posts the first phase's non-blocking operations and
   returns immediately — computation can overlap the communication;
@@ -17,6 +21,10 @@ differently on different ranks, every started operation draws a fresh
 tag from the communicator-consistent sequence (all ranks must start
 collectives in the same order — the usual MPI requirement), so FIFO
 channel matching can never pair messages across operations.
+
+Split-phase execution requires a per-rank transport; it always runs
+over the threaded one (capability flag ``split_phase``), regardless of
+the backend selected for blocking collectives.
 """
 
 from __future__ import annotations
@@ -25,11 +33,11 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.core.executor import allocate_buffers
+from repro.core.backend.interpreter import ScheduleInterpreter
+from repro.core.backend.threaded import ThreadedTransport
 from repro.core.schedule import Schedule
 from repro.core.topology import CartTopology
 from repro.mpisim.comm import Communicator
-from repro.mpisim.exceptions import MpiSimError
 
 
 class SplitPhaseOp:
@@ -46,78 +54,56 @@ class SplitPhaseOp:
         self.comm = comm
         self.topo = topo
         self.schedule = schedule
-        self.buffers = allocate_buffers(schedule, buffers)
         self.tag = tag
-        self._phase_index = 0
-        self._pending: list = []
-        self._done = False
-        self._post_current_phase()
+        self._interp = ScheduleInterpreter(
+            ThreadedTransport(comm),
+            topo,
+            schedule,
+            buffers,
+            tag=tag,
+            observe=False,
+            skip_empty_phases=True,
+        )
+        self.buffers = self._interp.buffers
+        self._interp.begin()
+        if not self._interp.post_next_phase():
+            self._interp.finish()  # nothing to communicate
 
     # ------------------------------------------------------------------
-    def _post_current_phase(self) -> None:
-        """Post receives (first) and sends of the current phase."""
-        while self._phase_index < len(self.schedule.phases):
-            phase = self.schedule.phases[self._phase_index]
-            if phase.rounds:
-                rank = self.comm.rank
-                reqs = []
-                for rnd in phase.rounds:
-                    neg = tuple(-o for o in rnd.recv_source_offset)
-                    source = self.topo.translate(rank, neg)
-                    target = self.topo.translate(rank, rnd.offset)
-                    if source is not None:
-                        reqs.append(
-                            self.comm.irecv_blocks(
-                                rnd.recv_blocks, self.buffers, source, self.tag
-                            )
-                        )
-                    if target is not None:
-                        reqs.append(
-                            self.comm.isend_blocks(
-                                rnd.send_blocks, self.buffers, target, self.tag
-                            )
-                        )
-                self._pending = reqs
-                return
-            self._phase_index += 1  # empty phase: skip
-        # all phases posted and drained: finish locally
-        self.schedule.run_local_copies(self.buffers)
-        self._done = True
-
-    def _complete_current_phase(self) -> None:
-        self.comm.waitall(self._pending)
-        self._pending = []
-        self._phase_index += 1
-        self._post_current_phase()
+    def _advance(self) -> None:
+        """Complete the posted phase; post the next or finish locally."""
+        self._interp.complete_phase()
+        if not self._interp.post_next_phase():
+            self._interp.finish()
 
     # ------------------------------------------------------------------
     def test(self) -> bool:
         """Non-blocking progress: returns True once complete."""
-        if self._done:
+        if self._interp.done:
             return True
-        if all(r.test() for r in self._pending):
-            self._complete_current_phase()
-            return self.test() if not self._pending else self._done
+        if all(r.test() for r in self._interp.pending):
+            self._advance()
+            return self.test() if not self._interp.pending else self._interp.done
         return False
 
     def wait(self) -> None:
         """Block until the collective completes (idempotent)."""
-        while not self._done:
-            self._complete_current_phase()
+        while not self._interp.done:
+            self._advance()
 
     @property
     def completed(self) -> bool:
-        return self._done
+        return self._interp.done
 
     @property
     def phases_remaining(self) -> int:
-        return len(self.schedule.phases) - self._phase_index
+        return self._interp.phases_remaining
 
     def __repr__(self) -> str:
         return (
             f"SplitPhaseOp({self.schedule.kind}, tag={self.tag}, "
-            f"phase={self._phase_index}/{len(self.schedule.phases)}, "
-            f"done={self._done})"
+            f"phase={len(self.schedule.phases) - self.phases_remaining}/"
+            f"{len(self.schedule.phases)}, done={self.completed})"
         )
 
 

@@ -1,10 +1,12 @@
 """Per-communicator operation statistics.
 
 Production observability for the library: every Cartesian collective
-execution records what it did — operation kind, algorithm, rounds,
-volume — so applications can audit their communication behaviour
-(e.g. confirm that ``algorithm="auto"`` picked the expected side of the
-cut-off across an application run) without external tracing.
+execution records what it did — operation kind, algorithm, executing
+backend, rounds, volume — so applications can audit their communication
+behaviour (e.g. confirm that ``algorithm="auto"`` picked the expected
+side of the cut-off across an application run, or that a run really
+executed on the backend it was configured for) without external
+tracing.
 
 Recording costs one dictionary update per collective; it is enabled per
 communicator via ``info={"collect_stats": True}`` or
@@ -20,10 +22,15 @@ if TYPE_CHECKING:
     from repro.core.schedule import Schedule
     from repro.mpisim.faults import FaultEvent
 
+#: Backend recorded when the caller does not say (the historical default
+#: execution mode).
+DEFAULT_BACKEND = "threaded"
+
 
 @dataclass
 class OpRecord:
-    """Aggregate counters for one (operation, algorithm) pair."""
+    """Aggregate counters for one (operation, algorithm, backend)
+    triple."""
 
     calls: int = 0
     rounds: int = 0
@@ -36,11 +43,18 @@ class OpRecord:
         self.volume_blocks += volume_blocks
         self.volume_bytes += volume_bytes
 
+    def merge(self, other: "OpRecord") -> None:
+        self.calls += other.calls
+        self.rounds += other.rounds
+        self.volume_blocks += other.volume_blocks
+        self.volume_bytes += other.volume_bytes
+
 
 @dataclass
 class OpStats:
     """All counters of one communicator."""
 
+    #: (op, algorithm, backend) -> :class:`OpRecord`
     records: dict = field(default_factory=dict)
     #: schedule-cache observability: how often this communicator's
     #: collectives reused a cached schedule vs. built one, and the
@@ -48,6 +62,9 @@ class OpStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_build_seconds: float = 0.0
+    #: per-backend split of the cache hit/miss counters:
+    #: backend name -> [hits, misses]
+    cache_by_backend: dict = field(default_factory=dict)
     #: injected-fault observability: counts per fault kind survived or
     #: failed under (filled from the engine's fault-event log, e.g. by
     #: the chaos harness).
@@ -61,32 +78,48 @@ class OpStats:
         for event in events:
             self.record_fault(event.kind)
 
-    def record_cache(self, hit: bool, build_seconds: float = 0.0) -> None:
+    def record_cache(
+        self,
+        hit: bool,
+        build_seconds: float = 0.0,
+        backend: str = DEFAULT_BACKEND,
+    ) -> None:
+        split = self.cache_by_backend.setdefault(backend, [0, 0])
         if hit:
             self.cache_hits += 1
+            split[0] += 1
         else:
             self.cache_misses += 1
+            split[1] += 1
             self.cache_build_seconds += build_seconds
 
-    def record_schedule(
-        self, op: str, algorithm: str, schedule: "Schedule"
-    ) -> None:
-        key = (op, algorithm)
+    def _record(self, key: tuple) -> OpRecord:
         rec = self.records.get(key)
         if rec is None:
             rec = self.records[key] = OpRecord()
-        rec.add(
+        return rec
+
+    def record_schedule(
+        self,
+        op: str,
+        algorithm: str,
+        schedule: "Schedule",
+        backend: str = DEFAULT_BACKEND,
+    ) -> None:
+        self._record((op, algorithm, backend)).add(
             schedule.num_rounds, schedule.volume_blocks, schedule.volume_bytes
         )
 
     def record_raw(
-        self, op: str, algorithm: str, rounds: int, blocks: int, nbytes: int
+        self,
+        op: str,
+        algorithm: str,
+        rounds: int,
+        blocks: int,
+        nbytes: int,
+        backend: str = DEFAULT_BACKEND,
     ) -> None:
-        key = (op, algorithm)
-        rec = self.records.get(key)
-        if rec is None:
-            rec = self.records[key] = OpRecord()
-        rec.add(rounds, blocks, nbytes)
+        self._record((op, algorithm, backend)).add(rounds, blocks, nbytes)
 
     # ------------------------------------------------------------------
     @property
@@ -102,7 +135,27 @@ class OpStats:
         return sum(r.volume_bytes for r in self.records.values())
 
     def by_operation(self, op: str) -> dict:
-        return {k[1]: v for k, v in self.records.items() if k[0] == op}
+        """Counters of one operation per algorithm, aggregated across
+        backends (the pre-backend view most callers want)."""
+        out: dict[str, OpRecord] = {}
+        for key, rec in self.records.items():
+            if key[0] != op:
+                continue
+            agg = out.get(key[1])
+            if agg is None:
+                agg = out[key[1]] = OpRecord()
+            agg.merge(rec)
+        return out
+
+    def by_backend(self) -> dict:
+        """Aggregate counters per executing backend."""
+        out: dict[str, OpRecord] = {}
+        for key, rec in self.records.items():
+            agg = out.get(key[2])
+            if agg is None:
+                agg = out[key[2]] = OpRecord()
+            agg.merge(rec)
+        return out
 
     def summary(self) -> str:
         if not self.records:
@@ -111,9 +164,9 @@ class OpStats:
             f"{self.total_calls} collective calls, {self.total_rounds} "
             f"communication rounds, {self.total_bytes} bytes sent per process"
         ]
-        for (op, alg), rec in sorted(self.records.items()):
+        for (op, alg, backend), rec in sorted(self.records.items()):
             lines.append(
-                f"  {op:12s} [{alg:9s}] calls={rec.calls:4d} "
+                f"  {op:12s} [{alg:9s}/{backend:8s}] calls={rec.calls:4d} "
                 f"rounds={rec.rounds:6d} blocks={rec.volume_blocks:8d} "
                 f"bytes={rec.volume_bytes}"
             )
@@ -135,4 +188,5 @@ class OpStats:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_build_seconds = 0.0
+        self.cache_by_backend.clear()
         self.faults.clear()

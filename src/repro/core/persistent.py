@@ -15,7 +15,6 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.core.executor import execute_schedule
 from repro.core.schedule import Schedule
 from repro.mpisim.exceptions import MpiSimError
 
@@ -53,11 +52,10 @@ class PersistentOp:
         if self._started:
             raise MpiSimError("persistent operation already started")
         # Persistent executions count in the communicator's stats with
-        # the same (op, algorithm) keys as the direct calls.
+        # the same (op, algorithm) keys as the direct calls, and run on
+        # the communicator's selected backend.
         self.cart._note_op(self.op, self.schedule)
-        execute_schedule(
-            self.cart.comm, self.cart.topo, self.schedule, self.buffers
-        )
+        self.cart._execute(self.schedule, self.buffers)
         self._started = True
         return self
 
@@ -118,23 +116,15 @@ class PersistentReduce:
         self.executions = 0
 
     def start(self) -> "PersistentReduce":
-        from repro.core import reduce_schedule as rs
-
         if self._started:
             raise MpiSimError("persistent operation already started")
         self.cart._note_reduce(
             self.algorithm, self.schedule, self.sendbuf.nbytes
         )
-        if self.schedule is not None:
-            rs.execute_reduce(
-                self.cart.comm, self.cart.topo, self.schedule,
-                self.sendbuf, self.recvbuf, self.op,
-            )
-        else:
-            rs.reduce_neighbors_trivial(
-                self.cart.comm, self.cart.topo, self.cart.nbh,
-                self.sendbuf, self.recvbuf, self.op,
-            )
+        self.cart._run_reduce(
+            self.algorithm, self.schedule, self.sendbuf, self.recvbuf,
+            self.op,
+        )
         self._started = True
         return self
 

@@ -29,11 +29,11 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.core.blockcopy import pair_copies
 from repro.core.neighborhood import Neighborhood
 from repro.core.schedule import LocalCopy, Phase, Round, Schedule
 from repro.mpisim.datatypes import BlockSet
 from repro.mpisim.exceptions import ScheduleError
-from repro.core.alltoall_schedule import _pair_copies
 
 
 def _per_neighbor_rounds(
@@ -55,7 +55,7 @@ def _per_neighbor_rounds(
         offset = nbh[i]
         if not any(offset):
             copies.extend(
-                _pair_copies(list(send_blocks[i]), list(recv_blocks[i]), i)
+                pair_copies(list(send_blocks[i]), list(recv_blocks[i]), i)
             )
             continue
         if send_blocks[i].total_nbytes != recv_blocks[i].total_nbytes:

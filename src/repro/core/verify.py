@@ -3,8 +3,10 @@
 A schedule is pure data, and users can build their own (combined halo
 schedules, hand-tuned phase structures, deserialized caches).  These
 functions *certify* a schedule against the Cartesian collective
-semantics by executing it for **all ranks** (lockstep) with unique
-sentinel contents and checking every receive slot byte-for-byte:
+semantics by executing it for **all ranks** — by default on the
+lockstep backend, or on any all-ranks backend named via ``backend=``
+(``"shm"`` certifies the process-parallel path itself) — with unique
+sentinel contents, checking every receive slot byte-for-byte:
 
 * :func:`verify_alltoall` — receive block ``i`` must equal send block
   ``i`` of process ``(r − N[i]) mod dims``;
@@ -25,7 +27,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.lockstep import execute_lockstep
+from repro.core.backend import get_backend
 from repro.core.neighborhood import Neighborhood
 from repro.core.schedule import Schedule
 from repro.core.topology import CartTopology
@@ -89,6 +91,7 @@ def verify_alltoall(
     schedule: Schedule,
     topo: CartTopology,
     block_sizes: Sequence[int] | None = None,
+    backend: str = "lockstep",
 ) -> None:
     """Certify an alltoall-semantics schedule (any shape: trivial,
     direct, combining, or custom) against the definition."""
@@ -96,7 +99,7 @@ def verify_alltoall(
     if block_sizes is None:
         block_sizes = [4] * nbh.t
     bufs = alltoall_sentinel_buffers(topo, nbh, block_sizes)
-    execute_lockstep(topo, schedule, bufs)
+    get_backend(backend).execute_all(topo, schedule, bufs)
     check_alltoall_buffers(topo, nbh, bufs, block_sizes)
 
 
@@ -143,11 +146,12 @@ def verify_allgather(
     schedule: Schedule,
     topo: CartTopology,
     m_bytes: int = 4,
+    backend: str = "lockstep",
 ) -> None:
     """Certify an allgather-semantics schedule."""
     nbh = schedule.neighborhood
     bufs = allgather_sentinel_buffers(topo, nbh, m_bytes)
-    execute_lockstep(topo, schedule, bufs)
+    get_backend(backend).execute_all(topo, schedule, bufs)
     check_allgather_buffers(topo, nbh, bufs, m_bytes)
 
 
@@ -157,6 +161,7 @@ def verify_halo(
     interior: Sequence[int],
     depth: int,
     buffer: str = "grid",
+    backend: str = "lockstep",
 ) -> None:
     """Certify a halo-exchange schedule (uniform blocks): the ghosted
     arrays must equal the periodic extension of the global grid."""
@@ -177,7 +182,7 @@ def verify_halo(
         local = np.zeros(full, np.uint8)
         local[inner] = global_grid[sl]
         bufs.append({buffer: local})
-    execute_lockstep(topo, schedule, bufs)
+    get_backend(backend).execute_all(topo, schedule, bufs)
     for r in range(topo.size):
         coords = topo.coords(r)
         sl = tuple(

@@ -3,10 +3,14 @@
 Usage::
 
     python -m repro.experiments [all|table1|table2|fig3|fig4|fig5|fig6|fig7]
-                                [--out DIR]
+                                [--out DIR] [--certify-backend BACKEND]
 
 ``all`` (the default) runs everything and, with ``--out``, writes the
 rendered text plus per-figure CSVs into the given directory.
+``--certify-backend lockstep`` (or ``$REPRO_CERTIFY_BACKEND``) makes the
+harness execution-certify every measured schedule on that backend before
+timing it, so no artifact can be produced from a schedule that delivers
+wrong bytes.
 """
 
 from __future__ import annotations
@@ -102,7 +106,19 @@ def main(argv=None) -> int:
                         choices=["all"] + ARTIFACTS)
     parser.add_argument("--out", default=None,
                         help="directory for rendered text + CSV results")
+    parser.add_argument(
+        "--certify-backend", default=None, metavar="BACKEND",
+        help="execution-certify every measured schedule on this backend "
+             "(lockstep/shm/threaded) before timing it",
+    )
     args = parser.parse_args(argv)
+
+    if args.certify_backend:
+        from repro.core.backend import get_backend
+        from repro.experiments.runner import CERTIFY_ENV
+
+        get_backend(args.certify_backend)  # fail fast on unknown names
+        os.environ[CERTIFY_ENV] = args.certify_backend
 
     names = ARTIFACTS if args.artifact == "all" else [args.artifact]
     for name in names:

@@ -17,6 +17,7 @@ Variant naming matches the figure legends:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -40,6 +41,12 @@ from repro.stats import ReportedStat, normalize_to_baseline, summarize
 
 #: the element type of all paper benchmarks (MPI_INT)
 INT_BYTES = 4
+
+#: setting this to a backend name ("lockstep", "shm", "threaded") makes
+#: every measured schedule pass execution certification on that backend
+#: before its cost samples count — the artifact pipeline then cannot
+#: time a schedule that delivers wrong bytes.
+CERTIFY_ENV = "REPRO_CERTIFY_BACKEND"
 
 
 @dataclass(frozen=True)
@@ -144,6 +151,62 @@ def allgather_variants(nbh: Neighborhood, m_bytes: int) -> list[Variant]:
     ]
 
 
+#: rank budget for certification tori — the sentinel check is exact
+#: under wraparound aliasing (``translate`` computes the expected source
+#: the same way the executed schedule does), so shrinking the torus
+#: loses no soundness, only per-dimension aliasing diversity.
+_CERTIFY_MAX_RANKS = 64
+
+
+def _certification_topology(nbh: Neighborhood):
+    """A small torus to certify on: each dimension large enough to keep
+    the stencil's offsets distinct where the rank budget allows, shrunk
+    toward extent 2 for high-dimensional stencils."""
+    from repro.core.topology import CartTopology
+
+    spans = [
+        max(abs(int(off[k])) for off in nbh) for k in range(nbh.d)
+    ]
+    dims = [max(3, 2 * s + 1) for s in spans]
+    while int(np.prod(dims)) > _CERTIFY_MAX_RANKS and max(dims) > 2:
+        k = dims.index(max(dims))
+        dims[k] = 3 if dims[k] > 3 else 2
+    return CartTopology(tuple(dims))
+
+
+#: schedules already certified this process, keyed by backend and
+#: identity (the value pins the schedule so ids stay unique) — figure
+#: drivers measure the same cached schedule for several machines and
+#: repetition settings.
+_certified: dict = {}
+
+
+def certify_schedule(schedule: Schedule, backend: str) -> None:
+    """Execution-certify one measured schedule on the named backend:
+    run it for all ranks of a small torus with sentinel contents and
+    check every delivered byte against the collective's definition."""
+    from repro.core.verify import verify_allgather, verify_alltoall
+
+    if (backend, id(schedule)) in _certified:
+        return
+    topo = _certification_topology(schedule.neighborhood)
+    if "allgather" in schedule.kind:
+        verify_allgather(
+            schedule,
+            topo,
+            schedule.send_layout[0].total_nbytes,
+            backend=backend,
+        )
+    else:
+        verify_alltoall(
+            schedule,
+            topo,
+            [bs.total_nbytes for bs in schedule.send_layout],
+            backend=backend,
+        )
+    _certified[(backend, id(schedule))] = schedule
+
+
 def repetitions_for(machine: MachineModel, m_ints: int) -> int:
     """The paper's repetition counts (Section 4.1.2)."""
     if machine.name.startswith("titan"):
@@ -161,14 +224,23 @@ def measure_schedule(
     m_ints: int = 1,
     seed: int = 0,
     baseline: Optional[str] = None,
+    certify_backend: Optional[str] = None,
 ) -> ExperimentPoint:
-    """Measure all variants of one experiment point."""
+    """Measure all variants of one experiment point.
+
+    ``certify_backend`` (or ``$REPRO_CERTIFY_BACKEND``) names an
+    execution backend on which every distinct schedule is certified
+    byte-for-byte before it is timed.
+    """
     reps = repetitions if repetitions is not None else repetitions_for(machine, m_ints)
     system = "titan" if machine.name.startswith("titan") else "hydra"
+    certify = certify_backend or os.environ.get(CERTIFY_ENV) or None
     point = ExperimentPoint(label=label, machine=machine.name, nprocs=nprocs)
     rng = np.random.default_rng(seed)
     for variant in variants:
         schedule = variant.schedule_builder()
+        if certify:
+            certify_schedule(schedule, certify)
         samples = sample_schedule_times(
             schedule, machine, nprocs, reps, rng=rng, variant=variant.cost_variant
         )

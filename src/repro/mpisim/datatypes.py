@@ -597,9 +597,23 @@ class BlockSet:
             parts.append(view[b.offset : b.offset + b.nbytes])
         return np.concatenate(parts).tobytes()
 
-    def unpack(self, buffers: Mapping[str, np.ndarray], payload: bytes) -> None:
-        """Scatter one wire payload into the blocks, in order."""
-        data = np.frombuffer(payload, dtype=np.uint8)
+    def pack_into(self, buffers: Mapping[str, np.ndarray], out: np.ndarray) -> int:
+        """Gather all blocks, in order, directly into ``out`` (a flat
+        ``uint8`` array of at least :attr:`total_nbytes` elements) without
+        constructing an intermediate ``bytes`` object.  Returns the number
+        of bytes written.  This is the shared-memory transport's send
+        path: pack straight into the mapped segment."""
+        pos = 0
+        for b in self.coalesced_runs():
+            view = byte_view(buffers[b.buffer])
+            out[pos : pos + b.nbytes] = view[b.offset : b.offset + b.nbytes]
+            pos += b.nbytes
+        return pos
+
+    def unpack_from(self, buffers: Mapping[str, np.ndarray], data: np.ndarray) -> None:
+        """Scatter a flat ``uint8`` array into the blocks, in order (the
+        array-typed core of :meth:`unpack`; also the shared-memory receive
+        path, reading straight out of the mapped segment)."""
         if data.size != self.total_nbytes:
             raise TruncationError(
                 f"payload of {data.size} bytes does not match block set of "
@@ -610,6 +624,10 @@ class BlockSet:
             view = byte_view(buffers[b.buffer])
             view[b.offset : b.offset + b.nbytes] = data[pos : pos + b.nbytes]
             pos += b.nbytes
+
+    def unpack(self, buffers: Mapping[str, np.ndarray], payload: bytes) -> None:
+        """Scatter one wire payload into the blocks, in order."""
+        self.unpack_from(buffers, np.frombuffer(payload, dtype=np.uint8))
 
 
 def blockset_from_datatype(

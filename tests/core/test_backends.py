@@ -1,0 +1,404 @@
+"""Backend-parity differential suite.
+
+The Transport/interpreter split promises that *where* a schedule runs is
+orthogonal to *what* it computes: the threaded engine, the deterministic
+lockstep executor and the process-parallel shm backend must produce
+byte-identical user buffers for any schedule.  This suite drives the
+full algorithm × operation × layout matrix through every backend and
+diffs the results, plus a hypothesis property over random topologies.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allgather_schedule import build_allgather_schedule
+from repro.core.alltoall_schedule import build_alltoall_schedule
+from repro.core.api import run_cartesian
+from repro.core.backend import (
+    BACKENDS,
+    Backend,
+    BackendError,
+    LockstepBackend,
+    ShmBackend,
+    ThreadedBackend,
+    get_backend,
+)
+from repro.core.schedule import uniform_block_layout
+from repro.core.stencils import moore_neighborhood
+from repro.core.topology import CartTopology
+from repro.core.trivial import (
+    build_direct_allgather_schedule,
+    build_direct_alltoall_schedule,
+    build_trivial_allgather_schedule,
+    build_trivial_alltoall_schedule,
+)
+from repro.mpisim.datatypes import BlockRef, BlockSet
+from repro.mpisim.exceptions import ScheduleError
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+shm_mark = pytest.mark.skipif(not HAVE_FORK, reason="shm backend needs fork")
+
+NBH = moore_neighborhood(2, 1, include_self=False)  # t = 8
+NBH_SELF = moore_neighborhood(2, 1, include_self=True)  # t = 9, self block
+
+
+# ----------------------------------------------------------------------
+# layout factories: regular / v (displacements) / w (scattered pieces)
+# ----------------------------------------------------------------------
+
+
+def _alltoall_layouts(t, m, variant):
+    """(send_blocks, recv_blocks, send_size, recv_size) per variant."""
+    if variant == "regular":
+        return (
+            uniform_block_layout([m] * t, "send"),
+            uniform_block_layout([m] * t, "recv"),
+            t * m,
+            t * m,
+        )
+    if variant == "v":
+        gap = 3
+        stride = m + gap
+        send = [BlockSet([BlockRef("send", i * stride, m)]) for i in range(t)]
+        recv = [BlockSet([BlockRef("recv", i * stride + gap, m)]) for i in range(t)]
+        return send, recv, t * stride, t * stride + gap
+    # w: each logical block is two scattered pieces, recv pieces swapped
+    # between the low and high halves of the buffer.
+    h = m // 2
+    send = [
+        BlockSet([BlockRef("send", i * m, h), BlockRef("send", t * m + i * m + h, m - h)])
+        for i in range(t)
+    ]
+    recv = [
+        BlockSet([BlockRef("recv", t * m + i * m, h), BlockRef("recv", i * m + h, m - h)])
+        for i in range(t)
+    ]
+    return send, recv, 2 * t * m, 2 * t * m
+
+
+def _allgather_layouts(t, m, variant):
+    """(send_block, recv_blocks, send_size, recv_size) per variant."""
+    if variant == "regular":
+        return (
+            BlockSet([BlockRef("send", 0, m)]),
+            uniform_block_layout([m] * t, "recv"),
+            m,
+            t * m,
+        )
+    if variant == "v":
+        gap = 2
+        stride = m + gap
+        recv = [BlockSet([BlockRef("recv", i * stride + gap, m)]) for i in range(t)]
+        return BlockSet([BlockRef("send", 0, m)]), recv, m, t * stride + gap
+    h = m // 2
+    send = BlockSet([BlockRef("send", 0, h), BlockRef("send", m + 1, m - h)])
+    recv = [
+        BlockSet([BlockRef("recv", t * m + i * m, h), BlockRef("recv", i * m + h, m - h)])
+        for i in range(t)
+    ]
+    return send, recv, 2 * m + 1, 2 * t * m
+
+
+ALLTOALL_BUILDERS = {
+    "trivial": build_trivial_alltoall_schedule,
+    "direct": build_direct_alltoall_schedule,
+    "combining": build_alltoall_schedule,
+}
+
+ALLGATHER_BUILDERS = {
+    "trivial": build_trivial_allgather_schedule,
+    "direct": build_direct_allgather_schedule,
+    "combining": build_allgather_schedule,
+}
+
+
+def _make_case(op, algorithm, variant, nbh=NBH, m=6):
+    if op == "alltoall":
+        send, recv, ssize, rsize = _alltoall_layouts(nbh.t, m, variant)
+        sched = ALLTOALL_BUILDERS[algorithm](nbh, send, recv)
+    else:
+        send, recv, ssize, rsize = _allgather_layouts(nbh.t, m, variant)
+        sched = ALLGATHER_BUILDERS[algorithm](nbh, send, recv)
+    return sched, ssize, rsize
+
+
+def _make_bufs(p, ssize, rsize):
+    """Deterministic distinct send contents per rank, zeroed recv."""
+    bufs = []
+    for r in range(p):
+        rng = np.random.default_rng(1000 + r)
+        bufs.append(
+            {
+                "send": rng.integers(0, 256, ssize).astype(np.uint8),
+                "recv": np.zeros(rsize, np.uint8),
+            }
+        )
+    return bufs
+
+
+def _run_on(backend, topo, sched, ssize, rsize):
+    bufs = _make_bufs(topo.size, ssize, rsize)
+    get_backend(backend).execute_all(topo, sched, bufs)
+    return bufs
+
+
+def assert_backends_agree(topo, sched, ssize, rsize, backends):
+    reference, *others = backends
+    ref = _run_on(reference, topo, sched, ssize, rsize)
+    for name in others:
+        got = _run_on(name, topo, sched, ssize, rsize)
+        for r in range(topo.size):
+            for buf in ("send", "recv"):
+                assert np.array_equal(got[r][buf], ref[r][buf]), (
+                    f"{name} diverges from {reference}: rank {r}, "
+                    f"buffer {buf!r}"
+                )
+
+
+# ----------------------------------------------------------------------
+# the full differential matrix
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("variant", ["regular", "v", "w"])
+@pytest.mark.parametrize("algorithm", ["trivial", "direct", "combining"])
+@pytest.mark.parametrize("op", ["alltoall", "allgather"])
+class TestParityMatrix:
+    def test_threaded_vs_lockstep(self, op, algorithm, variant):
+        topo = CartTopology((3, 3))
+        sched, ssize, rsize = _make_case(op, algorithm, variant)
+        assert_backends_agree(topo, sched, ssize, rsize, ["lockstep", "threaded"])
+
+    @shm_mark
+    @pytest.mark.shm
+    def test_shm_vs_lockstep(self, op, algorithm, variant):
+        topo = CartTopology((2, 2))
+        sched, ssize, rsize = _make_case(op, algorithm, variant)
+        assert_backends_agree(topo, sched, ssize, rsize, ["lockstep", "shm"])
+
+
+def test_parity_with_self_offset_local_copies():
+    """Stencils containing the zero offset exercise the local-copy path
+    on every backend."""
+    topo = CartTopology((3, 3))
+    sched, ssize, rsize = _make_case("alltoall", "trivial", "regular", nbh=NBH_SELF)
+    assert_backends_agree(topo, sched, ssize, rsize, ["lockstep", "threaded"])
+
+
+@given(
+    dims=st.lists(st.integers(2, 4), min_size=1, max_size=3),
+    m=st.integers(1, 16),
+    algorithm=st.sampled_from(["trivial", "direct", "combining"]),
+    data=st.data(),
+)
+@settings(deadline=None, max_examples=25)
+def test_parity_property_random_topologies(dims, m, algorithm, data):
+    """Lockstep and threaded agree byte-for-byte on random tori,
+    neighborhoods and block sizes."""
+    d = len(dims)
+    offsets = data.draw(
+        st.lists(
+            st.tuples(*[st.integers(-1, 1) for _ in range(d)]).filter(any),
+            min_size=1,
+            max_size=5,
+            unique=True,
+        )
+    )
+    from repro.core.neighborhood import Neighborhood
+
+    nbh = Neighborhood(offsets)
+    topo = CartTopology(dims)
+    sched, ssize, rsize = _make_case("alltoall", algorithm, "regular", nbh=nbh, m=m)
+    assert_backends_agree(topo, sched, ssize, rsize, ["lockstep", "threaded"])
+
+
+# ----------------------------------------------------------------------
+# registry, capabilities, selection
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_registry_names(self):
+        assert set(BACKENDS) >= {"threaded", "lockstep", "shm"}
+        for name, backend in BACKENDS.items():
+            assert isinstance(backend, Backend)
+            assert backend.name == name == backend.capabilities.name
+
+    def test_get_backend_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert get_backend(None).name == "threaded"
+
+    def test_get_backend_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "lockstep")
+        assert get_backend(None).name == "lockstep"
+
+    def test_get_backend_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "lockstep")
+        assert get_backend("shm").name == "shm"
+
+    def test_get_backend_instance_passthrough(self):
+        backend = LockstepBackend()
+        assert get_backend(backend) is backend
+
+    def test_get_backend_unknown(self):
+        with pytest.raises(BackendError, match="unknown backend"):
+            get_backend("smoke-signals")
+
+    def test_capability_flags(self):
+        threaded = BACKENDS["threaded"].capabilities
+        lockstep = BACKENDS["lockstep"].capabilities
+        shm = BACKENDS["shm"].capabilities
+        assert threaded.per_rank and threaded.split_phase and threaded.native_reduce
+        assert not lockstep.per_rank and lockstep.deferred_delivery
+        assert shm.true_parallel and not shm.per_rank
+
+    def test_all_ranks_backends_reject_per_rank_transport(self):
+        for name in ("lockstep", "shm"):
+            with pytest.raises(BackendError, match="no per-rank transports"):
+                BACKENDS[name].transport(object())
+
+    def test_lockstep_requires_one_buffer_set_per_rank(self):
+        topo = CartTopology((2, 2))
+        sched, ssize, rsize = _make_case("alltoall", "trivial", "regular")
+        with pytest.raises(ScheduleError, match="one buffer set per rank"):
+            LockstepBackend().execute_all(topo, sched, _make_bufs(2, ssize, rsize))
+
+
+# ----------------------------------------------------------------------
+# CartComm integration: funnelled execution on all-ranks backends
+# ----------------------------------------------------------------------
+
+
+def _alltoall_via_cart(backend_name):
+    from tests.conftest import expected_alltoall, fill_send_alltoall
+
+    def fn(cart):
+        t = cart.nbh.t
+        m = 4
+        send = fill_send_alltoall(cart.rank, t, m)
+        recv = np.zeros_like(send)
+        cart.alltoall(send, recv, algorithm="combining")
+        expect = expected_alltoall(cart.topo, cart.nbh, cart.rank, m)
+        assert cart.backend.name == backend_name
+        return bool(np.array_equal(recv, expect))
+
+    return run_cartesian((3, 3), NBH, fn, info={"backend": backend_name}, timeout=60)
+
+
+class TestCartCommFunnel:
+    def test_alltoall_lockstep_backend(self):
+        assert _alltoall_via_cart("lockstep") == [True] * 9
+
+    def test_backend_keyword(self):
+        """The backend kw is honoured without an info dict."""
+        from repro.core.cartcomm import cart_neighborhood_create
+        from repro.mpisim.engine import Engine
+
+        def fn(cart):
+            return cart.backend.name
+
+        def bootstrap(comm):
+            cart = cart_neighborhood_create(
+                comm, (2, 2), None, NBH, backend="lockstep"
+            )
+            return fn(cart)
+
+        assert Engine(4, timeout=60).run(bootstrap) == ["lockstep"] * 4
+
+    def test_reduce_funnel_combining_and_trivial(self):
+        def fn(cart):
+            t = cart.nbh.t
+            send = np.full(3, float(cart.rank + 1))
+            out_c = np.zeros(3)
+            out_t = np.zeros(3)
+            cart.reduce_neighbors(send, out_c, op="sum", algorithm="combining")
+            cart.reduce_neighbors(send, out_t, op="sum", algorithm="trivial")
+            # every rank has t in-neighbors on a torus; sum of (src+1)
+            srcs = [
+                cart.topo.translate(cart.rank, tuple(-o for o in off))
+                for off in cart.nbh
+            ]
+            expect = float(sum(s + 1 for s in srcs))
+            return (
+                bool(np.allclose(out_c, expect)),
+                bool(np.allclose(out_t, expect)),
+                t,
+            )
+
+        res = run_cartesian(
+            (3, 3), NBH, fn, info={"backend": "lockstep"}, timeout=60
+        )
+        assert all(c and t for c, t, _ in res)
+
+    def test_nonblocking_falls_back_to_threaded_transport(self):
+        """Split-phase ops need a per-rank transport; they must still work
+        when the communicator's configured backend is all-ranks."""
+
+        def fn(cart):
+            t = cart.nbh.t
+            m = 2
+            from tests.conftest import expected_alltoall, fill_send_alltoall
+
+            send = fill_send_alltoall(cart.rank, t, m)
+            recv = np.zeros_like(send)
+            req = cart.ialltoall(send, recv, algorithm="combining")
+            req.wait()
+            return bool(
+                np.array_equal(recv, expected_alltoall(cart.topo, cart.nbh, cart.rank, m))
+            )
+
+        res = run_cartesian((3, 3), NBH, fn, info={"backend": "lockstep"}, timeout=60)
+        assert res == [True] * 9
+
+
+# ----------------------------------------------------------------------
+# shm smoke (exercised stand-alone by the CI shm job via `-m shm`)
+# ----------------------------------------------------------------------
+
+
+@shm_mark
+@pytest.mark.shm
+class TestShm:
+    def test_smoke_combining_alltoall(self):
+        from repro.core.verify import verify_alltoall
+
+        topo = CartTopology((2, 2))
+        sched, _, _ = _make_case("alltoall", "combining", "regular")
+        verify_alltoall(sched, topo, [6] * NBH.t, backend="shm")
+
+    def test_smoke_allgather(self):
+        from repro.core.verify import verify_allgather
+
+        topo = CartTopology((2, 2))
+        sched, _, _ = _make_case("allgather", "combining", "regular")
+        verify_allgather(sched, topo, 6, backend="shm")
+
+    def test_rank_cap(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_MAX_RANKS", "2")
+        topo = CartTopology((2, 2))
+        sched, ssize, rsize = _make_case("alltoall", "trivial", "regular")
+        with pytest.raises(BackendError, match="refuses"):
+            ShmBackend().execute_all(topo, sched, _make_bufs(4, ssize, rsize))
+
+    def test_worker_failure_surfaces(self):
+        """A crashing worker must produce a BackendError with the remote
+        traceback, not a hang."""
+        topo = CartTopology((2, 1))
+        sched, ssize, rsize = _make_case("alltoall", "trivial", "regular")
+        bufs = _make_bufs(2, ssize, rsize)
+        bufs[1]["recv"] = np.zeros(3, np.uint8)  # too small: worker raises
+        with pytest.raises(BackendError, match="shm worker failed"):
+            ShmBackend().execute_all(topo, sched, bufs)
+
+
+def test_threaded_backend_execute_all_matches_lockstep():
+    """ThreadedBackend.execute_all spins a private engine — same result."""
+    topo = CartTopology((2, 2))
+    sched, ssize, rsize = _make_case("alltoall", "combining", "regular")
+    assert isinstance(BACKENDS["threaded"], ThreadedBackend)
+    assert_backends_agree(topo, sched, ssize, rsize, ["lockstep", "threaded"])

@@ -22,7 +22,7 @@ class TestOpStatsUnit:
         assert stats.total_calls == 3
         assert stats.total_rounds == 16
         assert stats.total_bytes == 160
-        rec = stats.records[("alltoall", "combining")]
+        rec = stats.records[("alltoall", "combining", "threaded")]
         assert rec.calls == 2 and rec.volume_blocks == 24
 
     def test_by_operation(self):
@@ -31,6 +31,32 @@ class TestOpStatsUnit:
         stats.record_raw("alltoall", "trivial", 8, 8, 32)
         by = stats.by_operation("alltoall")
         assert set(by) == {"combining", "trivial"}
+
+    def test_by_operation_aggregates_backends(self):
+        stats = OpStats()
+        stats.record_raw("alltoall", "combining", 4, 12, 48, backend="threaded")
+        stats.record_raw("alltoall", "combining", 4, 12, 48, backend="shm")
+        by = stats.by_operation("alltoall")
+        assert by["combining"].calls == 2
+        assert len(stats.records) == 2  # backends keyed separately
+
+    def test_by_backend(self):
+        stats = OpStats()
+        stats.record_raw("alltoall", "combining", 4, 12, 48, backend="threaded")
+        stats.record_raw("allgather", "trivial", 8, 8, 64, backend="lockstep")
+        by = stats.by_backend()
+        assert set(by) == {"threaded", "lockstep"}
+        assert by["lockstep"].rounds == 8
+
+    def test_cache_counters_split_by_backend(self):
+        stats = OpStats()
+        stats.record_cache(True, backend="threaded")
+        stats.record_cache(False, 0.5, backend="lockstep")
+        assert stats.cache_hits == 1 and stats.cache_misses == 1
+        assert stats.cache_by_backend == {
+            "threaded": [1, 0],
+            "lockstep": [0, 1],
+        }
 
     def test_reset(self):
         stats = OpStats()
@@ -53,11 +79,12 @@ class TestCartCommIntegration:
             cart.alltoall(np.zeros(t), np.zeros(t), algorithm="trivial")
             cart.allgather(np.zeros(1), np.zeros(t), algorithm="combining")
             s = cart.stats
+            b = cart.backend.name
             return (
                 s.total_calls,
-                s.records[("alltoall", "combining")].rounds,
-                s.records[("alltoall", "trivial")].calls,
-                ("allgather", "combining") in s.records,
+                s.records[("alltoall", "combining", b)].rounds,
+                s.records[("alltoall", "trivial", b)].calls,
+                ("allgather", "combining", b) in s.records,
             )
 
         res = run_cartesian(

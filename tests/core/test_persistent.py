@@ -195,12 +195,16 @@ class TestStatsParity:
             op = cart.alltoall_init(send, recv, algorithm="combining")
             op.execute()
             op.execute()
-            return {k: r.calls for k, r in cart.stats.records.items()}
+            return (
+                cart.backend.name,
+                {k: r.calls for k, r in cart.stats.records.items()},
+            )
 
         res = run_cartesian(
             (3, 3), NBH, fn, info={"collect_stats": True}
         )
-        assert res[0] == {("alltoall", "combining"): 3}
+        backend, records = res[0]
+        assert records == {("alltoall", "combining", backend): 3}
 
     def test_persistent_variants_share_direct_keys(self):
         def fn(cart):
@@ -216,14 +220,18 @@ class TestStatsParity:
             cart.alltoallv_init(
                 vs, counts, vr, counts, algorithm="trivial"
             ).execute()
-            return {k: r.calls for k, r in cart.stats.records.items()}
+            return (
+                cart.backend.name,
+                {k: r.calls for k, r in cart.stats.records.items()},
+            )
 
         res = run_cartesian(
             (3, 3), NBH, fn, info={"collect_stats": True}
         )
-        assert res[0] == {
-            ("allgather", "trivial"): 2,
-            ("alltoallv", "trivial"): 2,
+        backend, records = res[0]
+        assert records == {
+            ("allgather", "trivial", backend): 2,
+            ("alltoallv", "trivial", backend): 2,
         }
 
     def test_persistent_reduce_shares_direct_key(self):
@@ -235,6 +243,7 @@ class TestStatsParity:
             op.execute()
             return (
                 op.algorithm,
+                cart.backend.name,
                 {k: r.calls for k, r in cart.stats.records.items()},
             )
 
@@ -242,8 +251,8 @@ class TestStatsParity:
             (3, 3), moore_neighborhood(2, 1), fn,
             info={"collect_stats": True}, timeout=60,
         )
-        algorithm, records = res[0]
-        assert records == {("reduce_neighbors", algorithm): 2}
+        algorithm, backend, records = res[0]
+        assert records == {("reduce_neighbors", algorithm, backend): 2}
 
 
 class TestSelectionAgreement:
@@ -271,15 +280,15 @@ class TestSelectionAgreement:
             cart.reduce_neighbors(send, recv, algorithm="auto")
             op = cart.reduce_neighbors_init(send, recv, algorithm="auto")
             op.execute()
-            return (op.algorithm, set(cart.stats.records))
+            return (op.algorithm, cart.backend.name, set(cart.stats.records))
 
         res = run_cartesian(
             dims, nbh, fn, periods=periods,
             info={"collect_stats": True}, timeout=60,
         )
-        for algorithm, keys in res:
+        for algorithm, backend, keys in res:
             assert algorithm == expected
-            assert keys == {("reduce_neighbors", expected)}
+            assert keys == {("reduce_neighbors", expected, backend)}
 
     def test_boundary_is_exact(self):
         nbh = Neighborhood([(1,), (2,)])

@@ -122,3 +122,61 @@ class TestRunner:
             alltoall_variants(nbh, [4] * nbh.t), machine, 64, **kwargs
         )
         assert a.stats["Cart_alltoall"].mean == b.stats["Cart_alltoall"].mean
+
+
+class TestCertification:
+    """measure_schedule can execution-certify every schedule it times."""
+
+    def test_certify_backend_param(self):
+        nbh = parameterized_stencil(2, 3, -1)
+        machine = get_machine("hydra-openmpi")
+        point = measure_schedule(
+            alltoall_variants(nbh, [INT_BYTES] * nbh.t),
+            machine,
+            64,
+            repetitions=3,
+            certify_backend="lockstep",
+        )
+        assert point.absolute_ms(point.baseline) > 0
+        point = measure_schedule(
+            allgather_variants(nbh, INT_BYTES),
+            machine,
+            64,
+            repetitions=3,
+            certify_backend="lockstep",
+        )
+        assert point.absolute_ms(point.baseline) > 0
+
+    def test_certify_env_variable(self, monkeypatch):
+        from repro.experiments.runner import CERTIFY_ENV
+
+        monkeypatch.setenv(CERTIFY_ENV, "lockstep")
+        nbh = parameterized_stencil(2, 2, -1)
+        point = measure_schedule(
+            alltoall_variants(nbh, [4] * nbh.t),
+            get_machine("hydra-openmpi"),
+            64,
+            repetitions=3,
+        )
+        assert point.absolute_ms(point.baseline) > 0
+
+    def test_certify_rejects_wrong_delivery(self):
+        from repro.core.schedule import uniform_block_layout
+        from repro.core.trivial import build_trivial_alltoall_schedule
+        from repro.experiments.runner import Variant
+        from repro.mpisim.exceptions import ScheduleError
+
+        nbh = parameterized_stencil(2, 2, -1)
+        send = uniform_block_layout([4] * nbh.t, "send")
+        recv = uniform_block_layout([4] * nbh.t, "recv")
+        # deliver every block into the wrong slot: valid schedule shape,
+        # wrong alltoall semantics — certification must refuse to time it
+        broken = build_trivial_alltoall_schedule(nbh, send, recv[::-1])
+        with pytest.raises(ScheduleError, match="verification failed"):
+            measure_schedule(
+                [Variant("broken", lambda: broken, "cart")],
+                get_machine("hydra-openmpi"),
+                64,
+                repetitions=3,
+                certify_backend="lockstep",
+            )
