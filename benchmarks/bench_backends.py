@@ -22,7 +22,7 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import write_artifact
+from benchmarks.conftest import write_artifact, write_json_artifact
 from repro.core.alltoall_schedule import build_alltoall_schedule
 from repro.core.backend import get_backend
 from repro.core.schedule import uniform_block_layout
@@ -71,6 +71,7 @@ def test_threaded_vs_shm_alltoall():
         f"{'m (bytes)':>10s} {'threaded (ms)':>14s} {'shm (ms)':>10s} "
         f"{'shm/threaded':>13s}",
     ]
+    rows = []
     for m in SIZES:
         sched = build_alltoall_schedule(
             nbh,
@@ -102,6 +103,14 @@ def test_threaded_vs_shm_alltoall():
             f"{m:10d} {timings['threaded'] * 1e3:14.3f} "
             f"{timings['shm'] * 1e3:10.3f} {ratio:12.2f}x"
         )
+        rows.append(
+            {
+                "m_bytes": m,
+                "threaded_s": timings["threaded"],
+                "shm_s": timings["shm"],
+                "shm_over_threaded": ratio,
+            }
+        )
 
     lines.append("")
     lines.append(
@@ -110,5 +119,17 @@ def test_threaded_vs_shm_alltoall():
         "not steady-state bandwidth."
     )
     path = write_artifact("backends.txt", "\n".join(lines))
+    write_json_artifact(
+        "backends.json",
+        {
+            "benchmark": "backends",
+            "dims": list(topo.dims),
+            "t": nbh.t,
+            "reps": REPS,
+            "smoke": SMOKE,
+            "cores": cores,
+            "cases": rows,
+        },
+    )
     print("\n".join(lines))
     print(f"\nwrote {path}")

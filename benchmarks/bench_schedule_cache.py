@@ -19,7 +19,7 @@ import time
 
 import numpy as np
 
-from benchmarks.conftest import write_artifact
+from benchmarks.conftest import write_artifact, write_json_artifact
 from repro.core import schedule_cache
 from repro.core.alltoall_schedule import build_alltoall_schedule
 from repro.core.api import run_cartesian
@@ -47,6 +47,7 @@ def test_cache_hit_amortizes_build():
     overhead when the schedule comes from the cache."""
     lines = ["schedule-cache build amortization (best-of timings)", ""]
     worst_speedup = float("inf")
+    rows = []
     for d, n in [(2, 3), (3, 3), (4, 3) if SMOKE else (5, 3)]:
         nbh = parameterized_stencil(d, n, -1)
         sizes = [8] * nbh.t
@@ -78,11 +79,20 @@ def test_cache_hit_amortizes_build():
             f"d={d} n={n} t={nbh.t:5d}: rebuild {build_s * 1e6:9.1f} us   "
             f"hit {hit_s * 1e6:7.2f} us   speedup {speedup:8.1f}x"
         )
+        rows.append(
+            {"d": d, "n": n, "t": nbh.t, "rebuild_s": build_s,
+             "hit_s": hit_s, "speedup": speedup}
+        )
 
     info = schedule_cache.cache_info()
     lines += ["", f"final counters: {info}"]
     text = "\n".join(lines)
     write_artifact("schedule_cache.txt", text)
+    write_json_artifact(
+        "schedule_cache.json",
+        {"benchmark": "schedule_cache", "reps": REPS, "smoke": SMOKE,
+         "cases": rows},
+    )
     print("\n" + text)
     assert worst_speedup >= 5.0, text
 

@@ -7,6 +7,7 @@ with ``-s`` to also see the tables inline).
 
 from __future__ import annotations
 
+import json
 import os
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
@@ -19,4 +20,16 @@ def write_artifact(name: str, text: str) -> str:
         fh.write(text)
         if not text.endswith("\n"):
             fh.write("\n")
+    return path
+
+
+def write_json_artifact(name: str, obj: object) -> str:
+    """Machine-readable companion to :func:`write_artifact`: the perf
+    trajectory of a benchmark (timings, speedups, configuration) as
+    JSON, consumed by the CI perf gate and kept as a run artifact."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, name)
+    with open(path, "w") as fh:
+        json.dump(obj, fh, indent=2, sort_keys=True)
+        fh.write("\n")
     return path

@@ -49,6 +49,11 @@ CODES: dict[str, str] = {
     "V403": "allgather volume differs from tree edge count (Prop. 3.3)",
     "V404": "delivered content differs from the collective's definition",
     "V405": "round packs scratch bytes no earlier round ever wrote",
+    # --- plan-lowering conformance (check e) ---------------------------
+    "V501": "lowered plan changes the schedule's round structure",
+    "V502": "lowered plan peer ranks differ from topology translation",
+    "V503": "compiled pack/unpack bytes differ from the block sets",
+    "V504": "compiled local-copy program differs from the schedule's",
 }
 
 

@@ -22,6 +22,10 @@ instantiates the schedule for every rank of the torus and checks:
 (d) **quantitative conformance** — round count ``C = Σ_k C_k`` and
     volume ``V = Σ_i z_i`` for the alltoall (Props. 3.1/3.2), tree-edge
     volume for the allgather (Prop. 3.3) (V401–V403);
+(e) **plan-lowering conformance** — the per-rank :class:`ExecPlan`
+    lowering of :mod:`repro.core.plan` preserves round structure, peer
+    resolution, pack/unpack bytes and local-copy results, so Props.
+    3.1–3.3 remain certified for the compiled form (V501–V504);
 
 plus a concrete **content simulation**: a single-threaded interpretation
 of the schedule over all ranks with rank-unique sentinel bytes, proving
@@ -577,6 +581,191 @@ def _simulate_content(
 
 
 # ----------------------------------------------------------------------
+# check (e): plan-lowering conformance (V501-V504)
+# ----------------------------------------------------------------------
+#: ranks per torus actually lowered and byte-compared (corners always
+#: included); full coverage below this bound
+PLAN_SAMPLE_RANKS = 16
+
+
+def _sample_ranks(size: int, limit: int = PLAN_SAMPLE_RANKS) -> list[int]:
+    if size <= limit:
+        return list(range(size))
+    stride = max(1, size // (limit - 2))
+    picked = {0, size - 1}
+    picked.update(range(0, size, stride))
+    return sorted(picked)[:limit]
+
+
+def _plan_sizes(schedule: Schedule) -> dict[str, int]:
+    """Synthesized buffer capacities for lowering: the max referenced end
+    per named buffer, with the declared scratch requirement for temp."""
+    sizes = _buffer_extents(schedule)
+    if schedule.temp_nbytes > 0 or "temp" in sizes:
+        sizes["temp"] = max(sizes.get("temp", 0), schedule.temp_nbytes)
+    return sizes
+
+
+def _sentinel_buffers(
+    sizes: dict[str, int], seed: int
+) -> dict[str, np.ndarray]:
+    out: dict[str, np.ndarray] = {}
+    for bi, name in enumerate(sorted(sizes)):
+        rng = np.random.default_rng(seed * 7_919 + bi * 104_729 + 1)
+        out[name] = rng.integers(0, 256, sizes[name]).astype(np.uint8)
+    return out
+
+
+def _check_plan_lowering(
+    schedule: Schedule, topo: CartTopology, report: VerificationReport
+) -> None:
+    """Certify that lowering (:mod:`repro.core.plan`) is semantics-
+    preserving: for sampled ranks the compiled plan must keep the round
+    structure (V501), resolve exactly the peers ``topo.translate`` gives
+    (V502), pack/unpack byte-identically to the interpreted block sets
+    (V503), and its fused local-copy program must leave every buffer in
+    the state the schedule's sequential copies produce (V504).  A clean
+    pass re-certifies Props. 3.1-3.3 for the lowered form: structure,
+    peers and per-round bytes are unchanged, so the already-checked round
+    counts and volumes carry over."""
+    from repro.core.plan import compile_plan
+
+    schedule.prepare()
+    sizes = _plan_sizes(schedule)
+    for rank in _sample_ranks(topo.size):
+        plan = compile_plan(schedule, topo, rank, sizes)
+        shape = tuple(len(ph) for ph in plan.phases)
+        want_shape = tuple(len(ph.rounds) for ph in schedule.phases)
+        if shape != want_shape:
+            report.add(
+                "V501",
+                f"plan has phase/round shape {shape}, schedule has "
+                f"{want_shape}",
+                rank=rank,
+            )
+            continue
+        buffers = _sentinel_buffers(sizes, seed=rank)
+        for pi, (ph, plan_rounds) in enumerate(
+            zip(schedule.phases, plan.phases)
+        ):
+            for ri, (rnd, pr) in enumerate(zip(ph.rounds, plan_rounds)):
+                target = topo.translate(rank, rnd.offset)
+                source = topo.translate(
+                    rank, tuple(-o for o in rnd.recv_source_offset)
+                )
+                if (pr.source, pr.target) != (source, target):
+                    report.add(
+                        "V502",
+                        f"plan resolves (source, target)=({pr.source}, "
+                        f"{pr.target}), translation gives ({source}, "
+                        f"{target})",
+                        rank=rank,
+                        phase=pi,
+                        round_index=ri,
+                    )
+                    continue
+                if (pr.send is None) != (target is None) or (
+                    pr.recv is None
+                ) != (source is None):
+                    report.add(
+                        "V501",
+                        "plan compiles a block program for a missing "
+                        "peer (or drops one for a present peer)",
+                        rank=rank,
+                        phase=pi,
+                        round_index=ri,
+                    )
+                    continue
+                if pr.send is not None:
+                    ref = rnd.send_blocks.pack(buffers)
+                    got = pr.send.pack(buffers)
+                    if got.tobytes() != ref:
+                        report.add(
+                            "V503",
+                            f"compiled pack produces different bytes "
+                            f"for the round to {rnd.offset}",
+                            rank=rank,
+                            phase=pi,
+                            round_index=ri,
+                        )
+                if pr.recv is not None:
+                    n = rnd.recv_blocks.total_nbytes
+                    if pr.recv.total_nbytes != n:
+                        report.add(
+                            "V503",
+                            f"compiled unpack expects "
+                            f"{pr.recv.total_nbytes} B, block set "
+                            f"carries {n} B",
+                            rank=rank,
+                            phase=pi,
+                            round_index=ri,
+                        )
+                        continue
+                    payload = np.random.default_rng(
+                        (rank * 31 + pi) * 31 + ri
+                    ).integers(0, 256, n).astype(np.uint8)
+                    ref_bufs = {k: v.copy() for k, v in buffers.items()}
+                    got_bufs = {k: v.copy() for k, v in buffers.items()}
+                    rnd.recv_blocks.unpack(ref_bufs, payload.tobytes())
+                    pr.recv.unpack_from(got_bufs, payload)
+                    if any(
+                        not np.array_equal(ref_bufs[k], got_bufs[k])
+                        for k in ref_bufs
+                    ):
+                        report.add(
+                            "V503",
+                            f"compiled unpack scatters different bytes "
+                            f"for the round to {rnd.offset}",
+                            rank=rank,
+                            phase=pi,
+                            round_index=ri,
+                        )
+        # V504: fused local-copy program vs. sequential schedule copies
+        ref_bufs = {k: v.copy() for k, v in buffers.items()}
+        got_bufs = {k: v.copy() for k, v in buffers.items()}
+        schedule.run_local_copies(ref_bufs)
+        moved = plan.run_local_copies(got_bufs)
+        if moved != schedule.local_copy_bytes:
+            report.add(
+                "V504",
+                f"plan reports {moved} B copied locally, schedule "
+                f"copies {schedule.local_copy_bytes} B",
+                rank=rank,
+            )
+        bad = [
+            k
+            for k in ref_bufs
+            if not np.array_equal(ref_bufs[k], got_bufs[k])
+        ]
+        if bad:
+            report.add(
+                "V504",
+                f"compiled local-copy program leaves buffer(s) "
+                f"{sorted(bad)} in a different state",
+                rank=rank,
+            )
+
+
+def verify_plan_lowering(
+    schedule: Schedule,
+    dims: Sequence[int],
+    periods: Sequence[bool] | bool = True,
+) -> VerificationReport:
+    """Run only the plan-lowering conformance check (V501-V504)."""
+    dims_t = tuple(int(n) for n in dims)
+    if isinstance(periods, bool):
+        periods_t: tuple[bool, ...] = (periods,) * len(dims_t)
+    else:
+        periods_t = tuple(bool(p) for p in periods)
+    report = VerificationReport(
+        kind=schedule.kind, dims=dims_t, periods=periods_t
+    )
+    _check_plan_lowering(schedule, CartTopology(dims_t, periods_t), report)
+    report.checks_run.append("plan-lowering")
+    return report
+
+
+# ----------------------------------------------------------------------
 # entry points
 # ----------------------------------------------------------------------
 def verify_schedule(
@@ -586,12 +775,14 @@ def verify_schedule(
     *,
     content: bool = True,
     max_content_bytes: int = DEFAULT_CONTENT_BUDGET,
+    plans: bool = True,
 ) -> VerificationReport:
     """Statically verify ``schedule`` against the whole torus.
 
     Returns a :class:`VerificationReport` listing *every* violation
     found; ``report.ok`` means the schedule is certified for the given
-    ``(dims, periods)``.
+    ``(dims, periods)`` — including its plan-lowered form (``plans``
+    controls the V501-V504 pass).
     """
     dims_t = tuple(int(n) for n in dims)
     if isinstance(periods, bool):
@@ -617,6 +808,9 @@ def verify_schedule(
             schedule, topo, report, max_bytes=max_content_bytes
         ):
             report.checks_run.append("content")
+    if plans:
+        _check_plan_lowering(schedule, topo, report)
+        report.checks_run.append("plan-lowering")
     return report
 
 

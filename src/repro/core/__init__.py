@@ -23,6 +23,10 @@ Modules
 ``schedule_cache``
     process-wide, thread-safe LRU of built schedules keyed by the
     canonical (kind, neighborhood, layout, block-signature) fingerprint.
+``plan``
+    schedule lowering: per-rank ``ExecPlan`` compilation (precomputed
+    peers, vectorized pack/unpack kernels, fused local copies) and the
+    size-classed scratch ``BufferPool``.
 ``backend``
     execution backends: the ``Transport`` verb protocol, the single
     schedule interpreter shared by every execution mode, and the
@@ -61,6 +65,15 @@ from repro.core.distgraph import (
     dist_graph_create,
     dist_graph_create_adjacent,
 )
+from repro.core.plan import (
+    BufferPool,
+    CompiledBlockSet,
+    ExecPlan,
+    compile_plan,
+    plan_cache_info,
+    plans_disabled,
+    plans_enabled,
+)
 from repro.core.schedule_cache import (
     ScheduleCache,
     cache_clear,
@@ -86,6 +99,13 @@ __all__ = [
     "DistGraphComm",
     "dist_graph_create",
     "dist_graph_create_adjacent",
+    "BufferPool",
+    "CompiledBlockSet",
+    "ExecPlan",
+    "compile_plan",
+    "plan_cache_info",
+    "plans_disabled",
+    "plans_enabled",
     "ScheduleCache",
     "cache_clear",
     "cache_info",

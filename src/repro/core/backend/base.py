@@ -39,13 +39,22 @@ class BackendError(MpiSimError):
 
 
 def allocate_buffers(
-    schedule: "Schedule", user_buffers: Mapping[str, np.ndarray]
+    schedule: "Schedule",
+    user_buffers: Mapping[str, np.ndarray],
+    pool: Any = None,
 ) -> dict[str, np.ndarray]:
     """Combine the caller's named buffers with the scratch buffer the
-    schedule requires (``"temp"``)."""
+    schedule requires (``"temp"``).
+
+    With ``pool`` (a :class:`repro.core.plan.BufferPool`), the scratch
+    comes from the pool instead of a fresh allocation; the caller is
+    then responsible for releasing it after the execution."""
     buffers = dict(user_buffers)
     if schedule.temp_nbytes > 0 and "temp" not in buffers:
-        buffers["temp"] = np.empty(schedule.temp_nbytes, dtype=np.uint8)
+        if pool is not None:
+            buffers["temp"] = pool.acquire(schedule.temp_nbytes)
+        else:
+            buffers["temp"] = np.empty(schedule.temp_nbytes, dtype=np.uint8)
     return buffers
 
 

@@ -29,6 +29,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from repro.core import plan as plan_mod
 from repro.core.backend.base import Transport, allocate_buffers
 from repro.core.schedule import Schedule
 from repro.core.topology import CartTopology
@@ -60,15 +61,38 @@ class ScheduleInterpreter:
         validate: bool = False,
         observe: bool = True,
         skip_empty_phases: bool = False,
+        plan: "plan_mod.ExecPlan | None" = None,
+        use_plans: bool | None = None,
     ) -> None:
         self.transport = transport
         self.topo = topo
         self.schedule = schedule
-        self.buffers = allocate_buffers(schedule, buffers)
+        self.buffers = allocate_buffers(
+            schedule, buffers, pool=plan_mod.GLOBAL_POOL
+        )
+        #: pooled scratch to return in :meth:`finish` (ours only when the
+        #: caller did not bind a "temp" buffer themselves)
+        self._pooled_temp = (
+            self.buffers["temp"]
+            if schedule.temp_nbytes > 0 and "temp" not in buffers
+            else None
+        )
         self.tag = tag
         self.validate = validate
         self.observe = observe
         self.skip_empty_phases = skip_empty_phases
+        #: the lowered execution plan (compiled or fetched in
+        #: :meth:`begin` unless injected here or disabled)
+        self.plan = plan
+        #: None until begin(); then True (cache hit) / False (compiled).
+        #: Stays None when lowering is disabled.
+        self.plan_hit: bool | None = None
+        self._use_plans = use_plans
+        self._peers: tuple | None = None
+        #: wire bytes this execution packed / local bytes it copied
+        #: (filled during the run; consumed by OpStats wiring)
+        self.bytes_packed = 0
+        self.bytes_copied = 0
         #: index of the phase currently posted / next to post
         self._phase_index = 0
         self.pending: list[Any] = []
@@ -92,6 +116,21 @@ class ScheduleInterpreter:
         # schedules get their coalesced-copy plans computed before the
         # timed phases.
         self.schedule.prepare()
+        use_plans = (
+            self._use_plans
+            if self._use_plans is not None
+            else plan_mod.plans_enabled()
+        )
+        if self.plan is None and use_plans:
+            self.plan, self.plan_hit = plan_mod.get_or_compile(
+                self.schedule, self.topo, self.transport.rank, self.buffers
+            )
+        if self.plan is None:
+            # Uncompiled path: peers still resolve once per (schedule,
+            # rank), not once per round per execution.
+            self._peers = plan_mod.peer_table(
+                self.schedule, self.topo, self.transport.rank
+            )
         if self.observe:
             self.transport.mark(f"begin {self.schedule.kind}")
             self.transport.progress(op=self.schedule.kind)
@@ -111,27 +150,46 @@ class ScheduleInterpreter:
             if self.observe:
                 self.transport.progress(phase=self._phase_index)
             t = self.transport
-            rank = t.rank
+            buffers = self.buffers
             pending: list[Any] = []
-            for round_index, rnd in enumerate(phase.rounds):
-                neg = tuple(-o for o in rnd.recv_source_offset)
-                source = self.topo.translate(rank, neg)
-                target = self.topo.translate(rank, rnd.offset)
-                seq = (self._phase_index, round_index)
-                if source is not None:
-                    pending.append(
-                        t.post_recv(
-                            rnd.recv_blocks, self.buffers, source,
-                            self.tag, seq,
+            if self.plan is not None:
+                for round_index, pr in enumerate(
+                    self.plan.phases[self._phase_index]
+                ):
+                    seq = (self._phase_index, round_index)
+                    if pr.source is not None:
+                        pending.append(
+                            t.post_recv(
+                                pr.recv, buffers, pr.source, self.tag, seq
+                            )
                         )
-                    )
-                if target is not None:
-                    pending.append(
-                        t.post_send(
-                            rnd.send_blocks, self.buffers, target,
-                            self.tag, seq,
+                    if pr.target is not None:
+                        pending.append(
+                            t.post_send(
+                                pr.send, buffers, pr.target, self.tag, seq
+                            )
                         )
-                    )
+            else:
+                assert self._peers is not None
+                peers = self._peers[self._phase_index]
+                for round_index, rnd in enumerate(phase.rounds):
+                    source, target = peers[round_index]
+                    seq = (self._phase_index, round_index)
+                    if source is not None:
+                        pending.append(
+                            t.post_recv(
+                                rnd.recv_blocks, buffers, source,
+                                self.tag, seq,
+                            )
+                        )
+                    if target is not None:
+                        pending.append(
+                            t.post_send(
+                                rnd.send_blocks, buffers, target,
+                                self.tag, seq,
+                            )
+                        )
+                        self.bytes_packed += rnd.nbytes
             self.pending = pending
             return True
         return False
@@ -144,12 +202,20 @@ class ScheduleInterpreter:
 
     def finish(self) -> None:
         """The final non-communication phase: rank-local copies."""
-        moved = self.schedule.run_local_copies(self.buffers)
+        if self.plan is not None:
+            moved = self.plan.run_local_copies(self.buffers)
+            self.bytes_packed = self.plan.wire_bytes
+        else:
+            moved = self.schedule.run_local_copies(self.buffers)
+        self.bytes_copied = moved
         if self.observe:
             if moved:
                 self.transport.record_local(moved, note="self-block copies")
             self.transport.mark(f"end {self.schedule.kind}")
             self.transport.progress(op="idle")
+        if self._pooled_temp is not None:
+            plan_mod.GLOBAL_POOL.release(self._pooled_temp)
+            self._pooled_temp = None
         self._finished = True
 
     # ------------------------------------------------------------------

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.backend.base import Backend, Transport, TransportCapabilities
 from repro.core.backend.interpreter import CARTTAG, ScheduleInterpreter
+from repro.core.plan import GLOBAL_POOL
 from repro.core.schedule import Schedule
 from repro.core.topology import CartTopology
 from repro.mpisim.datatypes import BlockSet
@@ -44,10 +45,13 @@ LOCKSTEP_CAPS = TransportCapabilities(
 
 class LockstepExchange:
     """The shared in-memory "wire": packed payloads keyed by
-    (source, destination, (phase, round))."""
+    (source, destination, (phase, round)).  Payloads are flat ``uint8``
+    arrays drawn from the process buffer pool — returned to it as soon
+    as the receiver unpacks, so a steady-state execution allocates no
+    wire memory at all."""
 
     def __init__(self) -> None:
-        self.messages: dict[tuple[int, int, tuple[int, int]], bytes] = {}
+        self.messages: dict[tuple[int, int, tuple[int, int]], np.ndarray] = {}
 
 
 @dataclass
@@ -78,8 +82,11 @@ class LockstepTransport(Transport):
         tag: int,
         seq: tuple[int, int],
     ) -> Any:
-        # pack at post time: the concurrent-semantics snapshot
-        self.exchange.messages[(self.rank, dest, seq)] = blocks.pack(buffers)
+        # pack at post time: the concurrent-semantics snapshot, gathered
+        # straight into a pooled wire buffer (no bytes object)
+        wire = GLOBAL_POOL.acquire(blocks.total_nbytes)
+        blocks.pack_into(buffers, wire)
+        self.exchange.messages[(self.rank, dest, seq)] = wire
         return _SEND_TOKEN
 
     def post_recv(
@@ -104,7 +111,8 @@ class LockstepTransport(Transport):
                     f"rank {self.rank} expects a message from "
                     f"{token.source} which sent none"
                 )
-            token.blocks.unpack(token.buffers, payload)
+            token.blocks.unpack_from(token.buffers, payload)
+            GLOBAL_POOL.release(payload)
 
 
 class LockstepBackend(Backend):

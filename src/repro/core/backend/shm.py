@@ -48,6 +48,7 @@ from repro.core.backend.base import (
     Transport,
     TransportCapabilities,
 )
+from repro.core import plan as plan_mod
 from repro.core.backend.interpreter import CARTTAG, ScheduleInterpreter
 from repro.core.schedule import Schedule
 from repro.core.topology import CartTopology
@@ -170,6 +171,26 @@ class ShmBackend(Backend):
         timeout = float(os.environ.get(_TIMEOUT_ENV, _DEFAULT_TIMEOUT))
         # Compute coalesced-run plans once, in the parent, before forking.
         schedule.prepare()
+        # Lower the per-rank execution plans here too: children inherit
+        # them copy-on-write through the fork, so every worker starts
+        # with a plan-cache hit instead of compiling its own.  Strictly
+        # best-effort: a schedule that cannot compile (e.g. undersized
+        # buffers) must fail inside the worker, where the error funnels
+        # through the queue as a BackendError like any other failure.
+        if plan_mod.plans_enabled():
+            for r in range(p):
+                try:
+                    plan_mod.get_or_compile(
+                        schedule,
+                        topo,
+                        r,
+                        sizes=plan_mod.effective_sizes(
+                            schedule,
+                            rank_buffers[r],
+                        ),
+                    )
+                except Exception:
+                    break
 
         # ---- segment layout ------------------------------------------------
         offset = 0

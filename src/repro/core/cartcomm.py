@@ -41,7 +41,7 @@ if TYPE_CHECKING:
     from repro.core.opstats import OpStats
     from repro.core.persistent import PersistentOp, PersistentReduce
 
-from repro.core import schedule_cache
+from repro.core import plan, schedule_cache
 from repro.core.allgather_schedule import build_allgather_schedule
 from repro.core.alltoall_schedule import build_alltoall_schedule
 from repro.core.backend import Backend, ScheduleInterpreter, get_backend
@@ -205,6 +205,17 @@ class CartComm:
         schedule_cache.cache_clear()
 
     @staticmethod
+    def plan_cache_info() -> plan.PlanCacheInfo:
+        """Process-wide execution-plan counters (hits, compiles,
+        cumulative compile time); see :mod:`repro.core.plan`."""
+        return plan.plan_cache_info()
+
+    @staticmethod
+    def buffer_pool_stats() -> plan.PoolStats:
+        """Counters of the process-wide scratch-buffer pool."""
+        return plan.GLOBAL_POOL.stats()
+
+    @staticmethod
     def _algorithm_of(schedule: Schedule) -> str:
         kind = schedule.kind
         if kind.startswith("trivial"):
@@ -231,9 +242,20 @@ class CartComm:
         this rank's transport; all-ranks backends are driven collectively
         through rank 0 (:meth:`_execute_funneled`)."""
         if self._transport is not None:
-            ScheduleInterpreter(
+            interp = ScheduleInterpreter(
                 self._transport, self.topo, schedule, buffers
-            ).run()
+            )
+            interp.run()
+            if self.stats is not None:
+                if interp.plan_hit is not None:
+                    self.stats.record_plan(
+                        interp.plan_hit, backend=self.backend.name
+                    )
+                self.stats.record_bytes(
+                    interp.bytes_packed,
+                    interp.bytes_copied,
+                    backend=self.backend.name,
+                )
         else:
             self._execute_funneled(schedule, buffers)
 
@@ -248,7 +270,20 @@ class CartComm:
         gathered = self.comm.gather(dict(buffers), root=0)
         if self.rank == 0:
             assert gathered is not None
+            before = plan.plan_cache_info() if self.stats is not None else None
             self.backend.execute_all(self.topo, schedule, gathered)
+            if self.stats is not None and before is not None:
+                # Rank 0 drives every rank's execution here, so the
+                # process-wide plan-counter delta is this collective's.
+                after = plan.plan_cache_info()
+                self.stats.record_plan(
+                    True, backend=self.backend.name,
+                    n=after.hits - before.hits,
+                )
+                self.stats.record_plan(
+                    False, backend=self.backend.name,
+                    n=after.misses - before.misses,
+                )
             for r in range(1, self.size):
                 self.comm.send(gathered[r], r, tag=_FUNNEL_TAG)
         else:
@@ -257,6 +292,13 @@ class CartComm:
                 byte_view(arr)[:] = byte_view(
                     np.ascontiguousarray(result[name])
                 )
+        if self.stats is not None:
+            # per-process accounting, mirroring the per-rank path
+            self.stats.record_bytes(
+                schedule.volume_bytes,
+                schedule.local_copy_bytes,
+                backend=self.backend.name,
+            )
 
     # ------------------------------------------------------------------
     # identity / layout

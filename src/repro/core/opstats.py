@@ -65,6 +65,16 @@ class OpStats:
     #: per-backend split of the cache hit/miss counters:
     #: backend name -> [hits, misses]
     cache_by_backend: dict = field(default_factory=dict)
+    #: plan-cache observability (see :mod:`repro.core.plan`): how often
+    #: executions reused a lowered per-rank plan vs. compiled one.
+    plan_hits: int = 0
+    plan_misses: int = 0
+    #: per-backend split of the plan counters: backend -> [hits, misses]
+    plan_by_backend: dict = field(default_factory=dict)
+    #: data-movement accounting per executing backend: wire bytes packed
+    #: by this rank's executions and bytes moved by the local-copy phase
+    bytes_packed: dict = field(default_factory=dict)
+    bytes_copied: dict = field(default_factory=dict)
     #: injected-fault observability: counts per fault kind survived or
     #: failed under (filled from the engine's fault-event log, e.g. by
     #: the chaos harness).
@@ -92,6 +102,39 @@ class OpStats:
             self.cache_misses += 1
             split[1] += 1
             self.cache_build_seconds += build_seconds
+
+    def record_plan(
+        self,
+        hit: bool,
+        backend: str = DEFAULT_BACKEND,
+        n: int = 1,
+    ) -> None:
+        """Count ``n`` plan-cache lookups of one outcome."""
+        if n <= 0:
+            return
+        split = self.plan_by_backend.setdefault(backend, [0, 0])
+        if hit:
+            self.plan_hits += n
+            split[0] += n
+        else:
+            self.plan_misses += n
+            split[1] += n
+
+    def record_bytes(
+        self,
+        packed: int = 0,
+        copied: int = 0,
+        backend: str = DEFAULT_BACKEND,
+    ) -> None:
+        """Attribute one execution's data movement to its backend."""
+        if packed:
+            self.bytes_packed[backend] = (
+                self.bytes_packed.get(backend, 0) + packed
+            )
+        if copied:
+            self.bytes_copied[backend] = (
+                self.bytes_copied.get(backend, 0) + copied
+            )
 
     def _record(self, key: tuple) -> OpRecord:
         rec = self.records.get(key)
@@ -176,6 +219,17 @@ class OpStats:
                 f"{self.cache_misses} misses, "
                 f"{self.cache_build_seconds * 1e3:.3f} ms building"
             )
+        if self.plan_hits or self.plan_misses:
+            lines.append(
+                f"  execution plans: {self.plan_hits} hits / "
+                f"{self.plan_misses} compiles"
+            )
+        for backend in sorted(set(self.bytes_packed) | set(self.bytes_copied)):
+            lines.append(
+                f"  data moved [{backend}]: "
+                f"{self.bytes_packed.get(backend, 0)} B packed, "
+                f"{self.bytes_copied.get(backend, 0)} B copied locally"
+            )
         if self.faults:
             injected = ", ".join(
                 f"{kind}={n}" for kind, n in sorted(self.faults.items())
@@ -189,4 +243,9 @@ class OpStats:
         self.cache_misses = 0
         self.cache_build_seconds = 0.0
         self.cache_by_backend.clear()
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.plan_by_backend.clear()
+        self.bytes_packed.clear()
+        self.bytes_copied.clear()
         self.faults.clear()

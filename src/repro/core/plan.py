@@ -1,0 +1,785 @@
+"""Schedule lowering: per-rank execution plans and the buffer pool.
+
+Proposition 3.1 makes a schedule pure, rank-independent data — which is
+what lets one object serve every rank — but executing it still paid
+per-call Python costs: ``topo.translate`` per round, a Python loop over
+coalesced runs per pack/unpack, and fresh temp/wire allocations per
+invocation.  This module *lowers* a prepared
+:class:`~repro.core.schedule.Schedule` into an immutable per-rank
+:class:`ExecPlan` in which all of that is precomputed:
+
+* **peer ranks** — every round's (source, target) pair is resolved once
+  at compile time; rounds falling off a non-periodic mesh edge carry
+  ``None`` and compile no block program for the missing half;
+* **gather/scatter programs** — each round's block sets become
+  :class:`CompiledBlockSet` kernels: contiguous layouts degrade to a
+  single slice copy, fragmented ``v``/``w`` layouts become one numpy
+  fancy-indexing operation over precomputed ``int64`` index arrays, and
+  layouts with few large runs keep a precomputed slice loop (a handful
+  of big ``memcpy``\\ s beats byte-granular index gathering);
+* **a fused local-copy program** — the final non-communication phase is
+  compiled the same way (:class:`CompiledCopyProgram`), falling back to
+  the schedule's sequential order whenever source and destination
+  regions could interact;
+* **pooled scratch** — temp and lockstep wire buffers come from the
+  process-wide size-classed :class:`BufferPool` instead of ``np.empty``
+  per execution.
+
+Plans are cached on the schedule object itself (``Schedule._plans``)
+under a per-rank key, so they share the lifetime of the schedule-cache
+entry they belong to and are invalidated with it; compilation is
+single-flight under a module lock.  The
+:class:`~repro.core.backend.interpreter.ScheduleInterpreter` consumes
+plans transparently, which is how all three backends benefit — the shm
+transport's ``pack_into`` packs straight into its shared-memory slot
+through the plan's index arrays.  ``REPRO_PLANS=0`` disables lowering
+globally; :func:`plans_disabled` scopes that for comparisons.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import namedtuple
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.mpisim.datatypes import BlockRef, byte_view
+from repro.mpisim.exceptions import ScheduleError, TruncationError
+
+if TYPE_CHECKING:
+    from repro.core.schedule import LocalCopy, Schedule
+    from repro.core.topology import CartTopology
+
+#: Average coalesced-run size (bytes) up to which a fragmented layout is
+#: lowered to index arrays.  Fancy indexing moves bytes one at a time, a
+#: slice copy is a memcpy with ~1 µs of Python overhead per run; around
+#: this run size the two cost the same, so larger runs keep a slice loop.
+INDEX_RUN_LIMIT = 2048
+
+#: Smallest size class handed out by the pool (pooling tiny buffers costs
+#: more bookkeeping than the allocation it saves).
+_MIN_CLASS = 64
+
+_POOL_MAX_ENV = "REPRO_BUFFER_POOL_MAX"
+_DEFAULT_POOL_MAX = 64 << 20  # retained (idle) bytes cap
+
+_PLANS_ENV = "REPRO_PLANS"
+
+
+# ---------------------------------------------------------------------------
+# buffer pool
+# ---------------------------------------------------------------------------
+
+PoolStats = namedtuple(
+    "PoolStats",
+    [
+        "acquires",
+        "reuses",
+        "releases",
+        "dropped",
+        "outstanding_bytes",
+        "high_water_bytes",
+        "retained_bytes",
+    ],
+)
+
+
+class BufferPool:
+    """A thread-safe, size-classed pool of flat ``uint8`` scratch arrays.
+
+    :meth:`acquire` returns an exact-size view of a power-of-two block;
+    :meth:`release` returns the block to its size class (up to the
+    retained-bytes cap, ``REPRO_BUFFER_POOL_MAX``).  Forgetting to
+    release is safe — the block is simply garbage-collected and the pool
+    allocates a fresh one next time — so the pool never needs weakrefs
+    or finalizers.  High-water and reuse statistics are exposed via
+    :meth:`stats` for observability and tests.
+    """
+
+    def __init__(self, max_retained_bytes: Optional[int] = None) -> None:
+        if max_retained_bytes is None:
+            max_retained_bytes = int(
+                os.environ.get(_POOL_MAX_ENV, _DEFAULT_POOL_MAX)
+            )
+        self.max_retained_bytes = max(0, max_retained_bytes)
+        self._lock = threading.Lock()
+        self._classes: dict[int, list[np.ndarray]] = {}
+        self._retained = 0
+        self._outstanding = 0
+        self._high_water = 0
+        self._acquires = 0
+        self._reuses = 0
+        self._releases = 0
+        self._dropped = 0
+
+    @staticmethod
+    def _class_of(nbytes: int) -> int:
+        if nbytes <= _MIN_CLASS:
+            return _MIN_CLASS
+        return 1 << (nbytes - 1).bit_length()
+
+    def acquire(self, nbytes: int) -> np.ndarray:
+        """An exact-size flat ``uint8`` array backed by a pooled block."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return np.empty(0, dtype=np.uint8)
+        cls = self._class_of(nbytes)
+        block: Optional[np.ndarray] = None
+        with self._lock:
+            free = self._classes.get(cls)
+            if free:
+                block = free.pop()
+                self._retained -= cls
+                self._reuses += 1
+            self._acquires += 1
+            self._outstanding += cls
+            if self._outstanding > self._high_water:
+                self._high_water = self._outstanding
+        if block is None:
+            block = np.empty(cls, dtype=np.uint8)
+        return block[:nbytes]
+
+    def release(self, arr: np.ndarray) -> None:
+        """Return an array obtained from :meth:`acquire` to the pool.
+
+        Arrays the pool did not hand out (wrong dtype/shape, or a size
+        that is not a pool class) are ignored — callers may release
+        unconditionally.
+        """
+        if not isinstance(arr, np.ndarray) or arr.size == 0:
+            return
+        base = arr.base if isinstance(arr.base, np.ndarray) else arr
+        if (
+            base.dtype != np.uint8
+            or base.ndim != 1
+            or base.base is not None
+            or base.size < _MIN_CLASS
+            or base.size & (base.size - 1)
+        ):
+            return
+        cls = base.size
+        with self._lock:
+            self._releases += 1
+            if self._outstanding >= cls:
+                self._outstanding -= cls
+            if self._retained + cls <= self.max_retained_bytes:
+                self._classes.setdefault(cls, []).append(base)
+                self._retained += cls
+            else:
+                self._dropped += 1
+
+    def stats(self) -> PoolStats:
+        with self._lock:
+            return PoolStats(
+                acquires=self._acquires,
+                reuses=self._reuses,
+                releases=self._releases,
+                dropped=self._dropped,
+                outstanding_bytes=self._outstanding,
+                high_water_bytes=self._high_water,
+                retained_bytes=self._retained,
+            )
+
+    def clear(self) -> None:
+        """Drop all retained blocks and reset the counters."""
+        with self._lock:
+            self._classes.clear()
+            self._retained = 0
+            self._outstanding = 0
+            self._high_water = 0
+            self._acquires = 0
+            self._reuses = 0
+            self._releases = 0
+            self._dropped = 0
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"BufferPool(retained={s.retained_bytes}, "
+            f"outstanding={s.outstanding_bytes}, reuses={s.reuses})"
+        )
+
+
+#: The process-wide pool used by the interpreter and the lockstep wire.
+GLOBAL_POOL = BufferPool()
+
+
+# ---------------------------------------------------------------------------
+# compiled block kernels
+# ---------------------------------------------------------------------------
+
+#: A precomputed gather/scatter selector: a slice where the region is
+#: contiguous, an ``int64`` index array where it is not.
+Selector = Union[slice, np.ndarray]
+
+
+def _selector(spans: Sequence[tuple[int, int]]) -> Selector:
+    """Lower ordered (start, nbytes) spans to a slice or index array."""
+    pos = spans[0][0]
+    for start, n in spans:
+        if start != pos:
+            break
+        pos += n
+    else:
+        return slice(spans[0][0], pos)
+    return np.concatenate(
+        [np.arange(s, s + n, dtype=np.int64) for s, n in spans]
+    )
+
+
+class CompiledBlockSet:
+    """One round's pack/unpack program, lowered from coalesced runs.
+
+    Duck-types the :class:`~repro.mpisim.datatypes.BlockSet` execution
+    surface (``pack``/``pack_into``/``unpack``/``unpack_from``/
+    ``total_nbytes``) so every transport consumes it unchanged.  Each
+    per-buffer group is either one numpy selector operation (slice or
+    fancy index on both the wire and buffer side) or a precomputed slice
+    loop for few-large-run layouts.
+    """
+
+    __slots__ = ("total_nbytes", "_sel_ops", "_run_ops")
+
+    def __init__(
+        self,
+        total_nbytes: int,
+        sel_ops: Sequence[tuple[str, Selector, Selector]],
+        run_ops: Sequence[tuple[str, int, int, int]],
+    ) -> None:
+        self.total_nbytes = total_nbytes
+        #: (buffer name, wire selector, buffer selector)
+        self._sel_ops = tuple(sel_ops)
+        #: (buffer name, wire offset, buffer offset, nbytes)
+        self._run_ops = tuple(run_ops)
+
+    # -- execution surface (BlockSet-compatible) -----------------------
+    def pack_into(
+        self, buffers: Mapping[str, np.ndarray], out: np.ndarray
+    ) -> int:
+        """Gather into ``out`` (e.g. a shared-memory slot); returns the
+        number of bytes written."""
+        for name, wire_sel, buf_sel in self._sel_ops:
+            out[wire_sel] = byte_view(buffers[name])[buf_sel]
+        for name, wire_off, buf_off, n in self._run_ops:
+            out[wire_off : wire_off + n] = byte_view(buffers[name])[
+                buf_off : buf_off + n
+            ]
+        return self.total_nbytes
+
+    def pack(self, buffers: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Gather all blocks into one fresh wire array (the eager-send
+        snapshot — never a view of the user buffers)."""
+        out = np.empty(self.total_nbytes, dtype=np.uint8)
+        self.pack_into(buffers, out)
+        return out
+
+    def unpack_from(
+        self, buffers: Mapping[str, np.ndarray], data: np.ndarray
+    ) -> None:
+        if data.size != self.total_nbytes:
+            raise TruncationError(
+                f"payload of {data.size} bytes does not match compiled "
+                f"block set of {self.total_nbytes} bytes"
+            )
+        for name, wire_sel, buf_sel in self._sel_ops:
+            byte_view(buffers[name])[buf_sel] = data[wire_sel]
+        for name, wire_off, buf_off, n in self._run_ops:
+            byte_view(buffers[name])[buf_off : buf_off + n] = data[
+                wire_off : wire_off + n
+            ]
+
+    def unpack(
+        self,
+        buffers: Mapping[str, np.ndarray],
+        payload: Union[bytes, bytearray, memoryview, np.ndarray],
+    ) -> None:
+        self.unpack_from(buffers, np.frombuffer(payload, dtype=np.uint8))
+
+    # -- introspection --------------------------------------------------
+    @property
+    def num_kernels(self) -> int:
+        return len(self._sel_ops) + len(self._run_ops)
+
+    @property
+    def uses_indices(self) -> bool:
+        return any(
+            isinstance(w, np.ndarray) or isinstance(b, np.ndarray)
+            for _, w, b in self._sel_ops
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledBlockSet({self.total_nbytes} B, "
+            f"{len(self._sel_ops)} selector ops, "
+            f"{len(self._run_ops)} slice runs)"
+        )
+
+
+def compile_blockset(
+    runs: Sequence[BlockRef], sizes: Mapping[str, int]
+) -> CompiledBlockSet:
+    """Lower one round's coalesced runs into a pack/unpack kernel.
+
+    ``sizes`` maps buffer names to their byte capacity; every run is
+    bound-checked here, once, instead of per execution.
+    """
+    per_buffer: dict[str, list[tuple[int, int, int]]] = {}
+    pos = 0
+    for b in runs:
+        cap = sizes.get(b.buffer)
+        if cap is None:
+            raise ScheduleError(
+                f"block references unknown buffer {b.buffer!r}"
+            )
+        if b.end() > cap:
+            raise TruncationError(
+                f"block {b} exceeds buffer {b.buffer!r} of {cap} bytes"
+            )
+        per_buffer.setdefault(b.buffer, []).append((pos, b.offset, b.nbytes))
+        pos += b.nbytes
+    sel_ops: list[tuple[str, Selector, Selector]] = []
+    run_ops: list[tuple[str, int, int, int]] = []
+    for name, triples in per_buffer.items():
+        nbytes = sum(t[2] for t in triples)
+        if len(triples) == 1 or nbytes // len(triples) <= INDEX_RUN_LIMIT:
+            wire_sel = _selector([(w, n) for w, _, n in triples])
+            buf_sel = _selector([(o, n) for _, o, n in triples])
+            sel_ops.append((name, wire_sel, buf_sel))
+        else:
+            run_ops.extend((name, w, o, n) for w, o, n in triples)
+    return CompiledBlockSet(pos, sel_ops, run_ops)
+
+
+# ---------------------------------------------------------------------------
+# fused local-copy program
+# ---------------------------------------------------------------------------
+
+
+class CompiledCopyProgram:
+    """The final non-communication phase, lowered.
+
+    When every source region is disjoint from every destination region
+    (per buffer, across the whole copy list — the normal case: sources
+    in "send"/"temp", destinations in "recv"), copy order is irrelevant
+    and copies sharing a (src buffer, dst buffer) pair fuse into one
+    selector operation.  Otherwise the schedule's sequential slice order
+    is kept verbatim, so lowering can never change observable results.
+    """
+
+    __slots__ = ("nbytes", "fused", "_sel_ops", "_run_ops")
+
+    def __init__(
+        self,
+        nbytes: int,
+        fused: bool,
+        sel_ops: Sequence[tuple[str, str, Selector, Selector]],
+        run_ops: Sequence[tuple[str, str, int, int, int]],
+    ) -> None:
+        self.nbytes = nbytes
+        self.fused = fused
+        #: (src buffer, dst buffer, src selector, dst selector)
+        self._sel_ops = tuple(sel_ops)
+        #: (src buffer, dst buffer, src offset, dst offset, nbytes)
+        self._run_ops = tuple(run_ops)
+
+    def run(self, buffers: Mapping[str, np.ndarray]) -> int:
+        """Execute the program; returns bytes copied (trace accounting)."""
+        for src, dst, src_sel, dst_sel in self._sel_ops:
+            byte_view(buffers[dst])[dst_sel] = byte_view(buffers[src])[
+                src_sel
+            ]
+        for src, dst, src_off, dst_off, n in self._run_ops:
+            byte_view(buffers[dst])[dst_off : dst_off + n] = byte_view(
+                buffers[src]
+            )[src_off : src_off + n]
+        return self.nbytes
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledCopyProgram({self.nbytes} B, fused={self.fused}, "
+            f"{len(self._sel_ops)} selector ops, "
+            f"{len(self._run_ops)} slice runs)"
+        )
+
+
+def _overlaps(a: list[tuple[int, int]], b: list[tuple[int, int]]) -> bool:
+    """Interval-list overlap check on sorted (start, end) lists."""
+    i = j = 0
+    while i < len(a) and j < len(b):
+        if a[i][1] <= b[j][0]:
+            i += 1
+        elif b[j][1] <= a[i][0]:
+            j += 1
+        else:
+            return True
+    return False
+
+
+def _copies_fusable(copies: Sequence["LocalCopy"]) -> bool:
+    srcs: dict[str, list[tuple[int, int]]] = {}
+    dsts: dict[str, list[tuple[int, int]]] = {}
+    for lc in copies:
+        srcs.setdefault(lc.src.buffer, []).append(
+            (lc.src.offset, lc.src.end())
+        )
+        dsts.setdefault(lc.dst.buffer, []).append(
+            (lc.dst.offset, lc.dst.end())
+        )
+    for name, spans in dsts.items():
+        spans.sort()
+        # destination regions must not collide with each other (a later
+        # copy overwriting an earlier one is order-dependent) …
+        for (s0, e0), (s1, _e1) in zip(spans, spans[1:]):
+            if s1 < e0:
+                return False
+        # … nor with any source region of the same buffer.
+        src_spans = sorted(srcs.get(name, []))
+        if _overlaps(src_spans, spans):
+            return False
+    return True
+
+
+def compile_copies(
+    copies: Sequence["LocalCopy"], sizes: Mapping[str, int]
+) -> CompiledCopyProgram:
+    """Lower the prepared local-copy runs into a fused program."""
+    nbytes = 0
+    for lc in copies:
+        for ref in (lc.src, lc.dst):
+            cap = sizes.get(ref.buffer)
+            if cap is None:
+                raise ScheduleError(
+                    f"local copy references unknown buffer {ref.buffer!r}"
+                )
+            if ref.end() > cap:
+                raise TruncationError(
+                    f"local copy block {ref} exceeds buffer "
+                    f"{ref.buffer!r} of {cap} bytes"
+                )
+        nbytes += lc.src.nbytes
+    if not _copies_fusable(copies):
+        return CompiledCopyProgram(
+            nbytes,
+            False,
+            (),
+            [
+                (lc.src.buffer, lc.dst.buffer, lc.src.offset, lc.dst.offset,
+                 lc.src.nbytes)
+                for lc in copies
+            ],
+        )
+    groups: dict[tuple[str, str], list["LocalCopy"]] = {}
+    for lc in copies:
+        groups.setdefault((lc.src.buffer, lc.dst.buffer), []).append(lc)
+    sel_ops: list[tuple[str, str, Selector, Selector]] = []
+    run_ops: list[tuple[str, str, int, int, int]] = []
+    for (src, dst), group in groups.items():
+        total = sum(lc.src.nbytes for lc in group)
+        if len(group) == 1 or total // len(group) <= INDEX_RUN_LIMIT:
+            src_sel = _selector(
+                [(lc.src.offset, lc.src.nbytes) for lc in group]
+            )
+            dst_sel = _selector(
+                [(lc.dst.offset, lc.dst.nbytes) for lc in group]
+            )
+            sel_ops.append((src, dst, src_sel, dst_sel))
+        else:
+            run_ops.extend(
+                (src, dst, lc.src.offset, lc.dst.offset, lc.src.nbytes)
+                for lc in group
+            )
+    return CompiledCopyProgram(nbytes, True, sel_ops, run_ops)
+
+
+# ---------------------------------------------------------------------------
+# the plan
+# ---------------------------------------------------------------------------
+
+
+class PlanRound:
+    """One round with peers resolved and block programs compiled.
+
+    ``source``/``target`` are absolute ranks (``None`` off a
+    non-periodic mesh edge, in which case the corresponding program is
+    ``None`` too — the interpreter skips that half without translating
+    anything)."""
+
+    __slots__ = ("source", "target", "send", "recv")
+
+    def __init__(
+        self,
+        source: Optional[int],
+        target: Optional[int],
+        send: Optional[CompiledBlockSet],
+        recv: Optional[CompiledBlockSet],
+    ) -> None:
+        self.source = source
+        self.target = target
+        self.send = send
+        self.recv = recv
+
+    def __repr__(self) -> str:
+        return f"PlanRound(source={self.source}, target={self.target})"
+
+
+class ExecPlan:
+    """An immutable, per-rank lowering of one schedule.
+
+    Everything the interpreter needs per execution is precomputed: the
+    peer ranks of every round, the pack/unpack kernels, the fused
+    local-copy program, and the wire-byte total this rank actually sends
+    (mesh-boundary rounds excluded)."""
+
+    __slots__ = (
+        "kind",
+        "rank",
+        "key",
+        "phases",
+        "copy_program",
+        "temp_nbytes",
+        "wire_bytes",
+        "local_bytes",
+        "compile_seconds",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        rank: int,
+        key: tuple,
+        phases: Sequence[Sequence[PlanRound]],
+        copy_program: CompiledCopyProgram,
+        temp_nbytes: int,
+        wire_bytes: int,
+        compile_seconds: float,
+    ) -> None:
+        self.kind = kind
+        self.rank = rank
+        self.key = key
+        self.phases = tuple(tuple(rs) for rs in phases)
+        self.copy_program = copy_program
+        self.temp_nbytes = temp_nbytes
+        self.wire_bytes = wire_bytes
+        self.local_bytes = copy_program.nbytes
+        self.compile_seconds = compile_seconds
+
+    def run_local_copies(self, buffers: Mapping[str, np.ndarray]) -> int:
+        return self.copy_program.run(buffers)
+
+    @property
+    def num_rounds(self) -> int:
+        return sum(len(rs) for rs in self.phases)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecPlan({self.kind}, rank={self.rank}, "
+            f"phases={len(self.phases)}, rounds={self.num_rounds}, "
+            f"wire={self.wire_bytes} B)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# compilation and the per-schedule plan cache
+# ---------------------------------------------------------------------------
+
+_CACHE_LOCK = threading.Lock()
+_hits = 0
+_misses = 0
+_compile_seconds = 0.0
+
+PlanCacheInfo = namedtuple(
+    "PlanCacheInfo", ["hits", "misses", "compile_seconds"]
+)
+
+
+def effective_sizes(
+    schedule: "Schedule", buffers: Mapping[str, np.ndarray]
+) -> dict[str, int]:
+    """Byte capacities of the named buffers an execution will see —
+    the caller's arrays plus the implicit ``"temp"`` scratch."""
+    sizes = {name: int(arr.nbytes) for name, arr in buffers.items()}
+    if schedule.temp_nbytes > 0 and "temp" not in sizes:
+        sizes["temp"] = schedule.temp_nbytes
+    return sizes
+
+
+def buffer_signature(sizes: Mapping[str, int]) -> tuple:
+    """The buffer-layout part of a plan key: sorted (name, nbytes)."""
+    return tuple(sorted(sizes.items()))
+
+
+def plan_key(rank: int, topo: "CartTopology", signature: tuple) -> tuple:
+    return ("plan", rank, topo.dims, topo.periods, signature)
+
+
+def compile_plan(
+    schedule: "Schedule",
+    topo: "CartTopology",
+    rank: int,
+    sizes: Mapping[str, int],
+) -> ExecPlan:
+    """Lower ``schedule`` for one rank (no caching — see
+    :func:`get_or_compile`)."""
+    t0 = time.perf_counter()
+    schedule.prepare()
+    phases: list[list[PlanRound]] = []
+    wire_bytes = 0
+    for phase in schedule.phases:
+        rounds: list[PlanRound] = []
+        for rnd in phase.rounds:
+            neg = tuple(-o for o in rnd.recv_source_offset)
+            source = topo.translate(rank, neg)
+            target = topo.translate(rank, rnd.offset)
+            send = recv = None
+            if target is not None:
+                send = compile_blockset(
+                    rnd.send_blocks.coalesced_runs(), sizes
+                )
+                wire_bytes += send.total_nbytes
+            if source is not None:
+                recv = compile_blockset(
+                    rnd.recv_blocks.coalesced_runs(), sizes
+                )
+            rounds.append(PlanRound(source, target, send, recv))
+        phases.append(rounds)
+    copy_program = compile_copies(schedule.prepared_copy_runs(), sizes)
+    key = plan_key(rank, topo, buffer_signature(sizes))
+    return ExecPlan(
+        schedule.kind,
+        rank,
+        key,
+        phases,
+        copy_program,
+        schedule.temp_nbytes,
+        wire_bytes,
+        time.perf_counter() - t0,
+    )
+
+
+def get_or_compile(
+    schedule: "Schedule",
+    topo: "CartTopology",
+    rank: int,
+    buffers: Optional[Mapping[str, np.ndarray]] = None,
+    *,
+    sizes: Optional[Mapping[str, int]] = None,
+) -> tuple[ExecPlan, bool]:
+    """Return ``(plan, hit)`` — the cached per-rank plan or a freshly
+    compiled one.  Plans live on the schedule object itself, so they are
+    invalidated exactly when the schedule-cache entry is; compilation is
+    single-flight under the module lock (compiles are cheap and rare, so
+    holding the lock across one is the simple, correct choice)."""
+    global _hits, _misses, _compile_seconds
+    if sizes is None:
+        if buffers is None:
+            raise ValueError("need buffers or sizes to key a plan")
+        sizes = effective_sizes(schedule, buffers)
+    key = plan_key(rank, topo, buffer_signature(sizes))
+    cache = schedule._plans
+    with _CACHE_LOCK:
+        plan = cache.get(key)
+        if plan is not None:
+            _hits += 1
+            return plan, True
+        compiled = compile_plan(schedule, topo, rank, sizes)
+        cache[key] = compiled
+        _misses += 1
+        _compile_seconds += compiled.compile_seconds
+        return compiled, False
+
+
+def peer_table(
+    schedule: "Schedule", topo: "CartTopology", rank: int
+) -> tuple[tuple[tuple[Optional[int], Optional[int]], ...], ...]:
+    """Per-(phase, round) resolved (source, target) pairs for the
+    *uncompiled* interpreter path — so even with lowering disabled,
+    ``topo.translate`` runs once per (schedule, rank), not per
+    execution.  Memoized next to the plans (same invalidation)."""
+    key = ("peers", rank, topo.dims, topo.periods)
+    cache = schedule._plans
+    with _CACHE_LOCK:
+        table = cache.get(key)
+        if table is None:
+            table = tuple(
+                tuple(
+                    (
+                        topo.translate(
+                            rank, tuple(-o for o in rnd.recv_source_offset)
+                        ),
+                        topo.translate(rank, rnd.offset),
+                    )
+                    for rnd in phase.rounds
+                )
+                for phase in schedule.phases
+            )
+            cache[key] = table
+        return table
+
+
+def plan_cache_info() -> PlanCacheInfo:
+    """Process-wide plan-compilation counters (all schedules)."""
+    with _CACHE_LOCK:
+        return PlanCacheInfo(
+            hits=_hits, misses=_misses, compile_seconds=_compile_seconds
+        )
+
+
+def plan_cache_reset() -> None:
+    """Reset the process-wide plan counters (tests)."""
+    global _hits, _misses, _compile_seconds
+    with _CACHE_LOCK:
+        _hits = 0
+        _misses = 0
+        _compile_seconds = 0.0
+
+
+# ---------------------------------------------------------------------------
+# enable/disable toggles
+# ---------------------------------------------------------------------------
+
+_override: Optional[bool] = None
+
+
+def plans_enabled() -> bool:
+    """Whether the interpreter lowers schedules to plans: the scoped
+    override if set, else ``REPRO_PLANS`` (default on)."""
+    if _override is not None:
+        return _override
+    return os.environ.get(_PLANS_ENV, "1") != "0"
+
+
+def set_plans_enabled(enabled: Optional[bool]) -> None:
+    """Force lowering on/off process-wide; ``None`` restores the
+    environment default."""
+    global _override
+    _override = enabled
+
+
+@contextmanager
+def plans_disabled() -> Iterator[None]:
+    """Scope with lowering off — the pre-plan interpreter path, used for
+    parity tests and the compiled-vs-interpreted benchmark."""
+    global _override
+    prev = _override
+    _override = False
+    try:
+        yield
+    finally:
+        _override = prev
+
+
+@contextmanager
+def plans_forced() -> Iterator[None]:
+    """Scope with lowering on regardless of the environment."""
+    global _override
+    prev = _override
+    _override = True
+    try:
+        yield
+    finally:
+        _override = prev

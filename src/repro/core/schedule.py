@@ -132,6 +132,13 @@ class Schedule:
     _copy_runs: list[LocalCopy] | None = field(
         default=None, repr=False, compare=False
     )
+    #: per-rank lowered execution plans and peer tables, keyed and
+    #: populated by :mod:`repro.core.plan` (under its module lock).
+    #: Living on the schedule object, they share its cache lifetime:
+    #: evicting the schedule-cache entry invalidates its plans with it.
+    _plans: dict[tuple, object] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # metrics (Propositions 3.2 / 3.3)
@@ -222,6 +229,24 @@ class Schedule:
                 runs.append(lc)
             self._copy_runs = runs
         return self
+
+    def prepared_copy_runs(self) -> list[LocalCopy]:
+        """The coalesced local-copy runs (preparing on demand) — the
+        input of the plan compiler's fused copy program."""
+        if self._copy_runs is None:
+            self.prepare()
+        return list(self._copy_runs or ())
+
+    @property
+    def local_copy_bytes(self) -> int:
+        """Bytes moved by the final non-communication phase."""
+        return sum(lc.src.nbytes for lc in self.prepared_copy_runs())
+
+    def clear_plans(self) -> None:
+        """Drop all lowered per-rank plans and peer tables (called when
+        this schedule's cache entry is evicted; plans recompile lazily on
+        the next execution)."""
+        self._plans.clear()
 
     def run_local_copies(self, buffers: Mapping[str, np.ndarray]) -> int:
         """Execute the final non-communication phase; returns bytes

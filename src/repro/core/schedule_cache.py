@@ -51,6 +51,16 @@ CacheInfo = namedtuple(
 )
 
 
+def _discard(entry: object) -> None:
+    """Invalidate an entry leaving the cache: lowered per-rank plans
+    (see :mod:`repro.core.plan`) live on the schedule object and share
+    its cache lifetime, so they are dropped with it — a stale schedule
+    still referenced elsewhere recompiles its plans on next use."""
+    clear_plans = getattr(entry, "clear_plans", None)
+    if clear_plans is not None:
+        clear_plans()
+
+
 def neighborhood_fingerprint(nbh: Neighborhood) -> tuple:
     """A hashable canonical identity for a neighborhood: the shape rides
     along with the raw offset bytes (two different t×d shapes can share
@@ -157,7 +167,7 @@ class ScheduleCache:
                 self._entries[key] = sched
                 self._entries.move_to_end(key)
                 while len(self._entries) > self.maxsize:
-                    self._entries.popitem(last=False)
+                    _discard(self._entries.popitem(last=False)[1])
             return sched, False, elapsed
         finally:
             with self._lock:
@@ -189,6 +199,8 @@ class ScheduleCache:
 
     def clear(self) -> None:
         with self._lock:
+            for entry in self._entries.values():
+                _discard(entry)
             self._entries.clear()
             self._hits = 0
             self._misses = 0
@@ -201,7 +213,7 @@ class ScheduleCache:
         with self._lock:
             self.maxsize = maxsize
             while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+                _discard(self._entries.popitem(last=False)[1])
 
     def __len__(self) -> int:
         with self._lock:

@@ -105,15 +105,32 @@ class Datatype:
 
     def pack(self, buf: np.ndarray, base: int = 0, count: int = 1) -> bytes:
         """Gather this type's regions from ``buf`` into a contiguous byte
-        string (the wire representation)."""
-        view = byte_view(buf)
-        parts = [view[off : off + n] for off, n in self.flatten(base, count)]
-        if not parts:
-            return b""
-        return np.concatenate(parts).tobytes()
+        string (the wire representation).
 
-    def unpack(self, buf: np.ndarray, payload: bytes, base: int = 0, count: int = 1) -> None:
-        """Scatter a contiguous byte string into this type's regions."""
+        One output allocation, filled region by region — not the
+        ``np.concatenate(parts).tobytes()`` shape, which materializes the
+        gathered bytes twice."""
+        view = byte_view(buf)
+        regions = self.flatten(base, count)
+        out = np.empty(sum(n for _, n in regions), dtype=np.uint8)
+        pos = 0
+        for off, n in regions:
+            out[pos : pos + n] = view[off : off + n]
+            pos += n
+        return out.tobytes()
+
+    def unpack(
+        self,
+        buf: np.ndarray,
+        payload: "bytes | bytearray | memoryview | np.ndarray",
+        base: int = 0,
+        count: int = 1,
+    ) -> None:
+        """Scatter a contiguous payload into this type's regions.
+
+        Accepts any object exporting the buffer protocol — ``bytes``,
+        ``memoryview``, a flat ``uint8`` array — without an intermediate
+        copy (``np.frombuffer`` wraps, never copies)."""
         view = byte_view(buf)
         data = np.frombuffer(payload, dtype=np.uint8)
         pos = 0
@@ -625,8 +642,14 @@ class BlockSet:
             view[b.offset : b.offset + b.nbytes] = data[pos : pos + b.nbytes]
             pos += b.nbytes
 
-    def unpack(self, buffers: Mapping[str, np.ndarray], payload: bytes) -> None:
-        """Scatter one wire payload into the blocks, in order."""
+    def unpack(
+        self,
+        buffers: Mapping[str, np.ndarray],
+        payload: "bytes | bytearray | memoryview | np.ndarray",
+    ) -> None:
+        """Scatter one wire payload into the blocks, in order.  Accepts
+        any buffer-protocol payload (``bytes``, ``memoryview``, a flat
+        array) without copying it first."""
         self.unpack_from(buffers, np.frombuffer(payload, dtype=np.uint8))
 
 

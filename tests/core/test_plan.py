@@ -1,0 +1,537 @@
+"""Plan-compiler and buffer-pool suite.
+
+Lowering a schedule to a per-rank :class:`~repro.core.plan.ExecPlan`
+must be invisible except for speed: the compiled gather/scatter kernels,
+the fused local-copy program and the pooled scratch have to produce the
+same bytes the interpreted block sets produce, on every backend.  This
+suite diffs the two paths over the full algorithm × operation × layout
+matrix, drives a hypothesis property over random topologies, and unit-
+tests the pool, the kernels, the cache lifetime coupling and the
+``OpStats`` counters.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import plan as plan_mod
+from repro.core import schedule_cache
+from repro.core.alltoall_schedule import build_alltoall_schedule
+from repro.core.api import run_cartesian
+from repro.core.backend import get_backend
+from repro.core.opstats import OpStats
+from repro.core.plan import (
+    BufferPool,
+    CompiledBlockSet,
+    compile_blockset,
+    compile_copies,
+    compile_plan,
+    get_or_compile,
+)
+from repro.core.schedule import LocalCopy, uniform_block_layout
+from repro.core.topology import CartTopology
+from repro.mpisim.datatypes import BlockRef, BlockSet, byte_view
+from repro.mpisim.exceptions import ScheduleError, TruncationError
+from tests.core.test_backends import (
+    NBH,
+    NBH_SELF,
+    _make_bufs,
+    _make_case,
+    shm_mark,
+)
+
+
+def _run_mode(backend, topo, sched, ssize, rsize, *, compiled):
+    bufs = _make_bufs(topo.size, ssize, rsize)
+    scope = plan_mod.plans_forced if compiled else plan_mod.plans_disabled
+    with scope():
+        get_backend(backend).execute_all(topo, sched, bufs)
+    return bufs
+
+
+def _mask_undefined_slots(topo, sched, bufs):
+    """Zero the recv slots whose source neighbor falls off a mesh edge.
+
+    Those slots are never delivered to (their receive is never posted)
+    and multi-hop combining rounds stage scratch bytes through them, so
+    their final content is unspecified — it legitimately differs between
+    execution modes (and between backends, compiled or not).  Every slot
+    whose source exists is fully written: combining routes move
+    coordinate-wise, so all intermediate hops of an in-mesh pair exist.
+    """
+    if all(topo.periods) or sched.recv_layout is None:
+        return
+    for r in range(topo.size):
+        for i, off in enumerate(sched.neighborhood):
+            if topo.translate(r, tuple(-o for o in off)) is None:
+                for ref in sched.recv_layout[i]:
+                    byte_view(bufs[r][ref.buffer])[
+                        ref.offset : ref.offset + ref.nbytes
+                    ] = 0
+
+
+def assert_plan_parity(backend, topo, sched, ssize, rsize):
+    ref = _run_mode(backend, topo, sched, ssize, rsize, compiled=False)
+    got = _run_mode(backend, topo, sched, ssize, rsize, compiled=True)
+    _mask_undefined_slots(topo, sched, ref)
+    _mask_undefined_slots(topo, sched, got)
+    for r in range(topo.size):
+        for buf in ("send", "recv"):
+            assert np.array_equal(got[r][buf], ref[r][buf]), (
+                f"compiled {backend} diverges from interpreted: "
+                f"rank {r}, buffer {buf!r}"
+            )
+
+
+# ----------------------------------------------------------------------
+# compiled vs interpreted over the full matrix
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("variant", ["regular", "v", "w"])
+@pytest.mark.parametrize("algorithm", ["trivial", "direct", "combining"])
+@pytest.mark.parametrize("op", ["alltoall", "allgather"])
+class TestPlanParityMatrix:
+    def test_lockstep(self, op, algorithm, variant):
+        topo = CartTopology((3, 3))
+        sched, ssize, rsize = _make_case(op, algorithm, variant)
+        assert_plan_parity("lockstep", topo, sched, ssize, rsize)
+
+    def test_threaded(self, op, algorithm, variant):
+        topo = CartTopology((3, 3))
+        sched, ssize, rsize = _make_case(op, algorithm, variant)
+        assert_plan_parity("threaded", topo, sched, ssize, rsize)
+
+    @shm_mark
+    @pytest.mark.shm
+    def test_shm(self, op, algorithm, variant):
+        topo = CartTopology((2, 2))
+        sched, ssize, rsize = _make_case(op, algorithm, variant)
+        assert_plan_parity("shm", topo, sched, ssize, rsize)
+
+
+def test_plan_parity_self_offset_local_copies():
+    """The zero offset exercises the fused local-copy program."""
+    topo = CartTopology((3, 3))
+    sched, ssize, rsize = _make_case(
+        "alltoall", "trivial", "regular", nbh=NBH_SELF
+    )
+    assert_plan_parity("lockstep", topo, sched, ssize, rsize)
+
+
+def test_plan_parity_nonperiodic_mesh():
+    """Mesh boundaries: rounds with a missing peer compile no kernel for
+    that half and must still agree with the interpreted path."""
+    topo = CartTopology((3, 3), (False, False))
+    sched, ssize, rsize = _make_case("alltoall", "combining", "w")
+    assert_plan_parity("lockstep", topo, sched, ssize, rsize)
+
+
+@given(
+    dims=st.lists(st.integers(2, 4), min_size=1, max_size=3),
+    m=st.integers(1, 16),
+    algorithm=st.sampled_from(["trivial", "direct", "combining"]),
+    periodic=st.booleans(),
+    data=st.data(),
+)
+@settings(deadline=None, max_examples=20)
+def test_plan_parity_property(dims, m, algorithm, periodic, data):
+    """Compiled and interpreted paths agree byte-for-byte on random
+    tori/meshes, neighborhoods and block sizes."""
+    d = len(dims)
+    offsets = data.draw(
+        st.lists(
+            st.tuples(*[st.integers(-1, 1) for _ in range(d)]).filter(any),
+            min_size=1,
+            max_size=5,
+            unique=True,
+        )
+    )
+    from repro.core.neighborhood import Neighborhood
+
+    nbh = Neighborhood(offsets)
+    topo = CartTopology(dims, (periodic,) * d)
+    sched, ssize, rsize = _make_case(
+        "alltoall", algorithm, "regular", nbh=nbh, m=m
+    )
+    assert_plan_parity("lockstep", topo, sched, ssize, rsize)
+
+
+# ----------------------------------------------------------------------
+# compiled kernels
+# ----------------------------------------------------------------------
+
+
+class TestCompiledBlockSet:
+    SIZES = {"b": 4096, "recv": 4096}
+
+    def _bufs(self):
+        rng = np.random.default_rng(5)
+        return {
+            name: rng.integers(0, 256, n).astype(np.uint8)
+            for name, n in self.SIZES.items()
+        }
+
+    def test_contiguous_degrades_to_single_slice(self):
+        bs = BlockSet([BlockRef("b", i * 64, 64) for i in range(8)])
+        kern = compile_blockset(bs.coalesced_runs(), self.SIZES)
+        assert kern.num_kernels == 1 and not kern.uses_indices
+        bufs = self._bufs()
+        assert kern.pack(bufs).tobytes() == bs.pack(bufs)
+
+    def test_fragmented_uses_index_arrays(self):
+        bs = BlockSet([BlockRef("b", i * 16, 4) for i in range(32)])
+        kern = compile_blockset(bs.coalesced_runs(), self.SIZES)
+        assert kern.uses_indices
+        bufs = self._bufs()
+        assert kern.pack(bufs).tobytes() == bs.pack(bufs)
+
+    def test_few_large_runs_keep_slice_loop(self):
+        runs = [BlockRef("b", 0, 1500), BlockRef("b", 2000, 1500)]
+        kern = compile_blockset(runs, {"b": 4096})
+        # avg run 1500 B < INDEX_RUN_LIMIT -> still index arrays; push
+        # the sizes over the limit and the kernel switches to runs
+        big = [BlockRef("b", 0, 5000), BlockRef("b", 6000, 5000)]
+        kern_big = compile_blockset(big, {"b": 16384})
+        assert not kern_big.uses_indices and kern_big.num_kernels == 2
+        bufs = {"b": np.arange(16384, dtype=np.int32).view(np.uint8)[:16384]}
+        ref = BlockSet(big).pack(bufs)
+        assert kern_big.pack(bufs).tobytes() == ref
+        assert kern.total_nbytes == 3000
+
+    def test_unpack_roundtrip(self):
+        bs = BlockSet(
+            [BlockRef("recv", 7 + i * 31, 11) for i in range(16)]
+        )
+        kern = compile_blockset(bs.coalesced_runs(), self.SIZES)
+        payload = np.random.default_rng(9).integers(
+            0, 256, kern.total_nbytes
+        ).astype(np.uint8)
+        ref, got = self._bufs(), self._bufs()
+        bs.unpack(ref, payload.tobytes())
+        kern.unpack_from(got, payload)
+        assert np.array_equal(ref["recv"], got["recv"])
+
+    def test_unpack_size_mismatch_raises(self):
+        kern = compile_blockset([BlockRef("b", 0, 8)], {"b": 64})
+        with pytest.raises(TruncationError, match="does not match"):
+            kern.unpack_from({"b": np.zeros(64, np.uint8)},
+                             np.zeros(4, np.uint8))
+
+    def test_out_of_bounds_block_rejected_at_compile(self):
+        with pytest.raises(TruncationError, match="exceeds buffer"):
+            compile_blockset([BlockRef("b", 60, 8)], {"b": 64})
+
+    def test_unknown_buffer_rejected_at_compile(self):
+        with pytest.raises(ScheduleError, match="unknown buffer"):
+            compile_blockset([BlockRef("nope", 0, 8)], {"b": 64})
+
+
+class TestCompiledCopies:
+    def test_disjoint_copies_fuse(self):
+        copies = [
+            LocalCopy(BlockRef("send", i * 8, 8), BlockRef("recv", i * 8, 8))
+            for i in range(4)
+        ]
+        prog = compile_copies(copies, {"send": 64, "recv": 64})
+        assert prog.fused and prog.nbytes == 32
+
+    def test_overlapping_copies_keep_sequential_order(self):
+        """An overlapping in-buffer shift is order-dependent: the program
+        must fall back to the schedule's verbatim sequence and produce
+        exactly what sequential slice copies produce."""
+        copies = [
+            LocalCopy(BlockRef("b", 0, 8), BlockRef("b", 4, 8)),
+            LocalCopy(BlockRef("b", 4, 8), BlockRef("b", 12, 8)),
+        ]
+        prog = compile_copies(copies, {"b": 64})
+        assert not prog.fused
+        got = {"b": np.arange(64, dtype=np.uint8)}
+        ref = {"b": np.arange(64, dtype=np.uint8)}
+        for lc in copies:
+            byte_view(ref["b"])[
+                lc.dst.offset : lc.dst.offset + lc.dst.nbytes
+            ] = byte_view(ref["b"])[
+                lc.src.offset : lc.src.offset + lc.src.nbytes
+            ].copy()
+        prog.run(got)
+        assert np.array_equal(got["b"], ref["b"])
+
+    def test_bounds_checked(self):
+        with pytest.raises(TruncationError, match="exceeds buffer"):
+            compile_copies(
+                [LocalCopy(BlockRef("b", 0, 8), BlockRef("b", 60, 8))],
+                {"b": 64},
+            )
+
+
+# ----------------------------------------------------------------------
+# the buffer pool
+# ----------------------------------------------------------------------
+
+
+class TestBufferPool:
+    def test_acquire_exact_size_release_reuse(self):
+        pool = BufferPool(max_retained_bytes=1 << 20)
+        a = pool.acquire(100)
+        assert a.nbytes == 100 and a.dtype == np.uint8
+        base = a.base
+        assert base is not None and base.nbytes == 128  # pow2 class
+        pool.release(a)
+        b = pool.acquire(100)
+        assert b.base is base  # same block came back
+        s = pool.stats()
+        assert s.acquires == 2 and s.reuses == 1 and s.releases == 1
+
+    def test_zero_and_min_class(self):
+        pool = BufferPool()
+        assert pool.acquire(0).nbytes == 0
+        small = pool.acquire(1)
+        assert small.base.nbytes == 64  # _MIN_CLASS
+
+    def test_high_water_and_outstanding(self):
+        pool = BufferPool(max_retained_bytes=1 << 20)
+        a, b = pool.acquire(1000), pool.acquire(1000)
+        s = pool.stats()
+        assert s.outstanding_bytes == 2048 and s.high_water_bytes == 2048
+        pool.release(a)
+        pool.release(b)
+        s = pool.stats()
+        assert s.outstanding_bytes == 0 and s.high_water_bytes == 2048
+        assert s.retained_bytes == 2048
+
+    def test_retained_cap_drops(self):
+        pool = BufferPool(max_retained_bytes=128)
+        a, b = pool.acquire(128), pool.acquire(128)
+        pool.release(a)
+        pool.release(b)  # over the cap: dropped, not retained
+        s = pool.stats()
+        assert s.retained_bytes == 128 and s.dropped == 1
+
+    def test_foreign_arrays_ignored(self):
+        pool = BufferPool()
+        pool.release(np.zeros(100, np.uint8))  # not a pow2 class
+        pool.release(np.zeros(128, np.float64))  # wrong dtype
+        pool.release("not an array")
+        assert pool.stats().retained_bytes == 0
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BUFFER_POOL_MAX", "4096")
+        assert BufferPool().max_retained_bytes == 4096
+
+    def test_concurrent_acquire_release(self):
+        pool = BufferPool(max_retained_bytes=1 << 20)
+        errors = []
+
+        def churn(seed):
+            try:
+                rng = np.random.default_rng(seed)
+                for _ in range(200):
+                    n = int(rng.integers(1, 5000))
+                    arr = pool.acquire(n)
+                    arr[:] = seed & 0xFF
+                    assert arr.nbytes == n
+                    pool.release(arr)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=churn, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        s = pool.stats()
+        assert s.outstanding_bytes == 0
+        assert s.acquires == 8 * 200 and s.releases == 8 * 200
+        assert s.reuses > 0
+
+
+# ----------------------------------------------------------------------
+# plan cache lifetime: coupled to the schedule-cache entry
+# ----------------------------------------------------------------------
+
+
+def _schedule_and_buffers(m=4):
+    sched = build_alltoall_schedule(
+        NBH,
+        uniform_block_layout([m] * NBH.t, "send"),
+        uniform_block_layout([m] * NBH.t, "recv"),
+    ).prepare()
+    bufs = {
+        "send": np.zeros(NBH.t * m, np.uint8),
+        "recv": np.zeros(NBH.t * m, np.uint8),
+    }
+    return sched, bufs
+
+
+class TestPlanCacheLifetime:
+    def test_hit_after_miss_and_counters(self):
+        sched, bufs = _schedule_and_buffers()
+        topo = CartTopology((3, 3))
+        before = plan_mod.plan_cache_info()
+        plan0, hit0 = get_or_compile(sched, topo, 0, bufs)
+        plan1, hit1 = get_or_compile(sched, topo, 0, bufs)
+        assert not hit0 and hit1 and plan1 is plan0
+        after = plan_mod.plan_cache_info()
+        assert after.misses == before.misses + 1
+        assert after.hits == before.hits + 1
+        assert after.compile_seconds > before.compile_seconds
+
+    def test_distinct_rank_and_layout_keys(self):
+        sched, bufs = _schedule_and_buffers()
+        topo = CartTopology((3, 3))
+        p0, _ = get_or_compile(sched, topo, 0, bufs)
+        p1, _ = get_or_compile(sched, topo, 1, bufs)
+        assert p0 is not p1 and p0.key != p1.key
+        bigger = {k: np.zeros(v.nbytes + 64, np.uint8) for k, v in bufs.items()}
+        p2, hit = get_or_compile(sched, topo, 0, bigger)
+        assert not hit and p2 is not p0
+
+    def test_cache_clear_invalidates_plans(self):
+        """Regression: evicting/clearing the schedule cache must drop the
+        plans living on the evicted schedules, so a stale schedule object
+        recompiles instead of serving plans for dead cache entries."""
+        schedule_cache.cache_clear()
+        built = {}
+
+        def build():
+            sched, _ = _schedule_and_buffers(m=5)
+            built["sched"] = sched
+            return sched
+
+        key = schedule_cache.schedule_key(
+            "test/plan-invalidation", NBH, ("uniform", (5,) * NBH.t)
+        )
+        sched, _, _ = schedule_cache.get_or_build(key, build)
+        topo = CartTopology((3, 3))
+        bufs = {
+            "send": np.zeros(NBH.t * 5, np.uint8),
+            "recv": np.zeros(NBH.t * 5, np.uint8),
+        }
+        _, hit0 = get_or_compile(sched, topo, 0, bufs)
+        _, hit1 = get_or_compile(sched, topo, 0, bufs)
+        assert not hit0 and hit1
+        schedule_cache.cache_clear()
+        assert len(sched._plans) == 0
+        _, hit2 = get_or_compile(sched, topo, 0, bufs)
+        assert not hit2
+
+    def test_lru_eviction_invalidates_plans(self):
+        cache = schedule_cache.ScheduleCache(maxsize=1)
+        sched_a, bufs = _schedule_and_buffers(m=6)
+        sched_b, _ = _schedule_and_buffers(m=7)
+        cache.get_or_build(("a",), lambda: sched_a)
+        topo = CartTopology((3, 3))
+        get_or_compile(sched_a, topo, 0, bufs)
+        assert len(sched_a._plans) > 0
+        cache.get_or_build(("b",), lambda: sched_b)  # evicts a
+        assert len(sched_a._plans) == 0
+
+    def test_peer_table_memoized(self):
+        sched, _ = _schedule_and_buffers()
+        topo = CartTopology((3, 3))
+        t0 = plan_mod.peer_table(sched, topo, 4)
+        t1 = plan_mod.peer_table(sched, topo, 4)
+        assert t0 is t1
+        want = tuple(
+            tuple(
+                (
+                    topo.translate(4, tuple(-o for o in rnd.recv_source_offset)),
+                    topo.translate(4, rnd.offset),
+                )
+                for rnd in ph.rounds
+            )
+            for ph in sched.phases
+        )
+        assert t0 == want
+
+
+def test_compile_plan_wire_bytes_excludes_mesh_boundaries():
+    sched, bufs = _schedule_and_buffers()
+    torus = CartTopology((3, 3), (True, True))
+    mesh = CartTopology((3, 3), (False, False))
+    sizes = plan_mod.effective_sizes(sched, bufs)
+    full = compile_plan(sched, torus, 4, sizes)  # interior rank
+    corner = compile_plan(sched, mesh, 0, sizes)
+    assert full.wire_bytes == sched.volume_bytes
+    assert corner.wire_bytes < full.wire_bytes
+    assert any(
+        pr.target is None and pr.send is None
+        for ph in corner.phases
+        for pr in ph
+    )
+
+
+def test_plans_env_and_overrides(monkeypatch):
+    monkeypatch.setenv("REPRO_PLANS", "0")
+    plan_mod.set_plans_enabled(None)
+    try:
+        assert not plan_mod.plans_enabled()
+        with plan_mod.plans_forced():
+            assert plan_mod.plans_enabled()
+        assert not plan_mod.plans_enabled()
+        monkeypatch.setenv("REPRO_PLANS", "1")
+        assert plan_mod.plans_enabled()
+        with plan_mod.plans_disabled():
+            assert not plan_mod.plans_enabled()
+        assert plan_mod.plans_enabled()
+    finally:
+        plan_mod.set_plans_enabled(None)
+
+
+# ----------------------------------------------------------------------
+# OpStats plan/bytes counters
+# ----------------------------------------------------------------------
+
+
+class TestOpStatsCounters:
+    def test_record_plan_and_bytes(self):
+        stats = OpStats()
+        stats.record_plan(False, backend="lockstep")
+        stats.record_plan(True, backend="lockstep", n=3)
+        stats.record_plan(True, backend="shm")
+        stats.record_plan(True, n=0)  # no-op (funnelled zero delta)
+        stats.record_bytes(packed=100, copied=40, backend="lockstep")
+        stats.record_bytes(packed=50, backend="lockstep")
+        assert stats.plan_hits == 4 and stats.plan_misses == 1
+        assert stats.plan_by_backend == {
+            "lockstep": [3, 1],
+            "shm": [1, 0],
+        }
+        assert stats.bytes_packed == {"lockstep": 150}
+        assert stats.bytes_copied == {"lockstep": 40}
+        text = stats.summary()  # records empty -> sentinel text
+        assert "no collective operations" in text
+        stats.record_raw("alltoall", "combining", 4, 8, 256)
+        text = stats.summary()
+        assert "execution plans: 4 hits / 1 compiles" in text
+        assert "data moved [lockstep]: 150 B packed, 40 B copied" in text
+        stats.reset()
+        assert stats.plan_hits == 0 and not stats.plan_by_backend
+        assert not stats.bytes_packed and not stats.bytes_copied
+
+    def test_cartcomm_records_plan_lookups(self):
+        """Every per-rank execution records exactly one plan-cache
+        lookup; repeated calls on the cached schedule hit."""
+
+        def fn(cart):
+            t = cart.nbh.t
+            send = np.zeros(t * 4, np.uint8)
+            recv = np.zeros(t * 4, np.uint8)
+            with plan_mod.plans_forced():
+                cart.alltoall(send, recv, algorithm="combining")
+                cart.alltoall(send, recv, algorithm="combining")
+            s = cart.stats
+            packed = sum(s.bytes_packed.values())
+            return (s.plan_hits + s.plan_misses, s.plan_hits >= 1, packed > 0)
+
+        res = run_cartesian(
+            (3, 3), NBH, fn, info={"collect_stats": True}, timeout=60
+        )
+        assert all(total == 2 and hit and packed for total, hit, packed in res)
