@@ -17,6 +17,11 @@ Acceptance (the ISSUE's bar): the compiled path is at least **3x**
 faster on the fragmented w case, and produces byte-identical buffers
 across the threaded, lockstep and shm backends.
 
+A second test times the **batched** backend — the whole mesh as one
+data-parallel numpy program — against the interpreted lockstep executor
+on a (8, 8, 8) torus combining alltoallw (512 ranks).  Its bar is
+**10x**, and its ``batched-w`` case rides the same perf gate.
+
 Results are persisted twice: a human-readable table
 (``benchmarks/out/plan.txt``) and a machine-readable perf trajectory
 (``benchmarks/out/plan.json``).  With ``REPRO_PERF_GATE=1`` the JSON is
@@ -53,6 +58,12 @@ PIECES = 16 if SMOKE else 48
 FRAG = 4
 
 DIMS = (3, 3, 3)
+#: torus for the batched-backend case: large enough that per-rank Python
+#: dominates the interpreted path (the regime the backend exists for)
+BATCHED_DIMS = (8, 8, 8)
+#: fragments per neighbor block for the batched case (smaller than
+#: PIECES: the interpreted reference at p=512 is the slow side here)
+BATCHED_PIECES = 8 if SMOKE else 16
 BASELINE = os.path.join(os.path.dirname(__file__), "BENCH_plan.json")
 #: gate: fail when a case's speedup drops below baseline/GATE_TOLERANCE
 GATE_TOLERANCE = 1.5
@@ -69,15 +80,17 @@ def _best_of(fn, reps):
     return best
 
 
-def _fragmented_layout(t, buffer):
-    """Per-neighbor block sets of PIECES 4-byte fragments, each fragment
-    followed by a FRAG-byte gap so no two ever coalesce."""
-    region = PIECES * 2 * FRAG
+def _fragmented_layout(t, buffer, pieces=None):
+    """Per-neighbor block sets of ``pieces`` 4-byte fragments, each
+    fragment followed by a FRAG-byte gap so no two ever coalesce."""
+    if pieces is None:
+        pieces = PIECES
+    region = pieces * 2 * FRAG
     sets = [
         BlockSet(
             [
                 BlockRef(buffer, i * region + j * 2 * FRAG, FRAG)
-                for j in range(PIECES)
+                for j in range(pieces)
             ]
         )
         for i in range(t)
@@ -269,3 +282,89 @@ def test_plan_speedup_and_parity():
     assert speedups["fragmented-w"] >= 3.0, text
     # plans must have been compiled once per rank and reused thereafter
     assert info.misses > 0 and info.hits > info.misses, info
+
+
+def test_batched_backend_speedup():
+    """The batched backend vs the interpreted lockstep executor on a
+    (8, 8, 8) torus combining alltoallw — the workload ROADMAP item 1
+    calls out.  Bar: >= 10x, byte-identical results, balanced pool."""
+    nbh = moore_neighborhood(3, 1, include_self=False)
+    send_layout, s_total = _fragmented_layout(
+        nbh.t, "send", pieces=BATCHED_PIECES
+    )
+    recv_layout, r_total = _fragmented_layout(
+        nbh.t, "recv", pieces=BATCHED_PIECES
+    )
+    topo = CartTopology(BATCHED_DIMS)
+    sched = build_alltoall_schedule(nbh, send_layout, recv_layout).prepare()
+    batched = get_backend("batched")
+    lockstep = get_backend("lockstep")
+    pool_before = plan_mod.GLOBAL_POOL.stats().outstanding_bytes
+
+    # parity first: identical inputs through both executors
+    a = _make_bufs(topo.size, s_total, r_total)
+    b = _make_bufs(topo.size, s_total, r_total)
+    with plan_mod.plans_forced():
+        batched.execute_all(topo, sched, a)
+        lockstep.execute_all(topo, sched, b)
+    for r in range(topo.size):
+        assert np.array_equal(a[r]["recv"], b[r]["recv"]), (
+            f"batched diverges from lockstep at rank {r}"
+        )
+
+    bufs = _make_bufs(topo.size, s_total, r_total)
+
+    def run_batched():
+        batched.execute_all(topo, sched, bufs)
+
+    def run_interpreted():
+        lockstep.execute_all(topo, sched, bufs)
+
+    with plan_mod.plans_forced():
+        run_batched()  # plan cache is warm from the parity pass anyway
+        batched_s = _best_of(run_batched, REPS)
+    with plan_mod.plans_disabled():
+        interpreted_s = _best_of(run_interpreted, 1 if SMOKE else 2)
+    speedup = interpreted_s / batched_s
+
+    p = topo.size
+    lines = [
+        "batched backend vs interpreted lockstep",
+        f"combining alltoallw, {BATCHED_DIMS} torus (p={p}), Moore "
+        f"t={nbh.t}, {BATCHED_PIECES} fragments/block, smoke={SMOKE}",
+        "",
+        f"interpreted {interpreted_s * 1e3:10.1f} ms/exec",
+        f"batched     {batched_s * 1e3:10.1f} ms/exec",
+        f"speedup     {speedup:10.1f}x",
+    ]
+    payload = {
+        "benchmark": "plan-batched",
+        "dims": list(BATCHED_DIMS),
+        "stencil": "moore-3d",
+        "t": nbh.t,
+        "reps": REPS,
+        "pieces": BATCHED_PIECES,
+        "smoke": SMOKE,
+        "cores": os.cpu_count(),
+        "cases": [
+            {
+                "case": "batched-w",
+                "interpreted_s": interpreted_s,
+                "compiled_s": batched_s,
+                "speedup": speedup,
+                "wire_bytes_per_rank": sched.volume_bytes,
+                "certified": ["lockstep/compiled", "batched/compiled"],
+            }
+        ],
+    }
+    lines += [""] + _apply_gate(payload)
+    text = "\n".join(lines)
+    write_artifact("plan_batched.txt", text)
+    path = write_json_artifact("plan_batched.json", payload)
+    print("\n" + text + f"\nwrote {path}")
+
+    assert (
+        plan_mod.GLOBAL_POOL.stats().outstanding_bytes == pool_before
+    ), "batched benchmark leaked pooled scratch"
+    # the ISSUE's acceptance bar: >= 10x over interpreted lockstep
+    assert speedup >= 10.0, text

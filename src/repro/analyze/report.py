@@ -54,6 +54,8 @@ CODES: dict[str, str] = {
     "V502": "lowered plan peer ranks differ from topology translation",
     "V503": "compiled pack/unpack bytes differ from the block sets",
     "V504": "compiled local-copy program differs from the schedule's",
+    "V505": "batched lowering disagrees with the per-rank plans",
+    "V506": "batched execution differs from per-rank lockstep execution",
 }
 
 

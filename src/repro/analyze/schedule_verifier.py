@@ -746,6 +746,141 @@ def _check_plan_lowering(
             )
 
 
+# ----------------------------------------------------------------------
+# check (f): batched-lowering conformance (V505-V506)
+# ----------------------------------------------------------------------
+
+
+def _check_batched_lowering(
+    schedule: Schedule,
+    topo: CartTopology,
+    report: VerificationReport,
+    max_bytes: int = DEFAULT_CONTENT_BUDGET,
+) -> None:
+    """Certify that the all-ranks batched lowering
+    (:class:`repro.core.plan.BatchedPlan`) agrees with the certified
+    per-rank plans: on sampled ranks, the batched peer arrays and kernel
+    shapes must match the rank's own compiled plan (V505), and — within
+    a byte budget — an end-to-end batched execution must leave every
+    rank's buffers byte-identical to the interpreted lockstep execution
+    of the same sentinel inputs (V506).  The comparison binds an
+    explicit sentinel ``temp`` buffer on both paths, so even scratch
+    staged through mesh-edge slots is compared bit-exactly."""
+    from repro.core.backend.lockstep import LockstepBackend
+    from repro.core.plan import compile_batched_plan, compile_plan
+
+    schedule.prepare()
+    sizes = _plan_sizes(schedule)
+    try:
+        bplan = compile_batched_plan(schedule, topo, sizes)
+    except Exception as exc:  # lowering itself must never fail
+        report.add("V505", f"batched lowering failed to compile: {exc}")
+        return
+    shape = tuple(len(ph) for ph in bplan.phases)
+    want_shape = tuple(len(ph.rounds) for ph in schedule.phases)
+    if shape != want_shape:
+        report.add(
+            "V505",
+            f"batched plan has phase/round shape {shape}, schedule has "
+            f"{want_shape}",
+        )
+        return
+    for rank in _sample_ranks(topo.size):
+        plan = compile_plan(schedule, topo, rank, sizes)
+        for pi, (plan_rounds, batched_rounds) in enumerate(
+            zip(plan.phases, bplan.phases)
+        ):
+            for ri, (pr, br) in enumerate(
+                zip(plan_rounds, batched_rounds)
+            ):
+                bsrc = int(br.sources[rank])
+                btgt = int(br.targets[rank])
+                peers = (
+                    None if bsrc < 0 else bsrc,
+                    None if btgt < 0 else btgt,
+                )
+                if peers != (pr.source, pr.target):
+                    report.add(
+                        "V505",
+                        f"batched peers {peers} differ from the rank's "
+                        f"plan ({pr.source}, {pr.target})",
+                        rank=rank,
+                        phase=pi,
+                        round_index=ri,
+                    )
+                    continue
+                if pr.send is not None and (
+                    br.send is None
+                    or br.send.total_nbytes != pr.send.total_nbytes
+                ):
+                    report.add(
+                        "V505",
+                        "batched send kernel missing or sized unlike the "
+                        "rank's plan",
+                        rank=rank,
+                        phase=pi,
+                        round_index=ri,
+                    )
+                if pr.recv is not None and (
+                    br.recv is None
+                    or br.recv.total_nbytes != pr.recv.total_nbytes
+                ):
+                    report.add(
+                        "V505",
+                        "batched recv kernel missing or sized unlike the "
+                        "rank's plan",
+                        rank=rank,
+                        phase=pi,
+                        round_index=ri,
+                    )
+    # V506: end-to-end execution equivalence, within the byte budget
+    p = topo.size
+    per_rank_bytes = sum(sizes.values())
+    if p * per_rank_bytes > max_bytes:
+        return
+    ref_bufs = [_sentinel_buffers(sizes, seed=r) for r in range(p)]
+    got_bufs = [
+        {k: v.copy() for k, v in ref_bufs[r].items()} for r in range(p)
+    ]
+    try:
+        LockstepBackend().execute_all(topo, schedule, ref_bufs)
+    except Exception:
+        # schedules the lockstep executor itself rejects are covered by
+        # the matching/aliasing checks; there is nothing to compare
+        return
+    from repro.mpisim.datatypes import byte_view
+
+    matrices = {
+        name: np.stack([byte_view(got_bufs[r][name]) for r in range(p)])
+        for name in sizes
+    }
+    try:
+        bplan.execute(matrices)
+        bplan.run_local_copies(matrices)
+    except Exception as exc:
+        report.add(
+            "V506",
+            f"batched execution raised {exc!r} where lockstep succeeded",
+        )
+        return
+    for rank in range(p):
+        bad = [
+            name
+            for name in sizes
+            if not np.array_equal(
+                byte_view(ref_bufs[rank][name]), matrices[name][rank]
+            )
+        ]
+        if bad:
+            report.add(
+                "V506",
+                f"batched execution leaves buffer(s) {sorted(bad)} in a "
+                f"different state than lockstep",
+                rank=rank,
+            )
+            return
+
+
 def verify_plan_lowering(
     schedule: Schedule,
     dims: Sequence[int],
@@ -811,6 +946,10 @@ def verify_schedule(
     if plans:
         _check_plan_lowering(schedule, topo, report)
         report.checks_run.append("plan-lowering")
+        _check_batched_lowering(
+            schedule, topo, report, max_bytes=max_content_bytes
+        )
+        report.checks_run.append("batched-lowering")
     return report
 
 

@@ -2,9 +2,12 @@
 
 A :class:`~repro.core.schedule.Schedule` is pure local data
 (Proposition 3.1); *how* it is executed is this package's concern.
-Pick a backend by name (``"threaded"``, ``"lockstep"``, ``"shm"``)
-through :func:`get_backend`, via ``CartComm(..., backend=...)``, or
-process-wide with the ``REPRO_BACKEND`` environment variable.
+Pick a backend by name (``"threaded"``, ``"lockstep"``, ``"batched"``,
+``"shm"``) through :func:`get_backend`, via
+``CartComm(..., backend=...)``, or process-wide with the
+``REPRO_BACKEND`` environment variable.  ``"batched"`` is the lockstep
+semantics executed as one vectorized numpy program over all ranks — the
+recommended choice for large meshes.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from repro.core.backend.base import (
     allocate_buffers,
     allocate_rank_buffers,
 )
+from repro.core.backend.batched import BatchedBackend
 from repro.core.backend.interpreter import CARTTAG, ScheduleInterpreter
 from repro.core.backend.lockstep import LockstepBackend, LockstepTransport
 from repro.core.backend.shm import ShmBackend, ShmTransport
@@ -31,6 +35,7 @@ BACKEND_ENV = "REPRO_BACKEND"
 BACKENDS: dict[str, Backend] = {
     "threaded": ThreadedBackend(),
     "lockstep": LockstepBackend(),
+    "batched": BatchedBackend(),
     "shm": ShmBackend(),
 }
 
@@ -56,6 +61,7 @@ __all__ = [
     "BACKEND_ENV",
     "Backend",
     "BackendError",
+    "BatchedBackend",
     "CARTTAG",
     "LockstepBackend",
     "LockstepTransport",

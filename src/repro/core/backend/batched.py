@@ -1,0 +1,117 @@
+"""Batched backend: the whole mesh as one data-parallel numpy program.
+
+The lockstep backend already executes all ``p`` ranks in one process,
+but it still *interprets* the schedule rank by rank — ``p`` interpreter
+loops, ``p`` pack/unpack calls per round, minutes of Python at the
+paper's Titan scale (1024×16 ranks).  Because schedules are SPMD
+(Prop. 3.1–3.3: every rank runs the identical phase/round structure),
+the per-rank loops can be folded away entirely: this backend stacks all
+rank buffers into one ``(p, nbytes)`` matrix per buffer name and drives
+a :class:`~repro.core.plan.BatchedPlan`, in which each round is a
+handful of vectorized numpy operations — gather all rows into a
+``(p, n)`` wire matrix, permute its rows by the source-rank array,
+scatter.  Semantics are identical to lockstep (same pack-all-then-
+deliver discipline per phase, same plan kernels); only the Python-loop
+dimension is gone, which is what makes interactive large-mesh and
+netsim sweeps feasible.
+
+When plan lowering is disabled (``REPRO_PLANS=0`` /
+:func:`~repro.core.plan.plans_disabled`), there is nothing to batch and
+execution falls back to the interpreted lockstep driver.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core import plan as plan_mod
+from repro.core.backend.base import Backend, TransportCapabilities
+from repro.core.backend.interpreter import CARTTAG
+from repro.core.backend.lockstep import LockstepBackend
+from repro.core.schedule import Schedule
+from repro.core.topology import CartTopology
+from repro.mpisim.datatypes import byte_view
+from repro.mpisim.exceptions import ScheduleError
+
+BATCHED_CAPS = TransportCapabilities(
+    name="batched",
+    true_parallel=False,
+    deferred_delivery=True,
+    split_phase=False,
+    per_rank=False,
+    all_ranks=True,
+    native_reduce=False,
+)
+
+
+class BatchedBackend(Backend):
+    """All ranks in one process as one vectorized numpy program."""
+
+    name = "batched"
+    capabilities = BATCHED_CAPS
+
+    def execute_all(
+        self,
+        topo: CartTopology,
+        schedule: Schedule,
+        rank_buffers: Sequence[Mapping[str, np.ndarray]],
+        *,
+        tag: int = CARTTAG,
+        validate: bool = False,
+    ) -> None:
+        p = topo.size
+        if len(rank_buffers) != p:
+            raise ScheduleError(
+                f"need one buffer set per rank: p={p}, got {len(rank_buffers)}"
+            )
+        layout = {
+            name: int(arr.nbytes) for name, arr in rank_buffers[0].items()
+        }
+        for r in range(1, p):
+            got = {
+                name: int(arr.nbytes) for name, arr in rank_buffers[r].items()
+            }
+            if got != layout:
+                raise ScheduleError(
+                    f"batched backend requires the SPMD-uniform buffer "
+                    f"layout on every rank: rank {r} has {sorted(got)} "
+                    f"sizes differing from rank 0"
+                )
+        if not plan_mod.plans_enabled():
+            # nothing to batch without lowered plans — run interpreted
+            LockstepBackend().execute_all(
+                topo, schedule, rank_buffers, tag=tag, validate=validate
+            )
+            return
+        if validate:
+            # layouts are uniform, so one rank's validation covers all
+            check = dict(rank_buffers[0])
+            if schedule.temp_nbytes > 0 and "temp" not in check:
+                check["temp"] = np.empty(schedule.temp_nbytes, np.uint8)
+            schedule.validate(check)
+        sizes = plan_mod.effective_sizes(schedule, rank_buffers[0])
+        bplan, _ = plan_mod.get_or_compile_batched(
+            schedule, topo, sizes=sizes
+        )
+        flats: list[np.ndarray] = []
+        matrices: dict[str, np.ndarray] = {}
+        try:
+            for name, nbytes in sizes.items():
+                flat = plan_mod.GLOBAL_POOL.acquire(p * nbytes)
+                flats.append(flat)
+                mat = flat.reshape(p, nbytes)
+                matrices[name] = mat
+                if name in rank_buffers[0]:
+                    for r in range(p):
+                        mat[r] = byte_view(rank_buffers[r][name])
+            bplan.execute(matrices)
+            bplan.run_local_copies(matrices)
+            for name in rank_buffers[0]:
+                mat = matrices[name]
+                for r in range(p):
+                    byte_view(rank_buffers[r][name])[:] = mat[r]
+        finally:
+            for flat in flats:
+                plan_mod.GLOBAL_POOL.release(flat)

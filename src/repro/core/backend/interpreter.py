@@ -218,13 +218,33 @@ class ScheduleInterpreter:
             self._pooled_temp = None
         self._finished = True
 
+    def abort(self) -> None:
+        """Tear down a failed execution: drop pending tokens and return
+        the pooled scratch.
+
+        :meth:`finish` never runs when a phase raises (fault injection,
+        :class:`~repro.mpisim.exceptions.ScheduleError`), which used to
+        strand ``_pooled_temp`` in the pool's outstanding count for the
+        life of the process.  Idempotent, and safe to call alongside
+        :meth:`finish` — whichever runs first takes the release.
+        """
+        self.pending = []
+        if self._pooled_temp is not None:
+            plan_mod.GLOBAL_POOL.release(self._pooled_temp)
+            self._pooled_temp = None
+        self._finished = True
+
     # ------------------------------------------------------------------
     def run(self) -> None:
         """One full blocking execution."""
-        self.begin()
-        while self.post_next_phase():
-            self.complete_phase()
-        self.finish()
+        try:
+            self.begin()
+            while self.post_next_phase():
+                self.complete_phase()
+            self.finish()
+        except BaseException:
+            self.abort()
+            raise
 
     def __repr__(self) -> str:
         return (

@@ -111,8 +111,13 @@ class LockstepTransport(Transport):
                     f"rank {self.rank} expects a message from "
                     f"{token.source} which sent none"
                 )
-            token.blocks.unpack_from(token.buffers, payload)
-            GLOBAL_POOL.release(payload)
+            try:
+                token.blocks.unpack_from(token.buffers, payload)
+            finally:
+                # the wire buffer goes back even when the scatter raises
+                # (bad block set, fault injection) — an unpack failure
+                # must not leak pool bytes
+                GLOBAL_POOL.release(payload)
 
 
 class LockstepBackend(Backend):
@@ -148,14 +153,25 @@ class LockstepBackend(Backend):
             )
             for r in range(p)
         ]
-        for it in interps:
-            it.begin()
-        for _ in range(len(schedule.phases)):
-            # all ranks post (and pack) the phase first …
+        try:
             for it in interps:
-                it.post_next_phase()
-            # … then all ranks deliver it.
+                it.begin()
+            for _ in range(len(schedule.phases)):
+                # all ranks post (and pack) the phase first …
+                for it in interps:
+                    it.post_next_phase()
+                # … then all ranks deliver it.
+                for it in interps:
+                    it.complete_phase()
             for it in interps:
-                it.complete_phase()
-        for it in interps:
-            it.finish()
+                it.finish()
+        except BaseException:
+            # return every rank's pooled scratch and drain the packed
+            # payloads still sitting on the wire, so a failed run leaves
+            # outstanding_bytes exactly where it found them
+            for it in interps:
+                it.abort()
+            for payload in exchange.messages.values():
+                GLOBAL_POOL.release(payload)
+            exchange.messages.clear()
+            raise

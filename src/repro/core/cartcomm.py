@@ -270,28 +270,26 @@ class CartComm:
         gathered = self.comm.gather(dict(buffers), root=0)
         if self.rank == 0:
             assert gathered is not None
-            before = plan.plan_cache_info() if self.stats is not None else None
+            before = plan.plan_cache_info()
             self.backend.execute_all(self.topo, schedule, gathered)
-            if self.stats is not None and before is not None:
-                # Rank 0 drives every rank's execution here, so the
-                # process-wide plan-counter delta is this collective's.
-                after = plan.plan_cache_info()
-                self.stats.record_plan(
-                    True, backend=self.backend.name,
-                    n=after.hits - before.hits,
-                )
-                self.stats.record_plan(
-                    False, backend=self.backend.name,
-                    n=after.misses - before.misses,
-                )
+            after = plan.plan_cache_info()
+            # Rank 0 drives every rank's execution, but each rank still
+            # accounts one logical plan lookup per collective (the
+            # per-rank path's contract): a hit unless driving the mesh
+            # compiled something new, ``None`` when plans are off and no
+            # lookup happened at all.
+            looked_up = (after.hits + after.misses) > (before.hits + before.misses)
+            hit = (after.misses == before.misses) if looked_up else None
             for r in range(1, self.size):
-                self.comm.send(gathered[r], r, tag=_FUNNEL_TAG)
+                self.comm.send((gathered[r], hit), r, tag=_FUNNEL_TAG)
         else:
-            result = self.comm.recv(source=0, tag=_FUNNEL_TAG)
+            result, hit = self.comm.recv(source=0, tag=_FUNNEL_TAG)
             for name, arr in buffers.items():
                 byte_view(arr)[:] = byte_view(
                     np.ascontiguousarray(result[name])
                 )
+        if self.stats is not None and hit is not None:
+            self.stats.record_plan(hit, backend=self.backend.name)
         if self.stats is not None:
             # per-process accounting, mirroring the per-rank path
             self.stats.record_bytes(
@@ -1041,6 +1039,13 @@ def cart_neighborhood_create(
     ``reorder`` is accepted for interface fidelity; like the MPI
     libraries the paper measures (see [6] there), no remapping is
     performed.  ``weights`` are stored for future remapping strategies.
+
+    ``backend`` selects the execution strategy (``"threaded"``,
+    ``"lockstep"``, ``"batched"``, ``"shm"``, or a
+    :class:`~repro.core.backend.base.Backend` instance); ``None`` falls
+    back to ``info["backend"]``, then ``$REPRO_BACKEND``, then
+    ``"threaded"``.  Prefer ``"batched"`` for large meshes — it runs the
+    whole mesh as one vectorized numpy program.
     """
     topo = CartTopology(dims, periods)
     if isinstance(offsets, Neighborhood):

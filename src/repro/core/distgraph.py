@@ -71,8 +71,12 @@ class DistGraphComm:
         )
         self.cart_topology = cart_topology
         self._cart: Optional[CartComm] = None
-        #: receive-slot permutation (target-offset index -> source-list
-        #: slot); ``None`` when the lists are already aligned
+        #: send-slot permutation (canonical offset index -> target-list
+        #: slot); ``None`` when this process's target order already is
+        #: the canonical (root's) order
+        self._send_perm: Optional[list[int]] = None
+        #: receive-slot permutation (canonical offset index ->
+        #: source-list slot); ``None`` when the lists are already aligned
         self._recv_perm: Optional[list[int]] = None
         self.detection_result: str = "not-attempted"
         if detect and cart_topology is not None:
@@ -151,16 +155,24 @@ class DistGraphComm:
             if topo.translate(self.rank, off) != tgt:  # pragma: no cover
                 self.detection_result = "reconstruction-failed"
                 return
-        # Step 4: align the receive side.  MPI dist-graph semantics put
-        # the block received from ``sources[j]`` at position ``j`` — but
-        # the source list's order is independent of the target list's
-        # (``MPI_Dist_graph_create`` e.g. produces sorted rank lists).
-        # The Cartesian schedule delivers the block for target-offset
-        # ``N[i]`` from process ``r − N[i]``; map each i to its slot in
-        # the source list (consuming duplicate entries in order).
-        perm = self._source_permutation(nbh)
+        # Step 4: canonicalize the neighbor order.  Neighborhoods that
+        # are equal as multisets may still be *ordered* differently per
+        # process (MPI allows any consistent rearrangement, and
+        # ``MPI_Dist_graph_create`` e.g. produces sorted rank lists,
+        # whose offset order varies with the caller's coordinates).  A
+        # rank-dependent order would make the combining schedules
+        # rank-dependent, violating the SPMD premise the schedule layer
+        # and the all-ranks backends build on.  Adopt the root's order
+        # everywhere and keep each process's deviation as two *local*
+        # slot permutations applied around the collective — never inside
+        # the schedule.
+        canon = Neighborhood(
+            np.asarray(self.comm.bcast(list(nbh), root=0), dtype=np.int64)
+        )
+        tperm = self._slot_permutation(canon, nbh)
+        rperm = self._source_permutation(canon)
         all_aligned = self.comm.allreduce(
-            perm is not None, lambda a, b: a and b
+            tperm is not None and rperm is not None, lambda a, b: a and b
         )
         if not all_aligned:
             # some process's source list is not the mirror of its target
@@ -169,9 +181,29 @@ class DistGraphComm:
             self.detection_result = "source-mismatch"
             return
         self.detection_result = "cartesian"
-        self._cart = CartComm(self.comm, topo, nbh, validate=False)
-        assert perm is not None
-        self._recv_perm = perm if perm != list(range(len(perm))) else None
+        self._cart = CartComm(self.comm, topo, canon, validate=False)
+        assert tperm is not None and rperm is not None
+        identity = list(range(canon.t))
+        self._send_perm = tperm if tperm != identity else None
+        self._recv_perm = rperm if rperm != identity else None
+
+    @staticmethod
+    def _slot_permutation(
+        canon: Neighborhood, own: Neighborhood
+    ) -> Optional[list[int]]:
+        """For each canonical offset index ``i``, the slot of that offset
+        in this process's own order (consuming duplicates in order);
+        ``None`` when the two are not rearrangements of each other."""
+        available: dict[tuple[int, ...], list[int]] = {}
+        for j, off in enumerate(own):
+            available.setdefault(off, []).append(j)
+        perm: list[int] = []
+        for off in canon:
+            slots = available.get(off)
+            if not slots:
+                return None
+            perm.append(slots.pop(0))
+        return perm
 
     def _source_permutation(self, nbh: Neighborhood) -> Optional[list[int]]:
         """For each target index ``i``, the source-list slot that must
@@ -196,23 +228,6 @@ class DistGraphComm:
     # ------------------------------------------------------------------
     # neighborhood collectives (MPI_Neighbor_*)
     # ------------------------------------------------------------------
-    def _permuted_layouts(
-        self, sendbuf: np.ndarray, recvbuf: np.ndarray
-    ):
-        """Per-neighbor block sets with the receive side permuted into
-        source-list order (see ``_source_permutation``)."""
-        from repro.mpisim.datatypes import BlockRef, BlockSet
-
-        t = len(self.targets)
-        ms = sendbuf.nbytes // t
-        mr = recvbuf.nbytes // t
-        perm = self._recv_perm or list(range(t))
-        sends = [BlockSet([BlockRef("send", i * ms, ms)]) for i in range(t)]
-        recvs = [
-            BlockSet([BlockRef("recv", perm[i] * mr, mr)]) for i in range(t)
-        ]
-        return sends, recvs
-
     def neighbor_alltoall(
         self, sendbuf: np.ndarray, recvbuf: np.ndarray, *, force_direct: bool = False
     ) -> np.ndarray:
@@ -220,13 +235,32 @@ class DistGraphComm:
         was detected (the paper's proposed library behaviour), direct
         delivery otherwise (stock behaviour, or ``force_direct``)."""
         if self._cart is not None and not force_direct:
-            if self._recv_perm is None:
+            if self._send_perm is None and self._recv_perm is None:
                 return self._cart.alltoall(sendbuf, recvbuf, algorithm="auto")
-            sends, recvs = self._permuted_layouts(sendbuf, recvbuf)
-            self._cart.alltoallw(
-                {"send": sendbuf, "recv": recvbuf}, sends, recvs,
-                algorithm="auto",
+            # this process's lists deviate from the canonical order:
+            # permute the blocks locally around the rank-independent
+            # collective.  The permutation must NOT be encoded in the
+            # schedule layouts — that would make the schedule
+            # rank-dependent, and the all-ranks backends execute rank
+            # 0's schedule for the whole mesh.
+            t = len(self.targets)
+            send_c = sendbuf
+            if self._send_perm is not None:
+                ms = sendbuf.size // t
+                send_c = np.concatenate(
+                    [sendbuf[j * ms : (j + 1) * ms] for j in self._send_perm]
+                )
+            recv_c = (
+                np.empty_like(recvbuf) if self._recv_perm is not None
+                else recvbuf
             )
+            self._cart.alltoall(send_c, recv_c, algorithm="auto")
+            if self._recv_perm is not None:
+                mr = recvbuf.size // t
+                for i, j in enumerate(self._recv_perm):
+                    recvbuf[j * mr : (j + 1) * mr] = (
+                        recv_c[i * mr : (i + 1) * mr]
+                    )
             return recvbuf
         return baseline.neighbor_alltoall_direct(
             self.comm, self.sources, self.targets, sendbuf, recvbuf
@@ -243,7 +277,12 @@ class DistGraphComm:
         rdispls: Optional[Sequence[int]] = None,
         force_direct: bool = False,
     ) -> np.ndarray:
-        if self._cart is not None and not force_direct and self._recv_perm is None:
+        if (
+            self._cart is not None
+            and not force_direct
+            and self._send_perm is None
+            and self._recv_perm is None
+        ):
             return self._cart.alltoallv(
                 sendbuf,
                 sendcounts,
@@ -273,20 +312,15 @@ class DistGraphComm:
         if self._cart is not None and not force_direct:
             if self._recv_perm is None:
                 return self._cart.allgather(sendbuf, recvbuf, algorithm="auto")
-            from repro.mpisim.datatypes import BlockRef, BlockSet
-
+            # allgather sends the same block everywhere, so only the
+            # receive side needs the local canonical-order permutation
+            # (see neighbor_alltoall on why it stays out of the schedule)
             t = len(self.sources)
-            m = recvbuf.nbytes // t
-            perm = self._recv_perm
-            self._cart.allgatherw(
-                {"send": sendbuf, "recv": recvbuf},
-                BlockSet([BlockRef("send", 0, sendbuf.nbytes)]),
-                [
-                    BlockSet([BlockRef("recv", perm[i] * m, m)])
-                    for i in range(t)
-                ],
-                algorithm="auto",
-            )
+            recv_c = np.empty_like(recvbuf)
+            self._cart.allgather(sendbuf, recv_c, algorithm="auto")
+            m = recvbuf.size // t
+            for i, j in enumerate(self._recv_perm):
+                recvbuf[j * m : (j + 1) * m] = recv_c[i * m : (i + 1) * m]
             return recvbuf
         return baseline.neighbor_allgather_direct(
             self.comm, self.sources, self.targets, sendbuf, recvbuf

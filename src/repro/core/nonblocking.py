@@ -65,16 +65,24 @@ class SplitPhaseOp:
             skip_empty_phases=True,
         )
         self.buffers = self._interp.buffers
-        self._interp.begin()
-        if not self._interp.post_next_phase():
-            self._interp.finish()  # nothing to communicate
+        try:
+            self._interp.begin()
+            if not self._interp.post_next_phase():
+                self._interp.finish()  # nothing to communicate
+        except BaseException:
+            self._interp.abort()
+            raise
 
     # ------------------------------------------------------------------
     def _advance(self) -> None:
         """Complete the posted phase; post the next or finish locally."""
-        self._interp.complete_phase()
-        if not self._interp.post_next_phase():
-            self._interp.finish()
+        try:
+            self._interp.complete_phase()
+            if not self._interp.post_next_phase():
+                self._interp.finish()
+        except BaseException:
+            self._interp.abort()
+            raise
 
     # ------------------------------------------------------------------
     def test(self) -> bool:

@@ -81,6 +81,7 @@ PoolStats = namedtuple(
         "reuses",
         "releases",
         "dropped",
+        "double_releases",
         "outstanding_bytes",
         "high_water_bytes",
         "retained_bytes",
@@ -115,6 +116,7 @@ class BufferPool:
         self._reuses = 0
         self._releases = 0
         self._dropped = 0
+        self._double_releases = 0
 
     @staticmethod
     def _class_of(nbytes: int) -> int:
@@ -149,7 +151,12 @@ class BufferPool:
 
         Arrays the pool did not hand out (wrong dtype/shape, or a size
         that is not a pool class) are ignored — callers may release
-        unconditionally.
+        unconditionally.  Releasing the same block twice is an error the
+        pool must absorb rather than honour: appending one base block to
+        the free list twice would let two later :meth:`acquire` calls
+        hand out aliasing views of the same memory.  Retained blocks are
+        therefore identity-checked, and a duplicate is dropped and
+        counted in ``PoolStats.double_releases``.
         """
         if not isinstance(arr, np.ndarray) or arr.size == 0:
             return
@@ -164,6 +171,10 @@ class BufferPool:
             return
         cls = base.size
         with self._lock:
+            free = self._classes.get(cls)
+            if free is not None and any(blk is base for blk in free):
+                self._double_releases += 1
+                return
             self._releases += 1
             if self._outstanding >= cls:
                 self._outstanding -= cls
@@ -180,6 +191,7 @@ class BufferPool:
                 reuses=self._reuses,
                 releases=self._releases,
                 dropped=self._dropped,
+                double_releases=self._double_releases,
                 outstanding_bytes=self._outstanding,
                 high_water_bytes=self._high_water,
                 retained_bytes=self._retained,
@@ -196,6 +208,7 @@ class BufferPool:
             self._reuses = 0
             self._releases = 0
             self._dropped = 0
+            self._double_releases = 0
 
     def __repr__(self) -> str:
         s = self.stats()
@@ -719,6 +732,340 @@ def peer_table(
             )
             cache[key] = table
         return table
+
+
+# ---------------------------------------------------------------------------
+# batched (all-ranks SPMD) lowering
+# ---------------------------------------------------------------------------
+
+
+def translate_all(topo: "CartTopology", offset: Sequence[int]) -> np.ndarray:
+    """Vectorized ``topo.translate`` over every rank at once.
+
+    Returns an ``int64`` array of shape ``(p,)`` holding the rank at
+    ``coords(r) + offset`` for each rank ``r`` — ``-1`` where the offset
+    leaves the mesh along a non-periodic dimension (the ``None`` of the
+    scalar form).  Row-major rank order matches
+    :meth:`~repro.core.topology.CartTopology.rank` exactly.
+    """
+    p = topo.size
+    coords = np.stack(
+        np.unravel_index(np.arange(p, dtype=np.int64), topo.dims), axis=1
+    )
+    tgt = coords + np.asarray(offset, dtype=np.int64)
+    ok = np.ones(p, dtype=bool)
+    for axis, (n, per) in enumerate(zip(topo.dims, topo.periods)):
+        if per:
+            tgt[:, axis] %= n
+        else:
+            ok &= (tgt[:, axis] >= 0) & (tgt[:, axis] < n)
+            np.clip(tgt[:, axis], 0, n - 1, out=tgt[:, axis])
+    ranks = np.ravel_multi_index(tuple(tgt.T), topo.dims).astype(np.int64)
+    ranks[~ok] = -1
+    return ranks
+
+
+class BatchedRound:
+    """One round of a :class:`BatchedPlan`: all ranks' exchanges as a
+    handful of matrix operations.
+
+    The per-rank :class:`ExecPlan` kernels of one round are identical
+    across ranks (the schedule is SPMD data; only the resolved peers
+    differ), so the stacked ``(p, n)`` gather/scatter index matrix
+    factors into one shared column selector (``send``/``recv`` —
+    ordinary :class:`CompiledBlockSet` kernels) broadcast over rank
+    rows.  The rank-varying part is held as peer arrays: ``sources`` /
+    ``targets`` are ``(p,)`` ``int64`` with ``-1`` where the peer falls
+    off a non-periodic mesh edge, and ``recv_rows`` (``None`` when every
+    rank receives) is the boolean-mask-derived row index of the ranks
+    whose receive half exists.
+    """
+
+    __slots__ = (
+        "sources",
+        "targets",
+        "send",
+        "recv",
+        "recv_rows",
+        "recv_sources",
+        "senders",
+    )
+
+    def __init__(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        send: Optional[CompiledBlockSet],
+        recv: Optional[CompiledBlockSet],
+    ) -> None:
+        self.sources = sources
+        self.targets = targets
+        self.send = send
+        self.recv = recv
+        self.senders = int((targets >= 0).sum())
+        if recv is not None and int((sources >= 0).sum()) < sources.size:
+            self.recv_rows: Optional[np.ndarray] = np.nonzero(sources >= 0)[0]
+            self.recv_sources = sources[self.recv_rows]
+        else:
+            self.recv_rows = None
+            self.recv_sources = sources
+
+    @property
+    def wire_nbytes(self) -> int:
+        """Wire bytes per rank row of this round's ``(p, n)`` matrix."""
+        return self.send.total_nbytes if self.send is not None else 0
+
+    def pack_into(
+        self, matrices: Mapping[str, np.ndarray], wire: np.ndarray
+    ) -> None:
+        """Gather every rank's payload row in one pass: ``wire`` is the
+        round's ``(p, n)`` matrix.  Rows of ranks without a send half
+        are packed too (they are never delivered; packing all rows is
+        cheaper than masking the gather)."""
+        assert self.send is not None
+        for name, wire_sel, buf_sel in self.send._sel_ops:
+            wire[:, wire_sel] = matrices[name][:, buf_sel]
+        for name, wire_off, buf_off, n in self.send._run_ops:
+            wire[:, wire_off : wire_off + n] = matrices[name][
+                :, buf_off : buf_off + n
+            ]
+
+    def unpack_from(
+        self, matrices: Mapping[str, np.ndarray], wire: np.ndarray
+    ) -> None:
+        """Deliver: row ``j`` of the scatter reads row ``sources[j]`` of
+        the wire matrix — the all-ranks message exchange is one fancy-
+        indexed row permutation."""
+        assert self.recv is not None
+        rows = self.recv_rows
+        if rows is None:
+            payload = wire[self.recv_sources]
+            for name, wire_sel, buf_sel in self.recv._sel_ops:
+                matrices[name][:, buf_sel] = payload[:, wire_sel]
+            for name, wire_off, buf_off, n in self.recv._run_ops:
+                matrices[name][:, buf_off : buf_off + n] = payload[
+                    :, wire_off : wire_off + n
+                ]
+            return
+        payload = wire[self.recv_sources]
+        for name, wire_sel, buf_sel in self.recv._sel_ops:
+            if isinstance(buf_sel, slice):
+                matrices[name][rows, buf_sel] = payload[:, wire_sel]
+            else:
+                matrices[name][rows[:, None], buf_sel] = payload[:, wire_sel]
+        for name, wire_off, buf_off, n in self.recv._run_ops:
+            matrices[name][rows, buf_off : buf_off + n] = payload[
+                :, wire_off : wire_off + n
+            ]
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchedRound(senders={self.senders}, "
+            f"wire={self.wire_nbytes} B/rank)"
+        )
+
+
+class BatchedPlan:
+    """An immutable all-ranks lowering of one schedule: the whole
+    ``p``-rank lockstep execution as one data-parallel numpy program.
+
+    Rank buffers are held as one ``(p, nbytes)`` matrix per buffer name
+    (``matrices``); each (phase, round) packs a ``(p, n)`` wire matrix,
+    and delivery is a row permutation of it (``wire[sources]``).  The
+    pack-all-then-deliver-all discipline of the lockstep backend is kept
+    per phase, so the batched execution is byte-identical to driving
+    ``p`` per-rank interpreters — there is simply no per-rank Python
+    loop left.
+    """
+
+    __slots__ = (
+        "kind",
+        "key",
+        "p",
+        "phases",
+        "copy_program",
+        "temp_nbytes",
+        "sizes",
+        "wire_bytes",
+        "compile_seconds",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        key: tuple,
+        p: int,
+        phases: Sequence[Sequence[BatchedRound]],
+        copy_program: CompiledCopyProgram,
+        temp_nbytes: int,
+        sizes: Mapping[str, int],
+        wire_bytes: int,
+        compile_seconds: float,
+    ) -> None:
+        self.kind = kind
+        self.key = key
+        self.p = p
+        self.phases = tuple(tuple(rs) for rs in phases)
+        self.copy_program = copy_program
+        self.temp_nbytes = temp_nbytes
+        self.sizes = dict(sizes)
+        self.wire_bytes = wire_bytes
+        self.compile_seconds = compile_seconds
+
+    def execute(self, matrices: Mapping[str, np.ndarray]) -> None:
+        """Run every communication phase on the stacked buffer matrices
+        (wire matrices are pooled and always returned, even when a
+        kernel raises)."""
+        for phase in self.phases:
+            wires: list[Optional[np.ndarray]] = []
+            try:
+                for rnd in phase:
+                    n = rnd.wire_nbytes
+                    if rnd.send is None or n == 0:
+                        wires.append(None)
+                        continue
+                    flat = GLOBAL_POOL.acquire(self.p * n)
+                    rnd.pack_into(matrices, flat.reshape(self.p, n))
+                    wires.append(flat)
+                for rnd, flat in zip(phase, wires):
+                    if flat is None or rnd.recv is None:
+                        continue
+                    rnd.unpack_from(
+                        matrices, flat.reshape(self.p, rnd.wire_nbytes)
+                    )
+            finally:
+                for flat in wires:
+                    if flat is not None:
+                        GLOBAL_POOL.release(flat)
+
+    def run_local_copies(self, matrices: Mapping[str, np.ndarray]) -> int:
+        """The final non-communication phase, batched over rank rows
+        (op order matches the per-rank program, so the non-fused
+        sequential fallback keeps its semantics row-wise)."""
+        prog = self.copy_program
+        for src, dst, src_sel, dst_sel in prog._sel_ops:
+            matrices[dst][:, dst_sel] = matrices[src][:, src_sel]
+        for src, dst, src_off, dst_off, n in prog._run_ops:
+            matrices[dst][:, dst_off : dst_off + n] = matrices[src][
+                :, src_off : src_off + n
+            ]
+        return prog.nbytes * self.p
+
+    @property
+    def num_rounds(self) -> int:
+        return sum(len(rs) for rs in self.phases)
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchedPlan({self.kind}, p={self.p}, "
+            f"phases={len(self.phases)}, rounds={self.num_rounds}, "
+            f"wire={self.wire_bytes} B)"
+        )
+
+
+def batched_plan_key(topo: "CartTopology", signature: tuple) -> tuple:
+    return ("batched", topo.dims, topo.periods, signature)
+
+
+def compile_batched_plan(
+    schedule: "Schedule",
+    topo: "CartTopology",
+    sizes: Mapping[str, int],
+) -> BatchedPlan:
+    """Lower ``schedule`` for *all* ranks of ``topo`` at once (no
+    caching — see :func:`get_or_compile_batched`).
+
+    The per-round kernels are compiled exactly once (they are rank-
+    independent — stacking the per-rank :class:`ExecPlan` index arrays
+    would produce ``p`` identical rows); the rank-varying peers come
+    from :func:`translate_all`.  Rounds whose receivers expect a message
+    no rank sends (an asymmetric ``recv_offset`` on a mesh) are rejected
+    here with the same :class:`ScheduleError` the lockstep transport
+    raises at delivery time.
+    """
+    t0 = time.perf_counter()
+    schedule.prepare()
+    p = topo.size
+    phases: list[list[BatchedRound]] = []
+    wire_bytes = 0
+    for phase in schedule.phases:
+        rounds: list[BatchedRound] = []
+        for rnd in phase.rounds:
+            neg = tuple(-o for o in rnd.recv_source_offset)
+            sources = translate_all(topo, neg)
+            targets = translate_all(topo, rnd.offset)
+            send = recv = None
+            if (targets >= 0).any():
+                send = compile_blockset(
+                    rnd.send_blocks.coalesced_runs(), sizes
+                )
+            if (sources >= 0).any():
+                recv = compile_blockset(
+                    rnd.recv_blocks.coalesced_runs(), sizes
+                )
+            br = BatchedRound(sources, targets, send, recv)
+            if recv is not None:
+                # every receiver's source must actually address it
+                srcs = br.recv_sources
+                dsts = (
+                    np.arange(p, dtype=np.int64)
+                    if br.recv_rows is None
+                    else br.recv_rows
+                )
+                bad = np.nonzero(targets[srcs] != dsts)[0]
+                if bad.size:
+                    j = int(dsts[bad[0]])
+                    raise ScheduleError(
+                        f"rank {j} expects a message from "
+                        f"{int(sources[j])} which sent none"
+                    )
+            if send is not None:
+                wire_bytes += send.total_nbytes * br.senders
+            rounds.append(br)
+        phases.append(rounds)
+    copy_program = compile_copies(schedule.prepared_copy_runs(), sizes)
+    key = batched_plan_key(topo, buffer_signature(sizes))
+    return BatchedPlan(
+        schedule.kind,
+        key,
+        p,
+        phases,
+        copy_program,
+        schedule.temp_nbytes,
+        sizes,
+        wire_bytes,
+        time.perf_counter() - t0,
+    )
+
+
+def get_or_compile_batched(
+    schedule: "Schedule",
+    topo: "CartTopology",
+    buffers: Optional[Mapping[str, np.ndarray]] = None,
+    *,
+    sizes: Optional[Mapping[str, int]] = None,
+) -> tuple[BatchedPlan, bool]:
+    """Return ``(plan, hit)`` — the cached all-ranks plan or a freshly
+    compiled one.  Batched plans live in ``Schedule._plans`` next to the
+    per-rank entries (same lifetime, same invalidation, same single-
+    flight lock) under a rank-free key."""
+    global _hits, _misses, _compile_seconds
+    if sizes is None:
+        if buffers is None:
+            raise ValueError("need buffers or sizes to key a plan")
+        sizes = effective_sizes(schedule, buffers)
+    key = batched_plan_key(topo, buffer_signature(sizes))
+    cache = schedule._plans
+    with _CACHE_LOCK:
+        plan = cache.get(key)
+        if plan is not None:
+            _hits += 1
+            return plan, True
+        compiled = compile_batched_plan(schedule, topo, sizes)
+        cache[key] = compiled
+        _misses += 1
+        _compile_seconds += compiled.compile_seconds
+        return compiled, False
 
 
 def plan_cache_info() -> PlanCacheInfo:

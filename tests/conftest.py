@@ -84,3 +84,19 @@ def expected_allgather(
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _global_pool_balance():
+    """Enforce the pool-lifecycle invariant across the whole suite: every
+    acquire has exactly one release, including error paths — so after all
+    tests (fault-injected and failing-path ones included) the process
+    pool must have no outstanding bytes."""
+    from repro.core.plan import GLOBAL_POOL
+
+    yield
+    stats = GLOBAL_POOL.stats()
+    assert stats.outstanding_bytes == 0, (
+        f"tests leaked pooled scratch: {stats.outstanding_bytes} B "
+        f"outstanding after the suite ({stats})"
+    )

@@ -2,8 +2,9 @@
 
 The Transport/interpreter split promises that *where* a schedule runs is
 orthogonal to *what* it computes: the threaded engine, the deterministic
-lockstep executor and the process-parallel shm backend must produce
-byte-identical user buffers for any schedule.  This suite drives the
+lockstep executor, the vectorized batched executor and the
+process-parallel shm backend must produce byte-identical user buffers
+for any schedule.  This suite drives the
 full algorithm × operation × layout matrix through every backend and
 diffs the results, plus a hypothesis property over random topologies.
 """
@@ -174,6 +175,23 @@ class TestParityMatrix:
         sched, ssize, rsize = _make_case(op, algorithm, variant)
         assert_backends_agree(topo, sched, ssize, rsize, ["lockstep", "threaded"])
 
+    def test_batched_vs_lockstep(self, op, algorithm, variant):
+        topo = CartTopology((3, 3))
+        sched, ssize, rsize = _make_case(op, algorithm, variant)
+        assert_backends_agree(topo, sched, ssize, rsize, ["lockstep", "batched"])
+
+    def test_batched_vs_lockstep_interpreted(self, op, algorithm, variant):
+        """With lowering disabled the batched backend must fall back to
+        the interpreted lockstep driver, still byte-identical."""
+        from repro.core.plan import plans_disabled
+
+        topo = CartTopology((3, 3))
+        sched, ssize, rsize = _make_case(op, algorithm, variant)
+        with plans_disabled():
+            assert_backends_agree(
+                topo, sched, ssize, rsize, ["lockstep", "batched"]
+            )
+
     @shm_mark
     @pytest.mark.shm
     def test_shm_vs_lockstep(self, op, algorithm, variant):
@@ -214,7 +232,9 @@ def test_parity_property_random_topologies(dims, m, algorithm, data):
     nbh = Neighborhood(offsets)
     topo = CartTopology(dims)
     sched, ssize, rsize = _make_case("alltoall", algorithm, "regular", nbh=nbh, m=m)
-    assert_backends_agree(topo, sched, ssize, rsize, ["lockstep", "threaded"])
+    assert_backends_agree(
+        topo, sched, ssize, rsize, ["lockstep", "threaded", "batched"]
+    )
 
 
 # ----------------------------------------------------------------------
@@ -224,7 +244,7 @@ def test_parity_property_random_topologies(dims, m, algorithm, data):
 
 class TestRegistry:
     def test_registry_names(self):
-        assert set(BACKENDS) >= {"threaded", "lockstep", "shm"}
+        assert set(BACKENDS) >= {"threaded", "lockstep", "batched", "shm"}
         for name, backend in BACKENDS.items():
             assert isinstance(backend, Backend)
             assert backend.name == name == backend.capabilities.name
@@ -252,13 +272,16 @@ class TestRegistry:
     def test_capability_flags(self):
         threaded = BACKENDS["threaded"].capabilities
         lockstep = BACKENDS["lockstep"].capabilities
+        batched = BACKENDS["batched"].capabilities
         shm = BACKENDS["shm"].capabilities
         assert threaded.per_rank and threaded.split_phase and threaded.native_reduce
         assert not lockstep.per_rank and lockstep.deferred_delivery
+        assert batched.all_ranks and not batched.per_rank
+        assert batched.deferred_delivery and not batched.true_parallel
         assert shm.true_parallel and not shm.per_rank
 
     def test_all_ranks_backends_reject_per_rank_transport(self):
-        for name in ("lockstep", "shm"):
+        for name in ("lockstep", "batched", "shm"):
             with pytest.raises(BackendError, match="no per-rank transports"):
                 BACKENDS[name].transport(object())
 
@@ -293,6 +316,9 @@ def _alltoall_via_cart(backend_name):
 class TestCartCommFunnel:
     def test_alltoall_lockstep_backend(self):
         assert _alltoall_via_cart("lockstep") == [True] * 9
+
+    def test_alltoall_batched_backend(self):
+        assert _alltoall_via_cart("batched") == [True] * 9
 
     def test_backend_keyword(self):
         """The backend kw is honoured without an info dict."""

@@ -318,6 +318,36 @@ class TestBufferPool:
         pool.release("not an array")
         assert pool.stats().retained_bytes == 0
 
+    def test_double_release_is_absorbed(self):
+        """Regression: releasing the same array twice used to append its
+        base block to the free list twice, so two later acquires handed
+        out aliasing views of the same memory."""
+        pool = BufferPool(max_retained_bytes=1 << 20)
+        a = pool.acquire(100)
+        pool.release(a)
+        pool.release(a)  # duplicate: must be dropped, not re-listed
+        s = pool.stats()
+        assert s.double_releases == 1
+        assert s.releases == 1
+        assert s.retained_bytes == 128
+        x, y = pool.acquire(100), pool.acquire(100)
+        assert x.base is not y.base, "aliasing views handed out"
+        x[:] = 1
+        y[:] = 2
+        assert (x == 1).all() and (y == 2).all()
+
+    def test_double_release_of_view_alias(self):
+        """A second release through a different view of the same block is
+        still a double release."""
+        pool = BufferPool(max_retained_bytes=1 << 20)
+        a = pool.acquire(100)
+        alias = a[:50]  # same base block
+        pool.release(a)
+        pool.release(alias)
+        s = pool.stats()
+        assert s.double_releases == 1 and s.releases == 1
+        assert s.outstanding_bytes == 0
+
     def test_env_knob(self, monkeypatch):
         monkeypatch.setenv("REPRO_BUFFER_POOL_MAX", "4096")
         assert BufferPool().max_retained_bytes == 4096
