@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Cannon's matrix multiplication driven by Cartesian shifts.
+
+``C = A·B`` on a 3×3 process torus: the initial scatter pre-skews the
+panels, then every step runs one persistent ``Cart_alltoallw`` whose
+two-neighbor neighborhood shifts the ``A`` panel left and the ``B``
+panel up — different block sizes per neighbor, row-fragmented layouts
+from the padded leading dimension (the irregular ``w`` machinery), and
+optionally a block-cyclic global distribution.  The distributed product
+is certified bit-identical to the sequential ``A @ B``.
+
+Run:  python examples/cannon_matmul.py
+"""
+
+import numpy as np
+
+from repro.apps import CannonMatmul
+
+M, K, N, Q = 24, 18, 30, 3
+
+
+def main():
+    for cyclic in (False, True):
+        app = CannonMatmul(M, K, N, Q, cyclic=cyclic, seed=42)
+        layout = "block-cyclic" if cyclic else "block"
+        for algorithm in ("combining", "trivial"):
+            run = app.run(backend="threaded", algorithm=algorithm)
+            app.check_against_oracle(run)
+            print(
+                f"{layout:12s} {run.describe()} -> C "
+                f"{run.output.shape} bit-identical to A @ B"
+            )
+
+    app = CannonMatmul(M, K, N, Q, seed=42)
+    run = app.run(backend="threaded", algorithm="combining")
+    print(
+        f"\n{Q}x{Q} torus, {Q} multiply/shift steps, panels return to "
+        f"their start alignment; communication profile:"
+    )
+    print(run.stats.summary())
+    assert np.array_equal(run.output, app.sequential())
+
+
+if __name__ == "__main__":
+    main()

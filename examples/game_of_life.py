@@ -1,21 +1,19 @@
 #!/usr/bin/env python
 """Conway's Game of Life on a distributed periodic grid.
 
-A glider crosses process boundaries for 24 generations on a 2×2 process
-torus; the distributed evolution (Moore-neighborhood halo exchange per
-generation) is checked against the serial periodic evolution, and a few
-frames are printed.
+The application now lives in the library (:mod:`repro.apps`): this
+example builds a :class:`repro.apps.GameOfLife` instance — a glider
+crossing process boundaries on a 2×2 torus — and certifies it against
+the sequential oracle on every registered execution backend with both
+the message-combining and the trivial halo exchange, then prints a few
+frames and the communication statistics of one run.
 
 Run:  python examples/game_of_life.py
 """
 
 import numpy as np
 
-from repro import moore_neighborhood, run_cartesian
-from repro.core.topology import CartTopology
-from repro.stencil.apps import DistributedStencil
-from repro.stencil.decomp import GridDecomposition
-from repro.stencil.kernels import glider, life_step_global, life_step_local
+from repro.apps import GameOfLife, registered_backends
 
 DIMS = (2, 2)
 GRID = (16, 16)
@@ -27,39 +25,29 @@ def render(grid: np.ndarray) -> str:
 
 
 def main():
-    topo = CartTopology(DIMS)
-    decomp = GridDecomposition(topo, GRID)
-    start = glider(GRID)
+    app = GameOfLife.glider(GRID, DIMS, GENERATIONS)
+    backends = registered_backends(size=len(DIMS) * 2)
 
-    ref = start.copy()
-    snapshots = {0: ref.copy()}
-    for gen in range(1, GENERATIONS + 1):
-        ref = life_step_global(ref)
-        snapshots[gen] = ref.copy()
+    runs = app.certify(backends=backends)  # raises on any bit divergence
+    print(
+        f"certified {len(runs)} backend/algorithm legs bit-identical to "
+        f"the sequential oracle: "
+        + ", ".join(f"{b}/{a}" for b, a in sorted(runs))
+    )
 
-    blocks = decomp.scatter(start)
-    nbh = moore_neighborhood(2, 1, include_self=False)
+    run = runs[("threaded", "combining")]
+    print(f"\ngeneration 0:\n{render(app.board)}\n")
+    print(f"generation {GENERATIONS} (distributed == serial):")
+    print(render(run.output))
+    alive = int(run.output.sum())
+    print(
+        f"\nglider intact after {GENERATIONS} generations across process "
+        f"boundaries: {alive} live cells"
+    )
+    print(f"\ncommunication profile of {run.describe()}:")
+    print(run.stats.summary())
 
-    def worker(cart):
-        st = DistributedStencil(
-            cart,
-            decomp,
-            blocks[cart.rank],
-            lambda g: life_step_local(g, 1),
-            depth=1,
-            algorithm="combining",
-        )
-        return st.run(GENERATIONS)
-
-    results = run_cartesian(DIMS, nbh, worker)
-    final = decomp.gather(results)
-
-    assert np.array_equal(final, snapshots[GENERATIONS]), "evolution mismatch"
-    print(f"generation 0:\n{render(start)}\n")
-    print(f"generation {GENERATIONS} (distributed == serial):\n{render(final)}\n")
-    alive = int(final.sum())
-    print(f"glider intact after {GENERATIONS} generations across process "
-          f"boundaries: {alive} live cells")
+    assert np.array_equal(run.output, app.sequential()), "evolution mismatch"
 
 
 if __name__ == "__main__":

@@ -56,6 +56,10 @@ CODES: dict[str, str] = {
     "V504": "compiled local-copy program differs from the schedule's",
     "V505": "batched lowering disagrees with the per-rank plans",
     "V506": "batched execution differs from per-rank lockstep execution",
+    # --- all-to-all broadcast optimality (Jung & Sakho bounds) ---------
+    "V601": "broadcast neighborhood does not cover the whole torus",
+    "V602": "broadcast volume differs from the p-1 block optimum",
+    "V603": "broadcast round count violates the optimality bounds",
 }
 
 

@@ -1,0 +1,192 @@
+"""Cannon's matrix multiplication over Cartesian shifts.
+
+``C = A·B`` on a ``q × q`` fully periodic process grid.  The classic
+algorithm skews ``A`` left by the row index and ``B`` up by the column
+index, then alternates local multiply-accumulate with unit circular
+shifts.  Here the skew is folded into the initial scatter (rank
+``(i, j)`` starts with ``A``-panel ``(i + j) mod q`` — legitimate
+because the driver owns the decomposition), so *every* communication of
+the iteration is the same isomorphic two-neighbor Cartesian collective:
+one persistent ``Cart_alltoallw`` whose neighborhood is
+``{(0, −1), (−1, 0)}`` — neighbor 0 carries the ``A`` block one step
+left, neighbor 1 carries the ``B`` block one step up, in a single
+collective per step.
+
+The handle deliberately exercises the irregular ``w`` machinery:
+
+* the two neighbors move **different amounts of data** (an ``A`` block
+  is ``mb × kb``, a ``B`` block ``kb × nb``), so the per-neighbor
+  datatypes genuinely differ;
+* local panels are stored with a **padded leading dimension**, so every
+  block is a fragmented multi-run :class:`~repro.mpisim.datatypes.BlockSet`
+  (one run per matrix row), the layout the plan compiler's fancy-index
+  kernels exist for;
+* with ``cyclic=True`` the ``m`` and ``n`` dimensions are distributed
+  **cyclically** over the process grid (rank row ``i`` owns global rows
+  ``i, i+q, i+2q, …``) while ``k`` stays block-contiguous — the
+  block-cyclic layout family of the dense linear-algebra libraries.
+
+Integer entries keep the arithmetic exact, so the distributed product is
+held to bit equality against the sequential ``A @ B``.  After ``q``
+multiply/shift steps every panel has cycled back to its starting
+position, which is what makes the persistent handle reusable across
+repeated multiplications.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.apps.base import AppRun, CartesianApp, merge_stats
+from repro.core.api import run_cartesian
+from repro.core.neighborhood import Neighborhood
+from repro.mpisim.datatypes import BlockRef, BlockSet
+
+__all__ = ["CannonMatmul", "SHIFT_NEIGHBORHOOD"]
+
+#: Cannon's communication pattern: neighbor 0 = one step left (the ``A``
+#: panel's route), neighbor 1 = one step up (the ``B`` panel's route).
+SHIFT_NEIGHBORHOOD = Neighborhood(
+    np.asarray([(0, -1), (-1, 0)], dtype=np.int64)
+)
+
+
+def _row_blockset(
+    buffer: str, nrows: int, row_nbytes: int, ld_nbytes: int
+) -> BlockSet:
+    """A ``nrows × row_nbytes`` panel inside a padded local array: one
+    contiguous run per row, ``ld_nbytes`` apart (never coalescible while
+    the padding is non-zero)."""
+    return BlockSet(
+        [BlockRef(buffer, r * ld_nbytes, row_nbytes) for r in range(nrows)]
+    )
+
+
+class CannonMatmul(CartesianApp):
+    """One ``C = A·B`` problem instance on a ``q × q`` torus."""
+
+    name = "cannon"
+
+    def __init__(
+        self,
+        m: int,
+        k: int,
+        n: int,
+        q: int,
+        *,
+        dtype: Any = np.int64,
+        pad: int = 3,
+        cyclic: bool = False,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if q < 2:
+            raise ValueError("Cannon needs a process grid of at least 2x2")
+        if m % q or k % q or n % q:
+            raise ValueError(
+                f"matrix extents ({m}, {k}, {n}) must be divisible by q={q}"
+            )
+        if pad < 0:
+            raise ValueError("pad must be non-negative")
+        self.m, self.k, self.n, self.q = int(m), int(k), int(n), int(q)
+        self.mb, self.kb, self.nb = m // q, k // q, n // q
+        self.pad = int(pad)
+        self.cyclic = bool(cyclic)
+        self.dtype = np.dtype(dtype)
+        if self.dtype.kind not in "iu":
+            raise ValueError(
+                "bit-exact certification needs integer matrices"
+            )
+        rng = np.random.default_rng(seed)
+        self.A = rng.integers(-4, 5, (m, k)).astype(self.dtype)
+        self.B = rng.integers(-4, 5, (k, n)).astype(self.dtype)
+        self.dims = (self.q, self.q)
+
+    # -- layout maps ---------------------------------------------------
+    def _rows(self, i: int) -> np.ndarray:
+        """Global row indices owned by process row ``i``."""
+        if self.cyclic:
+            return np.arange(i, self.m, self.q)
+        return np.arange(i * self.mb, (i + 1) * self.mb)
+
+    def _cols(self, j: int) -> np.ndarray:
+        """Global column indices owned by process column ``j``."""
+        if self.cyclic:
+            return np.arange(j, self.n, self.q)
+        return np.arange(j * self.nb, (j + 1) * self.nb)
+
+    def _kslab(self, s: int) -> slice:
+        """The ``k`` dimension stays block-contiguous (panel ``s``)."""
+        return slice(s * self.kb, (s + 1) * self.kb)
+
+    # -- oracle --------------------------------------------------------
+    def _sequential(self) -> np.ndarray:
+        return (self.A @ self.B).astype(self.dtype)
+
+    # -- distributed ---------------------------------------------------
+    def run(
+        self,
+        *,
+        backend: str = "threaded",
+        algorithm: str = "combining",
+        engine: Optional[Any] = None,
+    ) -> AppRun:
+        q, mb, kb, nb = self.q, self.mb, self.kb, self.nb
+        pad, dtype = self.pad, self.dtype
+        itemsize = dtype.itemsize
+        A, B = self.A, self.B
+
+        def worker(cart: Any) -> tuple[np.ndarray, Any]:
+            stats = cart.enable_stats()
+            i, j = cart.coords()
+            s0 = (i + j) % q
+            a = np.zeros((mb, kb + pad), dtype=dtype)
+            b = np.zeros((kb, nb + pad), dtype=dtype)
+            a_next = np.zeros_like(a)
+            b_next = np.zeros_like(b)
+            a[:, :kb] = A[np.ix_(self._rows(i), np.arange(self.k))][
+                :, self._kslab(s0)
+            ]
+            b[:, :nb] = B[self._kslab(s0), :][:, self._cols(j)]
+            shift = cart.alltoallw_init(
+                {"A": a, "B": b, "An": a_next, "Bn": b_next},
+                [
+                    _row_blockset("A", mb, kb * itemsize, (kb + pad) * itemsize),
+                    _row_blockset("B", kb, nb * itemsize, (nb + pad) * itemsize),
+                ],
+                [
+                    _row_blockset("An", mb, kb * itemsize, (kb + pad) * itemsize),
+                    _row_blockset("Bn", kb, nb * itemsize, (nb + pad) * itemsize),
+                ],
+                algorithm=algorithm,
+            )
+            c = np.zeros((mb, nb), dtype=dtype)
+            for _ in range(q):
+                c += a[:, :kb] @ b[:, :nb]
+                shift.execute()
+                a[...] = a_next
+                b[...] = b_next
+            return c, stats
+
+        results = run_cartesian(
+            self.dims,
+            SHIFT_NEIGHBORHOOD,
+            worker,
+            periods=(True, True),
+            info={"backend": backend},
+            engine=engine,
+        )
+        out = np.zeros((self.m, self.n), dtype=dtype)
+        for r, (c_local, _) in enumerate(results):
+            i, j = divmod(r, q)
+            out[np.ix_(self._rows(i), self._cols(j))] = c_local
+        return AppRun(
+            app=self.name,
+            backend=backend,
+            algorithm=algorithm,
+            iterations=q,
+            output=out,
+            stats=merge_stats(stats for _, stats in results),
+        )

@@ -200,6 +200,31 @@ class OpStats:
             agg.merge(rec)
         return out
 
+    def merge_from(self, other: "OpStats") -> None:
+        """Fold another collector into this one (used by the app layer
+        to aggregate the per-rank communicators of one virtual job)."""
+        for key, rec in other.records.items():
+            self._record(key).merge(rec)
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_build_seconds += other.cache_build_seconds
+        for backend, (hits, misses) in other.cache_by_backend.items():
+            split = self.cache_by_backend.setdefault(backend, [0, 0])
+            split[0] += hits
+            split[1] += misses
+        self.plan_hits += other.plan_hits
+        self.plan_misses += other.plan_misses
+        for backend, (hits, misses) in other.plan_by_backend.items():
+            split = self.plan_by_backend.setdefault(backend, [0, 0])
+            split[0] += hits
+            split[1] += misses
+        for backend, n in other.bytes_packed.items():
+            self.bytes_packed[backend] = self.bytes_packed.get(backend, 0) + n
+        for backend, n in other.bytes_copied.items():
+            self.bytes_copied[backend] = self.bytes_copied.get(backend, 0) + n
+        for kind, n in other.faults.items():
+            self.record_fault(kind, n)
+
     def summary(self) -> str:
         if not self.records:
             return "no collective operations recorded"

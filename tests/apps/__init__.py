@@ -1,0 +1,2 @@
+"""Application-workload tests: differential certification, property
+tests, chaos coverage and broadcast optimality bounds."""

@@ -1,0 +1,161 @@
+"""Unit coverage of the app layer: packing, validation, the
+certification harness itself, and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    APPS,
+    AllToAllBroadcast,
+    AppCertificationError,
+    CannonMatmul,
+    GameOfLife,
+    broadcast_schedule,
+    default_app,
+    full_torus_neighborhood,
+    life_step_reference,
+    merge_stats,
+    pack_rows,
+    registered_backends,
+    unpack_rows,
+)
+from repro.stencil.kernels import life_step_global
+
+
+class TestPackedRows:
+    @pytest.mark.parametrize("cols", [1, 7, 8, 9, 24])
+    def test_roundtrip(self, cols, rng):
+        board = (rng.random((5, cols)) < 0.5).astype(np.uint8)
+        packed = pack_rows(board)
+        assert packed.shape == (5, (cols + 7) // 8)
+        assert np.array_equal(unpack_rows(packed, cols), board)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            pack_rows(np.zeros(8, dtype=np.uint8))
+
+
+class TestOracles:
+    def test_life_reference_matches_global_kernel_on_torus(self, rng):
+        board = (rng.random((9, 11)) < 0.4).astype(np.uint8)
+        assert np.array_equal(
+            life_step_reference(board, (True, True)), life_step_global(board)
+        )
+
+    def test_life_mesh_edges_stay_dead_beyond_boundary(self):
+        board = np.zeros((4, 4), dtype=np.uint8)
+        board[0, :3] = 1  # blinker on the top edge
+        stepped = life_step_reference(board, (False, False))
+        assert stepped[0, 1] == 1  # survives with 2 neighbors, no wrap
+
+
+class TestValidation:
+    def test_life_rejects_non_2d_board(self):
+        with pytest.raises(ValueError, match="2-D"):
+            GameOfLife(np.zeros(9, dtype=np.uint8), (1, 1), 1)
+
+    def test_life_rejects_grid_smaller_than_dims(self):
+        with pytest.raises(ValueError, match="too small"):
+            GameOfLife(np.zeros((2, 8), dtype=np.uint8), (3, 1), 1)
+
+    def test_life_combining_needs_full_torus(self):
+        app = GameOfLife.random((8, 8), (2, 2), 1, periods=(False, True))
+        with pytest.raises(ValueError, match="periodic"):
+            app.run(backend="threaded", algorithm="combining")
+
+    def test_cannon_rejects_degenerate_grid(self):
+        with pytest.raises(ValueError, match="2x2"):
+            CannonMatmul(4, 4, 4, 1)
+
+    def test_cannon_rejects_indivisible_extents(self):
+        with pytest.raises(ValueError, match="divisible"):
+            CannonMatmul(10, 12, 12, 3)
+
+    def test_cannon_rejects_float_matrices(self):
+        with pytest.raises(ValueError, match="integer"):
+            CannonMatmul(4, 4, 4, 2, dtype=np.float64)
+
+    def test_broadcast_rejects_single_process(self):
+        with pytest.raises(ValueError, match="two processes"):
+            AllToAllBroadcast((1,))
+
+    def test_broadcast_rejects_zero_sweeps(self):
+        with pytest.raises(ValueError, match="sweep"):
+            AllToAllBroadcast((2, 2), iterations=0)
+
+
+class TestFullTorusNeighborhood:
+    @pytest.mark.parametrize("dims", [(2,), (3, 3), (4, 3), (2, 2, 2)])
+    def test_covers_every_residue_once(self, dims):
+        nbh = full_torus_neighborhood(dims)
+        p = int(np.prod(dims))
+        assert nbh.t == p
+        assert nbh.has_self
+        assert nbh.distinct_targets(dims) == p
+
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ValueError, match="positive"):
+            full_torus_neighborhood((3, 0))
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="algorithm"):
+            broadcast_schedule((2, 2), 8, "telepathy")
+
+
+class TestHarness:
+    def test_tampered_output_fails_certification(self):
+        app = GameOfLife.glider((8, 8), (2, 2), 2)
+        run = app.run(backend="threaded", algorithm="trivial")
+        run.output = run.output.copy()
+        run.output[0, 0] ^= 1
+        with pytest.raises(AppCertificationError, match="diverges"):
+            app.check_against_oracle(run)
+
+    def test_missing_aux_fails_certification(self):
+        app = GameOfLife.glider((8, 8), (2, 2), 1)
+        run = app.run(backend="threaded", algorithm="trivial")
+        run.aux.clear()
+        with pytest.raises(AppCertificationError, match="missing aux"):
+            app.check_against_oracle(run)
+
+    def test_wrong_dtype_fails_certification(self):
+        app = AllToAllBroadcast((2, 2), block=2, iterations=1)
+        run = app.run(backend="threaded", algorithm="trivial")
+        run.output = run.output.astype(np.int32)
+        with pytest.raises(AppCertificationError, match="dtype/shape"):
+            app.check_against_oracle(run)
+
+    def test_merge_stats_skips_missing_and_adds(self):
+        app = AllToAllBroadcast((2, 2), block=2, iterations=2)
+        run = app.run(backend="threaded", algorithm="trivial")
+        doubled = merge_stats([run.stats, None, run.stats])
+        assert doubled.total_calls == 2 * run.stats.total_calls
+        assert doubled.plan_hits == 2 * run.stats.plan_hits
+        assert doubled.cache_misses == 2 * run.stats.cache_misses
+
+    def test_describe_names_the_leg(self):
+        app = GameOfLife.glider((8, 8), (2, 2), 1)
+        run = app.run(backend="lockstep", algorithm="trivial")
+        assert "life[trivial/lockstep]" in run.describe()
+
+
+class TestRegistry:
+    def test_default_instances_are_fresh_and_certifiable(self):
+        assert set(APPS) == {"life", "cannon", "broadcast"}
+        assert default_app("life") is not default_app("life")
+        for name in APPS:
+            app = default_app(name)
+            app.check_against_oracle(
+                app.run(backend="threaded", algorithm="combining")
+            )
+
+    def test_unknown_app_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown app"):
+            default_app("tetris")
+
+    def test_registered_backends_respect_shm_rank_bound(self):
+        names = registered_backends(10**6)
+        assert "shm" not in names
+        assert {"threaded", "lockstep", "batched"} <= set(names)

@@ -1,0 +1,114 @@
+"""Cross-backend differential certification of the application workloads.
+
+Every app runs the same problem instance on every registered execution
+backend with both collective algorithms and must reproduce the
+sequential oracle **bit for bit** — output arrays and aux arrays alike.
+The same runs also pin down the multi-iteration observability contract:
+one schedule-cache lookup per rank at ``*_init`` time, and plan reuse
+for every execution after the first iteration.
+
+Shapes here are SPMD-uniform (grids divisible by the process grid) so
+the all-ranks backends — which derive every rank's layout from the same
+schedule — apply; the Hypothesis property test covers ragged shapes on
+the per-rank backend.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.apps import (
+    APP_ALGORITHMS,
+    AllToAllBroadcast,
+    CannonMatmul,
+    GameOfLife,
+    registered_backends,
+)
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+shm_mark = pytest.mark.skipif(not HAVE_FORK, reason="shm backend needs fork")
+
+BACKENDS = [
+    "threaded",
+    "lockstep",
+    "batched",
+    pytest.param("shm", marks=[shm_mark, pytest.mark.shm]),
+]
+
+#: app name -> (factory, process count).  Fresh instance per test so a
+#: tampered run can never poison another case's oracle cache.
+APP_CASES = {
+    "life": (lambda: GameOfLife.random((18, 24), (3, 3), 4, seed=11), 9),
+    "cannon": (lambda: CannonMatmul(12, 18, 24, 3, seed=11), 9),
+    "broadcast": (
+        lambda: AllToAllBroadcast((3, 3), block=7, iterations=3, seed=11),
+        9,
+    ),
+}
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("algorithm", APP_ALGORITHMS)
+@pytest.mark.parametrize("name", sorted(APP_CASES))
+def test_app_matches_oracle_bit_for_bit(name, algorithm, backend):
+    factory, p = APP_CASES[name]
+    app = factory()
+    run = app.run(backend=backend, algorithm=algorithm)
+    app.check_against_oracle(run)
+
+    s = run.stats
+    assert run.backend == backend and run.algorithm == algorithm
+    # one collective per rank per iteration
+    assert s.total_calls == p * run.iterations
+    # persistent init: one schedule-cache lookup per rank.  The
+    # process-wide cache may be warm from an earlier test, so at most
+    # one rank can miss (single-flight build).
+    assert s.cache_hits + s.cache_misses == p
+    assert s.cache_misses <= 1
+    # every execution looks up a lowered plan; from iteration 2 on the
+    # plan cache must hit (schedule and buffers never change).
+    assert s.plan_hits + s.plan_misses == s.total_calls
+    assert s.plan_hits >= p * (run.iterations - 1)
+
+
+@pytest.mark.parametrize("backend", ["threaded", "lockstep"])
+def test_life_mesh_boundaries(backend):
+    """Non-periodic axes (trivial algorithm: combining needs the torus)
+    reproduce the dead-cell boundary of the reference."""
+    app = GameOfLife.random(
+        (16, 18), (2, 3), 4, periods=(False, True), seed=3
+    )
+    run = app.run(backend=backend, algorithm="trivial")
+    app.check_against_oracle(run)
+
+
+@pytest.mark.parametrize("backend", ["threaded", "lockstep", "batched"])
+def test_cannon_block_cyclic_layout(backend):
+    """The cyclic row/column distribution (block-cyclic global mapping)
+    is still bit-exact — the shift pattern never sees the layout."""
+    app = CannonMatmul(12, 12, 16, 2, cyclic=True, seed=5)
+    run = app.run(backend=backend, algorithm="combining")
+    app.check_against_oracle(run)
+
+
+def test_certify_runs_the_whole_matrix():
+    app = AllToAllBroadcast((2, 2), block=3, iterations=2, seed=2)
+    backends = [b for b in registered_backends(4) if b != "shm"]
+    runs = app.certify(backends=backends)
+    assert set(runs) == {
+        (b, a) for b in backends for a in APP_ALGORITHMS
+    }
+
+
+def test_backend_runs_agree_with_each_other():
+    """Transitivity made explicit: all backends produced the same bytes,
+    not merely oracle-equal outputs."""
+    app = CannonMatmul(8, 8, 8, 2, seed=9)
+    runs = [
+        app.run(backend=b, algorithm="trivial")
+        for b in ("threaded", "lockstep", "batched")
+    ]
+    blobs = {r.output.tobytes() for r in runs}
+    assert len(blobs) == 1

@@ -1,0 +1,50 @@
+"""Chaos coverage for a full application: Game of Life under the
+seed-driven fault injector.
+
+The chaos dichotomy (complete byte-correct or fail cleanly) has so far
+been certified per-collective (:mod:`tests.mpisim.test_faults`); here it
+must hold *mid-application* — faults land between generations of a
+persistent halo exchange, where a silently dropped or duplicated
+delivery would corrupt every later generation.  Either the evolved
+board is bit-identical to the oracle, or the raised error is typed and
+attributable to an injected fault.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import GameOfLife
+from repro.mpisim.engine import Engine
+from repro.mpisim.faults import FaultPlan, _attributable
+
+#: 2×2 grid: small enough that kill/stall seeds terminate fast, large
+#: enough that every rank has distinct neighbors in both axes.
+DIMS = (2, 2)
+NRANKS = 4
+
+
+@pytest.mark.parametrize("kind", ["delay", "reorder", "duplicate", "kill"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_life_completes_or_fails_cleanly(kind, seed):
+    app = GameOfLife.random((12, 12), DIMS, 3, seed=seed)
+    plan = FaultPlan.sample(seed * 101 + 7, NRANKS, kind=kind)
+    engine = Engine(NRANKS, timeout=20.0, faults=plan)
+    try:
+        run = app.run(backend="threaded", algorithm="combining", engine=engine)
+    except Exception as exc:  # noqa: BLE001  # lint: allow(L004) - dichotomy classifies every failure mode below
+        events = engine.fault_events()
+        assert _attributable(exc, events), (
+            f"dirty failure under {kind!r} faults: "
+            f"{type(exc).__name__}: {exc}; injected: "
+            f"{[e.describe() for e in events]}"
+        )
+    else:
+        # completed: the application result must be byte-correct no
+        # matter what was delayed, reordered or duplicated on the wire
+        app.check_against_oracle(run)
+        run.stats.record_fault_events(engine.fault_events())
+        if kind in ("delay", "reorder"):
+            # benign kinds may or may not have fired probabilistically,
+            # but when they did, they must be visible in the stats
+            assert set(run.stats.faults) <= {kind}
