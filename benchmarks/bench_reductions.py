@@ -7,10 +7,12 @@ laptop scale and a locality ablation tying the remap extension to the
 network model.
 """
 
+import time
+
 import numpy as np
 import pytest
 
-from benchmarks.conftest import write_artifact
+from benchmarks.conftest import write_artifact, write_json_artifact
 from repro.core.api import run_cartesian
 from repro.core.reduce_schedule import build_reduce_schedule
 from repro.core.stencils import moore_neighborhood, parameterized_stencil
@@ -59,6 +61,69 @@ def test_modeled_reduction_comparison(benchmark, d, n):
         assert rel < 1.0, (d, n, m_ints, rel)
     write_artifact(f"reduction_d{d}n{n}.txt", "\n".join(lines))
     print("\n" + "\n".join(lines))
+
+
+def test_reductions_perf_artifact():
+    """Machine-readable perf trajectory for the reduction extension
+    (``benchmarks/out/reductions.json``; committed baseline
+    ``benchmarks/BENCH_reductions.json``): the modeled combining/trivial
+    ratios per configuration, reduce-verifier certification timings, and
+    the analyzer wall time for the full 48-combination effect sweep —
+    so verification overhead is tracked release over release."""
+    from repro.analyze.effects import sweep_effects
+    from repro.analyze.schedule_verifier import verify_reduce_schedule
+
+    machine = get_machine("hydra-openmpi")
+
+    def build_payload():
+        payload = {
+            "machine": "hydra-openmpi",
+            "modeled": {},
+            "verifier": {},
+            "effects_sweep": {},
+        }
+        for d, n in ((2, 3), (3, 3), (5, 3), (5, 5)):
+            nbh = parameterized_stencil(d, n, -1)
+            for m_ints in (1, 10, 100):
+                row = modeled_reduce_times(nbh, 4 * m_ints, machine)
+                payload["modeled"][f"d{d}_n{n}_m{m_ints}"] = {
+                    "trivial_s": row["trivial"],
+                    "combining_s": row["combining"],
+                    "rel": row["combining"] / row["trivial"],
+                    "rounds": row["schedule"].num_rounds,
+                    "volume_blocks": row["schedule"].volume_blocks,
+                }
+        # certification cost of the reduce verifier itself
+        for d, n, dims in ((2, 3, (4, 4)), (3, 3, (3, 3, 3))):
+            nbh = parameterized_stencil(d, n, -1)
+            sched = build_reduce_schedule(nbh)
+            t0 = time.perf_counter()
+            rep = verify_reduce_schedule(sched, dims, True)
+            payload["verifier"][f"d{d}_n{n}"] = {
+                "seconds": time.perf_counter() - t0,
+                "ok": rep.ok,
+                "checks_run": list(rep.checks_run),
+            }
+            assert rep.ok, rep.summary()
+        # analyzer wall time for the CI effect sweep (48 combinations)
+        t0 = time.perf_counter()
+        results = sweep_effects()
+        payload["effects_sweep"] = {
+            "seconds": time.perf_counter() - t0,
+            "combinations": len(results),
+            "ok": all(rep.ok for _, _, _, rep in results),
+        }
+        assert payload["effects_sweep"]["ok"]
+        assert payload["effects_sweep"]["combinations"] == 48
+        return payload
+
+    payload = build_payload()
+    path = write_json_artifact("reductions.json", payload)
+    print(
+        f"\nreductions perf artifact: {path} "
+        f"(effects sweep {payload['effects_sweep']['seconds']:.2f}s "
+        f"for {payload['effects_sweep']['combinations']} combinations)"
+    )
 
 
 def test_real_reduction_execution(benchmark):

@@ -16,6 +16,12 @@ _LAZY = {
     "ScheduleValidationError": "repro.analyze.report",
     "verify_schedule": "repro.analyze.schedule_verifier",
     "certify_schedule": "repro.analyze.schedule_verifier",
+    "verify_reduce_schedule": "repro.analyze.schedule_verifier",
+    "verify_effects": "repro.analyze.effects",
+    "sweep_effects": "repro.analyze.effects",
+    "run_effect_checks": "repro.analyze.effects",
+    "IntervalSet": "repro.analyze.intervals",
+    "run_mutations": "repro.analyze.mutations",
     "verify_on_build": "repro.analyze.config",
     "set_verify_on_build": "repro.analyze.config",
     "lint_paths": "repro.analyze.lint",

@@ -11,8 +11,18 @@ Two subcommands, both CI gates:
 ``python -m repro.analyze verify --stencil 9-point --dims 4x4 [--kind alltoall]``
     Verify one stencil/torus combination (all kinds unless ``--kind``).
 
+``python -m repro.analyze effects --all-stencils``
+    Run only the byte-interval effect system (V701-V709) over both the
+    per-rank and batched lowerings of every paper stencil; exit 1 on
+    any violation.
+
 ``python -m repro.analyze lint <paths...>``
-    Run the custom concurrency/typing lint (rules L001-L005).
+    Run the custom concurrency/typing lint (rules L001-L009).
+
+``python -m repro.analyze mutations``
+    Run the mutation-adversary harness: corrupt real plans and sources
+    with ~20 seeded mutators and demand the analyzer kills every one
+    with its expected code.
 """
 
 from __future__ import annotations
@@ -86,6 +96,62 @@ def _cmd_verify(ns: argparse.Namespace) -> int:
     return 1 if bad else 0
 
 
+def _cmd_effects(ns: argparse.Namespace) -> int:
+    from repro.analyze.effects import sweep_effects, verify_effects
+
+    if ns.all_stencils:
+        results = sweep_effects()
+        bad = 0
+        for name, kind, dims, report in results:
+            status = "ok" if report.ok else "FAIL"
+            line = f"{status:4s}  {name:10s} {kind:18s} dims={dims}"
+            if not report.ok:
+                bad += 1
+                line += f"  codes={sorted(report.codes())}"
+            print(line)
+            if not report.ok and ns.verbose:
+                for v in report.violations:
+                    print(f"      {v.describe()}")
+        print(
+            f"{len(results) - bad}/{len(results)} stencil/kind combinations "
+            "effect-certified (per-rank + batched lowerings)"
+        )
+        return 1 if bad else 0
+
+    if not ns.stencil or not ns.dims:
+        print("effects: need --all-stencils or --stencil NAME --dims DxD",
+              file=sys.stderr)
+        return 2
+    from repro.core.stencils import named_stencil
+
+    nbh = named_stencil(ns.stencil)
+    dims = ns.dims
+    if nbh.d != len(dims):
+        print(
+            f"effects: stencil {ns.stencil!r} is {nbh.d}-dimensional but "
+            f"dims={dims}",
+            file=sys.stderr,
+        )
+        return 2
+    nbh.validate_for_dims(dims)
+    kinds = [ns.kind] if ns.kind else list(SWEEP_KINDS)
+    bad = 0
+    for kind in kinds:
+        report = verify_effects(build_for_kind(kind, nbh), dims, True)
+        print(report.summary())
+        if not report.ok:
+            bad += 1
+            for v in report.violations:
+                print(f"  {v.describe()}")
+    return 1 if bad else 0
+
+
+def _cmd_mutations(ns: argparse.Namespace) -> int:
+    from repro.analyze.mutations import main as mutations_main
+
+    return mutations_main(verbose=ns.verbose)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analyze",
@@ -113,12 +179,46 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="print every violation in sweep mode",
     )
 
-    p_lint = sub.add_parser("lint", help="run the custom lint (L001-L005)")
+    p_effects = sub.add_parser(
+        "effects",
+        help="run only the byte-interval effect system (V701-V709)",
+    )
+    p_effects.add_argument(
+        "--all-stencils",
+        action="store_true",
+        help="effect-check both lowerings of every paper stencil",
+    )
+    p_effects.add_argument("--stencil", help="stencil name, e.g. 9-point")
+    p_effects.add_argument(
+        "--dims", type=_parse_dims, help="torus dims, e.g. 4x4"
+    )
+    p_effects.add_argument(
+        "--kind", choices=list(SWEEP_KINDS), help="check one kind only"
+    )
+    p_effects.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print every violation in sweep mode",
+    )
+
+    p_lint = sub.add_parser("lint", help="run the custom lint (L001-L009)")
     p_lint.add_argument("paths", nargs="+", help="files or directories")
+
+    p_mut = sub.add_parser(
+        "mutations",
+        help="run the mutation-adversary harness over the analyzer",
+    )
+    p_mut.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print every mutator's reported codes",
+    )
 
     ns = parser.parse_args(argv)
     if ns.command == "verify":
         return _cmd_verify(ns)
+    if ns.command == "effects":
+        return _cmd_effects(ns)
+    if ns.command == "mutations":
+        return _cmd_mutations(ns)
     return lint_mod.main(ns.paths)
 
 

@@ -1,0 +1,768 @@
+"""Byte-interval effect system over the compiled execution layer.
+
+The verifier's V1xx-V4xx checks certify the *schedule*; the V5xx checks
+certify that lowering preserved it.  This module closes the remaining
+gap: it proves the lowered artifacts themselves — the numpy selector
+kernels, the fused copy program, the batched row permutation and the shm
+segment layout — are race- and lifetime-free, by deriving symbolic
+``(buffer, lo, hi)`` read/write summaries for every compiled object and
+checking disjointness directly on the intervals.
+
+Everything is static: no kernel is executed, no buffer allocated.  The
+checks map to violation codes V701-V709 (:mod:`repro.analyze.report`):
+
+====  ==============================================================
+V701  a compiled kernel's scatter writes one destination byte twice
+V702  two rounds of one phase write overlapping buffer bytes
+V703  a round reads bytes a round of the same phase writes
+V704  a fused local-copy program has order-dependent (overlapping)
+      effects — fusion was unsound
+V705  batched ``sources``/``targets`` are not an injective partial
+      matching of ranks
+V706  batched ``-1`` masking disagrees with the derived recv rows
+V707  two shm segment regions (buffer areas or message slots) overlap
+V708  an effect interval exceeds its buffer's capacity
+V709  a round reads bytes no earlier effect ever wrote (wire gaps,
+      or scratch reads before the writing phase)
+====  ==============================================================
+
+The temp-lifetime part of V709 is only decidable on fully periodic
+tori: on a mesh, a rank whose upstream fell off the edge legitimately
+forwards never-written scratch into don't-care slots (the content
+simulation tolerates exactly the same), so the check is skipped there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.analyze.intervals import (
+    IntervalSet,
+    SelectorSummary,
+    summarize_selector,
+)
+from repro.analyze.report import VerificationReport
+from repro.core import plan as plan_mod
+from repro.core.plan import (
+    BatchedPlan,
+    BatchedRound,
+    CompiledBlockSet,
+    CompiledCopyProgram,
+    ExecPlan,
+)
+from repro.core.schedule import Schedule
+from repro.core.topology import CartTopology
+
+
+# ---------------------------------------------------------------------------
+# kernel summaries
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KernelEffects:
+    """What one :class:`CompiledBlockSet` touches, per side.
+
+    ``buffers`` maps buffer names to the byte intervals the kernel's
+    buffer side touches; ``wire`` is the wire side.  The collision
+    counters record bytes claimed more than once *within* the kernel —
+    by a duplicate fancy index or by two ops naming the same region —
+    which is a write-write race whenever that side is the destination.
+    """
+
+    buffers: Mapping[str, IntervalSet]
+    buffer_collision_bytes: int
+    wire: IntervalSet
+    wire_collision_bytes: int
+    total_nbytes: int
+
+
+def _fold(parts: Sequence[SelectorSummary]) -> tuple[IntervalSet, int]:
+    collisions = sum(p.duplicate_bytes for p in parts)
+    union = IntervalSet()
+    for p in parts:
+        ivs = IntervalSet(p.intervals)
+        collisions += union.intersection(ivs).nbytes
+        union = union.union(ivs)
+    return union, collisions
+
+
+def kernel_effects(kernel: CompiledBlockSet) -> KernelEffects:
+    """Symbolic effect summary of one pack/unpack kernel."""
+    buf_parts: dict[str, list[SelectorSummary]] = {}
+    wire_parts: list[SelectorSummary] = []
+    for name, wire_sel, buf_sel in kernel._sel_ops:
+        wire_parts.append(summarize_selector(wire_sel))
+        buf_parts.setdefault(name, []).append(summarize_selector(buf_sel))
+    for name, wire_off, buf_off, n in kernel._run_ops:
+        wire_parts.append(summarize_selector(slice(wire_off, wire_off + n)))
+        buf_parts.setdefault(name, []).append(
+            summarize_selector(slice(buf_off, buf_off + n))
+        )
+    buffers: dict[str, IntervalSet] = {}
+    buf_collisions = 0
+    for name, parts in buf_parts.items():
+        union, coll = _fold(parts)
+        buffers[name] = union
+        buf_collisions += coll
+    wire, wire_collisions = _fold(wire_parts)
+    return KernelEffects(
+        buffers=buffers,
+        buffer_collision_bytes=buf_collisions,
+        wire=wire,
+        wire_collision_bytes=wire_collisions,
+        total_nbytes=kernel.total_nbytes,
+    )
+
+
+def check_kernel(
+    kernel: CompiledBlockSet,
+    sizes: Mapping[str, int],
+    report: VerificationReport,
+    *,
+    role: str,
+    rank: Optional[int] = None,
+    phase: Optional[int] = None,
+    round_index: Optional[int] = None,
+) -> KernelEffects:
+    """Check one kernel in isolation: V701 (scatter collisions), V708
+    (capacity), V709 (pack leaving wire bytes uninitialized).
+
+    ``role`` is ``"send"`` (pack: reads buffers, writes wire) or
+    ``"recv"`` (unpack: reads wire, writes buffers)."""
+    eff = kernel_effects(kernel)
+    write_collisions = (
+        eff.buffer_collision_bytes if role == "recv" else eff.wire_collision_bytes
+    )
+    if write_collisions:
+        report.add(
+            "V701",
+            f"{role} kernel writes {write_collisions} destination "
+            f"byte(s) more than once",
+            rank=rank,
+            phase=phase,
+            round_index=round_index,
+        )
+    for name, ivs in eff.buffers.items():
+        cap = int(sizes.get(name, 0))
+        if not ivs.within_bounds(cap):
+            report.add(
+                "V708",
+                f"{role} kernel touches {name!r}[{ivs.lo}:{ivs.hi}) "
+                f"beyond its {cap}-byte capacity",
+                rank=rank,
+                phase=phase,
+                round_index=round_index,
+            )
+    if not eff.wire.within_bounds(eff.total_nbytes):
+        report.add(
+            "V708",
+            f"{role} kernel wire selector [{eff.wire.lo}:{eff.wire.hi}) "
+            f"exceeds the {eff.total_nbytes}-byte wire",
+            rank=rank,
+            phase=phase,
+            round_index=round_index,
+        )
+    if role == "send":
+        gap = eff.total_nbytes - eff.wire.nbytes
+        if gap > 0:
+            report.add(
+                "V709",
+                f"pack kernel leaves {gap} of {eff.total_nbytes} wire "
+                f"byte(s) uninitialized before delivery",
+                rank=rank,
+                phase=phase,
+                round_index=round_index,
+            )
+    return eff
+
+
+# ---------------------------------------------------------------------------
+# per-rank plan rounds: disjointness + lifetime
+# ---------------------------------------------------------------------------
+
+
+def _overlap_by_buffer(
+    a: Mapping[str, IntervalSet], b: Mapping[str, IntervalSet]
+) -> list[tuple[str, int]]:
+    out: list[tuple[str, int]] = []
+    for name, ivs in a.items():
+        other = b.get(name)
+        if other is not None:
+            n = ivs.intersection(other).nbytes
+            if n:
+                out.append((name, n))
+    return out
+
+
+def check_plan_effects(
+    plan: ExecPlan,
+    sizes: Mapping[str, int],
+    report: VerificationReport,
+    *,
+    periodic: bool,
+    rank: Optional[int] = None,
+    check_kernels: bool = True,
+) -> None:
+    """Effect-check one per-rank :class:`ExecPlan`: per-round kernel
+    soundness, per-phase send/recv disjointness (V702/V703) and, on
+    fully periodic tori, the scratch lifetime discipline (V709)."""
+    written: dict[str, IntervalSet] = {
+        name: IntervalSet([(0, int(cap))])
+        for name, cap in sizes.items()
+        if name != "temp"
+    }
+    written.setdefault("temp", IntervalSet())
+    for pi, phase in enumerate(plan.phases):
+        reads: list[tuple[int, Mapping[str, IntervalSet]]] = []
+        writes: list[tuple[int, Mapping[str, IntervalSet]]] = []
+        for ri, rnd in enumerate(phase):
+            if rnd.send is not None:
+                eff = (
+                    check_kernel(
+                        rnd.send, sizes, report, role="send",
+                        rank=rank, phase=pi, round_index=ri,
+                    )
+                    if check_kernels
+                    else kernel_effects(rnd.send)
+                )
+                reads.append((ri, eff.buffers))
+            if rnd.recv is not None:
+                eff = (
+                    check_kernel(
+                        rnd.recv, sizes, report, role="recv",
+                        rank=rank, phase=pi, round_index=ri,
+                    )
+                    if check_kernels
+                    else kernel_effects(rnd.recv)
+                )
+                writes.append((ri, eff.buffers))
+        for i in range(len(writes)):
+            for j in range(i + 1, len(writes)):
+                for name, n in _overlap_by_buffer(writes[i][1], writes[j][1]):
+                    report.add(
+                        "V702",
+                        f"rounds {writes[i][0]} and {writes[j][0]} both "
+                        f"write {n} byte(s) of {name!r}",
+                        rank=rank,
+                        phase=pi,
+                        round_index=writes[j][0],
+                    )
+        for ri, r_ivs in reads:
+            for wj, w_ivs in writes:
+                for name, n in _overlap_by_buffer(r_ivs, w_ivs):
+                    report.add(
+                        "V703",
+                        f"round {ri} reads {n} byte(s) of {name!r} that "
+                        f"round {wj} writes in the same phase",
+                        rank=rank,
+                        phase=pi,
+                        round_index=ri,
+                    )
+        if periodic:
+            for ri, r_ivs in reads:
+                for name, ivs in r_ivs.items():
+                    have = written.get(name, IntervalSet())
+                    missing = ivs.nbytes - have.intersection(ivs).nbytes
+                    if missing:
+                        report.add(
+                            "V709",
+                            f"round {ri} packs {missing} byte(s) of "
+                            f"{name!r} no earlier phase ever wrote",
+                            rank=rank,
+                            phase=pi,
+                            round_index=ri,
+                        )
+        for _, w_ivs in writes:
+            for name, ivs in w_ivs.items():
+                written[name] = written.get(name, IntervalSet()).union(ivs)
+    if periodic:
+        prog_reads: dict[str, list[SelectorSummary]] = {}
+        for src, _dst, src_sel, _dst_sel in plan.copy_program._sel_ops:
+            prog_reads.setdefault(src, []).append(summarize_selector(src_sel))
+        for src, _dst, src_off, _dst_off, n in plan.copy_program._run_ops:
+            prog_reads.setdefault(src, []).append(
+                summarize_selector(slice(src_off, src_off + n))
+            )
+        for name, parts in prog_reads.items():
+            union, _ = _fold(parts)
+            have = written.get(name, IntervalSet())
+            missing = union.nbytes - have.intersection(union).nbytes
+            if missing:
+                report.add(
+                    "V709",
+                    f"local-copy program reads {missing} byte(s) of "
+                    f"{name!r} no phase ever wrote",
+                    rank=rank,
+                )
+
+
+# ---------------------------------------------------------------------------
+# fused local-copy program
+# ---------------------------------------------------------------------------
+
+
+def check_copy_program(
+    prog: CompiledCopyProgram,
+    sizes: Mapping[str, int],
+    report: VerificationReport,
+    *,
+    rank: Optional[int] = None,
+) -> None:
+    """V704/V708 over one compiled copy program.
+
+    A *fused* program claims copy order is irrelevant, which is exactly
+    the statement that all destination regions are pairwise disjoint and
+    no destination overlaps a source of the same buffer.  A non-fused
+    program is sequential by construction and only bounds-checked."""
+    srcs: dict[str, list[SelectorSummary]] = {}
+    dsts: dict[str, list[SelectorSummary]] = {}
+    for src, dst, src_sel, dst_sel in prog._sel_ops:
+        s = summarize_selector(src_sel)
+        d = summarize_selector(dst_sel)
+        if prog.fused and s.nbytes != d.nbytes:
+            report.add(
+                "V704",
+                f"fused copy op {src!r}->{dst!r} gathers {s.nbytes} "
+                f"byte(s) but scatters {d.nbytes}",
+                rank=rank,
+            )
+        srcs.setdefault(src, []).append(s)
+        dsts.setdefault(dst, []).append(d)
+    for src, dst, src_off, dst_off, n in prog._run_ops:
+        srcs.setdefault(src, []).append(
+            summarize_selector(slice(src_off, src_off + n))
+        )
+        dsts.setdefault(dst, []).append(
+            summarize_selector(slice(dst_off, dst_off + n))
+        )
+    src_union: dict[str, IntervalSet] = {}
+    for name, parts in srcs.items():
+        union, _ = _fold(parts)
+        src_union[name] = union
+        if not union.within_bounds(int(sizes.get(name, 0))):
+            report.add(
+                "V708",
+                f"copy program reads {name!r}[{union.lo}:{union.hi}) "
+                f"beyond its {int(sizes.get(name, 0))}-byte capacity",
+                rank=rank,
+            )
+    for name, parts in dsts.items():
+        union, collisions = _fold(parts)
+        if not union.within_bounds(int(sizes.get(name, 0))):
+            report.add(
+                "V708",
+                f"copy program writes {name!r}[{union.lo}:{union.hi}) "
+                f"beyond its {int(sizes.get(name, 0))}-byte capacity",
+                rank=rank,
+            )
+        if not prog.fused:
+            continue
+        if collisions:
+            report.add(
+                "V704",
+                f"fused copy program writes {collisions} byte(s) of "
+                f"{name!r} more than once (order-dependent)",
+                rank=rank,
+            )
+        overlap = union.intersection(
+            src_union.get(name, IntervalSet())
+        ).nbytes
+        if overlap:
+            report.add(
+                "V704",
+                f"fused copy program destination overlaps {overlap} "
+                f"source byte(s) of {name!r} (order-dependent)",
+                rank=rank,
+            )
+
+
+# ---------------------------------------------------------------------------
+# batched lowering: peer permutation + masking
+# ---------------------------------------------------------------------------
+
+
+def check_batched_round(
+    rnd: BatchedRound,
+    p: int,
+    report: VerificationReport,
+    *,
+    phase: Optional[int] = None,
+    round_index: Optional[int] = None,
+) -> None:
+    """V705/V706 over one batched round's peer vectors.
+
+    The valid (non ``-1``) entries of ``targets`` must form an injective
+    partial map whose inverse is exactly the valid part of ``sources``
+    — otherwise the single row permutation ``wire[recv_sources]``
+    delivers one rank's payload to two ranks, or the wrong one.  The
+    derived masking fields must agree with the mask they were derived
+    from, or the masked scatter writes the wrong rows."""
+    sources = np.asarray(rnd.sources)
+    targets = np.asarray(rnd.targets)
+    for label, vec in (("sources", sources), ("targets", targets)):
+        if vec.shape != (p,):
+            report.add(
+                "V705",
+                f"{label} has shape {vec.shape}, expected ({p},)",
+                phase=phase,
+                round_index=round_index,
+            )
+            return
+        valid = vec[vec >= 0]
+        if valid.size and int(valid.max()) >= p:
+            report.add(
+                "V706",
+                f"{label} names rank {int(valid.max())} outside 0..{p - 1}",
+                phase=phase,
+                round_index=round_index,
+            )
+            return
+        if np.unique(valid).size != valid.size:
+            report.add(
+                "V705",
+                f"{label} names one rank twice: the round's row "
+                f"permutation is not injective",
+                phase=phase,
+                round_index=round_index,
+            )
+    recv_dsts = np.nonzero(sources >= 0)[0]
+    bad = np.nonzero(targets[sources[recv_dsts]] != recv_dsts)[0]
+    if bad.size:
+        j = int(recv_dsts[bad[0]])
+        report.add(
+            "V705",
+            f"rank {j} reads wire row {int(sources[j])}, whose target "
+            f"is rank {int(targets[sources[j]])}, not {j}",
+            phase=phase,
+            round_index=round_index,
+        )
+    send_srcs = np.nonzero(targets >= 0)[0]
+    bad = np.nonzero(sources[targets[send_srcs]] != send_srcs)[0]
+    if bad.size:
+        i = int(send_srcs[bad[0]])
+        report.add(
+            "V705",
+            f"rank {i} sends to rank {int(targets[i])}, which reads "
+            f"wire row {int(sources[targets[i]])}, not {i}",
+            phase=phase,
+            round_index=round_index,
+        )
+    if rnd.recv is not None and recv_dsts.size and rnd.send is None:
+        report.add(
+            "V705",
+            "round delivers to ranks with valid sources but packs no "
+            "send kernel",
+            phase=phase,
+            round_index=round_index,
+        )
+    # -- derived masking fields ----------------------------------------
+    if rnd.senders != int((targets >= 0).sum()):
+        report.add(
+            "V706",
+            f"senders={rnd.senders} but {int((targets >= 0).sum())} "
+            f"rank(s) have a valid target",
+            phase=phase,
+            round_index=round_index,
+        )
+    if rnd.recv is None:
+        return
+    if rnd.recv_rows is None:
+        if recv_dsts.size != p:
+            report.add(
+                "V706",
+                "recv_rows is None (scatter to every row) but some "
+                "sources are -1",
+                phase=phase,
+                round_index=round_index,
+            )
+        if not np.array_equal(np.asarray(rnd.recv_sources), sources):
+            report.add(
+                "V706",
+                "recv_sources differs from sources despite unmasked "
+                "delivery",
+                phase=phase,
+                round_index=round_index,
+            )
+        return
+    if not np.array_equal(np.asarray(rnd.recv_rows), recv_dsts):
+        report.add(
+            "V706",
+            "recv_rows differs from the rows whose source is valid",
+            phase=phase,
+            round_index=round_index,
+        )
+        return
+    if not np.array_equal(
+        np.asarray(rnd.recv_sources), sources[recv_dsts]
+    ):
+        report.add(
+            "V706",
+            "recv_sources differs from sources[recv_rows]",
+            phase=phase,
+            round_index=round_index,
+        )
+
+
+def check_batched_effects(
+    bplan: BatchedPlan,
+    report: VerificationReport,
+    *,
+    check_kernels: bool = True,
+) -> None:
+    """Effect-check a whole :class:`BatchedPlan`: every round's peer
+    permutation and masking, the shared kernels, and cross-round
+    disjointness restricted to rounds whose receiving row sets
+    intersect."""
+    p = bplan.p
+    sizes = bplan.sizes
+    for pi, phase in enumerate(bplan.phases):
+        writes: list[tuple[int, np.ndarray, Mapping[str, IntervalSet]]] = []
+        reads: list[tuple[int, np.ndarray, Mapping[str, IntervalSet]]] = []
+        for ri, rnd in enumerate(phase):
+            check_batched_round(rnd, p, report, phase=pi, round_index=ri)
+            if rnd.send is not None:
+                eff = (
+                    check_kernel(
+                        rnd.send, sizes, report, role="send",
+                        phase=pi, round_index=ri,
+                    )
+                    if check_kernels
+                    else kernel_effects(rnd.send)
+                )
+                rows = np.nonzero(np.asarray(rnd.targets) >= 0)[0]
+                reads.append((ri, rows, eff.buffers))
+            if rnd.recv is not None:
+                eff = (
+                    check_kernel(
+                        rnd.recv, sizes, report, role="recv",
+                        phase=pi, round_index=ri,
+                    )
+                    if check_kernels
+                    else kernel_effects(rnd.recv)
+                )
+                rows = (
+                    np.arange(p, dtype=np.int64)
+                    if rnd.recv_rows is None
+                    else np.asarray(rnd.recv_rows)
+                )
+                writes.append((ri, rows, eff.buffers))
+        for i in range(len(writes)):
+            for j in range(i + 1, len(writes)):
+                if not np.intersect1d(writes[i][1], writes[j][1]).size:
+                    continue
+                for name, n in _overlap_by_buffer(writes[i][2], writes[j][2]):
+                    report.add(
+                        "V702",
+                        f"batched rounds {writes[i][0]} and {writes[j][0]} "
+                        f"write {n} shared byte(s) of {name!r} on shared "
+                        f"rows",
+                        phase=pi,
+                        round_index=writes[j][0],
+                    )
+        for ri, r_rows, r_ivs in reads:
+            for wj, w_rows, w_ivs in writes:
+                if not np.intersect1d(r_rows, w_rows).size:
+                    continue
+                for name, n in _overlap_by_buffer(r_ivs, w_ivs):
+                    report.add(
+                        "V703",
+                        f"batched round {ri} reads {n} byte(s) of "
+                        f"{name!r} that round {wj} writes in the same "
+                        f"phase",
+                        phase=pi,
+                        round_index=ri,
+                    )
+
+
+# ---------------------------------------------------------------------------
+# shm segment layout
+# ---------------------------------------------------------------------------
+
+
+def check_shm_layout(
+    buffer_table: Sequence[Mapping[str, tuple[int, int]]],
+    slots: Mapping[tuple[int, int], tuple[int, int]],
+    p: int,
+    total: int,
+    report: VerificationReport,
+) -> None:
+    """V707: every (rank, buffer) region and every ``p``-wide message
+    slot strip must live in its own byte range of the segment."""
+    regions: list[tuple[int, int, str]] = []
+    for r, table in enumerate(buffer_table):
+        for name, (off, nbytes) in table.items():
+            regions.append((off, off + nbytes, f"rank {r} buffer {name!r}"))
+    for (pi, ri), (base, nbytes) in sorted(slots.items()):
+        regions.append(
+            (base, base + p * nbytes, f"slot strip ({pi}, {ri})")
+        )
+    for lo, hi, desc in regions:
+        if lo < 0 or hi > total:
+            report.add(
+                "V707",
+                f"{desc} [{lo}:{hi}) lies outside the {total}-byte "
+                f"segment",
+            )
+    regions.sort()
+    for (lo0, hi0, d0), (lo1, hi1, d1) in zip(regions, regions[1:]):
+        if lo1 < hi0:
+            report.add(
+                "V707",
+                f"{d0} [{lo0}:{hi0}) overlaps {d1} [{lo1}:{hi1})",
+            )
+
+
+# ---------------------------------------------------------------------------
+# whole-schedule entry points
+# ---------------------------------------------------------------------------
+
+
+def run_effect_checks(
+    schedule: Schedule,
+    topo: CartTopology,
+    report: VerificationReport,
+    *,
+    sizes: Optional[Mapping[str, int]] = None,
+    sample_limit: int = 16,
+) -> None:
+    """Append every effect-system violation of ``schedule``'s lowerings
+    to ``report``: per-rank plans over sampled ranks (violations
+    deduplicated across ranks — the kernels are rank-independent),
+    the batched plan, the fused copy program and the shm segment
+    layout."""
+    from repro.analyze.schedule_verifier import _plan_sizes, _sample_ranks
+
+    if sizes is None:
+        sizes = _plan_sizes(schedule)
+    schedule.prepare()
+    periodic = all(topo.periods)
+    seen: set[tuple[object, ...]] = set()
+
+    def merge(sub: VerificationReport) -> None:
+        for v in sub.violations:
+            key = (v.code, v.phase, v.round_index, v.block, v.message)
+            if key not in seen:
+                seen.add(key)
+                report.violations.append(v)
+
+    # a schedule bad enough that a lowering *refuses to compile* is
+    # already reported by the structural/lowering checks (and by
+    # certify-on-build); the effect system only reasons about artifacts
+    # that exist, so compile refusals are skipped, not re-reported
+    from repro.mpisim.exceptions import ScheduleError
+
+    plan: Optional[ExecPlan] = None
+    try:
+        for rank in _sample_ranks(topo.size, sample_limit):
+            plan, _ = plan_mod.get_or_compile(
+                schedule, topo, rank, sizes=sizes
+            )
+            sub = VerificationReport(
+                kind=report.kind, dims=report.dims, periods=report.periods
+            )
+            check_plan_effects(
+                plan, sizes, sub, periodic=periodic, rank=rank
+            )
+            merge(sub)
+    except ScheduleError:
+        plan = None
+    if plan is not None:
+        sub = VerificationReport(
+            kind=report.kind, dims=report.dims, periods=report.periods
+        )
+        check_copy_program(plan.copy_program, sizes, sub)
+        merge(sub)
+    try:
+        bplan, _ = plan_mod.get_or_compile_batched(
+            schedule, topo, sizes=sizes
+        )
+    except ScheduleError:
+        bplan = None
+    if bplan is not None:
+        sub = VerificationReport(
+            kind=report.kind, dims=report.dims, periods=report.periods
+        )
+        # the batched kernels are the same compiled objects checked above
+        check_batched_effects(bplan, sub, check_kernels=False)
+        merge(sub)
+    from repro.core.backend.shm import compute_segment_layout
+
+    try:
+        shared = {name: cap for name, cap in sizes.items() if name != "temp"}
+        buffer_table, slots, total = compute_segment_layout(
+            schedule, [shared] * topo.size
+        )
+    except ScheduleError:
+        return
+    sub = VerificationReport(
+        kind=report.kind, dims=report.dims, periods=report.periods
+    )
+    check_shm_layout(buffer_table, slots, topo.size, total, sub)
+    merge(sub)
+
+
+def verify_effects(
+    schedule: Schedule,
+    dims: Sequence[int],
+    periods: Sequence[bool] | bool = True,
+    *,
+    sizes: Optional[Mapping[str, int]] = None,
+) -> VerificationReport:
+    """Run only the effect-system pass (V701-V709) over ``schedule``."""
+    dims_t = tuple(int(n) for n in dims)
+    if isinstance(periods, bool):
+        periods_t: tuple[bool, ...] = (periods,) * len(dims_t)
+    else:
+        periods_t = tuple(bool(p) for p in periods)
+    topo = CartTopology(dims_t, periods_t)
+    report = VerificationReport(
+        kind=schedule.kind, dims=dims_t, periods=periods_t
+    )
+    run_effect_checks(schedule, topo, report, sizes=sizes)
+    report.checks_run.append("effects")
+    return report
+
+
+def sweep_effects() -> list[
+    tuple[str, str, tuple[int, ...], VerificationReport]
+]:
+    """Effect-verify both lowerings of every sweep kind for every paper
+    stencil — the ``repro.analyze effects --all-stencils`` sweep."""
+    from repro.analyze.schedule_verifier import (
+        SWEEP_KINDS,
+        build_for_kind,
+        paper_stencil_grid,
+    )
+    from repro.core.stencils import named_stencil
+
+    results: list[tuple[str, str, tuple[int, ...], VerificationReport]] = []
+    for name, dims in paper_stencil_grid():
+        nbh = named_stencil(name)
+        if nbh.d != len(dims):
+            continue
+        nbh.validate_for_dims(dims)
+        for kind in SWEEP_KINDS:
+            schedule = build_for_kind(kind, nbh)
+            results.append(
+                (name, kind, dims, verify_effects(schedule, dims, True))
+            )
+    return results
+
+
+__all__ = [
+    "KernelEffects",
+    "kernel_effects",
+    "check_kernel",
+    "check_plan_effects",
+    "check_copy_program",
+    "check_batched_round",
+    "check_batched_effects",
+    "check_shm_layout",
+    "run_effect_checks",
+    "verify_effects",
+    "sweep_effects",
+]

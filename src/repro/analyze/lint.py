@@ -47,6 +47,10 @@ RULES: dict[str, str] = {
     "L003": "mutation of frozen/shared schedule data",
     "L004": "except neither typed nor re-raising (mpisim)",
     "L005": "public function missing complete type annotations",
+    "L006": "pooled buffer may leak on some control-flow path",
+    "L007": "pooled buffer may be released twice on one path",
+    "L008": "condition wait/notify outside the condition's lock",
+    "L009": "lock-order inversion between with-lock nestings",
 }
 
 #: attribute names whose call blocks the calling thread
@@ -407,7 +411,16 @@ def lint_file(path: Path) -> list[Finding]:
         ]
     linter = _FileLinter(path, tree, source)
     linter.visit(tree)
-    return sorted(linter.findings, key=lambda f: (f.path, f.line, f.rule))
+    findings = list(linter.findings)
+    # the CFG linearity/lockset passes (L006-L009) live in their own
+    # module, which imports Finding from here — import lazily to keep
+    # the dependency one-directional at load time
+    from repro.analyze.linearity import analyze_tree
+
+    for finding in analyze_tree(path, tree):
+        if finding.rule not in linter.allowed.get(finding.line, ()):
+            findings.append(finding)
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
 
 
 def iter_python_files(paths: Iterable[str]) -> list[Path]:

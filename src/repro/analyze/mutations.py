@@ -1,0 +1,607 @@
+"""Mutation-adversary harness for the static analyzer.
+
+A verifier that has never seen a bug is untested hypothesis.  This
+module is the adversary: it takes *real* artifacts — the compiled
+9-point alltoall plan on a 4×4 torus, the batched lowering, the shm
+segment layout, and the actual sources of ``lockstep.py`` / ``plan.py``
+/ ``mailbox.py`` — applies one seeded corruption at a time (alias two
+recv intervals, shift an unpack offset, swap batched rows, drop a
+release, invert a lock order, …), and demands that the analyzer kill
+every mutant **with the expected violation code**.  A surviving mutant
+is a hole in the analyzer, and the harness (a CI gate via ``python -m
+repro.analyze mutations``) fails.
+
+Before any mutant runs, the unmutated fixtures must be verifiably
+clean: a dirty baseline would let every mutant be "killed" by a
+pre-existing finding.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.analyze.effects import (
+    check_batched_round,
+    check_copy_program,
+    check_kernel,
+    check_plan_effects,
+    check_shm_layout,
+)
+from repro.analyze.linearity import analyze_source
+from repro.analyze.report import VerificationReport
+from repro.core import plan as plan_mod
+from repro.core.plan import (
+    BatchedPlan,
+    BatchedRound,
+    CompiledBlockSet,
+    CompiledCopyProgram,
+    ExecPlan,
+    PlanRound,
+)
+from repro.core.topology import CartTopology
+
+_DIMS = (4, 4)
+_PERIODS = (True, True)
+
+
+def _report() -> VerificationReport:
+    return VerificationReport(kind="mutant", dims=_DIMS, periods=_PERIODS)
+
+
+# ---------------------------------------------------------------------------
+# fixtures: real compiled artifacts and real module sources
+# ---------------------------------------------------------------------------
+
+
+class _Fixture:
+    """Everything the mutators corrupt, built once from real code."""
+
+    def __init__(self) -> None:
+        from repro.analyze.schedule_verifier import _plan_sizes, build_for_kind
+        from repro.core.backend.shm import compute_segment_layout
+        from repro.core.stencils import named_stencil
+
+        nbh = named_stencil("9-point")
+        self.topo = CartTopology(_DIMS, _PERIODS)
+        self.schedule = build_for_kind("alltoall", nbh)
+        self.sizes: dict[str, int] = dict(_plan_sizes(self.schedule))
+        plan, _ = plan_mod.get_or_compile(
+            self.schedule, self.topo, 0, sizes=self.sizes
+        )
+        self.plan: ExecPlan = plan
+        bplan, _ = plan_mod.get_or_compile_batched(
+            self.schedule, self.topo, sizes=self.sizes
+        )
+        self.bplan: BatchedPlan = bplan
+        shared = {n: c for n, c in self.sizes.items() if n != "temp"}
+        self.buffer_table, self.slots, self.total = compute_segment_layout(
+            self.schedule, [shared] * self.topo.size
+        )
+        import repro.core.backend.lockstep as lockstep_mod
+        import repro.core.plan as core_plan_mod
+        import repro.mpisim.mailbox as mailbox_mod
+
+        self.lockstep_src = Path(str(lockstep_mod.__file__)).read_text()
+        self.plan_src = Path(str(core_plan_mod.__file__)).read_text()
+        self.mailbox_src = Path(str(mailbox_mod.__file__)).read_text()
+
+    # -- baseline: the unmutated artifacts must be clean ----------------
+    def check_baseline(self) -> None:
+        rep = _report()
+        check_plan_effects(self.plan, self.sizes, rep, periodic=True, rank=0)
+        check_copy_program(self.plan.copy_program, self.sizes, rep)
+        for pi, phase in enumerate(self.bplan.phases):
+            for ri, rnd in enumerate(phase):
+                check_batched_round(
+                    rnd, self.bplan.p, rep, phase=pi, round_index=ri
+                )
+        check_shm_layout(
+            self.buffer_table, self.slots, self.topo.size, self.total, rep
+        )
+        if not rep.ok:
+            raise RuntimeError(
+                f"dirty effects baseline: {sorted(rep.codes())} — the "
+                f"harness cannot distinguish mutants from real bugs"
+            )
+        for label, src in (
+            ("lockstep.py", self.lockstep_src),
+            ("plan.py", self.plan_src),
+            ("mailbox.py", self.mailbox_src),
+        ):
+            findings = analyze_source(src, label)
+            if findings:
+                raise RuntimeError(
+                    f"dirty lint baseline in {label}: "
+                    f"{[(f.rule, f.line) for f in findings]}"
+                )
+
+    # -- structural helpers --------------------------------------------
+    def round_with(self, half: str) -> tuple[int, int, PlanRound]:
+        for pi, phase in enumerate(self.plan.phases):
+            for ri, rnd in enumerate(phase):
+                if getattr(rnd, half) is not None:
+                    return pi, ri, rnd
+        raise RuntimeError(f"fixture has no round with a {half} half")
+
+    def phase_with_two_recvs(self) -> tuple[int, int, int]:
+        for pi, phase in enumerate(self.plan.phases):
+            ris = [ri for ri, r in enumerate(phase) if r.recv is not None]
+            if len(ris) >= 2:
+                return pi, ris[0], ris[1]
+        raise RuntimeError("fixture has no phase with two recv rounds")
+
+
+# mutated-copy helpers: originals (which live in the schedule's plan
+# cache) are never touched — only slot-for-slot copies are corrupted
+
+
+def _mut_kernel(
+    kernel: CompiledBlockSet,
+    sel_ops: Optional[tuple] = None,
+    run_ops: Optional[tuple] = None,
+) -> CompiledBlockSet:
+    k = copy.copy(kernel)
+    if sel_ops is not None:
+        k._sel_ops = sel_ops
+    if run_ops is not None:
+        k._run_ops = run_ops
+    return k
+
+
+def _dup_first_op(kernel: CompiledBlockSet) -> CompiledBlockSet:
+    if kernel._sel_ops:
+        return _mut_kernel(
+            kernel, sel_ops=kernel._sel_ops + (kernel._sel_ops[0],)
+        )
+    return _mut_kernel(kernel, run_ops=kernel._run_ops + (kernel._run_ops[0],))
+
+
+def _replace_round(
+    plan: ExecPlan, pi: int, ri: int, **halves: Optional[CompiledBlockSet]
+) -> ExecPlan:
+    p2 = copy.copy(plan)
+    phases = [list(phase) for phase in plan.phases]
+    rnd = phases[pi][ri]
+    phases[pi][ri] = PlanRound(
+        rnd.source,
+        rnd.target,
+        halves.get("send", rnd.send),
+        halves.get("recv", rnd.recv),
+    )
+    p2.phases = tuple(tuple(phase) for phase in phases)
+    return p2
+
+
+def _mut_batched(rnd: BatchedRound, **attrs: object) -> BatchedRound:
+    r2 = copy.copy(rnd)
+    for name, value in attrs.items():
+        setattr(r2, name, value)
+    return r2
+
+
+def _plan_codes(fx: _Fixture, plan: ExecPlan) -> set[str]:
+    rep = _report()
+    check_plan_effects(plan, fx.sizes, rep, periodic=True, rank=0)
+    return rep.codes()
+
+
+def _batched_codes(fx: _Fixture, rnd: BatchedRound) -> set[str]:
+    rep = _report()
+    check_batched_round(rnd, fx.bplan.p, rep, phase=0, round_index=0)
+    return rep.codes()
+
+
+def _lint_codes(src: str, label: str) -> set[str]:
+    return {f.rule for f in analyze_source(src, label)}
+
+
+# -- source surgery ---------------------------------------------------------
+
+
+def _line_index(src: str, needle: str) -> tuple[list[str], int]:
+    lines = src.splitlines()
+    hits = [i for i, line in enumerate(lines) if needle in line]
+    if len(hits) != 1:
+        raise RuntimeError(
+            f"needle {needle!r} matches {len(hits)} line(s), need exactly 1"
+        )
+    return lines, hits[0]
+
+
+def _blank_line(src: str, needle: str) -> str:
+    """Replace the unique line containing ``needle`` with ``pass`` at
+    the same indentation (keeps the surrounding block syntactic)."""
+    lines, i = _line_index(src, needle)
+    indent = lines[i][: len(lines[i]) - len(lines[i].lstrip())]
+    lines[i] = indent + "pass"
+    return "\n".join(lines)
+
+
+def _double_line(src: str, needle: str) -> str:
+    lines, i = _line_index(src, needle)
+    lines.insert(i, lines[i])
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# the mutators
+# ---------------------------------------------------------------------------
+
+
+_REGISTRY: list[tuple[str, str, Callable[[_Fixture], set[str]]]] = []
+
+
+def _mutator(
+    name: str, expect: str
+) -> Callable[[Callable[[_Fixture], set[str]]], Callable[[_Fixture], set[str]]]:
+    def deco(
+        fn: Callable[[_Fixture], set[str]]
+    ) -> Callable[[_Fixture], set[str]]:
+        _REGISTRY.append((name, expect, fn))
+        return fn
+
+    return deco
+
+
+# -- V701: scatter/gather collisions ----------------------------------------
+
+
+@_mutator("duplicate-recv-scatter-op", "V701")
+def _m_dup_recv(fx: _Fixture) -> set[str]:
+    pi, ri, rnd = fx.round_with("recv")
+    assert rnd.recv is not None
+    rep = _report()
+    check_kernel(_dup_first_op(rnd.recv), fx.sizes, rep, role="recv")
+    return rep.codes()
+
+
+@_mutator("duplicate-send-gather-op", "V701")
+def _m_dup_send(fx: _Fixture) -> set[str]:
+    pi, ri, rnd = fx.round_with("send")
+    assert rnd.send is not None
+    rep = _report()
+    check_kernel(_dup_first_op(rnd.send), fx.sizes, rep, role="send")
+    return rep.codes()
+
+
+# -- V702/V703: cross-round interval races ----------------------------------
+
+
+@_mutator("alias-recv-kernels-across-rounds", "V702")
+def _m_alias_recv(fx: _Fixture) -> set[str]:
+    pi, ri, rj = fx.phase_with_two_recvs()
+    other = fx.plan.phases[pi][ri].recv
+    return _plan_codes(fx, _replace_round(fx.plan, pi, rj, recv=other))
+
+
+@_mutator("send-reads-own-recv-region", "V703")
+def _m_send_reads_recv(fx: _Fixture) -> set[str]:
+    pi, ri, rnd = fx.round_with("recv")
+    return _plan_codes(fx, _replace_round(fx.plan, pi, ri, send=rnd.recv))
+
+
+@_mutator("recv-overwrites-peer-send-source", "V703")
+def _m_recv_overwrites_send(fx: _Fixture) -> set[str]:
+    pi, ri, rnd = fx.round_with("send")
+    return _plan_codes(fx, _replace_round(fx.plan, pi, ri, recv=rnd.send))
+
+
+# -- V704: unsound local-copy fusion ----------------------------------------
+
+
+@_mutator("fused-copy-overlapping-destinations", "V704")
+def _m_copy_dst_dst(fx: _Fixture) -> set[str]:
+    prog = copy.copy(fx.plan.copy_program)
+    prog.fused = True
+    prog._run_ops = prog._run_ops + (
+        ("send", "recv", 0, 0, 16),
+        ("send", "recv", 8, 8, 16),
+    )
+    rep = _report()
+    check_copy_program(prog, fx.sizes, rep)
+    return rep.codes()
+
+
+@_mutator("fused-copy-destination-overlaps-source", "V704")
+def _m_copy_dst_src(fx: _Fixture) -> set[str]:
+    prog = copy.copy(fx.plan.copy_program)
+    prog.fused = True
+    prog._run_ops = prog._run_ops + (("recv", "recv", 0, 8, 16),)
+    rep = _report()
+    check_copy_program(prog, fx.sizes, rep)
+    return rep.codes()
+
+
+# -- V705/V706: batched peer vectors ----------------------------------------
+
+
+def _first_batched(fx: _Fixture) -> BatchedRound:
+    return fx.bplan.phases[0][0]
+
+
+@_mutator("duplicate-batched-targets", "V705")
+def _m_dup_targets(fx: _Fixture) -> set[str]:
+    rnd = _first_batched(fx)
+    targets = np.array(rnd.targets, copy=True)
+    targets[0] = targets[1]
+    return _batched_codes(fx, _mut_batched(rnd, targets=targets))
+
+
+@_mutator("swap-batched-source-rows", "V705")
+def _m_swap_sources(fx: _Fixture) -> set[str]:
+    rnd = _first_batched(fx)
+    sources = np.array(rnd.sources, copy=True)
+    sources[[0, 1]] = sources[[1, 0]]
+    return _batched_codes(
+        fx, _mut_batched(rnd, sources=sources, recv_sources=sources)
+    )
+
+
+@_mutator("batched-peer-out-of-range", "V706")
+def _m_peer_range(fx: _Fixture) -> set[str]:
+    rnd = _first_batched(fx)
+    targets = np.array(rnd.targets, copy=True)
+    targets[0] = fx.bplan.p + 3
+    return _batched_codes(fx, _mut_batched(rnd, targets=targets))
+
+
+@_mutator("batched-senders-miscount", "V706")
+def _m_senders(fx: _Fixture) -> set[str]:
+    rnd = _first_batched(fx)
+    return _batched_codes(fx, _mut_batched(rnd, senders=rnd.senders - 1))
+
+
+@_mutator("batched-recv-rows-corrupted", "V706")
+def _m_recv_rows(fx: _Fixture) -> set[str]:
+    rnd = _first_batched(fx)
+    rows = np.arange(fx.bplan.p - 1, dtype=np.int64)
+    return _batched_codes(
+        fx,
+        _mut_batched(
+            rnd, recv_rows=rows, recv_sources=np.asarray(rnd.sources)[rows]
+        ),
+    )
+
+
+@_mutator("batched-recv-sources-rolled", "V706")
+def _m_recv_sources(fx: _Fixture) -> set[str]:
+    rnd = _first_batched(fx)
+    rolled = np.roll(np.asarray(rnd.recv_sources), 1)
+    return _batched_codes(fx, _mut_batched(rnd, recv_sources=rolled))
+
+
+# -- V707: shm segment layout -----------------------------------------------
+
+
+@_mutator("shm-slot-overlaps-buffer", "V707")
+def _m_shm_overlap(fx: _Fixture) -> set[str]:
+    slots = dict(fx.slots)
+    key = sorted(slots)[0]
+    _, nbytes = slots[key]
+    first_region = next(iter(fx.buffer_table[0].values()))
+    slots[key] = (first_region[0], nbytes)
+    rep = _report()
+    check_shm_layout(
+        fx.buffer_table, slots, fx.topo.size, fx.total, rep
+    )
+    return rep.codes()
+
+
+@_mutator("shm-slot-outside-segment", "V707")
+def _m_shm_outside(fx: _Fixture) -> set[str]:
+    slots = dict(fx.slots)
+    key = sorted(slots)[0]
+    _, nbytes = slots[key]
+    slots[key] = (fx.total, nbytes)
+    rep = _report()
+    check_shm_layout(
+        fx.buffer_table, slots, fx.topo.size, fx.total, rep
+    )
+    return rep.codes()
+
+
+# -- V708: capacity overruns ------------------------------------------------
+
+
+def _shift_buffer_side(
+    kernel: CompiledBlockSet, delta: int
+) -> CompiledBlockSet:
+    sel_ops = []
+    for name, wire_sel, buf_sel in kernel._sel_ops:
+        if isinstance(buf_sel, slice):
+            buf_sel = slice(buf_sel.start + delta, buf_sel.stop + delta)
+        else:
+            buf_sel = buf_sel + delta
+        sel_ops.append((name, wire_sel, buf_sel))
+        break
+    sel_ops.extend(kernel._sel_ops[len(sel_ops):])
+    run_ops = kernel._run_ops
+    if not kernel._sel_ops and run_ops:
+        name, woff, boff, n = run_ops[0]
+        run_ops = ((name, woff, boff + delta, n),) + run_ops[1:]
+    return _mut_kernel(kernel, sel_ops=tuple(sel_ops), run_ops=run_ops)
+
+
+@_mutator("unpack-offset-past-capacity", "V708")
+def _m_unpack_overrun(fx: _Fixture) -> set[str]:
+    pi, ri, rnd = fx.round_with("recv")
+    assert rnd.recv is not None
+    shifted = _shift_buffer_side(rnd.recv, max(fx.sizes.values()))
+    rep = _report()
+    check_kernel(shifted, fx.sizes, rep, role="recv")
+    return rep.codes()
+
+
+@_mutator("wire-selector-past-wire-end", "V708")
+def _m_wire_overrun(fx: _Fixture) -> set[str]:
+    pi, ri, rnd = fx.round_with("recv")
+    assert rnd.recv is not None
+    name, wire_sel, buf_sel = rnd.recv._sel_ops[0]
+    if isinstance(wire_sel, slice):
+        total = rnd.recv.total_nbytes
+        wire_sel = slice(wire_sel.start + total, wire_sel.stop + total)
+    else:
+        wire_sel = wire_sel + rnd.recv.total_nbytes
+    mutated = _mut_kernel(
+        rnd.recv,
+        sel_ops=((name, wire_sel, buf_sel),) + rnd.recv._sel_ops[1:],
+    )
+    rep = _report()
+    check_kernel(mutated, fx.sizes, rep, role="recv")
+    return rep.codes()
+
+
+# -- V709: wire gaps and scratch lifetime -----------------------------------
+
+
+@_mutator("pack-kernel-wire-gap", "V709")
+def _m_wire_gap(fx: _Fixture) -> set[str]:
+    pi, ri, rnd = fx.round_with("send")
+    assert rnd.send is not None
+    if rnd.send._sel_ops:
+        mutated = _mut_kernel(rnd.send, sel_ops=rnd.send._sel_ops[1:])
+    else:
+        mutated = _mut_kernel(rnd.send, run_ops=rnd.send._run_ops[1:])
+    rep = _report()
+    check_kernel(mutated, fx.sizes, rep, role="send")
+    return rep.codes()
+
+
+@_mutator("phase0-reads-unwritten-scratch", "V709")
+def _m_temp_read(fx: _Fixture) -> set[str]:
+    send0 = fx.plan.phases[0][0].send
+    assert send0 is not None
+    sel_ops = tuple(
+        ("temp", wire_sel, buf_sel)
+        for _name, wire_sel, buf_sel in send0._sel_ops
+    )
+    run_ops = tuple(
+        ("temp", woff, boff, n) for _name, woff, boff, n in send0._run_ops
+    )
+    mutated = _mut_kernel(send0, sel_ops=sel_ops, run_ops=run_ops)
+    return _plan_codes(fx, _replace_round(fx.plan, 0, 0, send=mutated))
+
+
+# -- L006/L007: pool linearity over real backend sources --------------------
+
+
+@_mutator("lockstep-drop-except-release", "L006")
+def _m_drop_except_release(fx: _Fixture) -> set[str]:
+    src = _blank_line(fx.lockstep_src, "GLOBAL_POOL.release(wire)")
+    return _lint_codes(src, "lockstep.py")
+
+
+@_mutator("batched-drop-ownership-append", "L006")
+def _m_drop_append(fx: _Fixture) -> set[str]:
+    src = _blank_line(fx.plan_src, "wires.append(flat)")
+    return _lint_codes(src, "plan.py")
+
+
+@_mutator("batched-drop-finally-release", "L006")
+def _m_drop_finally_release(fx: _Fixture) -> set[str]:
+    src = _blank_line(fx.plan_src, "GLOBAL_POOL.release(flat)")
+    return _lint_codes(src, "plan.py")
+
+
+@_mutator("lockstep-double-release", "L007")
+def _m_double_release(fx: _Fixture) -> set[str]:
+    src = _double_line(fx.lockstep_src, "GLOBAL_POOL.release(wire)")
+    return _lint_codes(src, "lockstep.py")
+
+
+# -- L008/L009: lockset discipline over the mailbox -------------------------
+
+
+@_mutator("mailbox-deliver-locked-renamed", "L008")
+def _m_rename_locked(fx: _Fixture) -> set[str]:
+    src = fx.mailbox_src.replace(
+        "def _deliver_locked(", "def _deliver_unsafe(", 1
+    )
+    return _lint_codes(src, "mailbox.py")
+
+
+@_mutator("mailbox-notify-outside-lock", "L008")
+def _m_notify_outside(fx: _Fixture) -> set[str]:
+    src = fx.mailbox_src + (
+        "\n\ndef _mutant_wake(box):\n"
+        "    box._cond.notify_all()\n"
+    )
+    return _lint_codes(src, "mailbox.py")
+
+
+@_mutator("mailbox-inverted-lock-order", "L009")
+def _m_lock_inversion(fx: _Fixture) -> set[str]:
+    src = fx.mailbox_src + (
+        "\n\ndef _mutant_drain(a, b):\n"
+        "    with a.reg_lock:\n"
+        "        with b.msg_lock:\n"
+        "            pass\n"
+        "\n\ndef _mutant_flush(a, b):\n"
+        "    with b.msg_lock:\n"
+        "        with a.reg_lock:\n"
+        "            pass\n"
+    )
+    return _lint_codes(src, "mailbox.py")
+
+
+@_mutator("mailbox-self-nested-lock", "L009")
+def _m_self_nested(fx: _Fixture) -> set[str]:
+    src = fx.mailbox_src + (
+        "\n\ndef _mutant_reenter(box):\n"
+        "    with box.msg_lock:\n"
+        "        with box.msg_lock:\n"
+        "            pass\n"
+    )
+    return _lint_codes(src, "mailbox.py")
+
+
+# ---------------------------------------------------------------------------
+# harness
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MutationResult:
+    name: str
+    expect: str
+    reported: tuple[str, ...]
+
+    @property
+    def killed(self) -> bool:
+        return self.expect in self.reported
+
+
+def run_mutations() -> list[MutationResult]:
+    """Build the fixtures, assert the baseline is clean, run every
+    registered mutator and return one result per mutant."""
+    fx = _Fixture()
+    fx.check_baseline()
+    results: list[MutationResult] = []
+    for name, expect, fn in _REGISTRY:
+        codes = fn(fx)
+        results.append(MutationResult(name, expect, tuple(sorted(codes))))
+    return results
+
+
+def main(verbose: bool = False) -> int:
+    results = run_mutations()
+    survived = [r for r in results if not r.killed]
+    for r in results:
+        status = "killed" if r.killed else "SURVIVED"
+        line = f"{status:8s}  {r.name:40s} expect={r.expect}"
+        if verbose or not r.killed:
+            line += f"  reported={list(r.reported)}"
+        print(line)
+    print(
+        f"{len(results) - len(survived)}/{len(results)} mutants killed "
+        f"({len(_REGISTRY)} seeded mutators)"
+    )
+    return 1 if survived else 0
+
+
+__all__ = ["MutationResult", "run_mutations", "main"]

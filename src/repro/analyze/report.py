@@ -60,6 +60,22 @@ CODES: dict[str, str] = {
     "V601": "broadcast neighborhood does not cover the whole torus",
     "V602": "broadcast volume differs from the p-1 block optimum",
     "V603": "broadcast round count violates the optimality bounds",
+    # --- byte-interval effect system (check g) -------------------------
+    "V701": "compiled kernel writes one buffer byte from two wire bytes",
+    "V702": "two rounds of one compiled phase write overlapping bytes",
+    "V703": "compiled round reads bytes a round of the same phase writes",
+    "V704": "fused local-copy program has overlapping effect intervals",
+    "V705": "batched peer vectors are not an injective partial matching",
+    "V706": "batched -1 masking inconsistent with recv row selection",
+    "V707": "shm segment regions overlap (slot/slot or slot/buffer)",
+    "V708": "compiled effect interval exceeds its buffer capacity",
+    "V709": "compiled round reads bytes no earlier effect ever wrote",
+    # --- reduce-schedule verification (check h) -------------------------
+    "V801": "reduce rounds/volume differ from the reverse tree (C, edges)",
+    "V802": "reduce round structure malformed (offset, slot, phase hazard)",
+    "V803": "reduce dataflow delivers the wrong contribution multiset",
+    "V804": "combine operator fails commutativity/associativity probe",
+    "V805": "lockstep reduction content differs from the definition",
 }
 
 

@@ -41,7 +41,17 @@ first defect.
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+)
+
+if TYPE_CHECKING:
+    from repro.core.reduce_schedule import ReduceOp, ReduceSchedule
 
 import numpy as np
 
@@ -950,6 +960,10 @@ def verify_schedule(
             schedule, topo, report, max_bytes=max_content_bytes
         )
         report.checks_run.append("batched-lowering")
+        from repro.analyze.effects import run_effect_checks
+
+        run_effect_checks(schedule, topo, report)
+        report.checks_run.append("effects")
     return report
 
 
@@ -972,6 +986,277 @@ def certify_schedule(
         max_content_bytes=max_content_bytes,
     )
     report.raise_if_failed()
+    return report
+
+
+# ----------------------------------------------------------------------
+# check (h): reduce-schedule verification (V801-V805)
+# ----------------------------------------------------------------------
+#: element count per rank block in the reduce content simulation
+_REDUCE_PROBE_ELEMS = 5
+
+
+def _probe_operator(
+    op_fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    label: str,
+    report: VerificationReport,
+) -> bool:
+    """Numerically probe that a combine operator is commutative and
+    associative (the MPI_Op contract the reverse-tree schedule relies
+    on), and that it preserves shape and dtype.  Integer operands keep
+    the algebra exact, so a failed identity is a property of the
+    operator, not of rounding.  Returns True when the operator passes.
+    """
+    rng = np.random.default_rng(0xC0FFEE)
+    ok = True
+    for _ in range(8):
+        a, b, c = (
+            rng.integers(1, 64, _REDUCE_PROBE_ELEMS).astype(np.int64)
+            for _ in range(3)
+        )
+        try:
+            ab, ba = op_fn(a, b), op_fn(b, a)
+            ab_c, a_bc = op_fn(op_fn(a, b), c), op_fn(a, op_fn(b, c))
+        except Exception as exc:
+            report.add("V804", f"operator {label} raised on int64: {exc!r}")
+            return False
+        if np.shape(ab) != a.shape:
+            report.add(
+                "V804",
+                f"operator {label} changes shape {a.shape} -> "
+                f"{np.shape(ab)}",
+            )
+            return False
+        if not np.array_equal(ab, ba):
+            report.add(
+                "V804",
+                f"operator {label} is not commutative: "
+                f"op({a[0]},{b[0]})={np.asarray(ab).flat[0]} but "
+                f"op({b[0]},{a[0]})={np.asarray(ba).flat[0]}",
+            )
+            ok = False
+            break
+        if not np.array_equal(ab_c, a_bc):
+            report.add(
+                "V804",
+                f"operator {label} is not associative: "
+                f"op(op(a,b),c) != op(a,op(b,c)) for "
+                f"a={a[0]}, b={b[0]}, c={c[0]}",
+            )
+            ok = False
+            break
+    return ok
+
+
+def verify_reduce_schedule(
+    sched: "ReduceSchedule",
+    dims: Sequence[int],
+    periods: Sequence[bool] | bool = True,
+    *,
+    op: "ReduceOp" = "sum",
+    probe_named_ops: bool = True,
+    content: bool = True,
+) -> VerificationReport:
+    """Statically verify a reverse-tree reduction schedule
+    (:class:`~repro.core.reduce_schedule.ReduceSchedule`).
+
+    Checks, mirroring the allgather verifier it is dual to:
+
+    * **V801** — round count equals ``C`` and block volume equals the
+      allgather tree's edge count (the duality of Prop. 3.3);
+    * **V802** — every round's offset routes only the phase's dimension,
+      every edge's slots are in range, and no round of a phase reads an
+      accumulator an earlier round of the same phase combined into (the
+      hazard that would make the threaded and lockstep executors
+      disagree);
+    * **V803** — symbolic contribution dataflow: tracking, per
+      accumulator slot, the multiset of relative source offsets it has
+      combined (phase-snapshot semantics, as the threaded executor
+      sends pre-phase values), the root slot must end holding exactly
+      ``{ -N[i] : i }`` — and no round may forward a never-seeded
+      accumulator (scratch, the reduction analogue of V405/V709);
+    * **V804** — the combine operator passes a numeric commutativity /
+      associativity probe on exact integer operands (the ``MPI_Op``
+      contract; with ``probe_named_ops`` all built-in named operators
+      are probed too, pinning the operator table itself);
+    * **V805** — an end-to-end :func:`execute_reduce_lockstep` run on
+      sentinel blocks matches the collective's definition
+      ``recv(r) = reduce_i block(r - N[i])`` computed directly.
+    """
+    from collections import Counter
+
+    from repro.core.reduce_schedule import (
+        OPS,
+        execute_reduce_lockstep,
+        resolve_op,
+    )
+
+    dims_t = tuple(int(n) for n in dims)
+    if isinstance(periods, bool):
+        periods_t: tuple[bool, ...] = (periods,) * len(dims_t)
+    else:
+        periods_t = tuple(bool(p) for p in periods)
+    report = VerificationReport(kind="reduce", dims=dims_t, periods=periods_t)
+    nbh = sched.nbh
+
+    # --- V801: quantitative duality -----------------------------------
+    if sched.num_rounds != nbh.combining_rounds:
+        report.add(
+            "V801",
+            f"round count {sched.num_rounds} != C = "
+            f"{nbh.combining_rounds} (Prop. 3.1 duality)",
+        )
+    if sched.volume_blocks != sched.tree.edge_count:
+        report.add(
+            "V801",
+            f"volume {sched.volume_blocks} blocks != tree edge count "
+            f"{sched.tree.edge_count} (Prop. 3.3 duality)",
+        )
+    report.checks_run.append("reduce-quantitative")
+
+    # --- V802 structure + V803 symbolic dataflow ----------------------
+    nslots = sched.num_slots
+    if not (0 <= sched.root_slot < nslots):
+        report.add("V802", f"root slot {sched.root_slot} out of range")
+        return report
+    zero = (0,) * nbh.d
+    contribs: list[Counter[tuple[int, ...]]] = [
+        Counter({zero: mult}) if mult else Counter()
+        for mult in sched.own_multiplicity
+    ]
+    scratch_reported = False
+    for pi, phase in enumerate(sched.phases):
+        if not (0 <= phase.dim < nbh.d):
+            report.add("V802", f"phase dim {phase.dim} out of range", phase=pi)
+            return report
+        # threaded executor semantics: every round of the phase sends
+        # the pre-phase accumulator values
+        snap = [Counter(c) for c in contribs]
+        combined_earlier: set[int] = set()
+        for ri, rnd in enumerate(phase.rounds):
+            if len(rnd.offset) != nbh.d or rnd.offset[phase.dim] == 0 or any(
+                o != 0 for j, o in enumerate(rnd.offset) if j != phase.dim
+            ):
+                report.add(
+                    "V802",
+                    f"round offset {rnd.offset} does not route dimension "
+                    f"{phase.dim} alone",
+                    phase=pi,
+                    round_index=ri,
+                )
+                return report
+            for edge in rnd.edges:
+                if not (
+                    0 <= edge.child_slot < nslots
+                    and 0 <= edge.parent_slot < nslots
+                ):
+                    report.add(
+                        "V802",
+                        f"edge slots ({edge.child_slot}, "
+                        f"{edge.parent_slot}) out of range [0, {nslots})",
+                        phase=pi,
+                        round_index=ri,
+                    )
+                    return report
+                if edge.child_slot in combined_earlier:
+                    report.add(
+                        "V802",
+                        f"round sends slot {edge.child_slot} which an "
+                        f"earlier round of the phase combined into "
+                        f"(threaded and lockstep executors would "
+                        f"disagree)",
+                        phase=pi,
+                        round_index=ri,
+                    )
+                src = snap[edge.child_slot]
+                if not src and not scratch_reported:
+                    scratch_reported = True
+                    report.add(
+                        "V803",
+                        f"round forwards accumulator slot "
+                        f"{edge.child_slot} that holds no contribution "
+                        f"yet (scratch bytes would be combined)",
+                        phase=pi,
+                        round_index=ri,
+                    )
+                dst = contribs[edge.parent_slot]
+                # the received A_{r-w}[child] contributes block(r+(d-w))
+                for delta, cnt in src.items():
+                    shifted = tuple(
+                        d - o for d, o in zip(delta, rnd.offset)
+                    )
+                    dst[shifted] += cnt
+            combined_earlier.update(e.parent_slot for e in rnd.edges)
+    report.checks_run.append("reduce-structure")
+
+    expected = Counter(
+        tuple(-int(x) for x in off) for off in nbh
+    )
+    got = contribs[sched.root_slot]
+    if got != expected:
+        missing = expected - got
+        extra = got - expected
+        parts = []
+        if missing:
+            parts.append(f"missing {dict(missing)}")
+        if extra:
+            parts.append(f"extra {dict(extra)}")
+        report.add(
+            "V803",
+            "root accumulator combines the wrong contribution multiset: "
+            + ", ".join(parts),
+        )
+    report.checks_run.append("reduce-dataflow")
+
+    # --- V804: operator algebra probe ---------------------------------
+    op_fn = resolve_op(op)
+    op_label = op if isinstance(op, str) else getattr(
+        op, "__name__", repr(op)
+    )
+    op_ok = _probe_operator(op_fn, str(op_label), report)
+    if probe_named_ops:
+        for name, fn in sorted(OPS.items()):
+            if fn is not op_fn:
+                _probe_operator(fn, name, report)
+    report.checks_run.append("reduce-operator")
+
+    # --- V805: end-to-end content vs. the definition ------------------
+    topo = CartTopology(dims_t, periods_t)
+    if not topo.is_fully_periodic:
+        report.add(
+            "V802",
+            "combining reductions require a fully periodic torus",
+        )
+        return report
+    structural_bad = report.codes() & {"V801", "V802", "V803"}
+    if not (content and op_ok) or structural_bad:
+        return report
+    rng = np.random.default_rng(2019)
+    sendbufs = [
+        rng.integers(1, 50, _REDUCE_PROBE_ELEMS).astype(np.int64)
+        for _ in range(topo.size)
+    ]
+    try:
+        outs = execute_reduce_lockstep(topo, sched, sendbufs, op_fn)
+    except Exception as exc:
+        report.add("V805", f"lockstep reduction raised: {exc!r}")
+        return report
+    offsets = [tuple(int(x) for x in off) for off in nbh]
+    for rank in range(topo.size):
+        want = None
+        for off in offsets:
+            src = topo.translate(rank, tuple(-o for o in off))
+            block = sendbufs[src]
+            want = block.copy() if want is None else op_fn(want, block)
+        if want is None or not np.array_equal(outs[rank], want):
+            report.add(
+                "V805",
+                f"reduction result differs from "
+                f"reduce_i block(r - N[i]) at rank {rank}",
+                rank=rank,
+            )
+            break
+    report.checks_run.append("reduce-content")
     return report
 
 

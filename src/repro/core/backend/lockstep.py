@@ -85,7 +85,14 @@ class LockstepTransport(Transport):
         # pack at post time: the concurrent-semantics snapshot, gathered
         # straight into a pooled wire buffer (no bytes object)
         wire = GLOBAL_POOL.acquire(blocks.total_nbytes)
-        blocks.pack_into(buffers, wire)
+        try:
+            blocks.pack_into(buffers, wire)
+        except BaseException:
+            # a failed gather (bad block set, fault injection) must not
+            # leak the wire: it is not in the exchange yet, so the
+            # backend's abort drain cannot release it for us
+            GLOBAL_POOL.release(wire)
+            raise
         self.exchange.messages[(self.rank, dest, seq)] = wire
         return _SEND_TOKEN
 

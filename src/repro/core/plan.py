@@ -41,6 +41,7 @@ from __future__ import annotations
 import os
 import threading
 import time
+import weakref
 from collections import namedtuple
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterator, Mapping, Optional, Sequence, Union
@@ -96,9 +97,12 @@ class BufferPool:
     :meth:`release` returns the block to its size class (up to the
     retained-bytes cap, ``REPRO_BUFFER_POOL_MAX``).  Forgetting to
     release is safe — the block is simply garbage-collected and the pool
-    allocates a fresh one next time — so the pool never needs weakrefs
-    or finalizers.  High-water and reuse statistics are exposed via
-    :meth:`stats` for observability and tests.
+    allocates a fresh one next time.  Every lent-out block is tracked
+    (by identity, via a weak reference so an abandoned block can still
+    be collected), so :meth:`release` can tell a genuine return from a
+    stale or foreign one and never files the same memory twice.
+    High-water and reuse statistics are exposed via :meth:`stats` for
+    observability and tests.
     """
 
     def __init__(self, max_retained_bytes: Optional[int] = None) -> None:
@@ -109,6 +113,10 @@ class BufferPool:
         self.max_retained_bytes = max(0, max_retained_bytes)
         self._lock = threading.Lock()
         self._classes: dict[int, list[np.ndarray]] = {}
+        #: id(handle) → weakref for every exact-size view handed out and
+        #: not yet returned; dead entries (caller dropped the block
+        #: without releasing) are pruned lazily
+        self._lent: dict[int, "weakref.ref[np.ndarray]"] = {}
         self._retained = 0
         self._outstanding = 0
         self._high_water = 0
@@ -144,7 +152,16 @@ class BufferPool:
                 self._high_water = self._outstanding
         if block is None:
             block = np.empty(cls, dtype=np.uint8)
-        return block[:nbytes]
+        handle = block[:nbytes]
+        with self._lock:
+            if len(self._lent) >= 1024:
+                self._lent = {
+                    key: ref
+                    for key, ref in self._lent.items()
+                    if ref() is not None
+                }
+            self._lent[id(handle)] = weakref.ref(handle)
+        return handle
 
     def release(self, arr: np.ndarray) -> None:
         """Return an array obtained from :meth:`acquire` to the pool.
@@ -154,9 +171,16 @@ class BufferPool:
         unconditionally.  Releasing the same block twice is an error the
         pool must absorb rather than honour: appending one base block to
         the free list twice would let two later :meth:`acquire` calls
-        hand out aliasing views of the same memory.  Retained blocks are
-        therefore identity-checked, and a duplicate is dropped and
-        counted in ``PoolStats.double_releases``.
+        hand out aliasing views of the same memory.  A release is only
+        honoured when ``arr`` is *the* handle :meth:`acquire` returned
+        and that handle is still lent out; anything else — a second
+        release of the same handle, a stale handle whose block the pool
+        already re-lent to someone else, a foreign array the pool never
+        handed out — is dropped and counted in
+        ``PoolStats.double_releases``.  (The old free-list identity scan
+        missed the re-lent case: the stale release re-filed a block that
+        another caller was still writing through, and the next acquire
+        handed out an alias of live memory.)
         """
         if not isinstance(arr, np.ndarray) or arr.size == 0:
             return
@@ -171,10 +195,11 @@ class BufferPool:
             return
         cls = base.size
         with self._lock:
-            free = self._classes.get(cls)
-            if free is not None and any(blk is base for blk in free):
+            entry = self._lent.get(id(arr))
+            if entry is None or entry() is not arr:
                 self._double_releases += 1
                 return
+            del self._lent[id(arr)]
             self._releases += 1
             if self._outstanding >= cls:
                 self._outstanding -= cls
@@ -198,7 +223,10 @@ class BufferPool:
             )
 
     def clear(self) -> None:
-        """Drop all retained blocks and reset the counters."""
+        """Drop all retained blocks and reset the counters.
+
+        Blocks currently lent out stay tracked: releasing them after a
+        ``clear()`` is still a genuine return, not a double release."""
         with self._lock:
             self._classes.clear()
             self._retained = 0
@@ -925,8 +953,10 @@ class BatchedPlan:
                         wires.append(None)
                         continue
                     flat = GLOBAL_POOL.acquire(self.p * n)
-                    rnd.pack_into(matrices, flat.reshape(self.p, n))
+                    # hand ownership to the finally-released list *before*
+                    # packing, so a failing gather cannot leak the wire
                     wires.append(flat)
+                    rnd.pack_into(matrices, flat.reshape(self.p, n))
                 for rnd, flat in zip(phase, wires):
                     if flat is None or rnd.recv is None:
                         continue

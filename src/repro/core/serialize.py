@@ -74,6 +74,19 @@ def schedule_to_dict(sched: Schedule) -> dict[str, Any]:
             }
             for lc in sched.local_copies
         ],
+        # per-neighbor user-buffer layouts: without them a loaded
+        # schedule loses the content simulation and hop-parity checks
+        # (the verifier skips what it cannot reconstruct)
+        **(
+            {"send_layout": [_blockset_to_list(bs) for bs in sched.send_layout]}
+            if sched.send_layout is not None
+            else {}
+        ),
+        **(
+            {"recv_layout": [_blockset_to_list(bs) for bs in sched.recv_layout]}
+            if sched.recv_layout is not None
+            else {}
+        ),
     }
 
 
@@ -113,12 +126,27 @@ def schedule_from_dict(data: dict[str, Any]) -> Schedule:
         )
         for lc in data["local_copies"]
     ]
+    # layouts are optional in the wire format: files written before
+    # they were serialized (same FORMAT_VERSION) load fine, they just
+    # skip the layout-dependent verifier passes
+    raw_send_layout = data.get("send_layout")
+    raw_recv_layout = data.get("recv_layout")
     sched = Schedule(
         kind=str(data["kind"]),
         neighborhood=nbh,
         phases=phases,
         local_copies=copies,
         temp_nbytes=int(data["temp_nbytes"]),
+        send_layout=(
+            [_blockset_from_list(bs) for bs in raw_send_layout]
+            if raw_send_layout is not None
+            else None
+        ),
+        recv_layout=(
+            [_blockset_from_list(bs) for bs in raw_recv_layout]
+            if raw_recv_layout is not None
+            else None
+        ),
     )
     sched.validate()
     return sched

@@ -1,0 +1,281 @@
+"""Byte-interval effect system (V701-V709).
+
+Positive direction: every compiled artifact of every sweep kind is
+effect-clean (the 48-combination CI sweep in miniature).  Negative
+direction: hand-corrupted copies of *real* compiled kernels, copy
+programs, batched rounds and shm layouts trip exactly the expected
+code.  (The full 27-mutator adversary lives in
+``repro.analyze.mutations``; these are the direct unit-level probes.)
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.analyze.effects import (
+    check_batched_round,
+    check_copy_program,
+    check_kernel,
+    check_shm_layout,
+    sweep_effects,
+    verify_effects,
+)
+from repro.analyze.report import VerificationReport
+from repro.analyze.schedule_verifier import build_for_kind
+from repro.core.backend.shm import compute_segment_layout
+from repro.core.plan import compile_batched_plan, compile_plan
+from repro.core.stencils import named_stencil
+from repro.core.topology import CartTopology
+
+DIMS = (4, 4)
+
+
+def report():
+    return VerificationReport(kind="test", dims=DIMS, periods=(True, True))
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    nbh = named_stencil("9-point")
+    topo = CartTopology(DIMS, (True, True))
+    sched = build_for_kind("alltoall", nbh).prepare()
+    from repro.analyze.schedule_verifier import _plan_sizes
+
+    sizes = _plan_sizes(sched)
+    plan = compile_plan(sched, topo, 0, sizes)
+    bplan = compile_batched_plan(sched, topo, sizes)
+    return sched, topo, sizes, plan, bplan
+
+
+def first_kernel(plan, side):
+    for rounds in plan.phases:
+        for pr in rounds:
+            k = getattr(pr, side)
+            if k is not None and k.total_nbytes:
+                return k
+    raise AssertionError("no kernel found")
+
+
+def mutate_kernel(kernel, *, sel_ops=None, run_ops=None):
+    k = copy.copy(kernel)
+    if sel_ops is not None:
+        k._sel_ops = sel_ops
+    if run_ops is not None:
+        k._run_ops = run_ops
+    return k
+
+
+class TestKernelEffects:
+    def test_clean_kernels(self, artifacts):
+        _, _, sizes, plan, _ = artifacts
+        rep = report()
+        for side, role in (("send", "send"), ("recv", "recv")):
+            check_kernel(first_kernel(plan, side), sizes, rep, role=role)
+        assert rep.ok, rep.summary()
+
+    def test_duplicate_scatter_op_is_v701(self, artifacts):
+        _, _, sizes, plan, _ = artifacts
+        k = first_kernel(plan, "recv")
+        # _sel_ops and _run_ops partition the kernel's ops; duplicate
+        # one op from whichever side is populated
+        if k._sel_ops:
+            bad = mutate_kernel(k, sel_ops=list(k._sel_ops) + [k._sel_ops[0]])
+        else:
+            bad = mutate_kernel(k, run_ops=list(k._run_ops) + [k._run_ops[0]])
+        rep = report()
+        check_kernel(bad, sizes, rep, role="recv")
+        assert "V701" in rep.codes()
+
+    def test_offset_past_capacity_is_v708(self, artifacts):
+        _, _, sizes, plan, _ = artifacts
+        k = first_kernel(plan, "recv")
+        bump = max(sizes.values())
+        bad_runs = [
+            (name, wire, buf + bump, n) for name, wire, buf, n in k._run_ops
+        ]
+        bad_sels = [
+            (
+                name,
+                wire_sel,
+                slice(buf_sel.start + bump, buf_sel.stop + bump)
+                if isinstance(buf_sel, slice)
+                else buf_sel + bump,
+            )
+            for name, wire_sel, buf_sel in k._sel_ops
+        ]
+        rep = report()
+        check_kernel(
+            mutate_kernel(k, sel_ops=bad_sels, run_ops=bad_runs),
+            sizes,
+            rep,
+            role="recv",
+        )
+        assert "V708" in rep.codes()
+
+    def test_pack_wire_gap_is_v709(self, artifacts):
+        _, _, sizes, plan, _ = artifacts
+        k = first_kernel(plan, "send")
+        assert len(k._sel_ops) >= 1
+        rep = report()
+        check_kernel(
+            mutate_kernel(
+                k, sel_ops=k._sel_ops[1:], run_ops=k._run_ops[1:]
+            ),
+            sizes,
+            rep,
+            role="send",
+        )
+        assert "V709" in rep.codes()
+
+
+class TestCopyProgram:
+    def synth(self, fused, run_ops):
+        from repro.core.plan import CompiledCopyProgram
+
+        # _sel_ops and _run_ops partition the program's ops; synthesize
+        # run-op-only programs (the slice-loop side)
+        prog = CompiledCopyProgram.__new__(CompiledCopyProgram)
+        prog.nbytes = sum(op[4] for op in run_ops)
+        prog.fused = fused
+        prog._sel_ops = []
+        prog._run_ops = list(run_ops)
+        return prog
+
+    def test_overlapping_destinations_is_v704(self):
+        prog = self.synth(
+            True,
+            [("send", "recv", 0, 0, 16), ("send", "recv", 16, 8, 16)],
+        )
+        rep = report()
+        check_copy_program(prog, {"send": 64, "recv": 64}, rep)
+        assert "V704" in rep.codes()
+
+    def test_destination_overlaps_source_is_v704(self):
+        prog = self.synth(True, [("recv", "recv", 0, 8, 16)])
+        rep = report()
+        check_copy_program(prog, {"recv": 64}, rep)
+        assert "V704" in rep.codes()
+
+    def test_disjoint_fused_program_clean(self):
+        prog = self.synth(
+            True,
+            [("send", "recv", 0, 0, 16), ("send", "recv", 16, 32, 16)],
+        )
+        rep = report()
+        check_copy_program(prog, {"send": 64, "recv": 64}, rep)
+        assert rep.ok, rep.summary()
+
+
+class TestBatchedRound:
+    def bround(self, bplan):
+        for rounds in bplan.phases:
+            for br in rounds:
+                return br
+        raise AssertionError("no batched round")
+
+    def mutate(self, rnd, **attrs):
+        r = copy.copy(rnd)
+        for k, v in attrs.items():
+            setattr(r, k, v)
+        return r
+
+    def test_clean_round(self, artifacts):
+        *_, bplan = artifacts
+        rep = report()
+        check_batched_round(self.bround(bplan), bplan.p, rep)
+        assert rep.ok, rep.summary()
+
+    def test_duplicate_targets_is_v705(self, artifacts):
+        *_, bplan = artifacts
+        rnd = self.bround(bplan)
+        targets = rnd.targets.copy()
+        targets[1] = targets[0]
+        rep = report()
+        check_batched_round(self.mutate(rnd, targets=targets), bplan.p, rep)
+        assert "V705" in rep.codes()
+
+    def test_out_of_range_peer_is_v706(self, artifacts):
+        *_, bplan = artifacts
+        rnd = self.bround(bplan)
+        sources = rnd.sources.copy()
+        sources[0] = bplan.p + 3
+        rep = report()
+        check_batched_round(self.mutate(rnd, sources=sources), bplan.p, rep)
+        assert rep.codes() & {"V705", "V706"}
+
+    def test_corrupt_recv_rows_is_v706(self, artifacts):
+        *_, bplan = artifacts
+        rnd = self.bround(bplan)
+        rep = report()
+        check_batched_round(
+            self.mutate(rnd, recv_rows=np.arange(bplan.p - 1)),
+            bplan.p,
+            rep,
+        )
+        assert "V706" in rep.codes()
+
+
+class TestShmLayout:
+    def layout(self, artifacts):
+        sched, topo, sizes, _, _ = artifacts
+        shared = {k: int(v) for k, v in sizes.items()}
+        return compute_segment_layout(sched, [shared] * topo.size)
+
+    def test_clean_layout(self, artifacts):
+        buffer_table, slots, total = self.layout(artifacts)
+        rep = report()
+        check_shm_layout(buffer_table, slots, len(buffer_table), total, rep)
+        assert rep.ok, rep.summary()
+
+    def test_slot_overlapping_buffer_is_v707(self, artifacts):
+        buffer_table, slots, total = self.layout(artifacts)
+        assert slots, "combining alltoall has message slots"
+        key = next(iter(slots))
+        off, _ = next(iter(buffer_table[0].values()))
+        bad = dict(slots)
+        bad[key] = (off, bad[key][1])
+        rep = report()
+        check_shm_layout(buffer_table, bad, len(buffer_table), total, rep)
+        assert "V707" in rep.codes()
+
+    def test_slot_outside_segment_is_v707(self, artifacts):
+        buffer_table, slots, total = self.layout(artifacts)
+        key = next(iter(slots))
+        bad = dict(slots)
+        bad[key] = (total, bad[key][1])
+        rep = report()
+        check_shm_layout(buffer_table, bad, len(buffer_table), total, rep)
+        assert "V707" in rep.codes()
+
+
+class TestSweep:
+    def test_verify_effects_all_kinds(self):
+        nbh = named_stencil("9-point")
+        for kind in (
+            "alltoall",
+            "trivial-alltoall",
+            "direct-alltoall",
+            "allgather",
+            "trivial-allgather",
+            "direct-allgather",
+        ):
+            rep = verify_effects(build_for_kind(kind, nbh), DIMS, True)
+            assert rep.ok, (kind, rep.summary())
+            assert "effects" in rep.checks_run
+
+    def test_full_sweep_is_48_and_clean(self):
+        results = sweep_effects()
+        assert len(results) == 48
+        bad = [
+            (s, k, d, r.summary()) for s, k, d, r in results if not r.ok
+        ]
+        assert not bad, bad
+
+    def test_effects_run_inside_verify_schedule_by_default(self):
+        from repro.analyze import verify_schedule
+
+        nbh = named_stencil("9-point")
+        rep = verify_schedule(build_for_kind("alltoall", nbh), DIMS, True)
+        assert rep.ok
+        assert "effects" in rep.checks_run

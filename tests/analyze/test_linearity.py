@@ -1,0 +1,320 @@
+"""CFG linearity + lockset lint (L006-L009).
+
+Each case feeds a small source fragment through
+:func:`repro.analyze.linearity.analyze_source` and checks which rules
+fire.  The fragments mirror the real acquire/release shapes in
+``core/backend/*`` and ``core/plan.py`` — including the exception-path
+bugs earlier PRs actually shipped.
+"""
+
+import textwrap
+
+from repro.analyze.linearity import analyze_source
+
+
+def codes(src):
+    return sorted(
+        {f.rule for f in analyze_source(textwrap.dedent(src))}
+    )
+
+
+class TestLeakDetection:
+    def test_straight_line_leak(self):
+        assert codes(
+            """
+            def f(pool):
+                buf = pool.acquire(100)
+                buf[:] = 0
+            """
+        ) == ["L006"]
+
+    def test_straight_line_balanced(self):
+        assert codes(
+            """
+            def f(pool):
+                buf = pool.acquire(100)
+                buf[:] = 0
+                pool.release(buf)
+            """
+        ) == []
+
+    def test_exception_path_leak(self):
+        # compute() may raise between acquire and release: the release
+        # is skipped on the exceptional path
+        assert codes(
+            """
+            def f(pool, compute):
+                buf = pool.acquire(100)
+                compute(buf)
+                pool.release(buf)
+            """
+        ) == ["L006"]
+
+    def test_try_finally_is_clean(self):
+        assert codes(
+            """
+            def f(pool, compute):
+                buf = pool.acquire(100)
+                try:
+                    compute(buf)
+                finally:
+                    pool.release(buf)
+            """
+        ) == []
+
+    def test_except_release_reraise_is_clean(self):
+        # the shape the fixed lockstep post_send uses: release on the
+        # exceptional path, transfer into the exchange on success
+        assert codes(
+            """
+            def f(self, pool, pack, key):
+                buf = pool.acquire(100)
+                try:
+                    pack(buf)
+                except BaseException:
+                    pool.release(buf)
+                    raise
+                self.messages[key] = buf
+            """
+        ) == []
+
+    def test_narrow_handler_still_leaks(self):
+        # an except ValueError does not cover every raising path
+        assert codes(
+            """
+            def f(self, pool, pack, key):
+                buf = pool.acquire(100)
+                try:
+                    pack(buf)
+                except ValueError:
+                    pool.release(buf)
+                    raise
+                self.messages[key] = buf
+            """
+        ) == ["L006"]
+
+    def test_conditional_release_leaks_one_branch(self):
+        assert codes(
+            """
+            def f(pool, flag):
+                buf = pool.acquire(100)
+                if flag:
+                    pool.release(buf)
+            """
+        ) == ["L006"]
+
+    def test_release_on_both_branches_clean(self):
+        assert codes(
+            """
+            def f(pool, flag):
+                buf = pool.acquire(100)
+                if flag:
+                    pool.release(buf)
+                else:
+                    pool.release(buf)
+            """
+        ) == []
+
+    def test_return_transfers_ownership(self):
+        assert codes(
+            """
+            def f(pool):
+                buf = pool.acquire(100)
+                return buf
+            """
+        ) == []
+
+    def test_return_through_releasing_finally_clean(self):
+        assert codes(
+            """
+            def f(pool, compute):
+                buf = pool.acquire(100)
+                try:
+                    return compute(buf)
+                finally:
+                    pool.release(buf)
+            """
+        ) == []
+
+    def test_owned_list_drained_by_sweep_is_clean(self):
+        # the BatchedPlan.execute discipline: append-before-use, one
+        # release sweep at the end
+        assert codes(
+            """
+            def f(pool, rounds, send):
+                wires = []
+                try:
+                    for r in rounds:
+                        flat = pool.acquire(64)
+                        wires.append(flat)
+                        send(flat)
+                finally:
+                    for w in wires:
+                        pool.release(w)
+            """
+        ) == []
+
+    def test_dead_store_list_still_leaks(self):
+        # appending to a list nothing ever drains or returns is not a
+        # transfer
+        assert codes(
+            """
+            def f(pool, send):
+                junk = []
+                buf = pool.acquire(64)
+                junk.append(buf)
+                send(buf)
+            """
+        ) == ["L006"]
+
+    def test_store_into_attribute_transfers(self):
+        assert codes(
+            """
+            def f(self, pool):
+                buf = pool.acquire(64)
+                self.scratch = buf
+            """
+        ) == []
+
+    def test_overwrite_while_held(self):
+        assert "L006" in codes(
+            """
+            def f(pool):
+                buf = pool.acquire(64)
+                buf = pool.acquire(64)
+                pool.release(buf)
+            """
+        )
+
+
+class TestDoubleRelease:
+    def test_plain_double_release(self):
+        assert codes(
+            """
+            def f(pool):
+                buf = pool.acquire(100)
+                pool.release(buf)
+                pool.release(buf)
+            """
+        ) == ["L007"]
+
+    def test_loop_release_is_not_double(self):
+        # releasing loop-fresh acquisitions is one release per block
+        assert codes(
+            """
+            def f(pool, rounds):
+                for _ in rounds:
+                    buf = pool.acquire(100)
+                    pool.release(buf)
+            """
+        ) == []
+
+
+class TestLockset:
+    def test_wait_outside_lock(self):
+        assert codes(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cond = threading.Condition(self._lock)
+
+                def bad_wait(self):
+                    self._cond.wait(1.0)
+            """
+        ) == ["L008"]
+
+    def test_wait_under_with_cond_clean(self):
+        assert codes(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._cond = threading.Condition()
+
+                def ok_wait(self):
+                    with self._cond:
+                        self._cond.wait(1.0)
+            """
+        ) == []
+
+    def test_notify_in_locked_convention_function(self):
+        # the mailbox convention: helpers named *_locked run with the
+        # lock already held by the caller
+        assert codes(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cond = threading.Condition(self._lock)
+
+                def _deliver_locked(self):
+                    self._cond.notify_all()
+            """
+        ) == []
+
+    def test_lock_order_inversion(self):
+        assert codes(
+            """
+            class Box:
+                def a(self):
+                    with self._reg_lock:
+                        with self._msg_lock:
+                            pass
+
+                def b(self):
+                    with self._msg_lock:
+                        with self._reg_lock:
+                            pass
+            """
+        ) == ["L009"]
+
+    def test_self_nested_lock(self):
+        assert codes(
+            """
+            class Box:
+                def a(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+            """
+        ) == ["L009"]
+
+    def test_consistent_order_clean(self):
+        assert codes(
+            """
+            class Box:
+                def a(self):
+                    with self._reg_lock:
+                        with self._msg_lock:
+                            pass
+
+                def b(self):
+                    with self._reg_lock:
+                        with self._msg_lock:
+                            pass
+            """
+        ) == []
+
+
+class TestShippedTreeClean:
+    def test_backends_and_plan_have_no_pragmas_and_lint_clean(self):
+        """Acceptance criterion: the linearity lint proves acquire/
+        release balance for every shipped backend with zero suppression
+        pragmas in core/backend/."""
+        import pathlib
+
+        import repro.core.backend as backend_pkg
+        from repro.analyze.lint import iter_python_files, lint_file
+
+        backend_dir = pathlib.Path(backend_pkg.__file__).parent
+        plan_py = backend_dir.parent / "plan.py"
+        for path in [*iter_python_files([str(backend_dir)]), plan_py]:
+            path = pathlib.Path(path)
+            assert "# lint: allow" not in path.read_text(), path
+            assert lint_file(path) == [], path

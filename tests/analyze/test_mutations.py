@@ -1,0 +1,47 @@
+"""The mutation-adversary harness must keep its 100% kill rate.
+
+``repro.analyze.mutations`` seeds defects into real compiled plans,
+batched rounds, shm layouts and runtime sources; the analyzers are
+certified by killing every mutant with its expected code.  This test is
+the tier-1 mirror of the ``python -m repro.analyze mutations`` CI gate.
+"""
+
+from repro.analyze.mutations import main, run_mutations
+
+
+def test_every_mutant_killed_with_expected_code():
+    results = run_mutations()
+    assert len(results) >= 20, "the adversary must stay substantial"
+    survivors = [
+        (r.name, r.expect, sorted(r.reported))
+        for r in results
+        if not r.killed
+    ]
+    assert not survivors, f"surviving mutants: {survivors}"
+
+
+def test_expected_codes_span_all_families():
+    """The adversary must cover every V7xx effect family and the
+    linearity/lockset rules — a mutator set that drifts to one family
+    stops certifying the rest."""
+    expects = {r.expect for r in run_mutations()}
+    for code in (
+        "V701",
+        "V702",
+        "V703",
+        "V704",
+        "V705",
+        "V706",
+        "V707",
+        "V708",
+        "V709",
+        "L006",
+        "L007",
+        "L008",
+        "L009",
+    ):
+        assert code in expects, f"no mutator targets {code}"
+
+
+def test_cli_exit_code_is_zero():
+    assert main() == 0

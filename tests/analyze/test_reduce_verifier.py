@@ -1,0 +1,119 @@
+"""Reduce-schedule verification (V801-V805).
+
+The reverse-tree reduction is the allgather dual; its verifier gets the
+same positive/negative treatment as the alltoall/allgather one: every
+built schedule certifies clean, and every corruption family trips its
+code.
+"""
+
+import pytest
+
+from repro.analyze import verify_reduce_schedule
+from repro.core.reduce_schedule import (
+    OPS,
+    ReduceEdge,
+    build_reduce_schedule,
+)
+from repro.core.stencils import named_stencil
+
+
+def build(name="9-point"):
+    return build_reduce_schedule(named_stencil(name))
+
+
+class TestCleanSchedules:
+    @pytest.mark.parametrize(
+        "name,dims",
+        [
+            ("5-point", (4, 4)),
+            ("9-point", (4, 4)),
+            ("7-point", (3, 3, 3)),
+            ("27-point", (3, 3, 3)),
+        ],
+    )
+    def test_built_schedules_certify(self, name, dims):
+        report = verify_reduce_schedule(build(name), dims, True)
+        assert report.ok, report.summary()
+        assert "reduce-content" in report.checks_run
+
+    @pytest.mark.parametrize("op", sorted(OPS))
+    def test_every_named_operator_passes(self, op):
+        report = verify_reduce_schedule(build(), (4, 4), op=op)
+        assert report.ok, (op, report.summary())
+
+
+class TestNegativeCases:
+    def test_dropped_round_is_v801(self):
+        sched = build()
+        sched.phases[-1].rounds.pop()
+        assert "V801" in verify_reduce_schedule(sched, (4, 4)).codes()
+
+    def test_zero_offset_round_is_v802(self):
+        sched = build()
+        sched.phases[0].rounds[0].offset = (0, 0)
+        assert "V802" in verify_reduce_schedule(sched, (4, 4)).codes()
+
+    def test_off_dimension_offset_is_v802(self):
+        sched = build()
+        rnd = sched.phases[0].rounds[0]
+        rnd.offset = tuple(reversed(rnd.offset))
+        report = verify_reduce_schedule(sched, (4, 4))
+        assert report.codes() & {"V802", "V803"}
+
+    def test_intra_phase_hazard_is_v802(self):
+        # make a later round of phase 0 send a slot an earlier round
+        # combined into: threaded (pre-phase snapshot) and lockstep
+        # (per-round) execution would diverge
+        sched = build()
+        first = sched.phases[0].rounds[0].edges[0]
+        sched.phases[0].rounds[1].edges[0] = ReduceEdge(
+            child_slot=first.parent_slot, parent_slot=first.parent_slot
+        )
+        assert "V802" in verify_reduce_schedule(sched, (4, 4)).codes()
+
+    def test_rerouted_edge_is_v803(self):
+        sched = build()
+        edge = sched.phases[0].rounds[0].edges[1]
+        sched.phases[0].rounds[0].edges[1] = ReduceEdge(
+            child_slot=edge.child_slot, parent_slot=sched.root_slot
+        )
+        assert "V803" in verify_reduce_schedule(sched, (4, 4)).codes()
+
+    def test_scratch_forwarding_is_v803(self):
+        # a slot with no terminal contribution and no prior combine
+        # would forward uninitialized accumulator bytes
+        sched = build()
+        sched.own_multiplicity[
+            sched.phases[0].rounds[0].edges[0].child_slot
+        ] = 0
+        assert "V803" in verify_reduce_schedule(sched, (4, 4)).codes()
+
+    def test_non_commutative_operator_is_v804(self):
+        report = verify_reduce_schedule(
+            build(), (4, 4), op=lambda a, b: a - b
+        )
+        assert "V804" in report.codes()
+        assert "reduce-content" not in report.checks_run
+
+    def test_non_associative_operator_is_v804(self):
+        report = verify_reduce_schedule(
+            build(), (4, 4), op=lambda a, b: (a + b) // 2
+        )
+        assert "V804" in report.codes()
+
+    def test_non_periodic_torus_is_v802(self):
+        report = verify_reduce_schedule(build(), (4, 4), (True, False))
+        assert "V802" in report.codes()
+
+
+class TestOperatorProbePinning:
+    def test_named_ops_probed_even_for_custom_op(self):
+        """`probe_named_ops` pins the whole operator table, so a future
+        bad entry cannot hide behind a good default."""
+        import numpy as np
+
+        report = verify_reduce_schedule(
+            build(), (4, 4), op=np.minimum, probe_named_ops=True
+        )
+        assert report.ok, report.summary()
+        assert "reduce-operator" in report.checks_run

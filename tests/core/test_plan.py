@@ -381,6 +381,98 @@ class TestBufferPool:
         assert s.acquires == 8 * 200 and s.releases == 8 * 200
         assert s.reuses > 0
 
+    def test_release_after_relend_is_rejected(self):
+        """Regression for the re-lent aliasing hole: a stale release of
+        a handle whose base block the pool already handed to someone
+        else must NOT re-file the block — honouring it would let a
+        later acquire alias live memory."""
+        pool = BufferPool(max_retained_bytes=1 << 20)
+        a = pool.acquire(100)
+        base = a.base
+        pool.release(a)
+        b = pool.acquire(100)  # pool re-lends the same base block
+        assert b.base is base
+        pool.release(a)  # stale: "a" was already returned and re-lent
+        s = pool.stats()
+        assert s.double_releases == 1 and s.releases == 1
+        # the block b still owns must not be handed out again
+        c = pool.acquire(100)
+        assert c.base is not base, "aliasing view of a live block"
+        b[:] = 1
+        c[:] = 2
+        assert (b == 1).all() and (c == 2).all()
+        pool.release(b)
+        pool.release(c)
+        assert pool.stats().outstanding_bytes == 0
+
+    def test_release_after_resize_aliasing(self):
+        """A caller that reshapes/slices its handle and releases the
+        derivative must not corrupt the pool: only the exact handle
+        acquire returned is a genuine return."""
+        pool = BufferPool(max_retained_bytes=1 << 20)
+        a = pool.acquire(256)  # exact class size: handle IS the base
+        resized = a[:128]  # a "resized" view of the pooled block
+        pool.release(resized)  # not the handle -> dropped
+        s = pool.stats()
+        assert s.double_releases == 1 and s.releases == 0
+        assert s.outstanding_bytes == 256
+        pool.release(a)  # the genuine handle still returns fine
+        s = pool.stats()
+        assert s.releases == 1 and s.outstanding_bytes == 0
+
+    def test_foreign_pow2_array_not_adopted(self):
+        """A foreign uint8 array of a perfect class size must not enter
+        the free list (the pool would later hand out memory it does not
+        own)."""
+        pool = BufferPool(max_retained_bytes=1 << 20)
+        foreign = np.zeros(128, np.uint8)
+        pool.release(foreign)
+        s = pool.stats()
+        assert s.double_releases == 1 and s.retained_bytes == 0
+
+    def test_clear_keeps_lent_tracking(self):
+        pool = BufferPool(max_retained_bytes=1 << 20)
+        a = pool.acquire(100)
+        pool.clear()
+        pool.release(a)  # still a genuine return after clear()
+        s = pool.stats()
+        assert s.releases == 1 and s.double_releases == 0
+
+    def test_lent_table_prunes_abandoned_handles(self):
+        pool = BufferPool(max_retained_bytes=0)  # retain nothing
+        for _ in range(1200):  # cross the lazy-prune threshold
+            pool.acquire(70)  # handle dropped without release
+        assert len(pool._lent) < 1200
+
+    def test_concurrent_double_release_stats_consistent(self):
+        """Hammer release() with duplicate handles from many threads:
+        every handle must be honoured exactly once, every duplicate
+        counted, and the counters must balance exactly."""
+        pool = BufferPool(max_retained_bytes=1 << 20)
+        handles = [pool.acquire(1000) for _ in range(64)]
+        errors = []
+
+        def churn(seed):
+            try:
+                rng = np.random.default_rng(seed)
+                for h in rng.permutation(len(handles)):
+                    pool.release(handles[h])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=churn, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        s = pool.stats()
+        assert s.releases == 64
+        assert s.double_releases == 7 * 64
+        assert s.outstanding_bytes == 0
+
 
 # ----------------------------------------------------------------------
 # plan cache lifetime: coupled to the schedule-cache entry

@@ -122,3 +122,71 @@ class TestFileAndErrors:
         data["phases"][0]["rounds"][0]["recv"][0][2] += 1
         with pytest.raises(ScheduleError):
             schedule_from_dict(data)
+
+
+class TestLayoutRoundTrip:
+    """PR 3's `Round.recv_offset` and builder-recorded send/recv layouts
+    must survive the wire format: without the layouts a loaded schedule
+    silently loses the content-simulation and hop-parity verifier
+    passes."""
+
+    def test_recv_offset_roundtrip(self):
+        orig = build("trivial")
+        # decouple one round's receive source from its send target (the
+        # general MPI-sendrecv form); the explicit value equals the
+        # default so the schedule stays certified
+        target = orig.phases[0].rounds[0]
+        target.recv_offset = target.offset
+        back = schedule_from_dict(schedule_to_dict(orig))
+        got = back.phases[0].rounds[0]
+        assert got.recv_offset == target.offset
+        assert got.recv_source_offset == target.recv_source_offset
+        # untouched rounds keep the isomorphic None default
+        assert back.phases[1].rounds[0].recv_offset is None
+
+    @pytest.mark.parametrize("kind", ["combining", "trivial", "allgather"])
+    def test_layouts_roundtrip(self, kind):
+        orig = build(kind)
+        assert orig.send_layout is not None  # builders record layouts
+        back = schedule_from_json(schedule_to_json(orig))
+        assert back.send_layout is not None
+        assert back.recv_layout is not None
+        assert [list(bs) for bs in back.send_layout] == [
+            list(bs) for bs in orig.send_layout
+        ]
+        assert [list(bs) for bs in back.recv_layout] == [
+            list(bs) for bs in orig.recv_layout
+        ]
+
+    def test_layouts_enable_content_verification(self):
+        from repro.analyze import verify_schedule
+
+        back = schedule_from_json(schedule_to_json(build("combining")))
+        report = verify_schedule(back, (3, 3), True)
+        assert report.ok, report.summary()
+        assert "content" in report.checks_run
+        assert "hop-parity" in report.checks_run
+
+    def test_loader_tolerates_missing_layouts(self):
+        """Files written before layouts were serialized (same format
+        version) must still load; the verifier then skips what it cannot
+        reconstruct instead of failing."""
+        from repro.analyze import verify_schedule
+
+        data = schedule_to_dict(build("combining"))
+        data.pop("send_layout")
+        data.pop("recv_layout")
+        back = schedule_from_dict(data)
+        assert back.send_layout is None and back.recv_layout is None
+        report = verify_schedule(back, (3, 3), True)
+        assert report.ok, report.summary()
+        assert "content" not in report.checks_run
+
+    def test_hand_built_schedule_omits_layout_keys(self):
+        orig = build("combining")
+        orig.send_layout = None
+        orig.recv_layout = None
+        data = schedule_to_dict(orig)
+        assert "send_layout" not in data
+        assert "recv_layout" not in data
+        assert schedule_from_dict(data).send_layout is None
