@@ -2,22 +2,54 @@
 
 Mirrors the Figure 3–6 methodology for the reduction extension: the
 reverse-tree combining algorithm vs the trivial gather-then-reduce,
-modeled on the Table 2 machines, plus real threaded executions at
-laptop scale and a locality ablation tying the remap extension to the
-network model.
+modeled on the Table 2 machines, plus real full-mesh executions and a
+locality ablation tying the remap extension to the network model.
+
+The headline measurement is **batched fused-kernel reduce vs the
+interpreted path**: one combining reduce on an (8, 8, 8) torus driven
+by the batched SPMD backend (every round a shared kernel over the
+``(p, n)`` matrix, combines fused into the unpack) against the same
+schedule interpreted rank by rank under ``plans_disabled()``.  The bar
+is **5x**, and with ``REPRO_PERF_GATE=1`` the speedup is additionally
+gated against the committed baseline
+(``benchmarks/BENCH_reductions.json``) so a regression in the fused
+reduce path cannot land silently.
+
+``BENCH_SMOKE=1`` (the CI setting) reduces repetitions; assertions and
+the gate are identical.
 """
 
+import json
+import os
 import time
 
 import numpy as np
 import pytest
 
 from benchmarks.conftest import write_artifact, write_json_artifact
+from repro.core import plan as plan_mod
 from repro.core.api import run_cartesian
+from repro.core.backend import get_backend
+from repro.core.plan import plans_disabled
 from repro.core.reduce_schedule import build_reduce_schedule
 from repro.core.stencils import moore_neighborhood, parameterized_stencil
+from repro.core.topology import CartTopology
 from repro.mpisim.engine import Engine
 from repro.netsim.machines import get_machine
+
+SMOKE = bool(int(os.environ.get("BENCH_SMOKE", "0")))
+REPS = 3 if SMOKE else 7
+#: torus for the measured batched case: large enough that per-rank
+#: Python dominates the interpreted path (the regime the batched
+#: backend and the fused combine kernels exist for)
+MEASURED_DIMS = (8, 8, 8)
+#: int64 elements per neighbor contribution in the measured case
+MEASURED_ELEMS = 32
+BASELINE = os.path.join(os.path.dirname(__file__), "BENCH_reductions.json")
+#: gate: fail when the measured speedup drops below baseline/GATE_TOLERANCE
+GATE_TOLERANCE = 1.5
+#: the ISSUE's absolute bar for the fused batched reduce
+SPEEDUP_FLOOR = 5.0
 
 
 def modeled_reduce_times(nbh, m_bytes, machine):
@@ -31,7 +63,7 @@ def modeled_reduce_times(nbh, m_bytes, machine):
         combining += machine.alpha
         for rnd in phase.rounds:
             combining += 2 * c.request_overhead
-            combining += machine.beta * len(rnd.edges) * m_bytes
+            combining += machine.beta * rnd.logical_blocks * m_bytes
     trivial = nbh.trivial_rounds * (
         machine.alpha + 2 * c.request_overhead + machine.beta * m_bytes
     )
@@ -63,22 +95,145 @@ def test_modeled_reduction_comparison(benchmark, d, n):
     print("\n" + "\n".join(lines))
 
 
+def _best_of(fn, reps):
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _reduce_bufs(p, m_bytes):
+    bufs = []
+    for r in range(p):
+        rng = np.random.default_rng(7000 + r)
+        bufs.append(
+            {
+                "send": rng.integers(
+                    -(2**31), 2**31, MEASURED_ELEMS, dtype=np.int64
+                )
+                .view(np.uint8)
+                .copy(),
+                "recv": np.zeros(m_bytes, np.uint8),
+            }
+        )
+    return bufs
+
+
+def measured_batched_reduce():
+    """Time one combining reduce on the measured torus: batched fused
+    kernels (compiled ``BatchedReduceRound`` + ``CombineProgram``) vs
+    the interpreted per-rank lockstep driver with plans disabled.
+    Returns the payload row; asserts bit parity between the paths."""
+    nbh = moore_neighborhood(3, 1, include_self=False)  # t = 26
+    m_bytes = MEASURED_ELEMS * 8
+    topo = CartTopology(MEASURED_DIMS)
+    p = topo.size
+    sched = build_reduce_schedule(nbh, m_bytes=m_bytes, dtype="int64")
+    batched = get_backend("batched")
+
+    # parity first (also warms the plan cache so compile time is not
+    # inside the timed region)
+    bufs_b = _reduce_bufs(p, m_bytes)
+    batched.execute_all(topo, sched, bufs_b)
+    bufs_i = _reduce_bufs(p, m_bytes)
+    with plans_disabled():
+        batched.execute_all(topo, sched, bufs_i)
+    for r in range(p):
+        assert np.array_equal(bufs_b[r]["recv"], bufs_i[r]["recv"]), (
+            f"batched/interpreted divergence at rank {r}"
+        )
+
+    bufs = _reduce_bufs(p, m_bytes)
+    t_batched = _best_of(lambda: batched.execute_all(topo, sched, bufs), REPS)
+
+    def interpreted():
+        with plans_disabled():
+            batched.execute_all(topo, sched, bufs)
+
+    t_interp = _best_of(interpreted, max(2, REPS // 2))
+    return {
+        "dims": list(MEASURED_DIMS),
+        "stencil": "moore-3d",
+        "t": nbh.t,
+        "m_bytes": m_bytes,
+        "dtype": "int64",
+        "op": "sum",
+        "reps": REPS,
+        "smoke": SMOKE,
+        "interpreted_s": t_interp,
+        "batched_s": t_batched,
+        "speedup": t_interp / t_batched,
+    }
+
+
+def _apply_gate(payload):
+    """Compare this run's measured speedup against the committed
+    baseline (same idiom as bench_plan/bench_apps)."""
+    if os.environ.get("REPRO_PERF_GATE", "0") != "1":
+        return ["perf gate: off (set REPRO_PERF_GATE=1 to enable)"]
+    if not os.path.exists(BASELINE):
+        return [f"perf gate: no baseline at {BASELINE}, skipped"]
+    with open(BASELINE) as fh:
+        base = json.load(fh)
+    ref = base.get("measured")
+    if ref is None:
+        return ["perf gate: baseline has no measured entry, skipped"]
+    got = payload["measured"]["speedup"]
+    floor = ref["speedup"] / GATE_TOLERANCE
+    line = (
+        f"perf gate: batched reduce speedup {got:.2f}x vs baseline "
+        f"{ref['speedup']:.2f}x (floor {floor:.2f}x)"
+    )
+    assert got >= floor, line + " REGRESSED"
+    return [line + " ok"]
+
+
+def test_batched_reduce_speedup():
+    """Acceptance bar: the batched fused-kernel reduce is at least
+    ``SPEEDUP_FLOOR``x faster than the interpreted path on the
+    measured torus, byte-identical results."""
+    plan_mod.plan_cache_reset()
+    plan_mod.GLOBAL_POOL.clear()
+    row = measured_batched_reduce()
+    text = (
+        f"batched fused-kernel reduce, {tuple(row['dims'])} torus, "
+        f"moore-3d t={row['t']}, m={row['m_bytes']}B int64 sum\n"
+        f"interpreted: {row['interpreted_s'] * 1e3:8.2f} ms\n"
+        f"batched:     {row['batched_s'] * 1e3:8.2f} ms\n"
+        f"speedup:     {row['speedup']:8.2f}x (floor {SPEEDUP_FLOOR}x)"
+    )
+    write_artifact("reduction_batched.txt", text)
+    print("\n" + text)
+    assert row["speedup"] >= SPEEDUP_FLOOR, text
+
+
 def test_reductions_perf_artifact():
     """Machine-readable perf trajectory for the reduction extension
     (``benchmarks/out/reductions.json``; committed baseline
     ``benchmarks/BENCH_reductions.json``): the modeled combining/trivial
-    ratios per configuration, reduce-verifier certification timings, and
-    the analyzer wall time for the full 48-combination effect sweep —
-    so verification overhead is tracked release over release."""
+    ratios per configuration, the measured batched-vs-interpreted
+    full-execution times, reduce-verifier certification timings, and
+    the analyzer wall time for the full effect sweep — so both the
+    fused reduce path and verification overhead are tracked release
+    over release."""
     from repro.analyze.effects import sweep_effects
-    from repro.analyze.schedule_verifier import verify_reduce_schedule
+    from repro.analyze.schedule_verifier import (
+        SWEEP_KINDS,
+        paper_stencil_grid,
+        verify_reduce_schedule,
+    )
 
     machine = get_machine("hydra-openmpi")
+    plan_mod.plan_cache_reset()
+    plan_mod.GLOBAL_POOL.clear()
 
     def build_payload():
         payload = {
             "machine": "hydra-openmpi",
             "modeled": {},
+            "measured": {},
             "verifier": {},
             "effects_sweep": {},
         }
@@ -93,6 +248,8 @@ def test_reductions_perf_artifact():
                     "rounds": row["schedule"].num_rounds,
                     "volume_blocks": row["schedule"].volume_blocks,
                 }
+        # the measured full-execution comparison (the gated number)
+        payload["measured"] = measured_batched_reduce()
         # certification cost of the reduce verifier itself
         for d, n, dims in ((2, 3, (4, 4)), (3, 3, (3, 3, 3))):
             nbh = parameterized_stencil(d, n, -1)
@@ -105,7 +262,9 @@ def test_reductions_perf_artifact():
                 "checks_run": list(rep.checks_run),
             }
             assert rep.ok, rep.summary()
-        # analyzer wall time for the CI effect sweep (48 combinations)
+        # analyzer wall time for the CI effect sweep (stencil grid x
+        # all schedule kinds, reductions included)
+        expected = len(paper_stencil_grid()) * len(SWEEP_KINDS)
         t0 = time.perf_counter()
         results = sweep_effects()
         payload["effects_sweep"] = {
@@ -114,14 +273,17 @@ def test_reductions_perf_artifact():
             "ok": all(rep.ok for _, _, _, rep in results),
         }
         assert payload["effects_sweep"]["ok"]
-        assert payload["effects_sweep"]["combinations"] == 48
+        assert payload["effects_sweep"]["combinations"] == expected
         return payload
 
     payload = build_payload()
     path = write_json_artifact("reductions.json", payload)
+    for line in _apply_gate(payload):
+        print(line)
     print(
         f"\nreductions perf artifact: {path} "
-        f"(effects sweep {payload['effects_sweep']['seconds']:.2f}s "
+        f"(batched reduce {payload['measured']['speedup']:.2f}x, "
+        f"effects sweep {payload['effects_sweep']['seconds']:.2f}s "
         f"for {payload['effects_sweep']['combinations']} combinations)"
     )
 

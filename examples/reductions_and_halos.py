@@ -44,10 +44,24 @@ def part1_reductions():
             for off in nbh
         )
         assert recv[0] == expect, (cart.rank, recv[0], expect)
+
+        # the rest of the family rides the same compiled tree schedules:
+        # reduce_scatter_block folds per-destination send blocks, and
+        # the allreduce broadcasts each source's full reduction back in
+        # 2C rounds (reverse tree + the forward allgather tree).
+        rs_send = np.full(nbh.t, float(cart.rank))
+        rs_recv = np.zeros(1)
+        cart.reduce_scatter_block(rs_send, rs_recv, op="sum")
+        assert rs_recv[0] == expect, (cart.rank, rs_recv[0], expect)
+
+        ar_recv = np.zeros(nbh.t)
+        cart.reduce_neighbors_allreduce(send, ar_recv, op="sum")
         return recv[0]
 
     sums = run_cartesian(DIMS, nbh, worker)
     print(f"neighbor-rank sums per process: {[int(s) for s in sums]}")
+    print("reduce_scatter_block and neighbor allreduce certified on the "
+          "same tree")
 
 
 def part2_combined_halo():

@@ -24,7 +24,17 @@ V707  two shm segment regions (buffer areas or message slots) overlap
 V708  an effect interval exceeds its buffer's capacity
 V709  a round reads bytes no earlier effect ever wrote (wire gaps,
       or scratch reads before the writing phase)
+V806  a fused combine kernel has order-dependent effects (double
+      accumulator initialization, aliased fold operands, or batched
+      combine row masks that both copy and fold one rank)
 ====  ==============================================================
+
+Reduction schedules thread their accumulator state through the fused
+combine kernels (:class:`~repro.core.plan.CombineProgram` per rank,
+:class:`~repro.core.plan.BatchedReduceRound` for the all-ranks form):
+the pre-step seed program writes before phase 0 and each phase's fold
+program writes after its delivery, so the lifetime ledger (V709) counts
+those writes exactly where the interpreter performs them.
 
 The temp-lifetime part of V709 is only decidable on fully periodic
 tori: on a mesh, a rank whose upstream fell off the edge legitimately
@@ -48,7 +58,9 @@ from repro.analyze.report import VerificationReport
 from repro.core import plan as plan_mod
 from repro.core.plan import (
     BatchedPlan,
+    BatchedReduceRound,
     BatchedRound,
+    CombineProgram,
     CompiledBlockSet,
     CompiledCopyProgram,
     ExecPlan,
@@ -181,6 +193,194 @@ def check_kernel(
 
 
 # ---------------------------------------------------------------------------
+# fused combine kernels (reduction lowering)
+# ---------------------------------------------------------------------------
+
+
+def _element_intervals(idx: np.ndarray, itemsize: int) -> list[tuple[int, int]]:
+    """Byte intervals covered by an element index array."""
+    if idx.size == 0:
+        return []
+    uniq = np.unique(np.asarray(idx, dtype=np.int64))
+    starts = uniq * itemsize
+    return [(int(lo), int(lo) + itemsize) for lo in starts]
+
+
+def check_combine_program(
+    prog: CombineProgram,
+    sizes: Mapping[str, int],
+    report: VerificationReport,
+    *,
+    rank: Optional[int] = None,
+    phase: Optional[int] = None,
+) -> tuple[
+    dict[str, IntervalSet], dict[str, IntervalSet], dict[str, IntervalSet]
+]:
+    """V806/V708 over one fused :class:`CombineProgram`.
+
+    The compiled program hoists accumulator-initializing copies before
+    the fold kernels, which is sound exactly when (a) no region is
+    initialized twice and (b) no fold's operands alias each other.
+    Bounds are V708 like every other compiled effect.
+
+    Returns ``(copy_writes, fold_reads, all_writes)`` byte-interval maps
+    so the caller can thread the program through the lifetime ledger:
+    ``fold_reads`` includes the copy sources and the read-modify-write
+    fold destinations; ``copy_writes`` are the regions the program
+    itself initializes (legitimate targets for its own folds).
+    """
+    isz = prog.dtype.itemsize
+    copy_parts: dict[str, list[tuple[int, int]]] = {}
+    read_parts: dict[str, list[tuple[int, int]]] = {}
+    fold_parts: dict[str, list[tuple[int, int]]] = {}
+    for src, soff, dst, doff, n in prog._copy_ops:
+        read_parts.setdefault(src, []).append((soff, soff + n))
+        copy_parts.setdefault(dst, []).append((doff, doff + n))
+    for src, soff, dst, doff, n in prog._op_ops:
+        if n % isz:
+            report.add(
+                "V806",
+                f"fold run of {n} B on {dst!r} is not a multiple of the "
+                f"{prog.dtype.str} itemsize",
+                rank=rank,
+                phase=phase,
+            )
+        read_parts.setdefault(src, []).append((soff, soff + n))
+        read_parts.setdefault(dst, []).append((doff, doff + n))
+        fold_parts.setdefault(dst, []).append((doff, doff + n))
+        if src == dst and soff < doff + n and doff < soff + n:
+            report.add(
+                "V806",
+                f"fold operands alias: {src!r}[{soff}:{soff + n}) is "
+                f"both source and in-place destination",
+                rank=rank,
+                phase=phase,
+            )
+    for src, sidx, dst, didx in prog._at_ops:
+        if sidx.size != didx.size:
+            report.add(
+                "V806",
+                f"scatter-reduce index arrays disagree: {sidx.size} "
+                f"source vs {didx.size} destination element(s)",
+                rank=rank,
+                phase=phase,
+            )
+        s_ivs = _element_intervals(sidx, isz)
+        d_ivs = _element_intervals(didx, isz)
+        read_parts.setdefault(src, []).extend(s_ivs)
+        read_parts.setdefault(dst, []).extend(d_ivs)
+        fold_parts.setdefault(dst, []).extend(d_ivs)
+        if src == dst:
+            alias = IntervalSet(s_ivs).intersection(IntervalSet(d_ivs))
+            if alias.nbytes:
+                report.add(
+                    "V806",
+                    f"scatter-reduce operands alias {alias.nbytes} "
+                    f"byte(s) of {src!r}",
+                    rank=rank,
+                    phase=phase,
+                )
+    copy_writes: dict[str, IntervalSet] = {}
+    for name, parts in copy_parts.items():
+        union, collisions = _fold(
+            [summarize_selector(slice(lo, hi)) for lo, hi in parts]
+        )
+        copy_writes[name] = union
+        if collisions:
+            report.add(
+                "V806",
+                f"combine program initializes {collisions} byte(s) of "
+                f"{name!r} twice (first-write-wins was mis-resolved)",
+                rank=rank,
+                phase=phase,
+            )
+    fold_reads = {
+        name: IntervalSet(parts) for name, parts in read_parts.items()
+    }
+    all_writes: dict[str, IntervalSet] = dict(copy_writes)
+    for name, parts in fold_parts.items():
+        ivs = IntervalSet(parts)
+        all_writes[name] = all_writes.get(name, IntervalSet()).union(ivs)
+    for label, by_buffer in (("reads", fold_reads), ("writes", all_writes)):
+        for name, ivs in by_buffer.items():
+            cap = int(sizes.get(name, 0))
+            if not ivs.within_bounds(cap):
+                report.add(
+                    "V708",
+                    f"combine program {label} {name!r}[{ivs.lo}:{ivs.hi}) "
+                    f"beyond its {cap}-byte capacity",
+                    rank=rank,
+                    phase=phase,
+                )
+    return copy_writes, fold_reads, all_writes
+
+
+def check_batched_combine(
+    rnd: BatchedReduceRound,
+    p: int,
+    sizes: Mapping[str, int],
+    report: VerificationReport,
+    *,
+    phase: Optional[int] = None,
+) -> None:
+    """V806/V708 over one all-ranks combine kernel: column bounds, row
+    masks inside ``[0, p)``, and — the batched-specific hazard — no rank
+    appearing in both a step's copy rows and its fold rows (it would
+    count that contribution twice)."""
+    isz = rnd.dtype.itemsize
+    for si, step in enumerate(rnd.steps):
+        sbuf, soff, dbuf, doff, n, copy_rows, comb_rows = step
+        for name, off in ((sbuf, soff), (dbuf, doff)):
+            cap = int(sizes.get(name, 0))
+            if off < 0 or off + n > cap:
+                report.add(
+                    "V708",
+                    f"batched combine step {si} touches {name!r}"
+                    f"[{off}:{off + n}) beyond its {cap}-byte capacity",
+                    phase=phase,
+                )
+        if n % isz:
+            report.add(
+                "V806",
+                f"batched combine step {si} of {n} B is not a multiple "
+                f"of the {rnd.dtype.str} itemsize",
+                phase=phase,
+            )
+        rows: dict[str, Optional[np.ndarray]] = {
+            "copy": copy_rows, "fold": comb_rows,
+        }
+        for label, vec in rows.items():
+            if vec is None:
+                continue
+            arr = np.asarray(vec)
+            if arr.size and (int(arr.min()) < 0 or int(arr.max()) >= p):
+                report.add(
+                    "V806",
+                    f"batched combine step {si} {label} rows name a rank "
+                    f"outside 0..{p - 1}",
+                    phase=phase,
+                )
+            if np.unique(arr).size != arr.size:
+                report.add(
+                    "V806",
+                    f"batched combine step {si} {label} rows name one "
+                    f"rank twice",
+                    phase=phase,
+                )
+        c = np.arange(p) if copy_rows is None else np.asarray(copy_rows)
+        f = np.arange(p) if comb_rows is None else np.asarray(comb_rows)
+        both = np.intersect1d(c, f)
+        if both.size:
+            report.add(
+                "V806",
+                f"batched combine step {si} both initializes and folds "
+                f"rank(s) {both[:4].tolist()} — the contribution would "
+                f"be counted twice",
+                phase=phase,
+            )
+
+
+# ---------------------------------------------------------------------------
 # per-rank plan rounds: disjointness + lifetime
 # ---------------------------------------------------------------------------
 
@@ -216,6 +416,31 @@ def check_plan_effects(
         if name != "temp"
     }
     written.setdefault("temp", IntervalSet())
+
+    def apply_combine(prog: CombineProgram, pi: Optional[int]) -> None:
+        """Check one fused combine program and ledger its writes."""
+        copy_w, reads, writes_c = check_combine_program(
+            prog, sizes, report, rank=rank, phase=pi
+        )
+        if periodic:
+            for name, ivs in reads.items():
+                avail = written.get(name, IntervalSet()).union(
+                    copy_w.get(name, IntervalSet())
+                )
+                missing = ivs.nbytes - avail.intersection(ivs).nbytes
+                if missing:
+                    report.add(
+                        "V709",
+                        f"combine program reads {missing} byte(s) of "
+                        f"{name!r} no earlier effect ever wrote",
+                        rank=rank,
+                        phase=pi,
+                    )
+        for name, ivs in writes_c.items():
+            written[name] = written.get(name, IntervalSet()).union(ivs)
+
+    if plan.pre_program is not None:
+        apply_combine(plan.pre_program, None)
     for pi, phase in enumerate(plan.phases):
         reads: list[tuple[int, Mapping[str, IntervalSet]]] = []
         writes: list[tuple[int, Mapping[str, IntervalSet]]] = []
@@ -279,6 +504,12 @@ def check_plan_effects(
         for _, w_ivs in writes:
             for name, ivs in w_ivs.items():
                 written[name] = written.get(name, IntervalSet()).union(ivs)
+        # the phase's fold program runs after its waitall: its staging
+        # reads see the phase's deliveries, its accumulator writes feed
+        # the next phase's packs
+        combine = plan.combine_programs[pi]
+        if combine is not None:
+            apply_combine(combine, pi)
     if periodic:
         prog_reads: dict[str, list[SelectorSummary]] = {}
         for src, _dst, src_sel, _dst_sel in plan.copy_program._sel_ops:
@@ -519,6 +750,11 @@ def check_batched_effects(
     intersect."""
     p = bplan.p
     sizes = bplan.sizes
+    if bplan.pre_program is not None:
+        check_batched_combine(bplan.pre_program, p, sizes, report)
+    for pi, combine in enumerate(bplan.combine_programs):
+        if combine is not None:
+            check_batched_combine(combine, p, sizes, report, phase=pi)
     for pi, phase in enumerate(bplan.phases):
         writes: list[tuple[int, np.ndarray, Mapping[str, IntervalSet]]] = []
         reads: list[tuple[int, np.ndarray, Mapping[str, IntervalSet]]] = []
@@ -759,6 +995,8 @@ __all__ = [
     "check_kernel",
     "check_plan_effects",
     "check_copy_program",
+    "check_combine_program",
+    "check_batched_combine",
     "check_batched_round",
     "check_batched_effects",
     "check_shm_layout",

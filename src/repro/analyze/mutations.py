@@ -26,7 +26,9 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.analyze.effects import (
+    check_batched_combine,
     check_batched_round,
+    check_combine_program,
     check_copy_program,
     check_kernel,
     check_plan_effects,
@@ -67,6 +69,7 @@ class _Fixture:
         from repro.core.stencils import named_stencil
 
         nbh = named_stencil("9-point")
+        self.nbh = nbh
         self.topo = CartTopology(_DIMS, _PERIODS)
         self.schedule = build_for_kind("alltoall", nbh)
         self.sizes: dict[str, int] = dict(_plan_sizes(self.schedule))
@@ -78,6 +81,20 @@ class _Fixture:
             self.schedule, self.topo, sizes=self.sizes
         )
         self.bplan: BatchedPlan = bplan
+        # reduction fixtures: the combining reverse-tree reduce, its
+        # per-rank fused combine programs and the batched combine round
+        self.reduce_schedule = build_for_kind("reduce", nbh)
+        self.reduce_sizes: dict[str, int] = dict(
+            _plan_sizes(self.reduce_schedule)
+        )
+        rplan, _ = plan_mod.get_or_compile(
+            self.reduce_schedule, self.topo, 0, sizes=self.reduce_sizes
+        )
+        self.reduce_plan: ExecPlan = rplan
+        rbplan, _ = plan_mod.get_or_compile_batched(
+            self.reduce_schedule, self.topo, sizes=self.reduce_sizes
+        )
+        self.reduce_bplan: BatchedPlan = rbplan
         shared = {n: c for n, c in self.sizes.items() if n != "temp"}
         self.buffer_table, self.slots, self.total = compute_segment_layout(
             self.schedule, [shared] * self.topo.size
@@ -103,10 +120,31 @@ class _Fixture:
         check_shm_layout(
             self.buffer_table, self.slots, self.topo.size, self.total, rep
         )
+        assert self.reduce_plan.pre_program is not None
+        check_combine_program(
+            self.reduce_plan.pre_program, self.reduce_sizes, rep, rank=0
+        )
+        for pi, comb in enumerate(self.reduce_plan.combine_programs):
+            if comb is not None:
+                check_combine_program(
+                    comb, self.reduce_sizes, rep, rank=0, phase=pi
+                )
+        for comb in self.reduce_bplan.combine_programs:
+            if comb is not None:
+                check_batched_combine(
+                    comb, self.reduce_bplan.p, self.reduce_sizes, rep
+                )
         if not rep.ok:
             raise RuntimeError(
                 f"dirty effects baseline: {sorted(rep.codes())} — the "
                 f"harness cannot distinguish mutants from real bugs"
+            )
+        from repro.analyze.schedule_verifier import verify_schedule
+
+        rrep = verify_schedule(self.reduce_schedule, _DIMS, _PERIODS)
+        if not rrep.ok:
+            raise RuntimeError(
+                f"dirty reduce baseline: {sorted(rrep.codes())}"
             )
         for label, src in (
             ("lockstep.py", self.lockstep_src),
@@ -485,6 +523,129 @@ def _m_temp_read(fx: _Fixture) -> set[str]:
     )
     mutated = _mut_kernel(send0, sel_ops=sel_ops, run_ops=run_ops)
     return _plan_codes(fx, _replace_round(fx.plan, 0, 0, send=mutated))
+
+
+# -- V801/V802/V803: reduce schedule structure and dataflow -----------------
+
+
+def _fresh_reduce(fx: _Fixture):
+    """A fresh, uncached reduce schedule safe to corrupt in place."""
+    from repro.analyze.schedule_verifier import build_for_kind
+
+    return build_for_kind("reduce", fx.nbh)
+
+
+def _reduce_codes(fx: _Fixture, schedule) -> set[str]:
+    from repro.analyze.schedule_verifier import verify_schedule
+
+    return verify_schedule(schedule, _DIMS, _PERIODS).codes()
+
+
+@_mutator("reduce-drop-tree-round", "V801")
+def _m_reduce_drop_round(fx: _Fixture) -> set[str]:
+    s = _fresh_reduce(fx)
+    del s.phases[0].rounds[-1]
+    return _reduce_codes(fx, s)
+
+
+@_mutator("reduce-zero-round-offset", "V802")
+def _m_reduce_zero_offset(fx: _Fixture) -> set[str]:
+    s = _fresh_reduce(fx)
+    s.phases[0].rounds[0].offset = (0,) * s.neighborhood.d
+    return _reduce_codes(fx, s)
+
+
+@_mutator("reduce-combine-gate-out-of-range", "V802")
+def _m_reduce_bad_gate(fx: _Fixture) -> set[str]:
+    s = _fresh_reduce(fx)
+    s.phases[0].combine_steps[0].when_round = 99
+    return _reduce_codes(fx, s)
+
+
+@_mutator("reduce-reroute-combine-dst", "V803")
+def _m_reduce_reroute_dst(fx: _Fixture) -> set[str]:
+    s = _fresh_reduce(fx)
+    steps = s.phases[0].combine_steps
+    dsts = sorted({st.dst for st in steps}, key=lambda r: r.offset)
+    assert len(dsts) >= 2, "fixture needs two accumulators to misroute"
+    wrong = dsts[1] if steps[0].dst == dsts[0] else dsts[0]
+    steps[0].dst = wrong
+    return _reduce_codes(fx, s)
+
+
+@_mutator("reduce-drop-pre-step", "V803")
+def _m_reduce_drop_pre(fx: _Fixture) -> set[str]:
+    s = _fresh_reduce(fx)
+    del s.pre_steps[0]
+    return _reduce_codes(fx, s)
+
+
+# -- V806: fused combine kernel corruption ----------------------------------
+
+
+def _mut_combine(prog, **attrs):
+    p2 = copy.copy(prog)
+    for name, value in attrs.items():
+        setattr(p2, name, value)
+    return p2
+
+
+@_mutator("combine-duplicate-initializing-copy", "V806")
+def _m_combine_double_init(fx: _Fixture) -> set[str]:
+    prog = fx.reduce_plan.pre_program
+    assert prog is not None and prog._copy_ops
+    mutated = _mut_combine(prog, _copy_ops=prog._copy_ops + (prog._copy_ops[0],))
+    rep = _report()
+    check_combine_program(mutated, fx.reduce_sizes, rep, rank=0)
+    return rep.codes()
+
+
+@_mutator("combine-fold-aliases-accumulator", "V806")
+def _m_combine_fold_alias(fx: _Fixture) -> set[str]:
+    comb = next(c for c in fx.reduce_plan.combine_programs if c is not None)
+    assert comb._op_ops
+    src, soff, dst, doff, n = comb._op_ops[0]
+    # fold a region into itself, shifted by half a block: src and dst
+    # overlap, so the ufunc reads bytes it already clobbered
+    mutated = _mut_combine(
+        comb, _op_ops=((dst, doff, dst, doff + n // 2, n),) + comb._op_ops[1:]
+    )
+    rep = _report()
+    check_combine_program(mutated, fx.reduce_sizes, rep, rank=0)
+    return rep.codes()
+
+
+def _first_batched_combine(fx: _Fixture):
+    return next(c for c in fx.reduce_bplan.combine_programs if c is not None)
+
+
+@_mutator("batched-combine-copy-and-fold-same-rank", "V806")
+def _m_batched_combine_mask_flip(fx: _Fixture) -> set[str]:
+    rnd = _first_batched_combine(fx)
+    sbuf, soff, dbuf, doff, n, copy_rows, comb_rows = rnd.steps[0]
+    # rank 0 appears in both the initializing-copy mask and the fold
+    # mask: its contribution would be counted twice
+    steps = [
+        (sbuf, soff, dbuf, doff, n, copy_rows, np.array([0], dtype=np.int64))
+    ] + list(rnd.steps[1:])
+    mutated = _mut_batched(rnd, steps=steps)
+    rep = _report()
+    check_batched_combine(mutated, fx.reduce_bplan.p, fx.reduce_sizes, rep)
+    return rep.codes()
+
+
+@_mutator("batched-combine-row-out-of-range", "V806")
+def _m_batched_combine_row_range(fx: _Fixture) -> set[str]:
+    rnd = _first_batched_combine(fx)
+    sbuf, soff, dbuf, doff, n, copy_rows, comb_rows = rnd.steps[0]
+    rows = np.array([fx.reduce_bplan.p + 1], dtype=np.int64)
+    steps = [(sbuf, soff, dbuf, doff, n, rows, comb_rows)] + list(
+        rnd.steps[1:]
+    )
+    mutated = _mut_batched(rnd, steps=steps)
+    rep = _report()
+    check_batched_combine(mutated, fx.reduce_bplan.p, fx.reduce_sizes, rep)
+    return rep.codes()
 
 
 # -- L006/L007: pool linearity over real backend sources --------------------

@@ -40,18 +40,14 @@ first defect.
 
 from __future__ import annotations
 
-from collections import deque
+from collections import Counter, deque
 from typing import (
-    TYPE_CHECKING,
     Callable,
     Iterable,
     Iterator,
     Optional,
     Sequence,
 )
-
-if TYPE_CHECKING:
-    from repro.core.reduce_schedule import ReduceOp, ReduceSchedule
 
 import numpy as np
 
@@ -67,6 +63,13 @@ ALLTOALL_KINDS = frozenset({"alltoall", "trivial-alltoall", "direct-alltoall"})
 ALLGATHER_KINDS = frozenset(
     {"allgather", "trivial-allgather", "direct-allgather"}
 )
+#: reduction kinds built on the reverse allgather tree (need a torus)
+REDUCE_TREE_KINDS = frozenset({"reduce", "reduce-scatter", "allreduce"})
+#: per-neighbor reduction kinds (mesh-correct references)
+REDUCE_TRIVIAL_KINDS = frozenset(
+    {"trivial-reduce", "trivial-reduce-scatter"}
+)
+REDUCE_KINDS = REDUCE_TREE_KINDS | REDUCE_TRIVIAL_KINDS
 
 #: content simulation is skipped above this total simulated-state size
 DEFAULT_CONTENT_BUDGET = 1 << 24
@@ -111,6 +114,11 @@ def _buffer_extents(schedule: Schedule) -> dict[str, int]:
         for rnd in ph.rounds:
             touch(rnd.send_blocks)
             touch(rnd.recv_blocks)
+        for step in ph.combine_steps:
+            touch([step.src, step.dst])
+    for step in schedule.pre_steps:
+        touch([step.src, step.dst])
+    touch(schedule.required_outputs)
     for lc in schedule.local_copies:
         touch([lc.src, lc.dst])
     for layout in (schedule.send_layout, schedule.recv_layout):
@@ -350,6 +358,47 @@ def _check_quantitative(schedule: Schedule, report: VerificationReport) -> None:
                 "V401",
                 f"round count {schedule.num_rounds} != t − |self| = "
                 f"{nbh.trivial_rounds}",
+            )
+    elif kind in ("reduce", "reduce-scatter", "allreduce"):
+        # the reductions are the allgather tree run in reverse (plus the
+        # forward broadcast for the allreduce): C rounds / tree-edge
+        # volume, doubled for the composed allreduce (Prop. 3.3 duality)
+        factor = 2 if kind == "allreduce" else 1
+        if schedule.num_rounds != factor * nbh.combining_rounds:
+            report.add(
+                "V801",
+                f"round count {schedule.num_rounds} != "
+                f"{factor} * C = {factor * nbh.combining_rounds} "
+                f"(Prop. 3.1 duality)",
+            )
+        dims_seen = [
+            ph.dim for ph in schedule.phases[: nbh.d] if ph.dim is not None
+        ]
+        if sorted(dims_seen) == list(range(nbh.d)):
+            # reduce phases run deepest level first
+            edges = AllgatherTree.build(
+                nbh, tuple(reversed(dims_seen))
+            ).edge_count
+            if schedule.volume_blocks != factor * edges:
+                report.add(
+                    "V801",
+                    f"volume {schedule.volume_blocks} blocks != "
+                    f"{factor} * tree edge count {factor * edges} "
+                    f"(Prop. 3.3 duality)",
+                )
+    elif kind in ("trivial-reduce", "trivial-reduce-scatter"):
+        if schedule.num_rounds != nbh.trivial_rounds:
+            report.add(
+                "V801",
+                f"round count {schedule.num_rounds} != t − |self| = "
+                f"{nbh.trivial_rounds}",
+            )
+        bad = [len(ph) for ph in schedule.phases if len(ph) != 1]
+        if bad:
+            report.add(
+                "V801",
+                "trivial reduction must have one round per phase "
+                f"(got phase sizes {schedule.rounds_per_phase})",
             )
 
 
@@ -639,11 +688,20 @@ def _check_plan_lowering(
     peers and per-round bytes are unchanged, so the already-checked round
     counts and volumes carry over."""
     from repro.core.plan import compile_plan
+    from repro.mpisim.exceptions import ScheduleError
 
     schedule.prepare()
     sizes = _plan_sizes(schedule)
     for rank in _sample_ranks(topo.size):
-        plan = compile_plan(schedule, topo, rank, sizes)
+        try:
+            plan = compile_plan(schedule, topo, rank, sizes)
+        except ScheduleError as exc:
+            report.add(
+                "V501",
+                f"plan lowering refused the schedule: {exc}",
+                rank=rank,
+            )
+            return
         shape = tuple(len(ph) for ph in plan.phases)
         want_shape = tuple(len(ph.rounds) for ph in schedule.phases)
         if shape != want_shape:
@@ -796,7 +854,11 @@ def _check_batched_lowering(
         )
         return
     for rank in _sample_ranks(topo.size):
-        plan = compile_plan(schedule, topo, rank, sizes)
+        try:
+            plan = compile_plan(schedule, topo, rank, sizes)
+        except Exception:
+            # per-rank refusal is already reported by the V501 pass
+            return
         for pi, (plan_rounds, batched_rounds) in enumerate(
             zip(plan.phases, bplan.phases)
         ):
@@ -853,7 +915,11 @@ def _check_batched_lowering(
         {k: v.copy() for k, v in ref_bufs[r].items()} for r in range(p)
     ]
     try:
-        LockstepBackend().execute_all(topo, schedule, ref_bufs)
+        # random sentinel bytes form NaN/inf patterns under float combine
+        # dtypes; both paths run the identical numpy ops in identical
+        # order, so the comparison stays bit-exact — only mute the noise
+        with np.errstate(all="ignore"):
+            LockstepBackend().execute_all(topo, schedule, ref_bufs)
     except Exception:
         # schedules the lockstep executor itself rejects are covered by
         # the matching/aliasing checks; there is nothing to compare
@@ -865,8 +931,9 @@ def _check_batched_lowering(
         for name in sizes
     }
     try:
-        bplan.execute(matrices)
-        bplan.run_local_copies(matrices)
+        with np.errstate(all="ignore"):
+            bplan.execute(matrices)
+            bplan.run_local_copies(matrices)
     except Exception as exc:
         report.add(
             "V506",
@@ -948,6 +1015,14 @@ def verify_schedule(
     report.checks_run.append("quantitative")
     _check_matching(schedule, topo, report)
     report.checks_run.append("matching+deadlock")
+    if schedule.is_reduction:
+        _run_reduce_checks(
+            schedule,
+            topo,
+            report,
+            content=content,
+            max_content_bytes=max_content_bytes,
+        )
     if content:
         if _simulate_content(
             schedule, topo, report, max_bytes=max_content_bytes
@@ -1048,215 +1123,454 @@ def _probe_operator(
     return ok
 
 
+def _region_key(ref: BlockRef) -> tuple[str, int, int]:
+    return (ref.buffer, ref.offset, ref.nbytes)
+
+
+def _send_block_map(schedule: Schedule) -> dict[tuple[str, int, int], int]:
+    """Region key -> send block index, from the recorded send layout."""
+    out: dict[tuple[str, int, int], int] = {}
+    if schedule.send_layout:
+        for i, bs in enumerate(schedule.send_layout):
+            for ref in bs:
+                out.setdefault(_region_key(ref), i)
+    return out
+
+
+def _check_reduce_structure(
+    schedule: Schedule, topo: CartTopology, report: VerificationReport
+) -> None:
+    """V802 over the unified reduction schedule: periodicity
+    preconditions, per-phase offset routing, combine-step gating and
+    element alignment, and the staging/accumulator separation that keeps
+    the fused combine kernels order-independent."""
+    nbh = schedule.neighborhood
+    d = nbh.d
+    if schedule.kind in REDUCE_TREE_KINDS and not topo.is_fully_periodic:
+        report.add(
+            "V802",
+            "message-combining reduction schedules require a fully "
+            "periodic torus",
+        )
+    if schedule.combine_dtype is None:
+        report.add("V802", "reduction schedule carries no combine dtype")
+        return
+    dt = np.dtype(schedule.combine_dtype)
+
+    def check_steps(steps, phase_index, nrounds):
+        srcs = [s.src for s in steps]
+        for step in steps:
+            if step.when_round is not None and not (
+                0 <= step.when_round < nrounds
+            ):
+                report.add(
+                    "V802",
+                    f"combine gate names round {step.when_round}, phase "
+                    f"has {nrounds}",
+                    phase=phase_index,
+                )
+            if step.src.nbytes != step.dst.nbytes:
+                report.add(
+                    "V802",
+                    f"combine step size mismatch: {step.src} -> "
+                    f"{step.dst}",
+                    phase=phase_index,
+                )
+            if step.dst.nbytes % dt.itemsize:
+                report.add(
+                    "V802",
+                    f"combine region of {step.dst.nbytes} B is not a "
+                    f"multiple of the {dt.str} itemsize",
+                    phase=phase_index,
+                )
+            hit = _overlap([step.dst], srcs)
+            if hit is not None:
+                buf, lo, hi = hit
+                report.add(
+                    "V802",
+                    f"combine destination {step.dst} overlaps a combine "
+                    f"source region {buf!r}[{lo}:{hi}) of the same "
+                    f"step list (fold order would matter)",
+                    phase=phase_index,
+                )
+
+    check_steps(schedule.pre_steps, None, 0)
+    for pi, phase in enumerate(schedule.phases):
+        if phase.dim is not None:
+            for ri, rnd in enumerate(phase.rounds):
+                off = rnd.offset
+                if (
+                    len(off) != d
+                    or off[phase.dim] == 0
+                    or any(
+                        o != 0 for j, o in enumerate(off) if j != phase.dim
+                    )
+                ):
+                    report.add(
+                        "V802",
+                        f"round offset {off} does not route dimension "
+                        f"{phase.dim} alone",
+                        phase=pi,
+                        round_index=ri,
+                    )
+        check_steps(phase.combine_steps, pi, len(phase.rounds))
+
+
+def _reduce_expected(
+    schedule: Schedule,
+) -> Optional[dict[tuple[str, int, int], Counter]]:
+    """The contribution multiset every output region must end holding:
+    ``(relative source offset, send block index)`` pairs, duplicates
+    counted.  ``None`` when the kind has no defined expectation."""
+    nbh = schedule.neighborhood
+    if not schedule.recv_layout:
+        return None
+    neg = [tuple(-int(x) for x in off) for off in nbh]
+    outputs: list[BlockRef] = []
+    for bs in schedule.recv_layout:
+        refs = list(bs)
+        if len(refs) != 1:
+            return None
+        outputs.append(refs[0])
+    kind = schedule.kind
+    if kind in ("reduce", "trivial-reduce"):
+        return {_region_key(outputs[0]): Counter((o, 0) for o in neg)}
+    if kind in ("reduce-scatter", "trivial-reduce-scatter"):
+        return {
+            _region_key(outputs[0]): Counter(
+                (neg[i], i) for i in range(nbh.t)
+            )
+        }
+    if kind == "allreduce":
+        return {
+            _region_key(ref): Counter(
+                (tuple(a + b for a, b in zip(neg[j], neg[i])), 0)
+                for i in range(nbh.t)
+            )
+            for j, ref in enumerate(outputs)
+        }
+    return None
+
+
+def _check_reduce_dataflow(
+    schedule: Schedule, report: VerificationReport
+) -> bool:
+    """V803: symbolic contribution dataflow over the unified schedule.
+
+    Tracks, per byte region, the multiset of ``(relative source offset,
+    send block index)`` contributions it holds, under phase-snapshot
+    semantics (every round of a phase ships the pre-phase accumulator
+    values; the phase's combine steps fold the staging afterwards, in
+    order).  A region received from offset ``w`` shifts every
+    contribution ``δ -> δ − w``.  The recorded output regions must end
+    holding exactly the collective's definition — and no round may ever
+    forward a region nothing seeded (scratch, the reduction analogue of
+    V405/V709).  All rounds are taken live (the fully periodic case);
+    mesh gating is covered by the end-to-end content check."""
+    nbh = schedule.neighborhood
+    zero = (0,) * nbh.d
+    send_map = _send_block_map(schedule)
+    state: dict[tuple[str, int, int], Counter] = {}
+
+    def read(
+        table: dict[tuple[str, int, int], Counter],
+        ref: BlockRef,
+    ) -> Optional[Counter]:
+        cur = table.get(_region_key(ref))
+        if cur is not None:
+            return cur
+        blk = send_map.get(_region_key(ref))
+        if blk is not None:
+            return Counter({(zero, blk): 1})
+        return None
+
+    def fold(step, table) -> bool:
+        if step.src.nbytes == 0:
+            return True
+        src = read(table, step.src)
+        if src is None:
+            report.add(
+                "V803",
+                f"combine step reads region {step.src} that holds no "
+                f"contribution",
+            )
+            return False
+        state.setdefault(_region_key(step.dst), Counter()).update(src)
+        return True
+
+    for step in schedule.pre_steps:
+        if not fold(step, state):
+            return False
+    scratch_reported = False
+    for pi, phase in enumerate(schedule.phases):
+        snap = {k: Counter(c) for k, c in state.items()}
+        for ri, rnd in enumerate(phase.rounds):
+            sblocks = [b for b in rnd.send_blocks if b.nbytes]
+            rblocks = [b for b in rnd.recv_blocks if b.nbytes]
+            if len(sblocks) != len(rblocks) or any(
+                s.nbytes != r.nbytes for s, r in zip(sblocks, rblocks)
+            ):
+                report.add(
+                    "V802",
+                    "send and receive blocks of the round do not pair "
+                    "1:1, contribution routing is undecidable",
+                    phase=pi,
+                    round_index=ri,
+                )
+                return False
+            w = rnd.recv_source_offset
+            for s_ref, r_ref in zip(sblocks, rblocks):
+                src = read(snap, s_ref)
+                if src is None:
+                    if not scratch_reported:
+                        scratch_reported = True
+                        report.add(
+                            "V803",
+                            f"round forwards region {s_ref} that holds "
+                            f"no contribution yet (scratch bytes would "
+                            f"be combined)",
+                            phase=pi,
+                            round_index=ri,
+                        )
+                    src = Counter()
+                state[_region_key(r_ref)] = Counter(
+                    {
+                        (tuple(x - o for x, o in zip(delta, w)), b): cnt
+                        for (delta, b), cnt in src.items()
+                    }
+                )
+        for step in phase.combine_steps:
+            if not fold(step, state):
+                return False
+    for lc in schedule.local_copies:
+        src = read(state, lc.src)
+        if src is not None:
+            state[_region_key(lc.dst)] = Counter(src)
+
+    expected = _reduce_expected(schedule)
+    if expected is None:
+        return not scratch_reported
+    ok = not scratch_reported
+    for key, want in expected.items():
+        got = state.get(key, Counter())
+        if got != want:
+            missing = want - got
+            extra = got - want
+            parts = []
+            if missing:
+                parts.append(f"missing {dict(missing)}")
+            if extra:
+                parts.append(f"extra {dict(extra)}")
+            buf, off, n = key
+            report.add(
+                "V803",
+                f"output region {buf!r}[{off}:{off + n}) combines the "
+                f"wrong contribution multiset: " + ", ".join(parts),
+            )
+            ok = False
+    return ok
+
+
+def _check_reduce_content(
+    schedule: Schedule,
+    topo: CartTopology,
+    report: VerificationReport,
+    *,
+    max_bytes: int = DEFAULT_CONTENT_BUDGET,
+) -> bool:
+    """V805: one end-to-end lockstep execution on integer sentinels vs
+    the collective's definition, with mesh gating (off-edge sources are
+    skipped; trivial kinds only — tree kinds refuse meshes earlier).
+
+    Skipped for custom operator tokens: they are process-local and the
+    definition's fold order is unspecified for non-commutative ones."""
+    from repro.core.backend.lockstep import LockstepBackend
+    from repro.core.reduce_schedule import (
+        is_custom_op_token,
+        resolve_op_token,
+    )
+
+    token = schedule.combine_op
+    if token is None or is_custom_op_token(token):
+        return False
+    op_fn = resolve_op_token(token)
+    dt = np.dtype(schedule.combine_dtype)
+    ext = _buffer_extents(schedule)
+    send_bytes = ext.get("send", 0)
+    recv_bytes = ext.get("recv", 0)
+    p = topo.size
+    if (
+        send_bytes % dt.itemsize
+        or recv_bytes % dt.itemsize
+        or p * (send_bytes + recv_bytes + schedule.temp_nbytes) > max_bytes
+    ):
+        return False
+    if not (schedule.send_layout and schedule.recv_layout):
+        return False
+
+    nbh = schedule.neighborhood
+    offsets = [tuple(int(x) for x in off) for off in nbh]
+    # (source offset, send block index) contributions per output slot
+    if schedule.kind in ("reduce", "trivial-reduce"):
+        slot_contribs = [[(off, 0) for off in offsets]]
+    elif schedule.kind in ("reduce-scatter", "trivial-reduce-scatter"):
+        slot_contribs = [[(off, i) for i, off in enumerate(offsets)]]
+    elif schedule.kind == "allreduce":
+        slot_contribs = [
+            [
+                (tuple(a + b for a, b in zip(offsets[j], off)), 0)
+                for off in offsets
+            ]
+            for j in range(nbh.t)
+        ]
+    else:
+        return False
+
+    rng = np.random.default_rng(2019)
+    sendbufs = [
+        rng.integers(1, 50, send_bytes // dt.itemsize).astype(dt)
+        for _ in range(p)
+    ]
+    recvbufs = [np.zeros(recv_bytes // dt.itemsize, dt) for _ in range(p)]
+    # a rank with no live contribution must raise, not compare
+    for rank in range(p):
+        for contribs in slot_contribs:
+            if not any(
+                topo.translate(rank, tuple(-o for o in off)) is not None
+                for off, _ in contribs
+            ):
+                return False
+    try:
+        LockstepBackend().execute_all(
+            topo,
+            schedule,
+            [
+                {"send": sendbufs[r], "recv": recvbufs[r]}
+                for r in range(p)
+            ],
+        )
+    except Exception as exc:
+        report.add("V805", f"lockstep reduction raised: {exc!r}")
+        return True
+
+    def block(rank: int, index: int) -> np.ndarray:
+        ref = next(iter(schedule.send_layout[index]))
+        lo = ref.offset // dt.itemsize
+        return sendbufs[rank][lo : lo + ref.nbytes // dt.itemsize]
+
+    for rank in range(p):
+        for slot, contribs in enumerate(slot_contribs):
+            want = None
+            for off, bi in contribs:
+                src = topo.translate(rank, tuple(-o for o in off))
+                if src is None:
+                    continue
+                b = block(src, bi)
+                want = b.copy() if want is None else op_fn(want, b)
+            ref = next(iter(schedule.recv_layout[slot]))
+            lo = ref.offset // dt.itemsize
+            got = recvbufs[rank][lo : lo + ref.nbytes // dt.itemsize]
+            if want is None or not np.array_equal(got, want):
+                report.add(
+                    "V805",
+                    f"reduction result differs from the definition at "
+                    f"rank {rank}, output slot {slot}",
+                    rank=rank,
+                )
+                return True
+    return True
+
+
+def _run_reduce_checks(
+    schedule: Schedule,
+    topo: CartTopology,
+    report: VerificationReport,
+    *,
+    content: bool = True,
+    max_content_bytes: int = DEFAULT_CONTENT_BUDGET,
+) -> None:
+    """The reduction pass shared by :func:`verify_schedule` and
+    :func:`verify_reduce_schedule`: V802 structure, V803 dataflow, the
+    V804 probe of the schedule's own operator, and the V805 end-to-end
+    content comparison."""
+    from repro.core.reduce_schedule import (
+        is_custom_op_token,
+        resolve_op_token,
+    )
+
+    _check_reduce_structure(schedule, topo, report)
+    report.checks_run.append("reduce-structure")
+    _check_reduce_dataflow(schedule, report)
+    report.checks_run.append("reduce-dataflow")
+    token = schedule.combine_op
+    op_ok = True
+    if token is not None and not is_custom_op_token(token):
+        op_ok = _probe_operator(resolve_op_token(token), token, report)
+        report.checks_run.append("reduce-operator")
+    structural_bad = report.codes() & {"V801", "V802", "V803"}
+    if content and op_ok and not structural_bad:
+        if _check_reduce_content(
+            schedule, topo, report, max_bytes=max_content_bytes
+        ):
+            report.checks_run.append("reduce-content")
+
+
 def verify_reduce_schedule(
-    sched: "ReduceSchedule",
+    schedule: Schedule,
     dims: Sequence[int],
     periods: Sequence[bool] | bool = True,
     *,
-    op: "ReduceOp" = "sum",
     probe_named_ops: bool = True,
     content: bool = True,
 ) -> VerificationReport:
-    """Statically verify a reverse-tree reduction schedule
-    (:class:`~repro.core.reduce_schedule.ReduceSchedule`).
+    """Statically verify a reduction schedule (any kind in
+    :data:`REDUCE_KINDS`) against the whole torus.
 
-    Checks, mirroring the allgather verifier it is dual to:
+    Checks, mirroring the allgather verifier the tree kinds are dual to:
 
-    * **V801** — round count equals ``C`` and block volume equals the
-      allgather tree's edge count (the duality of Prop. 3.3);
-    * **V802** — every round's offset routes only the phase's dimension,
-      every edge's slots are in range, and no round of a phase reads an
-      accumulator an earlier round of the same phase combined into (the
-      hazard that would make the threaded and lockstep executors
-      disagree);
-    * **V803** — symbolic contribution dataflow: tracking, per
-      accumulator slot, the multiset of relative source offsets it has
-      combined (phase-snapshot semantics, as the threaded executor
-      sends pre-phase values), the root slot must end holding exactly
-      ``{ -N[i] : i }`` — and no round may forward a never-seeded
-      accumulator (scratch, the reduction analogue of V405/V709);
+    * **V801** — round count equals ``C`` (``2C`` for the composed
+      allreduce) and block volume equals the allgather tree's edge
+      count (Prop. 3.3 duality); ``t − |self|`` single-round phases for
+      the trivial kinds;
+    * **V802** — combining kinds demand a fully periodic torus, every
+      tree round's offset routes the phase's dimension alone, combine
+      gates stay in range, regions stay element-aligned, and no combine
+      destination overlaps a staging source (the hazard that would make
+      fold order observable);
+    * **V803** — symbolic contribution dataflow: every recorded output
+      region must end holding exactly the contribution multiset of the
+      collective's definition, and no round may forward unseeded
+      scratch;
     * **V804** — the combine operator passes a numeric commutativity /
       associativity probe on exact integer operands (the ``MPI_Op``
-      contract; with ``probe_named_ops`` all built-in named operators
-      are probed too, pinning the operator table itself);
-    * **V805** — an end-to-end :func:`execute_reduce_lockstep` run on
-      sentinel blocks matches the collective's definition
-      ``recv(r) = reduce_i block(r - N[i])`` computed directly.
+      contract; ``probe_named_ops`` additionally pins the whole named
+      operator table);
+    * **V805** — an end-to-end lockstep execution on integer sentinels
+      matches the definition ``recv(r) = reduce_i block(r − N[i])`` (and
+      its scatter/allreduce analogues) computed directly.
     """
-    from collections import Counter
-
-    from repro.core.reduce_schedule import (
-        OPS,
-        execute_reduce_lockstep,
-        resolve_op,
-    )
+    from repro.core.reduce_schedule import OPS
 
     dims_t = tuple(int(n) for n in dims)
     if isinstance(periods, bool):
         periods_t: tuple[bool, ...] = (periods,) * len(dims_t)
     else:
         periods_t = tuple(bool(p) for p in periods)
-    report = VerificationReport(kind="reduce", dims=dims_t, periods=periods_t)
-    nbh = sched.nbh
-
-    # --- V801: quantitative duality -----------------------------------
-    if sched.num_rounds != nbh.combining_rounds:
-        report.add(
-            "V801",
-            f"round count {sched.num_rounds} != C = "
-            f"{nbh.combining_rounds} (Prop. 3.1 duality)",
-        )
-    if sched.volume_blocks != sched.tree.edge_count:
-        report.add(
-            "V801",
-            f"volume {sched.volume_blocks} blocks != tree edge count "
-            f"{sched.tree.edge_count} (Prop. 3.3 duality)",
-        )
-    report.checks_run.append("reduce-quantitative")
-
-    # --- V802 structure + V803 symbolic dataflow ----------------------
-    nslots = sched.num_slots
-    if not (0 <= sched.root_slot < nslots):
-        report.add("V802", f"root slot {sched.root_slot} out of range")
+    topo = CartTopology(dims_t, periods_t)
+    report = VerificationReport(
+        kind=schedule.kind, dims=dims_t, periods=periods_t
+    )
+    if not schedule.is_reduction:
+        report.add("V802", "schedule carries no combine operator")
         return report
-    zero = (0,) * nbh.d
-    contribs: list[Counter[tuple[int, ...]]] = [
-        Counter({zero: mult}) if mult else Counter()
-        for mult in sched.own_multiplicity
-    ]
-    scratch_reported = False
-    for pi, phase in enumerate(sched.phases):
-        if not (0 <= phase.dim < nbh.d):
-            report.add("V802", f"phase dim {phase.dim} out of range", phase=pi)
-            return report
-        # threaded executor semantics: every round of the phase sends
-        # the pre-phase accumulator values
-        snap = [Counter(c) for c in contribs]
-        combined_earlier: set[int] = set()
-        for ri, rnd in enumerate(phase.rounds):
-            if len(rnd.offset) != nbh.d or rnd.offset[phase.dim] == 0 or any(
-                o != 0 for j, o in enumerate(rnd.offset) if j != phase.dim
-            ):
-                report.add(
-                    "V802",
-                    f"round offset {rnd.offset} does not route dimension "
-                    f"{phase.dim} alone",
-                    phase=pi,
-                    round_index=ri,
-                )
-                return report
-            for edge in rnd.edges:
-                if not (
-                    0 <= edge.child_slot < nslots
-                    and 0 <= edge.parent_slot < nslots
-                ):
-                    report.add(
-                        "V802",
-                        f"edge slots ({edge.child_slot}, "
-                        f"{edge.parent_slot}) out of range [0, {nslots})",
-                        phase=pi,
-                        round_index=ri,
-                    )
-                    return report
-                if edge.child_slot in combined_earlier:
-                    report.add(
-                        "V802",
-                        f"round sends slot {edge.child_slot} which an "
-                        f"earlier round of the phase combined into "
-                        f"(threaded and lockstep executors would "
-                        f"disagree)",
-                        phase=pi,
-                        round_index=ri,
-                    )
-                src = snap[edge.child_slot]
-                if not src and not scratch_reported:
-                    scratch_reported = True
-                    report.add(
-                        "V803",
-                        f"round forwards accumulator slot "
-                        f"{edge.child_slot} that holds no contribution "
-                        f"yet (scratch bytes would be combined)",
-                        phase=pi,
-                        round_index=ri,
-                    )
-                dst = contribs[edge.parent_slot]
-                # the received A_{r-w}[child] contributes block(r+(d-w))
-                for delta, cnt in src.items():
-                    shifted = tuple(
-                        d - o for d, o in zip(delta, rnd.offset)
-                    )
-                    dst[shifted] += cnt
-            combined_earlier.update(e.parent_slot for e in rnd.edges)
-    report.checks_run.append("reduce-structure")
-
-    expected = Counter(
-        tuple(-int(x) for x in off) for off in nbh
-    )
-    got = contribs[sched.root_slot]
-    if got != expected:
-        missing = expected - got
-        extra = got - expected
-        parts = []
-        if missing:
-            parts.append(f"missing {dict(missing)}")
-        if extra:
-            parts.append(f"extra {dict(extra)}")
-        report.add(
-            "V803",
-            "root accumulator combines the wrong contribution multiset: "
-            + ", ".join(parts),
-        )
-    report.checks_run.append("reduce-dataflow")
-
-    # --- V804: operator algebra probe ---------------------------------
-    op_fn = resolve_op(op)
-    op_label = op if isinstance(op, str) else getattr(
-        op, "__name__", repr(op)
-    )
-    op_ok = _probe_operator(op_fn, str(op_label), report)
+    _check_quantitative(schedule, report)
+    report.checks_run.append("reduce-quantitative")
+    _run_reduce_checks(schedule, topo, report, content=content)
     if probe_named_ops:
         for name, fn in sorted(OPS.items()):
-            if fn is not op_fn:
+            if name != schedule.combine_op:
                 _probe_operator(fn, name, report)
-    report.checks_run.append("reduce-operator")
-
-    # --- V805: end-to-end content vs. the definition ------------------
-    topo = CartTopology(dims_t, periods_t)
-    if not topo.is_fully_periodic:
-        report.add(
-            "V802",
-            "combining reductions require a fully periodic torus",
-        )
-        return report
-    structural_bad = report.codes() & {"V801", "V802", "V803"}
-    if not (content and op_ok) or structural_bad:
-        return report
-    rng = np.random.default_rng(2019)
-    sendbufs = [
-        rng.integers(1, 50, _REDUCE_PROBE_ELEMS).astype(np.int64)
-        for _ in range(topo.size)
-    ]
-    try:
-        outs = execute_reduce_lockstep(topo, sched, sendbufs, op_fn)
-    except Exception as exc:
-        report.add("V805", f"lockstep reduction raised: {exc!r}")
-        return report
-    offsets = [tuple(int(x) for x in off) for off in nbh]
-    for rank in range(topo.size):
-        want = None
-        for off in offsets:
-            src = topo.translate(rank, tuple(-o for o in off))
-            block = sendbufs[src]
-            want = block.copy() if want is None else op_fn(want, block)
-        if want is None or not np.array_equal(outs[rank], want):
-            report.add(
-                "V805",
-                f"reduction result differs from "
-                f"reduce_i block(r - N[i]) at rank {rank}",
-                rank=rank,
-            )
-            break
-    report.checks_run.append("reduce-content")
+        report.checks_run.append("reduce-operator-table")
     return report
 
 
@@ -1285,6 +1599,11 @@ SWEEP_KINDS = (
     "allgather",
     "trivial-allgather",
     "direct-allgather",
+    "reduce",
+    "reduce-scatter",
+    "allreduce",
+    "trivial-reduce",
+    "trivial-reduce-scatter",
 )
 
 
@@ -1298,6 +1617,10 @@ def build_for_kind(
         build_trivial_alltoall_blocksets,
     )
     from repro.core.allgather_schedule import build_allgather_schedule
+    from repro.core.reduce_schedule import (
+        REDUCE_BUILDERS,
+        TRIVIAL_REDUCE_BUILDERS,
+    )
     from repro.core.schedule import uniform_block_layout
     from repro.core.trivial import (
         build_direct_allgather_schedule,
@@ -1306,6 +1629,11 @@ def build_for_kind(
         build_trivial_alltoall_schedule,
     )
 
+    if kind in REDUCE_KINDS:
+        # int64 keeps the content checks exact under every named operator
+        m = ((int(block_bytes) + 7) // 8) * 8
+        builder = {**REDUCE_BUILDERS, **TRIVIAL_REDUCE_BUILDERS}[kind]
+        return builder(nbh, m_bytes=m, dtype="int64", op="sum")
     if kind.endswith("allgather"):
         send_block = BlockSet([BlockRef("send", 0, block_bytes)])
         recv_blocks = uniform_block_layout([block_bytes] * nbh.t, "recv")

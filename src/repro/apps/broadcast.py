@@ -268,10 +268,13 @@ class AllToAllBroadcast(CartesianApp):
             state = data[r].copy()
             recv = np.zeros(t * m, dtype=np.int64)
             sweep = cart.allgather_init(state, recv, algorithm=algorithm)
-            for it in range(iterations):
-                sweep.execute()
-                blocks = recv.reshape(t, m)
-                state[:] = ((blocks * weights).sum(axis=0) + r + it) % MOD
+            try:
+                for it in range(iterations):
+                    sweep.execute()
+                    blocks = recv.reshape(t, m)
+                    state[:] = ((blocks * weights).sum(axis=0) + r + it) % MOD
+            finally:
+                sweep.free()
             return state, recv, stats
 
         results = run_cartesian(

@@ -163,11 +163,14 @@ class CannonMatmul(CartesianApp):
                 algorithm=algorithm,
             )
             c = np.zeros((mb, nb), dtype=dtype)
-            for _ in range(q):
-                c += a[:, :kb] @ b[:, :nb]
-                shift.execute()
-                a[...] = a_next
-                b[...] = b_next
+            try:
+                for _ in range(q):
+                    c += a[:, :kb] @ b[:, :nb]
+                    shift.execute()
+                    a[...] = a_next
+                    b[...] = b_next
+            finally:
+                shift.free()
             return c, stats
 
         results = run_cartesian(

@@ -186,9 +186,12 @@ class GameOfLife(CartesianApp):
             halo = cart.alltoallw_init(
                 {"grid": grid}, sends, recvs, algorithm=algorithm
             )
-            for _ in range(generations):
-                halo.execute()
-                grid[inner] = life_step_local(grid, 1)
+            try:
+                for _ in range(generations):
+                    halo.execute()
+                    grid[inner] = life_step_local(grid, 1)
+            finally:
+                halo.free()
             return pack_rows(grid[inner]), stats
 
         results = run_cartesian(

@@ -190,6 +190,7 @@ def build_allgather_schedule(
     send_block: BlockSet,
     recv_blocks: Sequence[BlockSet],
     dim_order: Optional[Sequence[int]] = None,
+    temp_base: int = 0,
 ) -> Schedule:
     """Compute the message-combining allgather schedule.
 
@@ -207,6 +208,11 @@ def build_allgather_schedule(
     dim_order:
         overrides the default increasing-``C_k`` dimension order (used by
         the ablation bench reproducing the Figure 2 comparison).
+    temp_base:
+        first temp byte offset this schedule may use.  The allreduce
+        composition appends a forward allgather after the reverse
+        reduction tree, whose accumulator area occupies temp below
+        ``temp_base``; the returned ``temp_nbytes`` includes the base.
     """
     t = nbh.t
     if len(recv_blocks) != t:
@@ -230,7 +236,7 @@ def build_allgather_schedule(
     # receive slot; otherwise it gets a temp slot.
     storage: dict[int, BlockSet] = {}  # id(node) -> blockset
     local_copies: list[LocalCopy] = []
-    temp_nbytes = 0
+    temp_nbytes = int(temp_base)
 
     storage[id(tree.root)] = send_block
     for i in tree.root.terminal:

@@ -88,9 +88,6 @@ class TransportCapabilities:
     per_rank: bool
     #: the backend executes a schedule for all ranks in one call
     all_ranks: bool
-    #: the backend executes reduction schedules natively (otherwise the
-    #: reduction funnels through the all-ranks lockstep path)
-    native_reduce: bool
 
 
 class Transport:

@@ -42,7 +42,6 @@ BATCHED_CAPS = TransportCapabilities(
     split_phase=False,
     per_rank=False,
     all_ranks=True,
-    native_reduce=False,
 )
 
 

@@ -31,8 +31,10 @@ import numpy as np
 
 from repro.core import plan as plan_mod
 from repro.core.backend.base import Transport, allocate_buffers
-from repro.core.schedule import Schedule
+from repro.core.schedule import LocalCombine, Schedule
 from repro.core.topology import CartTopology
+from repro.mpisim.datatypes import byte_view
+from repro.mpisim.exceptions import ScheduleError
 
 #: Tag used by Cartesian collective schedules (the paper's ``CARTTAG``);
 #: kept numerically identical to ``repro.mpisim.comm.CARTTAG``.
@@ -97,6 +99,12 @@ class ScheduleInterpreter:
         self._phase_index = 0
         self.pending: list[Any] = []
         self._finished = False
+        #: accumulator regions initialized so far (uncompiled reduction
+        #: path only): first write to a region copies, later ones apply
+        #: the combine operator — no identity element is materialized
+        self._inited: set[tuple[str, int, int]] = set()
+        self._combine_fn = None
+        self._combine_view_dtype = None
 
     # ------------------------------------------------------------------
     @property
@@ -131,6 +139,14 @@ class ScheduleInterpreter:
             self._peers = plan_mod.peer_table(
                 self.schedule, self.topo, self.transport.rank
             )
+        if self.schedule.is_reduction:
+            # Seed accumulators from the send buffer *before* phase 0
+            # posts any send (phase-0 rounds ship accumulator slots).
+            if self.plan is not None:
+                if self.plan.pre_program is not None:
+                    self.plan.pre_program.run(self.buffers)
+            else:
+                self._run_combine_steps(self.schedule.pre_steps, None)
         if self.observe:
             self.transport.mark(f"begin {self.schedule.kind}")
             self.transport.progress(op=self.schedule.kind)
@@ -195,13 +211,50 @@ class ScheduleInterpreter:
         return False
 
     def complete_phase(self) -> None:
-        """Complete the posted phase's operations and advance."""
+        """Complete the posted phase's operations and advance.
+
+        For reduction schedules, the phase's combine steps fold the
+        freshly received staging regions into their accumulators after
+        the ``waitall`` — sequentially, so every backend (threaded,
+        lockstep, batched, shm) applies the operator in the identical
+        deterministic order."""
         self.transport.waitall(self.pending)
         self.pending = []
+        pi = self._phase_index
+        if self.schedule.is_reduction:
+            if self.plan is not None:
+                prog = self.plan.combine_programs[pi]
+                if prog is not None:
+                    prog.run(self.buffers)
+            else:
+                steps = self.schedule.phases[pi].combine_steps
+                if steps:
+                    assert self._peers is not None
+                    live = [
+                        source is not None
+                        for source, _target in self._peers[pi]
+                    ]
+                    self._run_combine_steps(steps, live)
         self._phase_index += 1
 
     def finish(self) -> None:
-        """The final non-communication phase: rank-local copies."""
+        """The final non-communication phase: rank-local copies (and,
+        for reductions, the check that every required output received at
+        least one contribution)."""
+        if self.schedule.is_reduction:
+            missing = (
+                not self.plan.reduce_outputs_ok
+                if self.plan is not None
+                else any(
+                    (ref.buffer, ref.offset, ref.nbytes) not in self._inited
+                    for ref in self.schedule.required_outputs
+                )
+            )
+            if missing:
+                raise ScheduleError(
+                    "reduction received no contributions "
+                    "(all neighbors off the mesh)"
+                )
         if self.plan is not None:
             moved = self.plan.run_local_copies(self.buffers)
             self.bytes_packed = self.plan.wire_bytes
@@ -233,6 +286,44 @@ class ScheduleInterpreter:
             plan_mod.GLOBAL_POOL.release(self._pooled_temp)
             self._pooled_temp = None
         self._finished = True
+
+    # ------------------------------------------------------------------
+    def _run_combine_steps(
+        self,
+        steps: "list[LocalCombine]",
+        live: "list[bool] | None",
+    ) -> None:
+        """Uncompiled combine execution: apply each step in order, with
+        first-write-wins initialization and ``when_round`` gating
+        (``live[r]`` = round ``r`` of the current phase had an on-mesh
+        receive source; ``None`` for the ungated pre-steps)."""
+        if self._combine_fn is None:
+            from repro.core.reduce_schedule import resolve_op_token
+
+            self._combine_fn = resolve_op_token(self.schedule.combine_op)
+            self._combine_view_dtype = np.dtype(self.schedule.combine_dtype)
+        op = self._combine_fn
+        dt = self._combine_view_dtype
+        buffers = self.buffers
+        inited = self._inited
+        for step in steps:
+            if step.when_round is not None and not live[step.when_round]:
+                continue
+            if step.src.nbytes == 0:  # zero-size blocks carry no data
+                inited.add((step.dst.buffer, step.dst.offset, step.dst.nbytes))
+                continue
+            src = byte_view(buffers[step.src.buffer])[
+                step.src.offset : step.src.offset + step.src.nbytes
+            ].view(dt)
+            dst = byte_view(buffers[step.dst.buffer])[
+                step.dst.offset : step.dst.offset + step.dst.nbytes
+            ].view(dt)
+            key = (step.dst.buffer, step.dst.offset, step.dst.nbytes)
+            if key in inited:
+                dst[...] = op(dst, src)
+            else:
+                dst[...] = src
+                inited.add(key)
 
     # ------------------------------------------------------------------
     def run(self) -> None:

@@ -39,7 +39,6 @@ LOCKSTEP_CAPS = TransportCapabilities(
     split_phase=False,
     per_rank=False,
     all_ranks=True,
-    native_reduce=False,
 )
 
 

@@ -62,7 +62,6 @@ SHM_CAPS = TransportCapabilities(
     split_phase=False,
     per_rank=False,
     all_ranks=True,
-    native_reduce=False,
 )
 
 #: Refuse to fork absurd process counts; override for big-machine runs.

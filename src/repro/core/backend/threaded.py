@@ -27,7 +27,6 @@ THREADED_CAPS = TransportCapabilities(
     split_phase=True,
     per_rank=True,
     all_ranks=True,       # via a private engine in execute_all
-    native_reduce=True,
 )
 
 

@@ -175,7 +175,6 @@ class CartComm:
         if validate:
             verify_isomorphic(self.comm, nbh)
         self._schedule_cache: dict[tuple, Schedule] = {}
-        self._reduce_cache: dict[tuple, object] = {}
         self._op_seq = 0
         self.stats = None
         if self.info.get("collect_stats"):
@@ -738,6 +737,52 @@ class CartComm:
     # ------------------------------------------------------------------
     # neighborhood reductions (extension; see reduce_schedule.py)
     # ------------------------------------------------------------------
+    def _resolve_reduce_algorithm(self, algorithm: str) -> str:
+        """Reduction flavour of :meth:`_resolve_algorithm`.  There is no
+        ``direct`` reduction algorithm; both ``auto`` and ``direct``
+        defer to the round-count rule (combining iff the torus is fully
+        periodic and ``C < t``)."""
+        from repro.core import reduce_schedule as rs
+
+        if algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+            )
+        if algorithm in ("auto", "direct"):
+            algorithm = rs.select_reduce_algorithm(self.topo, self.nbh)
+        if algorithm == "combining" and not self.topo.is_fully_periodic:
+            raise TopologyError(
+                "message-combining reductions require a fully periodic "
+                "torus; use algorithm='trivial' on meshes"
+            )
+        return algorithm
+
+    def _reduce_schedule(
+        self,
+        family: str,  # "reduce" | "reduce-scatter" | "allreduce"
+        algorithm: str,  # "combining" | "trivial" (already resolved)
+        m_bytes: int,
+        dtype: np.dtype,
+        op: Union[str, Callable[[np.ndarray, np.ndarray], np.ndarray]],
+    ) -> Schedule:
+        """Reduction schedules through the same two-level cache the
+        collectives use; the layout signature is ``(block bytes, dtype,
+        operator token)``, so schedules for different operators or
+        element types never alias."""
+        from repro.core import reduce_schedule as rs
+
+        kind = family if algorithm == "combining" else f"trivial-{family}"
+        build_fn = {**rs.REDUCE_BUILDERS, **rs.TRIVIAL_REDUCE_BUILDERS}[kind]
+        sig = (int(m_bytes), np.dtype(dtype).str, rs.op_token(op))
+
+        def make():
+            build = lambda: build_fn(
+                self.nbh, m_bytes=int(m_bytes), dtype=dtype, op=op
+            )
+            return sig, build
+
+        return self._cached((kind, sig), kind, make)
+
     def reduce_neighbors(
         self,
         sendbuf: np.ndarray,
@@ -755,158 +800,98 @@ class CartComm:
         ``combining`` algorithm runs the allgather tree in reverse —
         ``C`` rounds instead of ``t``.
         """
-        from repro.core import reduce_schedule as rs
+        if recvbuf.shape != sendbuf.shape or recvbuf.dtype != sendbuf.dtype:
+            raise ValueError(
+                "recvbuf must match sendbuf in shape and dtype for reductions"
+            )
+        algorithm = self._resolve_reduce_algorithm(algorithm)
+        sched = self._reduce_schedule(
+            "reduce", algorithm, sendbuf.nbytes, sendbuf.dtype, op
+        )
+        self._note_op("reduce_neighbors", sched)
+        self._execute(sched, {"send": sendbuf, "recv": recvbuf})
+        return recvbuf
 
+    def reduce_neighbors_allreduce(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: np.ndarray,
+        op: Union[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = "sum",
+        algorithm: str = "auto",
+    ) -> np.ndarray:
+        """``Cart_neighbor_allreduce``: receive block ``i`` of
+        ``recvbuf`` holds the *full* neighborhood reduction of source
+        neighbor ``rank − N[i]`` — as if every rank had called
+        :meth:`reduce_neighbors` and then allgathered its result, but in
+        one schedule of ``2C`` rounds (reverse reduction tree + the
+        forward allgather tree broadcasting the reduced block).
+
+        Only the message-combining composition exists, so the operation
+        requires a fully periodic torus.
+        """
+        t = self.nbh.t
+        if (
+            recvbuf.dtype != sendbuf.dtype
+            or recvbuf.nbytes != sendbuf.nbytes * t
+        ):
+            raise ValueError(
+                f"recvbuf must hold t={t} blocks matching sendbuf in "
+                f"dtype and block size for allreduce"
+            )
         if algorithm not in ALGORITHMS:
             raise ValueError(
                 f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
             )
-        if algorithm in ("auto", "direct"):
-            algorithm = rs.select_reduce_algorithm(self.topo, self.nbh)
-        if algorithm == "combining":
-            if not self.topo.is_fully_periodic:
-                raise TopologyError(
-                    "message-combining reductions require a fully periodic "
-                    "torus; use algorithm='trivial' on meshes"
-                )
-            sched = self._reduce_schedule()
-            self._note_reduce("combining", sched, sendbuf.nbytes)
-            return self._run_reduce("combining", sched, sendbuf, recvbuf, op)
-        self._note_reduce("trivial", None, sendbuf.nbytes)
-        return self._run_reduce("trivial", None, sendbuf, recvbuf, op)
-
-    def _run_reduce(
-        self,
-        algorithm: str,
-        sched: object,
-        sendbuf: np.ndarray,
-        recvbuf: np.ndarray,
-        op: Union[str, Callable[[np.ndarray, np.ndarray], np.ndarray]],
-    ) -> np.ndarray:
-        """Execute one neighborhood reduction on the selected backend
-        (shared by :meth:`reduce_neighbors` and the persistent handle)."""
-        from repro.core import reduce_schedule as rs
-
-        if self.backend.capabilities.native_reduce:
-            if algorithm == "combining":
-                return rs.execute_reduce(
-                    self.comm, self.topo, sched, sendbuf, recvbuf, op
-                )
-            return rs.reduce_neighbors_trivial(
-                self.comm, self.topo, self.nbh, sendbuf, recvbuf, op
+        if algorithm == "trivial":
+            raise ScheduleError(
+                "neighborhood allreduce has no trivial algorithm; it is "
+                "the reverse-tree + forward-broadcast composition"
             )
-        return self._reduce_funneled(algorithm, sched, sendbuf, recvbuf, op)
-
-    def _reduce_funneled(
-        self,
-        algorithm: str,
-        sched: object,
-        sendbuf: np.ndarray,
-        recvbuf: np.ndarray,
-        op: Union[str, Callable[[np.ndarray, np.ndarray], np.ndarray]],
-    ) -> np.ndarray:
-        """Reduction funnel for all-ranks backends: gather the send
-        blocks at rank 0, reduce all ranks there (deterministically, in
-        the same combination order the threaded paths use), scatter the
-        results back."""
-        from repro.core import reduce_schedule as rs
-
-        op_fn = rs.resolve_op(op)
-        send = np.ascontiguousarray(sendbuf).reshape(-1)
-        if algorithm == "combining" and (
-            recvbuf.shape != send.shape or recvbuf.dtype != send.dtype
-        ):
-            raise ValueError(
-                "recvbuf must match sendbuf in shape and dtype for reductions"
+        if not self.topo.is_fully_periodic:
+            raise TopologyError(
+                "message-combining reductions require a fully periodic "
+                "torus; neighborhood allreduce has no mesh variant"
             )
-        gathered = self.comm.gather(send, root=0)
-        if self.rank == 0:
-            assert gathered is not None
-            if algorithm == "combining":
-                results = rs.execute_reduce_lockstep(
-                    self.topo, sched, gathered, op
-                )
-            else:
-                results = self._reduce_all_trivial(gathered, op_fn)
-            for r in range(1, self.size):
-                self.comm.send(results[r], r, tag=_FUNNEL_TAG)
-            mine = results[0]
-        else:
-            mine = self.comm.recv(source=0, tag=_FUNNEL_TAG)
-        recvbuf[...] = np.asarray(mine).reshape(recvbuf.shape)
+        sched = self._reduce_schedule(
+            "allreduce", "combining", sendbuf.nbytes, sendbuf.dtype, op
+        )
+        self._note_op("reduce_neighbors_allreduce", sched)
+        self._execute(sched, {"send": sendbuf, "recv": recvbuf})
         return recvbuf
 
-    def _reduce_all_trivial(
+    def reduce_scatter_block(
         self,
-        sends: Sequence[np.ndarray],
-        op_fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
-    ) -> list[np.ndarray]:
-        """All-ranks reference reduction, combining in neighbor order
-        with the mesh semantics of
-        :func:`repro.core.reduce_schedule.reduce_neighbors_trivial`: a
-        contribution is present iff its *source* process exists."""
-        results: list[np.ndarray] = []
-        for r in range(self.size):
-            acc: Optional[np.ndarray] = None
-            for off in self.nbh:
-                if not any(off):
-                    incoming: Optional[np.ndarray] = sends[r]
-                else:
-                    src = self.topo.translate(
-                        r, tuple(-int(o) for o in off)
-                    )
-                    incoming = None if src is None else sends[src]
-                if incoming is not None:
-                    acc = (
-                        incoming.copy() if acc is None
-                        else op_fn(acc, incoming)
-                    )
-            if acc is None:
-                raise ScheduleError(
-                    "reduction received no contributions (all neighbors "
-                    "off the mesh)"
-                )
-            results.append(acc)
-        return results
+        sendbuf: np.ndarray,
+        recvbuf: np.ndarray,
+        op: Union[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = "sum",
+        algorithm: str = "auto",
+    ) -> np.ndarray:
+        """``Cart_reduce_scatter_block``: send block ``i`` of
+        ``sendbuf`` is destined for target ``rank + N[i]``; ``recvbuf``
+        = ``op`` over the blocks addressed to this rank, i.e. send block
+        ``i`` of source ``rank − N[i]`` for every ``i``.
 
-    def _reduce_schedule(self):
-        """The combining reduction schedule, via both cache levels (the
-        reduce schedule depends only on the neighborhood, not on block
-        sizes, so the key carries no layout signature)."""
-        from repro.core import reduce_schedule as rs
-
-        key = ("reduce", "combining")
-        sched = self._reduce_cache.get(key)
-        if sched is not None:
-            if self.stats is not None:
-                self.stats.record_cache(True, backend=self.backend.name)
-            return sched
-        gkey = schedule_cache.schedule_key(
-            "reduce/combining", self.nbh, None, self.dims, self.periods
-        )
-        sched, hit, build_seconds = schedule_cache.get_or_build(
-            gkey, lambda: rs.build_reduce_schedule(self.nbh)
-        )
-        self._reduce_cache[key] = sched
-        if self.stats is not None:
-            self.stats.record_cache(
-                hit, build_seconds, backend=self.backend.name
+        The combining algorithm folds contributions along the reverse
+        allgather tree — the sparse-neighborhood analogue of the optimal
+        non-pipelined reduce-scatter round structure (Träff 2024,
+        arXiv:2410.14234) — in ``C`` rounds instead of ``t``.
+        """
+        t = self.nbh.t
+        if (
+            recvbuf.dtype != sendbuf.dtype
+            or sendbuf.nbytes != recvbuf.nbytes * t
+        ):
+            raise ValueError(
+                f"sendbuf must hold t={t} blocks matching recvbuf in "
+                f"dtype and block size for reduce_scatter_block"
             )
-        return sched
-
-    def _note_reduce(self, algorithm: str, schedule, block_nbytes: int) -> None:
-        """Record one neighborhood reduction into the stats, with the
-        same ``(op, algorithm)`` keying the collectives use."""
-        if self.stats is None:
-            return
-        if schedule is not None:
-            rounds, blocks = schedule.num_rounds, schedule.volume_blocks
-        else:
-            rounds = blocks = self.nbh.trivial_rounds
-        self.stats.record_raw(
-            "reduce_neighbors", algorithm, rounds, blocks,
-            blocks * int(block_nbytes), backend=self.backend.name,
+        algorithm = self._resolve_reduce_algorithm(algorithm)
+        sched = self._reduce_schedule(
+            "reduce-scatter", algorithm, recvbuf.nbytes, recvbuf.dtype, op
         )
+        self._note_op("reduce_scatter_block", sched)
+        self._execute(sched, {"send": sendbuf, "recv": recvbuf})
+        return recvbuf
 
     # ------------------------------------------------------------------
     # persistent (init) operations

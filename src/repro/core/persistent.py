@@ -11,10 +11,12 @@ operation and ``wait`` validates pairing.
 
 from __future__ import annotations
 
+import weakref
 from typing import Mapping
 
 import numpy as np
 
+from repro.core import plan as plan_mod
 from repro.core.schedule import Schedule
 from repro.mpisim.exceptions import MpiSimError
 
@@ -35,15 +37,29 @@ class PersistentOp:
         #: communicator's OpStats (same keys as the direct calls)
         self.op = op or schedule.kind.split("-")[-1]
         self.buffers = dict(buffers)
-        # Scratch space allocated once and reused across executions —
-        # the point of schedule persistence.
-        if schedule.temp_nbytes > 0:
-            self.buffers.setdefault(
-                "temp", np.empty(schedule.temp_nbytes, dtype=np.uint8)
+        # Scratch space acquired once from the process pool and reused
+        # across executions — the point of schedule persistence.  The
+        # finalizer returns it when the handle is dropped; :meth:`free`
+        # returns it early.
+        self._temp_finalizer = None
+        if schedule.temp_nbytes > 0 and "temp" not in self.buffers:
+            temp = plan_mod.GLOBAL_POOL.acquire(schedule.temp_nbytes)
+            self.buffers["temp"] = temp
+            self._temp_finalizer = weakref.finalize(
+                self, plan_mod.GLOBAL_POOL.release, temp
             )
         schedule.validate(self.buffers)
         self._started = False
         self.executions = 0
+
+    def free(self) -> None:
+        """``MPI_Request_free`` flavour: return the pooled scratch now
+        instead of at garbage collection.  Idempotent; the handle must
+        not be started again afterwards."""
+        if self._temp_finalizer is not None:
+            self._temp_finalizer()
+            self._temp_finalizer = None
+            self.buffers.pop("temp", None)
 
     # ------------------------------------------------------------------
     def start(self) -> "PersistentOp":
@@ -91,40 +107,57 @@ class PersistentOp:
 
 class PersistentReduce:
     """Persistent neighborhood reduction (``Cart_reduce_init`` flavour):
-    the reverse-tree reduction schedule is computed once; every
+    the reduction schedule — reverse allgather tree for ``combining``,
+    per-neighbor rounds for ``trivial`` — is computed once, the scratch
+    accumulators are acquired from the process pool once, and every
     ``execute`` re-reads the bound send buffer and refills the bound
-    receive buffer."""
+    receive buffer through the common schedule interpreter."""
 
     def __init__(self, cart, sendbuf: np.ndarray, recvbuf: np.ndarray,
                  op="sum", algorithm: str = "auto"):
         from repro.core import reduce_schedule as rs
 
+        if recvbuf.shape != sendbuf.shape or recvbuf.dtype != sendbuf.dtype:
+            raise ValueError(
+                "recvbuf must match sendbuf in shape and dtype for reductions"
+            )
+        rs.resolve_op(op)  # reject unknown names eagerly
         self.cart = cart
         self.sendbuf = sendbuf
         self.recvbuf = recvbuf
         self.op = op
-        rs.resolve_op(op)  # validate eagerly
-        if algorithm == "auto":
-            # one shared cut-off with CartComm.reduce_neighbors — the
-            # two selection paths cannot diverge
-            algorithm = rs.select_reduce_algorithm(cart.topo, cart.nbh)
-        self.algorithm = algorithm
-        self.schedule = (
-            cart._reduce_schedule() if algorithm == "combining" else None
+        # one shared selection path with CartComm.reduce_neighbors — the
+        # two cannot diverge
+        self.algorithm = cart._resolve_reduce_algorithm(algorithm)
+        self.schedule = cart._reduce_schedule(
+            "reduce", self.algorithm, sendbuf.nbytes, sendbuf.dtype, op
         )
+        self.buffers: dict[str, np.ndarray] = {
+            "send": sendbuf, "recv": recvbuf,
+        }
+        self._temp_finalizer = None
+        if self.schedule.temp_nbytes > 0:
+            temp = plan_mod.GLOBAL_POOL.acquire(self.schedule.temp_nbytes)
+            self.buffers["temp"] = temp
+            self._temp_finalizer = weakref.finalize(
+                self, plan_mod.GLOBAL_POOL.release, temp
+            )
+        self.schedule.validate(self.buffers)
         self._started = False
         self.executions = 0
+
+    def free(self) -> None:
+        """Return the pooled accumulator scratch early (idempotent)."""
+        if self._temp_finalizer is not None:
+            self._temp_finalizer()
+            self._temp_finalizer = None
+            self.buffers.pop("temp", None)
 
     def start(self) -> "PersistentReduce":
         if self._started:
             raise MpiSimError("persistent operation already started")
-        self.cart._note_reduce(
-            self.algorithm, self.schedule, self.sendbuf.nbytes
-        )
-        self.cart._run_reduce(
-            self.algorithm, self.schedule, self.sendbuf, self.recvbuf,
-            self.op,
-        )
+        self.cart._note_op("reduce_neighbors", self.schedule)
+        self.cart._execute(self.schedule, self.buffers)
         self._started = True
         return self
 
@@ -142,9 +175,11 @@ class PersistentReduce:
 
     @property
     def rounds(self) -> int:
-        if self.schedule is not None:
-            return self.schedule.num_rounds
-        return self.cart.nbh.trivial_rounds
+        return self.schedule.num_rounds
+
+    @property
+    def volume_blocks(self) -> int:
+        return self.schedule.volume_blocks
 
     def __repr__(self) -> str:
         return (

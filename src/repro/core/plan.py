@@ -52,7 +52,7 @@ from repro.mpisim.datatypes import BlockRef, byte_view
 from repro.mpisim.exceptions import ScheduleError, TruncationError
 
 if TYPE_CHECKING:
-    from repro.core.schedule import LocalCopy, Schedule
+    from repro.core.schedule import LocalCombine, LocalCopy, Schedule
     from repro.core.topology import CartTopology
 
 #: Average coalesced-run size (bytes) up to which a fragmented layout is
@@ -538,6 +538,262 @@ def compile_copies(
 
 
 # ---------------------------------------------------------------------------
+# fused combine (reduction) kernels
+# ---------------------------------------------------------------------------
+
+
+def _dtype_slice(off: int, nbytes: int, itemsize: int) -> slice:
+    """Byte region → element slice on a whole-buffer dtype view."""
+    return slice(off // itemsize, (off + nbytes) // itemsize)
+
+
+class CombineProgram:
+    """One rank's fused combine kernel for a step list (the pre-steps, or
+    one phase's post-``waitall`` folds), fully resolved at compile time.
+
+    The compiler statically evaluates ``when_round`` gating (the peer
+    ranks are known) and first-write-wins initialization (the execution
+    order is known), so at run time only three op shapes remain:
+
+    * ``copy`` — plain byte-slice copies (accumulator initialization);
+    * ``op`` — sliced in-place ufunc applications over contiguous runs
+      (``ufunc(dst, src, out=dst)`` on dtype views), or the sequential
+      ``dst[...] = fn(dst, src)`` form for custom callables;
+    * ``at`` — one ``ufunc.at`` scatter-reduce over precomputed element
+      index arrays, used when a fused group's destination regions repeat
+      (duplicate accumulator contributions — the fragmented-layout case
+      where ordered slicing would force a per-step loop).
+
+    Copies are emitted before combines: within one program the first
+    step targeting a region is by construction its initializing copy, so
+    hoisting copies never reorders a read-after-write, and it lets the
+    combine tail fuse into fewer kernels.
+    """
+
+    __slots__ = ("token", "dtype", "nbytes", "_copy_ops", "_op_ops",
+                 "_at_ops", "_ufunc", "_fn")
+
+    def __init__(
+        self,
+        token: str,
+        dtype: np.dtype,
+        copy_ops: Sequence[tuple[str, int, str, int, int]],
+        op_ops: Sequence[tuple[str, int, str, int, int]],
+        at_ops: Sequence[tuple[str, np.ndarray, str, np.ndarray]],
+    ) -> None:
+        from repro.core.reduce_schedule import (
+            resolve_op_token,
+            ufunc_for_token,
+        )
+
+        self.token = token
+        self.dtype = dtype
+        #: (src buffer, src offset, dst buffer, dst offset, nbytes)
+        self._copy_ops = tuple(copy_ops)
+        self._op_ops = tuple(op_ops)
+        #: (src buffer, src element indices, dst buffer, dst element idx)
+        self._at_ops = tuple(at_ops)
+        self._ufunc = ufunc_for_token(token)
+        self._fn = None if self._ufunc is not None else resolve_op_token(token)
+        self.nbytes = sum(op[4] for op in copy_ops) + sum(
+            op[4] for op in op_ops
+        ) + sum(idx.size * dtype.itemsize for _, idx, _, _ in at_ops)
+
+    def run(self, buffers: Mapping[str, np.ndarray]) -> None:
+        dt = self.dtype
+        for src, soff, dst, doff, n in self._copy_ops:
+            byte_view(buffers[dst])[doff : doff + n] = byte_view(
+                buffers[src]
+            )[soff : soff + n]
+        for src, soff, dst, doff, n in self._op_ops:
+            s = byte_view(buffers[src])[soff : soff + n].view(dt)
+            d = byte_view(buffers[dst])[doff : doff + n].view(dt)
+            if self._ufunc is not None:
+                self._ufunc(d, s, out=d)
+            else:
+                d[...] = self._fn(d, s)
+        for src, sidx, dst, didx in self._at_ops:
+            sview = byte_view(buffers[src]).view(dt)
+            dview = byte_view(buffers[dst]).view(dt)
+            self._ufunc.at(dview, didx, sview[sidx])
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self._copy_ops) + len(self._op_ops) + len(self._at_ops)
+
+    def __repr__(self) -> str:
+        return (
+            f"CombineProgram({self.token}/{self.dtype.str}, "
+            f"{len(self._copy_ops)} copies, {len(self._op_ops)} op runs, "
+            f"{len(self._at_ops)} scatter-reduces)"
+        )
+
+
+def _coalesce_steps(
+    steps: Sequence[tuple["LocalCombine", bool]],
+) -> list[tuple[bool, str, int, str, int, int]]:
+    """Merge adjacent same-kind steps whose source *and* destination
+    regions are contiguous: (is_copy, src buf, src off, dst buf, dst off,
+    nbytes) runs in program order."""
+    runs: list[tuple[bool, str, int, str, int, int]] = []
+    for step, is_copy in steps:
+        if runs:
+            k, sb, so, db, do, n = runs[-1]
+            if (
+                k == is_copy
+                and sb == step.src.buffer
+                and db == step.dst.buffer
+                and so + n == step.src.offset
+                and do + n == step.dst.offset
+            ):
+                runs[-1] = (k, sb, so, db, do, n + step.src.nbytes)
+                continue
+        runs.append(
+            (
+                is_copy,
+                step.src.buffer,
+                step.src.offset,
+                step.dst.buffer,
+                step.dst.offset,
+                step.src.nbytes,
+            )
+        )
+    return runs
+
+
+def _compile_combine_program(
+    schedule: "Schedule",
+    steps: Sequence["LocalCombine"],
+    live: Optional[Sequence[bool]],
+    inited: set[tuple[str, int, int]],
+    sizes: Mapping[str, int],
+) -> Optional[CombineProgram]:
+    """Lower one step list for one rank, mutating ``inited`` (the
+    rank's first-write-wins state threaded from the pre-steps through
+    every phase)."""
+    dt = np.dtype(schedule.combine_dtype)
+    resolved: list[tuple["LocalCombine", bool]] = []
+    for step in steps:
+        if step.when_round is not None:
+            if live is None or not (0 <= step.when_round < len(live)):
+                raise ScheduleError(
+                    f"combine gate names round {step.when_round}, the "
+                    f"step list has "
+                    f"{0 if live is None else len(live)} round(s)"
+                )
+            if not live[step.when_round]:
+                continue
+        for ref in (step.src, step.dst):
+            cap = sizes.get(ref.buffer)
+            if cap is None:
+                raise ScheduleError(
+                    f"combine step references unknown buffer {ref.buffer!r}"
+                )
+            if ref.end() > cap:
+                raise TruncationError(
+                    f"combine block {ref} exceeds buffer {ref.buffer!r} "
+                    f"of {cap} bytes"
+                )
+        key = (step.dst.buffer, step.dst.offset, step.dst.nbytes)
+        is_copy = key not in inited
+        inited.add(key)
+        if step.src.nbytes:
+            resolved.append((step, is_copy))
+    if not resolved:
+        return None
+    from repro.core.reduce_schedule import ufunc_for_token
+
+    runs = _coalesce_steps(resolved)
+    copy_ops = [r[1:] for r in runs if r[0]]
+    combine_runs = [r[1:] for r in runs if not r[0]]
+    op_ops: list[tuple[str, int, str, int, int]] = []
+    at_ops: list[tuple[str, np.ndarray, str, np.ndarray]] = []
+    ufunc = ufunc_for_token(schedule.combine_op)
+    dst_keys = [(db, do, n) for _, _, db, do, n in combine_runs]
+    duplicates = len(dst_keys) != len(set(dst_keys)) or any(
+        a[0] == b[0] and a[1] < b[1] + b[2] and b[1] < a[1] + a[2]
+        for i, a in enumerate(dst_keys)
+        for b in dst_keys[i + 1 :]
+    )
+    viewable = all(
+        sizes[name] % dt.itemsize == 0
+        for _, _, name, _, _ in combine_runs
+    ) and all(
+        sizes[name] % dt.itemsize == 0 for name, _, _, _, _ in combine_runs
+    )
+    if duplicates and ufunc is not None and viewable:
+        # scatter-reduce: one ufunc.at over element index arrays applies
+        # repeated destinations sequentially — exactly the semantics of
+        # the ordered step list for an associative, commutative operator
+        isz = dt.itemsize
+        sidx = np.concatenate(
+            [
+                np.arange(so // isz, (so + n) // isz, dtype=np.int64)
+                for _, so, _, _, n in combine_runs
+            ]
+        )
+        didx = np.concatenate(
+            [
+                np.arange(do // isz, (do + n) // isz, dtype=np.int64)
+                for _, _, _, do, n in combine_runs
+            ]
+        )
+        src_buf = combine_runs[0][0]
+        dst_buf = combine_runs[0][2]
+        if all(
+            sb == src_buf and db == dst_buf
+            for sb, _, db, _, _ in combine_runs
+        ):
+            at_ops.append((src_buf, sidx, dst_buf, didx))
+        else:  # mixed buffers: keep the ordered per-run form
+            op_ops = combine_runs
+    else:
+        op_ops = combine_runs
+    return CombineProgram(
+        schedule.combine_op, dt, copy_ops, op_ops, at_ops
+    )
+
+
+def _compile_combines(
+    schedule: "Schedule",
+    topo: "CartTopology",
+    rank: int,
+    sizes: Mapping[str, int],
+) -> tuple[
+    Optional[CombineProgram], tuple[Optional[CombineProgram], ...], bool
+]:
+    """All combine programs of one rank: the pre-step seed program, one
+    program per phase, and whether every required output ends up
+    initialized (a mesh rank whose contributors all fell off the edge
+    must raise at finish, exactly like the dynamic path)."""
+    if not schedule.is_reduction:
+        return None, (None,) * len(schedule.phases), True
+    inited: set[tuple[str, int, int]] = set()
+    pre = _compile_combine_program(
+        schedule, schedule.pre_steps, None, inited, sizes
+    )
+    per_phase: list[Optional[CombineProgram]] = []
+    for phase in schedule.phases:
+        live = [
+            topo.translate(
+                rank, tuple(-o for o in rnd.recv_source_offset)
+            )
+            is not None
+            for rnd in phase.rounds
+        ]
+        per_phase.append(
+            _compile_combine_program(
+                schedule, phase.combine_steps, live, inited, sizes
+            )
+        )
+    outputs_ok = all(
+        (ref.buffer, ref.offset, ref.nbytes) in inited
+        for ref in schedule.required_outputs
+    )
+    return pre, tuple(per_phase), outputs_ok
+
+
+# ---------------------------------------------------------------------------
 # the plan
 # ---------------------------------------------------------------------------
 
@@ -582,6 +838,9 @@ class ExecPlan:
         "key",
         "phases",
         "copy_program",
+        "pre_program",
+        "combine_programs",
+        "reduce_outputs_ok",
         "temp_nbytes",
         "wire_bytes",
         "local_bytes",
@@ -598,12 +857,27 @@ class ExecPlan:
         temp_nbytes: int,
         wire_bytes: int,
         compile_seconds: float,
+        pre_program: Optional[CombineProgram] = None,
+        combine_programs: Sequence[Optional[CombineProgram]] = (),
+        reduce_outputs_ok: bool = True,
     ) -> None:
         self.kind = kind
         self.rank = rank
         self.key = key
         self.phases = tuple(tuple(rs) for rs in phases)
         self.copy_program = copy_program
+        #: fused accumulator-seeding kernel (reductions; run in begin)
+        self.pre_program = pre_program
+        #: per-phase fused combine kernels (aligned with ``phases``;
+        #: ``None`` entries for phases with nothing to fold)
+        self.combine_programs = (
+            tuple(combine_programs)
+            if combine_programs
+            else (None,) * len(self.phases)
+        )
+        #: statically known: every required reduction output receives at
+        #: least one contribution on this rank
+        self.reduce_outputs_ok = reduce_outputs_ok
         self.temp_nbytes = temp_nbytes
         self.wire_bytes = wire_bytes
         self.local_bytes = copy_program.nbytes
@@ -689,6 +963,9 @@ def compile_plan(
             rounds.append(PlanRound(source, target, send, recv))
         phases.append(rounds)
     copy_program = compile_copies(schedule.prepared_copy_runs(), sizes)
+    pre_program, combine_programs, outputs_ok = _compile_combines(
+        schedule, topo, rank, sizes
+    )
     key = plan_key(rank, topo, buffer_signature(sizes))
     return ExecPlan(
         schedule.kind,
@@ -699,6 +976,9 @@ def compile_plan(
         schedule.temp_nbytes,
         wire_bytes,
         time.perf_counter() - t0,
+        pre_program=pre_program,
+        combine_programs=combine_programs,
+        reduce_outputs_ok=outputs_ok,
     )
 
 
@@ -893,6 +1173,183 @@ class BatchedRound:
         )
 
 
+class BatchedReduceRound:
+    """All ranks' combine work for one schedule point (the pre-step seed,
+    or one phase's post-delivery folds) as shared kernels over the
+    ``(p, nbytes)`` buffer matrices.
+
+    Each lowered step is one vectorized operation on a column range of
+    the full rank matrix: a byte-slice copy for accumulator
+    initialization, an in-place ufunc (or the custom-callable
+    ``dst[...] = fn(dst, src)`` form) for the fold.  The rank-varying
+    part — ``when_round`` gating and first-write-wins timing, which
+    differ per rank on meshes — is compiled into per-step row index
+    arrays: ``None`` means every rank (the fully periodic fast path,
+    one basic-slice kernel), an index array selects the subset via
+    fancy-row read-modify-write (fancy-indexed assignment cannot take
+    ``out=``).  Per-rank step order equals the batched step order, so
+    the fold sequence — and therefore the result — is bit-identical to
+    driving ``p`` interpreters."""
+
+    __slots__ = ("token", "dtype", "steps", "_ufunc", "_fn")
+
+    def __init__(
+        self,
+        token: str,
+        dtype: np.dtype,
+        steps: Sequence[
+            tuple[str, int, str, int, int,
+                  Optional[np.ndarray], Optional[np.ndarray]]
+        ],
+    ) -> None:
+        from repro.core.reduce_schedule import (
+            resolve_op_token,
+            ufunc_for_token,
+        )
+
+        self.token = token
+        self.dtype = dtype
+        #: (src buf, src off, dst buf, dst off, nbytes, copy rows,
+        #: combine rows) — row arrays are ``None`` for "all ranks"
+        self.steps = tuple(steps)
+        self._ufunc = ufunc_for_token(token)
+        self._fn = None if self._ufunc is not None else resolve_op_token(token)
+
+    def run(self, matrices: Mapping[str, np.ndarray]) -> None:
+        dt = self.dtype
+        isz = dt.itemsize
+        for sbuf, soff, dbuf, doff, n, copy_rows, comb_rows in self.steps:
+            src_m = matrices[sbuf]
+            dst_m = matrices[dbuf]
+            if copy_rows is None:
+                dst_m[:, doff : doff + n] = src_m[:, soff : soff + n]
+            elif copy_rows.size:
+                dst_m[copy_rows, doff : doff + n] = src_m[
+                    copy_rows, soff : soff + n
+                ]
+            if comb_rows is not None and not comb_rows.size:
+                continue
+            sv = src_m.view(dt)
+            dv = dst_m.view(dt)
+            scols = _dtype_slice(soff, n, isz)
+            dcols = _dtype_slice(doff, n, isz)
+            if comb_rows is None:
+                d = dv[:, dcols]
+                if self._ufunc is not None:
+                    self._ufunc(d, sv[:, scols], out=d)
+                else:
+                    d[...] = self._fn(d, sv[:, scols])
+            else:
+                d = dv[comb_rows, dcols]  # fancy row index: a copy
+                s = sv[comb_rows, scols]
+                dv[comb_rows, dcols] = (
+                    self._ufunc(d, s)
+                    if self._ufunc is not None
+                    else self._fn(d, s)
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchedReduceRound({self.token}/{self.dtype.str}, "
+            f"{len(self.steps)} fused steps)"
+        )
+
+
+def _compile_batched_combines(
+    schedule: "Schedule",
+    p: int,
+    live_by_phase: Sequence[Sequence[np.ndarray]],
+    sizes: Mapping[str, int],
+) -> tuple[
+    Optional[BatchedReduceRound],
+    tuple[Optional[BatchedReduceRound], ...],
+    np.ndarray,
+]:
+    """All-ranks combine lowering: (pre-step kernel, per-phase kernels,
+    ranks whose required outputs never receive a contribution)."""
+    nphases = len(schedule.phases)
+    if not schedule.is_reduction:
+        return None, (None,) * nphases, np.empty(0, dtype=np.int64)
+    dt = np.dtype(schedule.combine_dtype)
+    token = schedule.combine_op
+    inited: dict[tuple[str, int, int], np.ndarray] = {}
+
+    def lower(
+        steps: Sequence["LocalCombine"],
+        live_rounds: Optional[Sequence[np.ndarray]],
+    ) -> Optional[BatchedReduceRound]:
+        lowered = []
+        for step in steps:
+            for ref in (step.src, step.dst):
+                cap = sizes.get(ref.buffer)
+                if cap is None:
+                    raise ScheduleError(
+                        f"combine step references unknown buffer "
+                        f"{ref.buffer!r}"
+                    )
+                if ref.end() > cap:
+                    raise TruncationError(
+                        f"combine block {ref} exceeds buffer "
+                        f"{ref.buffer!r} of {cap} bytes"
+                    )
+                if cap % dt.itemsize:
+                    raise ScheduleError(
+                        f"buffer {ref.buffer!r} of {cap} B cannot be "
+                        f"viewed as {dt.str} rank matrices"
+                    )
+            if step.when_round is None:
+                eligible = np.ones(p, dtype=bool)
+            else:
+                if live_rounds is None or not (
+                    0 <= step.when_round < len(live_rounds)
+                ):
+                    raise ScheduleError(
+                        f"combine gate names round {step.when_round}, "
+                        f"the step list has "
+                        f"{0 if live_rounds is None else len(live_rounds)}"
+                        f" round(s)"
+                    )
+                eligible = live_rounds[step.when_round]
+            key = (step.dst.buffer, step.dst.offset, step.dst.nbytes)
+            prev = inited.get(key)
+            if prev is None:
+                prev = np.zeros(p, dtype=bool)
+                inited[key] = prev
+            copy_mask = eligible & ~prev
+            comb_mask = eligible & prev
+            prev |= eligible
+            if step.src.nbytes == 0 or not eligible.any():
+                continue
+            lowered.append(
+                (
+                    step.src.buffer,
+                    step.src.offset,
+                    step.dst.buffer,
+                    step.dst.offset,
+                    step.src.nbytes,
+                    None if copy_mask.all() else np.nonzero(copy_mask)[0],
+                    None if comb_mask.all() else np.nonzero(comb_mask)[0],
+                )
+            )
+        if not lowered:
+            return None
+        return BatchedReduceRound(token, dt, lowered)
+
+    pre = lower(schedule.pre_steps, None)
+    per_phase = tuple(
+        lower(phase.combine_steps, live_by_phase[pi])
+        for pi, phase in enumerate(schedule.phases)
+    )
+    missing = np.zeros(p, dtype=bool)
+    for ref in schedule.required_outputs:
+        got = inited.get((ref.buffer, ref.offset, ref.nbytes))
+        if got is None:
+            missing[:] = True
+        else:
+            missing |= ~got
+    return pre, per_phase, np.nonzero(missing)[0]
+
+
 class BatchedPlan:
     """An immutable all-ranks lowering of one schedule: the whole
     ``p``-rank lockstep execution as one data-parallel numpy program.
@@ -912,6 +1369,9 @@ class BatchedPlan:
         "p",
         "phases",
         "copy_program",
+        "pre_program",
+        "combine_programs",
+        "reduce_missing",
         "temp_nbytes",
         "sizes",
         "wire_bytes",
@@ -929,12 +1389,30 @@ class BatchedPlan:
         sizes: Mapping[str, int],
         wire_bytes: int,
         compile_seconds: float,
+        pre_program: Optional[BatchedReduceRound] = None,
+        combine_programs: Sequence[Optional[BatchedReduceRound]] = (),
+        reduce_missing: Optional[np.ndarray] = None,
     ) -> None:
         self.kind = kind
         self.key = key
         self.p = p
         self.phases = tuple(tuple(rs) for rs in phases)
         self.copy_program = copy_program
+        #: all-ranks accumulator seeding (reductions; runs before phase 0)
+        self.pre_program = pre_program
+        #: per-phase all-ranks combine kernels (aligned with ``phases``)
+        self.combine_programs = (
+            tuple(combine_programs)
+            if combine_programs
+            else (None,) * len(self.phases)
+        )
+        #: ranks whose required reduction outputs receive no contribution
+        #: (raises at execute, matching the per-rank interpreters)
+        self.reduce_missing = (
+            reduce_missing
+            if reduce_missing is not None
+            else np.empty(0, dtype=np.int64)
+        )
         self.temp_nbytes = temp_nbytes
         self.sizes = dict(sizes)
         self.wire_bytes = wire_bytes
@@ -943,8 +1421,17 @@ class BatchedPlan:
     def execute(self, matrices: Mapping[str, np.ndarray]) -> None:
         """Run every communication phase on the stacked buffer matrices
         (wire matrices are pooled and always returned, even when a
-        kernel raises)."""
-        for phase in self.phases:
+        kernel raises).  Reduction schedules seed accumulators first and
+        fold each phase's staging rows right after its delivery — the
+        same pack-all / deliver-all / fold-all discipline per phase."""
+        if self.reduce_missing.size:
+            raise ScheduleError(
+                "reduction received no contributions "
+                "(all neighbors off the mesh)"
+            )
+        if self.pre_program is not None:
+            self.pre_program.run(matrices)
+        for phase, combine in zip(self.phases, self.combine_programs):
             wires: list[Optional[np.ndarray]] = []
             try:
                 for rnd in phase:
@@ -963,6 +1450,8 @@ class BatchedPlan:
                     rnd.unpack_from(
                         matrices, flat.reshape(self.p, rnd.wire_nbytes)
                     )
+                if combine is not None:
+                    combine.run(matrices)
             finally:
                 for flat in wires:
                     if flat is not None:
@@ -1017,13 +1506,16 @@ def compile_batched_plan(
     schedule.prepare()
     p = topo.size
     phases: list[list[BatchedRound]] = []
+    live_by_phase: list[list[np.ndarray]] = []
     wire_bytes = 0
     for phase in schedule.phases:
         rounds: list[BatchedRound] = []
+        live_rounds: list[np.ndarray] = []
         for rnd in phase.rounds:
             neg = tuple(-o for o in rnd.recv_source_offset)
             sources = translate_all(topo, neg)
             targets = translate_all(topo, rnd.offset)
+            live_rounds.append(sources >= 0)
             send = recv = None
             if (targets >= 0).any():
                 send = compile_blockset(
@@ -1053,7 +1545,11 @@ def compile_batched_plan(
                 wire_bytes += send.total_nbytes * br.senders
             rounds.append(br)
         phases.append(rounds)
+        live_by_phase.append(live_rounds)
     copy_program = compile_copies(schedule.prepared_copy_runs(), sizes)
+    pre_program, combine_programs, reduce_missing = _compile_batched_combines(
+        schedule, p, live_by_phase, sizes
+    )
     key = batched_plan_key(topo, buffer_signature(sizes))
     return BatchedPlan(
         schedule.kind,
@@ -1065,6 +1561,9 @@ def compile_batched_plan(
         sizes,
         wire_bytes,
         time.perf_counter() - t0,
+        pre_program=pre_program,
+        combine_programs=combine_programs,
+        reduce_missing=reduce_missing,
     )
 
 

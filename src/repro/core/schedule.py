@@ -81,12 +81,48 @@ class Round:
 
 
 @dataclass
+class LocalCombine:
+    """A rank-local combine (reduction) step.
+
+    Folds the ``src`` region into the ``dst`` accumulator region with the
+    schedule's combine operator.  Accumulators use first-write-wins
+    initialization: the first step targeting a given ``dst`` region is a
+    plain copy (no operator identity element is ever materialized), every
+    later one applies the operator.  The resolution from "step" to
+    "copy or combine" is static per rank, so the plan compiler bakes it
+    into the fused combine kernels.
+
+    ``when_round`` gates the step on delivery: the step only executes if
+    round ``when_round`` of the owning phase actually received (its
+    source rank exists on the mesh).  ``None`` means unconditional —
+    pre-steps (seeding from the rank's own send buffer) and all steps of
+    fully periodic schedules use it.
+    """
+
+    src: BlockRef
+    dst: BlockRef
+    when_round: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.src.nbytes != self.dst.nbytes:
+            raise ScheduleValidationError.single(
+                "V104",
+                f"local combine size mismatch: {self.src} -> {self.dst}",
+            )
+
+
+@dataclass
 class Phase:
     """One group of independent rounds; ``dim`` is the dimension the
-    phase routes along (``None`` for the local-copy phase marker)."""
+    phase routes along (``None`` for the local-copy phase marker).
+
+    ``combine_steps`` run *after* the phase's ``waitall``, in order: they
+    fold the staging regions the phase's rounds received into accumulator
+    regions (reduction schedules only; empty otherwise)."""
 
     dim: int | None
     rounds: list[Round] = field(default_factory=list)
+    combine_steps: list[LocalCombine] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.rounds)
@@ -128,6 +164,18 @@ class Schedule:
     recv_layout: Optional[list[BlockSet]] = field(
         default=None, repr=False, compare=False
     )
+    #: reduction metadata (``None``/empty for pure data-movement
+    #: schedules).  ``combine_op`` is an operator token resolvable by
+    #: :func:`repro.core.reduce_schedule.resolve_op_token`;
+    #: ``combine_dtype`` the numpy dtype string the combine kernels view
+    #: buffer regions as; ``pre_steps`` seed accumulators from the send
+    #: buffer before phase 0; ``required_outputs`` are regions that must
+    #: have been initialized when the schedule finishes (on meshes, a
+    #: rank whose every contributor fell off the edge has none).
+    combine_op: Optional[str] = None
+    combine_dtype: Optional[str] = None
+    pre_steps: list[LocalCombine] = field(default_factory=list)
+    required_outputs: tuple[BlockRef, ...] = ()
     #: coalesced local-copy plan, precomputed by :meth:`prepare`
     _copy_runs: list[LocalCopy] | None = field(
         default=None, repr=False, compare=False
@@ -176,6 +224,18 @@ class Schedule:
     def all_rounds(self) -> list[Round]:
         return [r for ph in self.phases for r in ph.rounds]
 
+    @property
+    def is_reduction(self) -> bool:
+        """Whether this schedule carries a combine operator (reduction
+        family) as opposed to pure data movement."""
+        return self.combine_op is not None
+
+    @property
+    def combine_step_count(self) -> int:
+        return len(self.pre_steps) + sum(
+            len(ph.combine_steps) for ph in self.phases
+        )
+
     # ------------------------------------------------------------------
     def validate(self, buffers: Mapping[str, np.ndarray] | None = None) -> None:
         """Internal-consistency checks; with ``buffers`` given, also bound
@@ -186,6 +246,18 @@ class Schedule:
                 if buffers is not None:
                     r.send_blocks.validate_against(buffers)
                     r.recv_blocks.validate_against(buffers)
+            for cs in ph.combine_steps:
+                cs.validate()
+                if cs.when_round is not None and not (
+                    0 <= cs.when_round < len(ph.rounds)
+                ):
+                    raise ScheduleValidationError.single(
+                        "V104",
+                        f"combine step gated on round {cs.when_round} of a "
+                        f"{len(ph.rounds)}-round phase",
+                    )
+        for cs in self.pre_steps:
+            cs.validate()
         for lc in self.local_copies:
             lc.validate()
 
@@ -272,6 +344,11 @@ class Schedule:
             f"({self.volume_bytes} B), temp={self.temp_nbytes} B, "
             f"local copies={len(self.local_copies)}"
         ]
+        if self.is_reduction:
+            lines[0] += (
+                f", op={self.combine_op}/{self.combine_dtype}, "
+                f"combine steps={self.combine_step_count}"
+            )
         for pi, ph in enumerate(self.phases):
             dim = "local" if ph.dim is None else f"dim {ph.dim}"
             lines.append(f"  phase {pi} ({dim}): {len(ph)} rounds")

@@ -20,11 +20,30 @@ from typing import Any
 import numpy as np
 
 from repro.core.neighborhood import Neighborhood
-from repro.core.schedule import LocalCopy, Phase, Round, Schedule
+from repro.core.schedule import LocalCombine, LocalCopy, Phase, Round, Schedule
 from repro.mpisim.datatypes import BlockRef, BlockSet
 from repro.mpisim.exceptions import ScheduleError
 
 FORMAT_VERSION = 1
+
+
+def _combine_to_dict(step: LocalCombine) -> dict[str, Any]:
+    d: dict[str, Any] = {
+        "src": [step.src.buffer, step.src.offset, step.src.nbytes],
+        "dst": [step.dst.buffer, step.dst.offset, step.dst.nbytes],
+    }
+    if step.when_round is not None:
+        d["when_round"] = step.when_round
+    return d
+
+
+def _combine_from_dict(d: dict[str, Any]) -> LocalCombine:
+    raw_when = d.get("when_round")
+    return LocalCombine(
+        src=BlockRef(str(d["src"][0]), int(d["src"][1]), int(d["src"][2])),
+        dst=BlockRef(str(d["dst"][0]), int(d["dst"][1]), int(d["dst"][2])),
+        when_round=int(raw_when) if raw_when is not None else None,
+    )
 
 
 def _blockset_to_list(bs: BlockSet) -> list[list]:
@@ -36,7 +55,21 @@ def _blockset_from_list(data: list) -> BlockSet:
 
 
 def schedule_to_dict(sched: Schedule) -> dict[str, Any]:
-    """A JSON-compatible representation of a schedule."""
+    """A JSON-compatible representation of a schedule.
+
+    Reduction schedules carrying a ``custom-N`` operator token are
+    refused: the token is a process-local handle to a live callable and
+    cannot mean anything in another process or a later run.
+    """
+    from repro.core.reduce_schedule import is_custom_op_token
+
+    if sched.combine_op is not None and is_custom_op_token(sched.combine_op):
+        raise ScheduleError(
+            f"cannot serialize a reduction schedule with custom operator "
+            f"token {sched.combine_op!r}: custom callables are "
+            f"process-local; use a named op or rebuild the schedule "
+            f"in the loading process"
+        )
     return {
         "format": FORMAT_VERSION,
         "kind": sched.kind,
@@ -64,6 +97,15 @@ def schedule_to_dict(sched: Schedule) -> dict[str, Any]:
                     }
                     for r in ph.rounds
                 ],
+                **(
+                    {
+                        "combine_steps": [
+                            _combine_to_dict(cs) for cs in ph.combine_steps
+                        ]
+                    }
+                    if ph.combine_steps
+                    else {}
+                ),
             }
             for ph in sched.phases
         ],
@@ -85,6 +127,34 @@ def schedule_to_dict(sched: Schedule) -> dict[str, Any]:
         **(
             {"recv_layout": [_blockset_to_list(bs) for bs in sched.recv_layout]}
             if sched.recv_layout is not None
+            else {}
+        ),
+        # reduction metadata (combining/trivial reduce family); absent
+        # for pure data-movement schedules, so their wire format is
+        # byte-identical to what earlier writers produced
+        **(
+            {"combine_op": sched.combine_op}
+            if sched.combine_op is not None
+            else {}
+        ),
+        **(
+            {"combine_dtype": sched.combine_dtype}
+            if sched.combine_dtype is not None
+            else {}
+        ),
+        **(
+            {"pre_steps": [_combine_to_dict(s) for s in sched.pre_steps]}
+            if sched.pre_steps
+            else {}
+        ),
+        **(
+            {
+                "required_outputs": [
+                    [r.buffer, r.offset, r.nbytes]
+                    for r in sched.required_outputs
+                ]
+            }
+            if sched.required_outputs
             else {}
         ),
     }
@@ -118,7 +188,16 @@ def schedule_from_dict(data: dict[str, Any]) -> Schedule:
                     ),
                 )
             )
-        phases.append(Phase(dim=ph["dim"], rounds=rounds))
+        phases.append(
+            Phase(
+                dim=ph["dim"],
+                rounds=rounds,
+                combine_steps=[
+                    _combine_from_dict(cs)
+                    for cs in ph.get("combine_steps", [])
+                ],
+            )
+        )
     copies = [
         LocalCopy(
             src=BlockRef(str(lc["src"][0]), int(lc["src"][1]), int(lc["src"][2])),
@@ -131,6 +210,20 @@ def schedule_from_dict(data: dict[str, Any]) -> Schedule:
     # skip the layout-dependent verifier passes
     raw_send_layout = data.get("send_layout")
     raw_recv_layout = data.get("recv_layout")
+    raw_combine_op = data.get("combine_op")
+    if raw_combine_op is not None:
+        from repro.core.reduce_schedule import (
+            is_custom_op_token,
+            resolve_op_token,
+        )
+
+        if is_custom_op_token(str(raw_combine_op)):
+            raise ScheduleError(
+                f"refusing to load a reduction schedule with custom "
+                f"operator token {raw_combine_op!r}: custom callables "
+                f"are process-local and do not survive serialization"
+            )
+        resolve_op_token(str(raw_combine_op))  # reject unknown names now
     sched = Schedule(
         kind=str(data["kind"]),
         neighborhood=nbh,
@@ -146,6 +239,21 @@ def schedule_from_dict(data: dict[str, Any]) -> Schedule:
             [_blockset_from_list(bs) for bs in raw_recv_layout]
             if raw_recv_layout is not None
             else None
+        ),
+        combine_op=(
+            str(raw_combine_op) if raw_combine_op is not None else None
+        ),
+        combine_dtype=(
+            str(data["combine_dtype"])
+            if data.get("combine_dtype") is not None
+            else None
+        ),
+        pre_steps=[
+            _combine_from_dict(s) for s in data.get("pre_steps", [])
+        ],
+        required_outputs=tuple(
+            BlockRef(str(b), int(o), int(n))
+            for b, o, n in data.get("required_outputs", [])
         ),
     )
     sched.validate()

@@ -127,6 +127,11 @@ class DistributedStencil:
             self.step()
         return self.interior.copy()
 
+    def free(self) -> None:
+        """Return the halo handle's pooled scratch now instead of at
+        garbage collection (idempotent).  No exchanges afterwards."""
+        self._halo_op.free()
+
     # ------------------------------------------------------------------
     def local_error(self, reference_global: np.ndarray) -> float:
         """Max abs difference of the owned block against a global

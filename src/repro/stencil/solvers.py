@@ -100,21 +100,24 @@ def jacobi_poisson_2d(
     fnorm2 = None
     iterations = 0
     residual = np.inf
-    while iterations < max_iterations:
-        jacobi_step()
-        iterations += 1
-        if iterations % check_every == 0:
-            rr, ff = global_residual()
-            fnorm2 = ff
-            residual = np.sqrt(rr / ff) if ff > 0 else np.sqrt(rr)
-            if residual < tol:
-                return SolveResult(
-                    local_solution=state.interior.copy(),
-                    iterations=iterations,
-                    residual=residual,
-                    converged=True,
-                )
-    rr, ff = global_residual()
+    try:
+        while iterations < max_iterations:
+            jacobi_step()
+            iterations += 1
+            if iterations % check_every == 0:
+                rr, ff = global_residual()
+                fnorm2 = ff
+                residual = np.sqrt(rr / ff) if ff > 0 else np.sqrt(rr)
+                if residual < tol:
+                    return SolveResult(
+                        local_solution=state.interior.copy(),
+                        iterations=iterations,
+                        residual=residual,
+                        converged=True,
+                    )
+        rr, ff = global_residual()
+    finally:
+        state.free()
     residual = np.sqrt(rr / ff) if ff > 0 else np.sqrt(rr)
     return SolveResult(
         local_solution=state.interior.copy(),

@@ -264,9 +264,14 @@ class TestSweep:
             assert rep.ok, (kind, rep.summary())
             assert "effects" in rep.checks_run
 
-    def test_full_sweep_is_48_and_clean(self):
+    def test_full_sweep_covers_grid_and_clean(self):
+        from repro.analyze.schedule_verifier import (
+            SWEEP_KINDS,
+            paper_stencil_grid,
+        )
+
         results = sweep_effects()
-        assert len(results) == 48
+        assert len(results) == len(paper_stencil_grid()) * len(SWEEP_KINDS)
         bad = [
             (s, k, d, r.summary()) for s, k, d, r in results if not r.ok
         ]

@@ -21,9 +21,9 @@ def test_every_mutant_killed_with_expected_code():
 
 
 def test_expected_codes_span_all_families():
-    """The adversary must cover every V7xx effect family and the
-    linearity/lockset rules — a mutator set that drifts to one family
-    stops certifying the rest."""
+    """The adversary must cover every V7xx effect family, the V80x
+    reduce checks, and the linearity/lockset rules — a mutator set that
+    drifts to one family stops certifying the rest."""
     expects = {r.expect for r in run_mutations()}
     for code in (
         "V701",
@@ -35,6 +35,10 @@ def test_expected_codes_span_all_families():
         "V707",
         "V708",
         "V709",
+        "V801",
+        "V802",
+        "V803",
+        "V806",
         "L006",
         "L007",
         "L008",

@@ -1,4 +1,4 @@
-"""Reduce-schedule verification (V801-V805).
+"""Reduce-schedule verification (V801-V806).
 
 The reverse-tree reduction is the allgather dual; its verifier gets the
 same positive/negative treatment as the alltoall/allgather one: every
@@ -6,19 +6,22 @@ built schedule certifies clean, and every corruption family trips its
 code.
 """
 
+import numpy as np
 import pytest
 
-from repro.analyze import verify_reduce_schedule
+from repro.analyze import verify_reduce_schedule, verify_schedule
 from repro.core.reduce_schedule import (
     OPS,
-    ReduceEdge,
+    REDUCE_BUILDERS,
+    TRIVIAL_REDUCE_BUILDERS,
     build_reduce_schedule,
 )
 from repro.core.stencils import named_stencil
 
 
-def build(name="9-point"):
-    return build_reduce_schedule(named_stencil(name))
+def build(name="9-point", *, op="sum", kind="reduce", m=8):
+    builder = {**REDUCE_BUILDERS, **TRIVIAL_REDUCE_BUILDERS}[kind]
+    return builder(named_stencil(name), m_bytes=m, dtype="int64", op=op)
 
 
 class TestCleanSchedules:
@@ -36,10 +39,30 @@ class TestCleanSchedules:
         assert report.ok, report.summary()
         assert "reduce-content" in report.checks_run
 
+    @pytest.mark.parametrize(
+        "kind",
+        sorted(REDUCE_BUILDERS) + sorted(TRIVIAL_REDUCE_BUILDERS),
+    )
+    def test_every_kind_certifies(self, kind):
+        report = verify_reduce_schedule(build(kind=kind), (4, 4), True)
+        assert report.ok, (kind, report.summary())
+
     @pytest.mark.parametrize("op", sorted(OPS))
     def test_every_named_operator_passes(self, op):
-        report = verify_reduce_schedule(build(), (4, 4), op=op)
+        report = verify_reduce_schedule(build(op=op), (4, 4), True)
         assert report.ok, (op, report.summary())
+
+    def test_trivial_kinds_verify_on_meshes(self):
+        report = verify_reduce_schedule(
+            build(kind="trivial-reduce"), (4, 4), (False, False)
+        )
+        assert report.ok, report.summary()
+
+    def test_reduce_checks_run_inside_generic_verify(self):
+        report = verify_schedule(build(), (4, 4), True)
+        assert report.ok, report.summary()
+        assert "reduce-structure" in report.checks_run
+        assert "reduce-dataflow" in report.checks_run
 
 
 class TestNegativeCases:
@@ -60,60 +83,85 @@ class TestNegativeCases:
         report = verify_reduce_schedule(sched, (4, 4))
         assert report.codes() & {"V802", "V803"}
 
-    def test_intra_phase_hazard_is_v802(self):
-        # make a later round of phase 0 send a slot an earlier round
-        # combined into: threaded (pre-phase snapshot) and lockstep
-        # (per-round) execution would diverge
+    def test_combine_gate_out_of_range_is_v802(self):
         sched = build()
-        first = sched.phases[0].rounds[0].edges[0]
-        sched.phases[0].rounds[1].edges[0] = ReduceEdge(
-            child_slot=first.parent_slot, parent_slot=first.parent_slot
-        )
+        sched.phases[0].combine_steps[0].when_round = 99
         assert "V802" in verify_reduce_schedule(sched, (4, 4)).codes()
 
-    def test_rerouted_edge_is_v803(self):
+    def test_combine_dst_aliases_staging_is_v802(self):
+        # fold a staging slot into itself: the operator application
+        # order would become observable
         sched = build()
-        edge = sched.phases[0].rounds[0].edges[1]
-        sched.phases[0].rounds[0].edges[1] = ReduceEdge(
-            child_slot=edge.child_slot, parent_slot=sched.root_slot
-        )
+        step = sched.phases[0].combine_steps[0]
+        step.dst = step.src
+        assert "V802" in verify_reduce_schedule(sched, (4, 4)).codes()
+
+    def test_rerouted_combine_dst_is_v803(self):
+        sched = build()
+        steps = sched.phases[0].combine_steps
+        dsts = sorted({s.dst for s in steps}, key=lambda r: r.offset)
+        assert len(dsts) >= 2
+        wrong = dsts[1] if steps[0].dst == dsts[0] else dsts[0]
+        steps[0].dst = wrong
         assert "V803" in verify_reduce_schedule(sched, (4, 4)).codes()
 
-    def test_scratch_forwarding_is_v803(self):
-        # a slot with no terminal contribution and no prior combine
-        # would forward uninitialized accumulator bytes
+    def test_dropped_pre_step_is_v803(self):
+        # an accumulator nothing seeds forwards scratch bytes — the
+        # reduction analogue of V405/V709
         sched = build()
-        sched.own_multiplicity[
-            sched.phases[0].rounds[0].edges[0].child_slot
-        ] = 0
+        del sched.pre_steps[0]
         assert "V803" in verify_reduce_schedule(sched, (4, 4)).codes()
 
-    def test_non_commutative_operator_is_v804(self):
-        report = verify_reduce_schedule(
-            build(), (4, 4), op=lambda a, b: a - b
-        )
-        assert "V804" in report.codes()
-        assert "reduce-content" not in report.checks_run
+    def test_non_commutative_named_operator_is_v804(self):
+        OPS["bad-sub"] = lambda a, b: a - b
+        try:
+            sched = build(op="bad-sub")
+            report = verify_reduce_schedule(
+                sched, (4, 4), probe_named_ops=False
+            )
+            assert "V804" in report.codes()
+            assert "reduce-content" not in report.checks_run
+        finally:
+            del OPS["bad-sub"]
 
-    def test_non_associative_operator_is_v804(self):
-        report = verify_reduce_schedule(
-            build(), (4, 4), op=lambda a, b: (a + b) // 2
-        )
-        assert "V804" in report.codes()
+    def test_non_associative_named_operator_is_v804(self):
+        OPS["bad-avg"] = lambda a, b: (a + b) // 2
+        try:
+            sched = build(op="bad-avg")
+            report = verify_reduce_schedule(
+                sched, (4, 4), probe_named_ops=False
+            )
+            assert "V804" in report.codes()
+        finally:
+            del OPS["bad-avg"]
 
     def test_non_periodic_torus_is_v802(self):
         report = verify_reduce_schedule(build(), (4, 4), (True, False))
         assert "V802" in report.codes()
 
+    def test_non_reduction_schedule_is_v802(self):
+        from repro.analyze.schedule_verifier import build_for_kind
 
-class TestOperatorProbePinning:
-    def test_named_ops_probed_even_for_custom_op(self):
+        sched = build_for_kind("alltoall", named_stencil("9-point"))
+        assert "V802" in verify_reduce_schedule(sched, (4, 4)).codes()
+
+
+class TestOperatorProbePolicy:
+    def test_full_table_probe_passes(self):
         """`probe_named_ops` pins the whole operator table, so a future
         bad entry cannot hide behind a good default."""
-        import numpy as np
-
         report = verify_reduce_schedule(
-            build(), (4, 4), op=np.minimum, probe_named_ops=True
+            build(), (4, 4), probe_named_ops=True
         )
         assert report.ok, report.summary()
-        assert "reduce-operator" in report.checks_run
+        assert "reduce-operator-table" in report.checks_run
+
+    def test_custom_operators_are_trusted_like_mpi_op(self):
+        """Custom callables follow the MPI_Op contract: the user asserts
+        associativity/commutativity, so the probe and the content
+        simulation are skipped, but structure and dataflow still run."""
+        sched = build(op=lambda a, b: np.maximum(a, b) - 1)
+        report = verify_reduce_schedule(sched, (4, 4))
+        assert report.ok, report.summary()
+        assert "reduce-structure" in report.checks_run
+        assert "reduce-content" not in report.checks_run

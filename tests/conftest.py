@@ -92,9 +92,15 @@ def _global_pool_balance():
     acquire has exactly one release, including error paths — so after all
     tests (fault-injected and failing-path ones included) the process
     pool must have no outstanding bytes."""
+    import gc
+
     from repro.core.plan import GLOBAL_POOL
 
     yield
+    # run finalizers of any persistent handles still caught in reference
+    # cycles — their pooled release is the finalizer, so collecting first
+    # keeps the assertion about *leaks*, not garbage-collector timing
+    gc.collect()
     stats = GLOBAL_POOL.stats()
     assert stats.outstanding_bytes == 0, (
         f"tests leaked pooled scratch: {stats.outstanding_bytes} B "

@@ -200,6 +200,90 @@ class TestParityMatrix:
         assert_backends_agree(topo, sched, ssize, rsize, ["lockstep", "shm"])
 
 
+# ----------------------------------------------------------------------
+# reduction parity: the reduce family on every backend, plans on/off
+# ----------------------------------------------------------------------
+
+_REDUCE_M = 16  # two int64 elements per block
+
+
+def _make_reduce_case(kind, op="sum"):
+    """(schedule, send size, recv size) for one reduce-family kind."""
+    from repro.core.reduce_schedule import (
+        REDUCE_BUILDERS,
+        TRIVIAL_REDUCE_BUILDERS,
+    )
+
+    builder = {**REDUCE_BUILDERS, **TRIVIAL_REDUCE_BUILDERS}[kind]
+    sched = builder(NBH, m_bytes=_REDUCE_M, dtype="int64", op=op)
+    t, m = NBH.t, _REDUCE_M
+    ssize = t * m if kind.endswith("reduce-scatter") else m
+    rsize = t * m if kind == "allreduce" else m
+    return sched, ssize, rsize
+
+
+REDUCE_PARITY_OPS = {
+    "sum": "sum",
+    "max": "max",
+    "custom": lambda a, b: a | b,  # associative, exact on int64
+}
+
+
+@pytest.mark.parametrize("op_name", sorted(REDUCE_PARITY_OPS))
+@pytest.mark.parametrize(
+    "kind",
+    [
+        "reduce",
+        "reduce-scatter",
+        "allreduce",
+        "trivial-reduce",
+        "trivial-reduce-scatter",
+    ],
+)
+class TestReduceParityMatrix:
+    """Reductions are schedules like any other: every backend must
+    produce byte-identical buffers, with and without plan lowering."""
+
+    def test_threaded_vs_lockstep(self, kind, op_name):
+        topo = CartTopology((3, 3))
+        sched, ssize, rsize = _make_reduce_case(kind, REDUCE_PARITY_OPS[op_name])
+        assert_backends_agree(topo, sched, ssize, rsize, ["lockstep", "threaded"])
+
+    def test_batched_vs_lockstep(self, kind, op_name):
+        topo = CartTopology((3, 3))
+        sched, ssize, rsize = _make_reduce_case(kind, REDUCE_PARITY_OPS[op_name])
+        assert_backends_agree(topo, sched, ssize, rsize, ["lockstep", "batched"])
+
+    def test_batched_vs_lockstep_interpreted(self, kind, op_name):
+        from repro.core.plan import plans_disabled
+
+        topo = CartTopology((3, 3))
+        sched, ssize, rsize = _make_reduce_case(kind, REDUCE_PARITY_OPS[op_name])
+        with plans_disabled():
+            assert_backends_agree(
+                topo, sched, ssize, rsize, ["lockstep", "batched"]
+            )
+
+    def test_plans_on_vs_off_identical(self, kind, op_name):
+        from repro.core.plan import plans_disabled
+
+        topo = CartTopology((3, 3))
+        sched, ssize, rsize = _make_reduce_case(kind, REDUCE_PARITY_OPS[op_name])
+        compiled = _run_on("lockstep", topo, sched, ssize, rsize)
+        with plans_disabled():
+            interp = _run_on("lockstep", topo, sched, ssize, rsize)
+        for r in range(topo.size):
+            for buf in ("send", "recv"):
+                assert np.array_equal(compiled[r][buf], interp[r][buf])
+
+    @shm_mark
+    @pytest.mark.shm
+    def test_shm_vs_lockstep(self, kind, op_name):
+        topo = CartTopology((2, 2))
+        sched, ssize, rsize = _make_reduce_case(kind, REDUCE_PARITY_OPS[op_name])
+        assert_backends_agree(topo, sched, ssize, rsize, ["lockstep", "shm"])
+
+
 def test_parity_with_self_offset_local_copies():
     """Stencils containing the zero offset exercise the local-copy path
     on every backend."""
@@ -274,7 +358,7 @@ class TestRegistry:
         lockstep = BACKENDS["lockstep"].capabilities
         batched = BACKENDS["batched"].capabilities
         shm = BACKENDS["shm"].capabilities
-        assert threaded.per_rank and threaded.split_phase and threaded.native_reduce
+        assert threaded.per_rank and threaded.split_phase
         assert not lockstep.per_rank and lockstep.deferred_delivery
         assert batched.all_ranks and not batched.per_rank
         assert batched.deferred_delivery and not batched.true_parallel

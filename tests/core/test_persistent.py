@@ -371,3 +371,90 @@ class TestPersistentReduce:
             return "double-start-allowed"
 
         assert set(run_cartesian((2, 2), nbh, fn, timeout=60)) == {"ok"}
+
+    def test_free_returns_pooled_scratch_early(self):
+        from repro.core.plan import GLOBAL_POOL
+
+        nbh = moore_neighborhood(2, 1)
+
+        def fn(cart):
+            op = cart.reduce_neighbors_init(np.zeros(2), np.zeros(2))
+            assert op.schedule.temp_nbytes > 0 and "temp" in op.buffers
+            op.free()
+            op.free()  # idempotent
+            return "temp" not in op.buffers
+
+        assert all(run_cartesian((2, 2), nbh, fn, timeout=60))
+        assert GLOBAL_POOL.stats().outstanding_bytes == 0
+
+
+# ----------------------------------------------------------------------
+# PersistentReduce backend x algorithm x operator matrix
+# ----------------------------------------------------------------------
+
+import multiprocessing
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+_CUSTOM_OR = lambda a, b: a | b  # noqa: E731  (associative, exact)
+
+_REDUCE_OPS = {
+    "sum": (lambda a, b: a + b, "sum"),
+    "max": (np.maximum, "max"),
+    "custom": (_CUSTOM_OR, _CUSTOM_OR),
+}
+
+
+@pytest.mark.parametrize("op_name", sorted(_REDUCE_OPS))
+@pytest.mark.parametrize("algorithm", ["combining", "trivial"])
+@pytest.mark.parametrize(
+    "backend",
+    [
+        "threaded",
+        "lockstep",
+        "batched",
+        pytest.param(
+            "shm",
+            marks=[
+                pytest.mark.shm,
+                pytest.mark.skipif(
+                    not HAVE_FORK, reason="shm backend needs fork"
+                ),
+            ],
+        ),
+    ],
+)
+def test_persistent_reduce_matrix(backend, algorithm, op_name):
+    """PersistentReduce executes bit-identically to a brute-force int64
+    reference on every backend, both algorithms, named and custom ops."""
+    ref_fn, op_arg = _REDUCE_OPS[op_name]
+    dims = (2, 2) if backend == "shm" else (3, 3)
+    nbh = moore_neighborhood(2, 1, include_self=False)
+    topo = CartTopology(dims)
+
+    def fn(cart):
+        send = np.zeros(2, dtype=np.int64)
+        recv = np.zeros(2, dtype=np.int64)
+        handle = cart.reduce_neighbors_init(
+            send, recv, op=op_arg, algorithm=algorithm
+        )
+        assert handle.algorithm == algorithm
+        try:
+            for it in range(2):
+                send[:] = np.int64(cart.rank * 7 + it * 1000 + 3)
+                handle.execute()
+                acc = None
+                for off in cart.nbh:
+                    src = topo.translate(cart.rank, tuple(-o for o in off))
+                    v = np.full(2, np.int64(src * 7 + it * 1000 + 3))
+                    acc = v if acc is None else ref_fn(acc, v)
+                if not np.array_equal(recv, acc):
+                    return (cart.rank, it, recv.tolist(), acc.tolist())
+        finally:
+            handle.free()
+        return True
+
+    res = run_cartesian(
+        dims, nbh, fn, info={"backend": backend}, timeout=120
+    )
+    assert res == [True] * topo.size, res

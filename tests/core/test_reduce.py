@@ -1,4 +1,10 @@
-"""Cartesian neighborhood reductions (reverse-allgather-tree)."""
+"""Cartesian neighborhood reductions (reverse-allgather-tree).
+
+Reductions run on the same ``Schedule`` representation and
+``ScheduleInterpreter`` as the data-movement collectives; these tests
+drive them through the lockstep backend and the threaded API and check
+the results against brute-force reference reductions.
+"""
 
 import numpy as np
 import pytest
@@ -6,11 +12,15 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.api import run_cartesian
+from repro.core.backend import LockstepBackend
 from repro.core.neighborhood import Neighborhood
 from repro.core.reduce_schedule import (
     OPS,
+    build_allreduce_schedule,
+    build_reduce_scatter_schedule,
     build_reduce_schedule,
-    execute_reduce_lockstep,
+    build_trivial_reduce_scatter_schedule,
+    build_trivial_reduce_schedule,
     resolve_op,
 )
 from repro.core.stencils import (
@@ -30,12 +40,39 @@ def brute_force_reduce(topo, nbh, values, rank, op_fn):
     return acc
 
 
+def execute_reduce_lockstep(topo, sched, values):
+    """Run a ``kind="reduce"`` schedule on every rank at once; returns
+    the per-rank reduced arrays.  The interpreter self-acquires the
+    pooled accumulator scratch, so only send/recv are bound here."""
+    values = [np.ascontiguousarray(v) for v in values]
+    bufs = [
+        {
+            "send": v.view(np.uint8).copy(),
+            "recv": np.zeros(v.nbytes, np.uint8),
+        }
+        for v in values
+    ]
+    LockstepBackend().execute_all(topo, sched, bufs)
+    return [
+        b["recv"].view(values[0].dtype).copy() for b in bufs
+    ]
+
+
+def _reduce(topo, nbh, values, op, *, trivial=False):
+    builder = build_trivial_reduce_schedule if trivial else build_reduce_schedule
+    sched = builder(
+        nbh, m_bytes=values[0].nbytes, dtype=values[0].dtype, op=op
+    )
+    return execute_reduce_lockstep(topo, sched, values)
+
+
 class TestScheduleStructure:
     def test_rounds_equal_c(self):
         for d, n in [(2, 3), (3, 3), (2, 5)]:
             nbh = parameterized_stencil(d, n, -1)
             sched = build_reduce_schedule(nbh)
             assert sched.num_rounds == nbh.combining_rounds
+            assert sched.is_reduction
 
     def test_volume_equals_allgather_volume(self):
         for d, n in [(2, 3), (3, 4), (4, 3)]:
@@ -54,9 +91,15 @@ class TestScheduleStructure:
         sched = build_reduce_schedule(nbh)
         assert sched.num_rounds == 10  # vs 242 trivial rounds
 
+    def test_allreduce_doubles_rounds(self):
+        nbh = moore_neighborhood(2, 1)
+        sched = build_allreduce_schedule(nbh)
+        assert sched.num_rounds == 2 * nbh.combining_rounds
+        assert sched.volume_blocks == 2 * nbh.allgather_volume
+
     def test_describe(self):
         text = build_reduce_schedule(moore_neighborhood(2, 1)).describe()
-        assert "reduce schedule" in text
+        assert "reduce" in text
 
     def test_unknown_op(self):
         with pytest.raises(ValueError, match="unknown reduction op"):
@@ -65,6 +108,14 @@ class TestScheduleStructure:
     def test_callable_op_passthrough(self):
         f = lambda a, b: a + b  # noqa: E731
         assert resolve_op(f) is f
+
+    def test_block_not_multiple_of_itemsize(self):
+        from repro.mpisim.exceptions import ScheduleError
+
+        with pytest.raises(ScheduleError, match="itemsize"):
+            build_reduce_schedule(
+                moore_neighborhood(2, 1), m_bytes=12, dtype="float64"
+            )
 
 
 @pytest.mark.parametrize("op", ["sum", "min", "max", "prod"])
@@ -91,12 +142,72 @@ class TestLockstepCorrectness:
             values = [rng.uniform(0.5, 1.5, m) for _ in range(topo.size)]
         else:
             values = [rng.uniform(-10, 10, m) for _ in range(topo.size)]
-        sched = build_reduce_schedule(nbh)
-        out = execute_reduce_lockstep(topo, sched, values, op)
+        out = _reduce(topo, nbh, values, op)
         op_fn = resolve_op(op)
         for r in range(topo.size):
             expect = brute_force_reduce(topo, nbh, values, r, op_fn)
             assert np.allclose(out[r], expect), (r, op)
+
+
+class TestReduceScatterAndAllreduce:
+    def test_reduce_scatter_block(self, rng):
+        topo = CartTopology((3, 4))
+        nbh = moore_neighborhood(2, 1)
+        t, m = nbh.t, 2
+        sends = [
+            rng.integers(-50, 50, (t, m)).astype(np.int64)
+            for _ in range(topo.size)
+        ]
+        sched = build_reduce_scatter_schedule(
+            nbh, m_bytes=m * 8, dtype="int64", op="sum"
+        )
+        bufs = [
+            {
+                "send": s.reshape(-1).view(np.uint8).copy(),
+                "recv": np.zeros(m * 8, np.uint8),
+            }
+            for s in sends
+        ]
+        LockstepBackend().execute_all(topo, sched, bufs)
+        offsets = list(nbh)
+        for r in range(topo.size):
+            # recv = op over send block i of source rank - N[i]
+            expect = sum(
+                sends[topo.translate(r, tuple(-o for o in off))][i]
+                for i, off in enumerate(offsets)
+            )
+            got = bufs[r]["recv"].view(np.int64)
+            assert np.array_equal(got, expect), r
+
+    def test_allreduce(self, rng):
+        topo = CartTopology((3, 3))
+        nbh = moore_neighborhood(2, 1, include_self=False)
+        t, m = nbh.t, 2
+        values = [
+            rng.integers(-50, 50, m).astype(np.int64)
+            for _ in range(topo.size)
+        ]
+        sched = build_allreduce_schedule(
+            nbh, m_bytes=m * 8, dtype="int64", op="sum"
+        )
+        bufs = [
+            {
+                "send": v.view(np.uint8).copy(),
+                "recv": np.zeros(t * m * 8, np.uint8),
+            }
+            for v in values
+        ]
+        LockstepBackend().execute_all(topo, sched, bufs)
+        reduced = [
+            brute_force_reduce(topo, nbh, values, r, OPS["sum"])
+            for r in range(topo.size)
+        ]
+        offsets = list(nbh)
+        for r in range(topo.size):
+            got = bufs[r]["recv"].view(np.int64).reshape(t, m)
+            for i, off in enumerate(offsets):
+                src = topo.translate(r, tuple(-o for o in off))
+                assert np.array_equal(got[i], reduced[src]), (r, i)
 
 
 class TestDuplicatesAndAliasing:
@@ -104,7 +215,7 @@ class TestDuplicatesAndAliasing:
         topo = CartTopology((4,))
         nbh = Neighborhood([(1,), (1,)])
         values = [np.asarray([float(r + 1)]) for r in range(4)]
-        out = execute_reduce_lockstep(topo, build_reduce_schedule(nbh), values, "sum")
+        out = _reduce(topo, nbh, values, "sum")
         for r in range(4):
             src = (r - 1) % 4
             assert out[r][0] == 2 * (src + 1)
@@ -113,14 +224,14 @@ class TestDuplicatesAndAliasing:
         topo = CartTopology((3,))
         nbh = Neighborhood([(0,)])
         values = [np.asarray([float(r)]) for r in range(3)]
-        out = execute_reduce_lockstep(topo, build_reduce_schedule(nbh), values, "sum")
+        out = _reduce(topo, nbh, values, "sum")
         assert [o[0] for o in out] == [0.0, 1.0, 2.0]
 
     def test_aliasing_through_torus(self, rng):
         topo = CartTopology((3, 3))
         nbh = Neighborhood([(4, 0), (1, 0)])  # both ≡ (1,0) mod 3
         values = [rng.uniform(0, 1, 2) for _ in range(9)]
-        out = execute_reduce_lockstep(topo, build_reduce_schedule(nbh), values, "sum")
+        out = _reduce(topo, nbh, values, "sum")
         for r in range(9):
             src = topo.translate(r, (-1, 0))
             assert np.allclose(out[r], 2 * values[src])
@@ -131,10 +242,53 @@ class TestIntegerOps:
         topo = CartTopology((4,))
         nbh = Neighborhood([(1,), (-1,)])
         values = [np.asarray([1 << r], dtype=np.int64) for r in range(4)]
-        out = execute_reduce_lockstep(topo, build_reduce_schedule(nbh), values, "bor")
+        out = _reduce(topo, nbh, values, "bor")
         for r in range(4):
             expect = (1 << ((r - 1) % 4)) | (1 << ((r + 1) % 4))
             assert out[r][0] == expect
+
+
+class TestTrivialEquivalence:
+    """Combining and trivial algorithms are interchangeable on a torus:
+    exact int64 arithmetic, so the equality is bitwise."""
+
+    def test_trivial_matches_combining(self, rng):
+        topo = CartTopology((3, 4))
+        nbh = moore_neighborhood(2, 1)
+        values = [
+            rng.integers(-100, 100, 3).astype(np.int64)
+            for _ in range(topo.size)
+        ]
+        a = _reduce(topo, nbh, values, "sum")
+        b = _reduce(topo, nbh, values, "sum", trivial=True)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_trivial_reduce_scatter_matches_combining(self, rng):
+        topo = CartTopology((3, 3))
+        nbh = moore_neighborhood(2, 1, include_self=False)
+        t, m = nbh.t, 2
+        sends = [
+            rng.integers(-100, 100, t * m).astype(np.int64)
+            for _ in range(topo.size)
+        ]
+
+        def run(builder):
+            sched = builder(nbh, m_bytes=m * 8, dtype="int64", op="sum")
+            bufs = [
+                {
+                    "send": s.view(np.uint8).copy(),
+                    "recv": np.zeros(m * 8, np.uint8),
+                }
+                for s in sends
+            ]
+            LockstepBackend().execute_all(topo, sched, bufs)
+            return [b["recv"].copy() for b in bufs]
+
+        a = run(build_reduce_scatter_schedule)
+        b = run(build_trivial_reduce_scatter_schedule)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
 
 
 @pytest.mark.parametrize("algorithm", ["trivial", "combining", "auto"])
@@ -175,6 +329,52 @@ class TestThreadedAPI:
         assert all(run_cartesian((3, 3), nbh, fn, timeout=120))
 
 
+class TestThreadedFamily:
+    def test_reduce_scatter_block(self):
+        nbh = moore_neighborhood(2, 1)
+
+        def fn(cart):
+            t, m = cart.nbh.t, 2
+            send = np.asarray(
+                [
+                    [cart.rank * 100 + i for _ in range(m)]
+                    for i in range(t)
+                ],
+                dtype=np.int64,
+            )
+            recv = np.zeros(m, dtype=np.int64)
+            cart.reduce_scatter_block(send, recv, op="sum")
+            expect = np.zeros(m, dtype=np.int64)
+            for i, off in enumerate(cart.nbh):
+                src = cart.topo.translate(cart.rank, tuple(-o for o in off))
+                expect += src * 100 + i
+            return bool(np.array_equal(recv, expect))
+
+        assert all(run_cartesian((3, 3), nbh, fn, timeout=120))
+
+    def test_allreduce(self):
+        nbh = moore_neighborhood(2, 1, include_self=False)
+        topo = CartTopology((3, 3))
+
+        def fn(cart):
+            t, m = cart.nbh.t, 2
+            send = np.full(m, np.int64(cart.rank + 1))
+            recv = np.zeros(t * m, dtype=np.int64)
+            cart.reduce_neighbors_allreduce(send, recv, op="sum")
+            got = recv.reshape(t, m)
+            for i, off in enumerate(cart.nbh):
+                src = cart.topo.translate(cart.rank, tuple(-o for o in off))
+                expect = sum(
+                    cart.topo.translate(src, tuple(-o for o in off2)) + 1
+                    for off2 in cart.nbh
+                )
+                if not np.array_equal(got[i], np.full(m, expect)):
+                    return False
+            return True
+
+        assert all(run_cartesian((3, 3), nbh, fn, timeout=120))
+
+
 class TestAPIErrors:
     def test_shape_mismatch(self):
         nbh = moore_neighborhood(2, 1)
@@ -193,6 +393,27 @@ class TestAPIErrors:
 
         with pytest.raises(Exception, match="periodic"):
             run_cartesian((2, 2), nbh, fn, periods=(False, True))
+
+    def test_allreduce_has_no_trivial_algorithm(self):
+        nbh = moore_neighborhood(2, 1)
+
+        def fn(cart):
+            t = cart.nbh.t
+            cart.reduce_neighbors_allreduce(
+                np.zeros(2), np.zeros(2 * t), algorithm="trivial"
+            )
+
+        with pytest.raises(Exception, match="no trivial algorithm"):
+            run_cartesian((2, 2), nbh, fn)
+
+    def test_reduce_scatter_block_size_check(self):
+        nbh = moore_neighborhood(2, 1)
+
+        def fn(cart):
+            cart.reduce_scatter_block(np.zeros(3), np.zeros(2))
+
+        with pytest.raises(Exception, match="blocks matching recvbuf"):
+            run_cartesian((2, 2), nbh, fn)
 
     def test_auto_on_mesh_falls_back_to_trivial(self):
         topo = CartTopology((3, 3), (False, False))
@@ -228,7 +449,30 @@ def test_lockstep_random_property(data):
     values = [
         rng.integers(-100, 100, 2).astype(np.int64) for _ in range(topo.size)
     ]
-    out = execute_reduce_lockstep(topo, build_reduce_schedule(nbh), values, "sum")
+    out = _reduce(topo, nbh, values, "sum")
     for r in range(topo.size):
         expect = brute_force_reduce(topo, nbh, values, r, OPS["sum"])
         assert np.array_equal(out[r], expect)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_combining_vs_trivial_random_property(data):
+    """The combining reverse-tree and trivial per-neighbor reductions
+    deliver bitwise-identical int64 results on random periodic tori,
+    neighborhoods and block sizes."""
+    rng = np.random.default_rng(data.draw(st.integers(0, 10**6)))
+    d = data.draw(st.integers(1, 3))
+    dims = tuple(data.draw(st.integers(2, 5)) for _ in range(d))
+    t = data.draw(st.integers(1, 6))
+    nbh = random_neighborhood(d, t, 4, rng)
+    m = data.draw(st.integers(1, 4))
+    topo = CartTopology(dims)
+    values = [
+        rng.integers(-(10**6), 10**6, m).astype(np.int64)
+        for _ in range(topo.size)
+    ]
+    a = _reduce(topo, nbh, values, "sum")
+    b = _reduce(topo, nbh, values, "sum", trivial=True)
+    for x, y in zip(a, b):
+        assert np.array_equal(x, y)

@@ -261,11 +261,13 @@ class TestCachedScheduleEquivalence:
 
     def test_reduce_schedule_shared(self):
         def fn(cart):
-            return cart._reduce_schedule()
+            return cart._reduce_schedule(
+                "reduce", "combining", 8, np.dtype("float64"), "sum"
+            )
 
         scheds = run_cartesian((3, 3), NBH, fn)
         assert all(s is scheds[0] for s in scheds)
-        fresh = build_reduce_schedule(NBH)
+        fresh = build_reduce_schedule(NBH, m_bytes=8, dtype="float64", op="sum")
         assert scheds[0].describe() == fresh.describe()
         assert [ph.dim for ph in scheds[0].phases] == [
             ph.dim for ph in fresh.phases
@@ -273,6 +275,40 @@ class TestCachedScheduleEquivalence:
         assert [
             [r.offset for r in ph.rounds] for ph in scheds[0].phases
         ] == [[r.offset for r in ph.rounds] for ph in fresh.phases]
+
+    def test_reduce_calls_share_one_build(self):
+        """Repeated reductions across all ranks are one process-wide
+        build; per-rank repeats resolve in the communicator's L1 dict
+        and never reach the global cache."""
+
+        def fn(cart):
+            send = np.zeros(2)
+            recv = np.zeros(2)
+            cart.reduce_neighbors(send, recv, op="sum", algorithm="combining")
+            cart.reduce_neighbors(send, recv, op="sum", algorithm="combining")
+
+        before = schedule_cache.cache_info().builds
+        run_cartesian((3, 3), NBH, fn)
+        after = schedule_cache.cache_info()
+        assert after.builds - before == 1
+        assert after.misses == 1 and after.hits == 8
+
+    def test_reduce_key_includes_op_and_dtype(self):
+        """Schedules for different operators or element dtypes never
+        alias a cache entry — the combine kernels are baked in."""
+
+        def fn(cart):
+            send64 = np.zeros(2)
+            recv64 = np.zeros(2)
+            cart.reduce_neighbors(send64, recv64, op="sum", algorithm="combining")
+            cart.reduce_neighbors(send64, recv64, op="max", algorithm="combining")
+            send32 = np.zeros(4, dtype=np.float32)
+            recv32 = np.zeros(4, dtype=np.float32)
+            cart.reduce_neighbors(send32, recv32, op="sum", algorithm="combining")
+
+        before = schedule_cache.cache_info().builds
+        run_cartesian((3, 3), NBH, fn)
+        assert schedule_cache.cache_info().builds - before == 3
 
 
 class TestCacheMissKeys:

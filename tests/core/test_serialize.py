@@ -190,3 +190,116 @@ class TestLayoutRoundTrip:
         assert "send_layout" not in data
         assert "recv_layout" not in data
         assert schedule_from_dict(data).send_layout is None
+
+
+# ----------------------------------------------------------------------
+# reduction schedules: combine metadata round-trips, customs refused
+# ----------------------------------------------------------------------
+
+
+REDUCE_KINDS_ALL = [
+    "reduce",
+    "reduce-scatter",
+    "allreduce",
+    "trivial-reduce",
+    "trivial-reduce-scatter",
+]
+
+
+def build_reduce(kind="reduce", op="sum"):
+    from repro.core.reduce_schedule import (
+        REDUCE_BUILDERS,
+        TRIVIAL_REDUCE_BUILDERS,
+    )
+
+    builder = {**REDUCE_BUILDERS, **TRIVIAL_REDUCE_BUILDERS}[kind]
+    return builder(
+        moore_neighborhood(2, 1), m_bytes=16, dtype="int64", op=op
+    )
+
+
+@pytest.mark.parametrize("kind", REDUCE_KINDS_ALL)
+class TestReduceRoundTrip:
+    def test_combine_metadata_round_trips(self, kind):
+        orig = build_reduce(kind)
+        back = schedule_from_json(schedule_to_json(orig))
+        assert back.kind == orig.kind and back.is_reduction
+        assert back.combine_op == orig.combine_op
+        assert back.combine_dtype == orig.combine_dtype
+        assert back.pre_steps == orig.pre_steps
+        assert back.required_outputs == orig.required_outputs
+        for po, pb in zip(orig.phases, back.phases):
+            assert po.combine_steps == pb.combine_steps
+        # a second round trip is byte-stable
+        assert schedule_to_json(back) == schedule_to_json(orig)
+
+    def test_loaded_reduce_executes_identically(self, kind):
+        from repro.core.backend import LockstepBackend
+
+        orig = build_reduce(kind)
+        back = schedule_from_json(schedule_to_json(orig))
+        topo = CartTopology((3, 3))
+        t, m = orig.neighborhood.t, 16
+        ssize = t * m if kind.endswith("reduce-scatter") else m
+        rsize = t * m if kind == "allreduce" else m
+
+        def bufs():
+            out = []
+            for r in range(topo.size):
+                rng = np.random.default_rng(900 + r)
+                out.append(
+                    {
+                        "send": rng.integers(-9, 9, ssize // 8)
+                        .astype(np.int64)
+                        .view(np.uint8),
+                        "recv": np.zeros(rsize, np.uint8),
+                    }
+                )
+            return out
+
+        a, b = bufs(), bufs()
+        LockstepBackend().execute_all(topo, orig, a)
+        LockstepBackend().execute_all(topo, back, b)
+        for x, y in zip(a, b):
+            assert np.array_equal(x["recv"], y["recv"])
+
+    def test_loaded_reduce_verifies_clean(self, kind):
+        from repro.analyze import verify_schedule
+
+        back = schedule_from_json(schedule_to_json(build_reduce(kind)))
+        report = verify_schedule(back, (3, 3), True)
+        assert report.ok, report.summary()
+        assert "reduce-structure" in report.checks_run
+
+
+class TestReduceSerializationRefusals:
+    def test_custom_op_refused_on_save(self):
+        orig = build_reduce(op=lambda a, b: np.maximum(a, b))
+        with pytest.raises(ScheduleError, match="process-local"):
+            schedule_to_dict(orig)
+
+    def test_custom_token_refused_on_load(self):
+        data = schedule_to_dict(build_reduce())
+        data["combine_op"] = "custom-12345"
+        with pytest.raises(ScheduleError, match="process-local"):
+            schedule_from_dict(data)
+
+    def test_unknown_named_token_refused_on_load(self):
+        data = schedule_to_dict(build_reduce())
+        data["combine_op"] = "frobnicate"
+        with pytest.raises(ValueError, match="unknown reduction op token"):
+            schedule_from_dict(data)
+
+    def test_plain_schedules_keep_old_wire_format(self):
+        """Pure data-movement schedules gain no new keys — files written
+        by earlier versions load and new files stay byte-compatible."""
+        data = schedule_to_dict(build())
+        for key in (
+            "combine_op",
+            "combine_dtype",
+            "pre_steps",
+            "required_outputs",
+        ):
+            assert key not in data
+        for ph in data["phases"]:
+            assert "combine_steps" not in ph
