@@ -120,12 +120,16 @@ def test_app_throughput_combining_vs_trivial():
     }
     for name, (app, iterations) in _apps().items():
         seconds = {}
+        opstats = {}
         for algorithm in ("trivial", "combining"):
             # correctness before throughput: the timed configuration
             # must be bit-identical to the sequential oracle
-            app.check_against_oracle(
-                app.run(backend=BACKEND, algorithm=algorithm)
-            )
+            certified_run = app.run(backend=BACKEND, algorithm=algorithm)
+            app.check_against_oracle(certified_run)
+            # the merged per-rank OpStats of the certification run ride
+            # the artifact in their canonical JSON form (no hand-rolled
+            # dict dumps; round-trips via OpStats.from_json)
+            opstats[algorithm] = certified_run.stats.to_json()
             seconds[algorithm] = _best_of(
                 lambda a=algorithm: app.run(backend=BACKEND, algorithm=a),
                 REPS,
@@ -147,6 +151,7 @@ def test_app_throughput_combining_vs_trivial():
                 "combining_ips": combining_ips,
                 "speedup": speedup,
                 "certified": [f"{BACKEND}/trivial", f"{BACKEND}/combining"],
+                "opstats": opstats,
             }
         )
 

@@ -225,6 +225,94 @@ class OpStats:
         for kind, n in other.faults.items():
             self.record_fault(kind, n)
 
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """A JSON-compatible dict of every counter — the wire form of
+        the telemetry endpoint (:mod:`repro.serve`) and the benchmark
+        artifacts.  Round-trips exactly through :meth:`from_json`
+        (tuple record keys become explicit fields)."""
+        return {
+            "records": [
+                {
+                    "op": op,
+                    "algorithm": alg,
+                    "backend": backend,
+                    "calls": rec.calls,
+                    "rounds": rec.rounds,
+                    "volume_blocks": rec.volume_blocks,
+                    "volume_bytes": rec.volume_bytes,
+                }
+                for (op, alg, backend), rec in sorted(self.records.items())
+            ],
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "build_seconds": self.cache_build_seconds,
+                "by_backend": {
+                    backend: list(split)
+                    for backend, split in sorted(self.cache_by_backend.items())
+                },
+            },
+            "plans": {
+                "hits": self.plan_hits,
+                "misses": self.plan_misses,
+                "by_backend": {
+                    backend: list(split)
+                    for backend, split in sorted(self.plan_by_backend.items())
+                },
+            },
+            "bytes_packed": dict(sorted(self.bytes_packed.items())),
+            "bytes_copied": dict(sorted(self.bytes_copied.items())),
+            "faults": dict(sorted(self.faults.items())),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "OpStats":
+        """Rebuild a collector from :meth:`to_json` output (telemetry
+        consumers aggregating server snapshots with ``merge_from``)."""
+        stats = cls()
+        for rec in data.get("records", ()):
+            stats.record_raw(
+                str(rec["op"]),
+                str(rec["algorithm"]),
+                int(rec["rounds"]),
+                int(rec["volume_blocks"]),
+                int(rec["volume_bytes"]),
+                backend=str(rec["backend"]),
+            )
+            # record_raw counts one call; restore the exact count
+            key = (
+                str(rec["op"]),
+                str(rec["algorithm"]),
+                str(rec["backend"]),
+            )
+            stats.records[key].calls = int(rec["calls"])
+        cache = data.get("cache", {})
+        stats.cache_hits = int(cache.get("hits", 0))
+        stats.cache_misses = int(cache.get("misses", 0))
+        stats.cache_build_seconds = float(cache.get("build_seconds", 0.0))
+        stats.cache_by_backend = {
+            str(b): [int(h), int(m)]
+            for b, (h, m) in cache.get("by_backend", {}).items()
+        }
+        plans = data.get("plans", {})
+        stats.plan_hits = int(plans.get("hits", 0))
+        stats.plan_misses = int(plans.get("misses", 0))
+        stats.plan_by_backend = {
+            str(b): [int(h), int(m)]
+            for b, (h, m) in plans.get("by_backend", {}).items()
+        }
+        stats.bytes_packed = {
+            str(b): int(n) for b, n in data.get("bytes_packed", {}).items()
+        }
+        stats.bytes_copied = {
+            str(b): int(n) for b, n in data.get("bytes_copied", {}).items()
+        }
+        stats.faults = {
+            str(k): int(n) for k, n in data.get("faults", {}).items()
+        }
+        return stats
+
     def summary(self) -> str:
         if not self.records:
             return "no collective operations recorded"

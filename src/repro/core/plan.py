@@ -44,7 +44,16 @@ import time
 import weakref
 from collections import namedtuple
 from contextlib import contextmanager
-from typing import TYPE_CHECKING, Iterator, Mapping, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 import numpy as np
 
@@ -903,6 +912,12 @@ class ExecPlan:
 # ---------------------------------------------------------------------------
 
 _CACHE_LOCK = threading.Lock()
+#: (schedule identity, plan key) -> Event for compiles in flight: plan
+#: compilation is single-flight per key but runs *outside* the module
+#: lock, so concurrent compilation — distinct ranks, distinct schedules,
+#: the schedule service's worker pool — no longer serializes on one
+#: global lock.
+_BUILDING: dict[tuple, threading.Event] = {}
 _hits = 0
 _misses = 0
 _compile_seconds = 0.0
@@ -910,6 +925,57 @@ _compile_seconds = 0.0
 PlanCacheInfo = namedtuple(
     "PlanCacheInfo", ["hits", "misses", "compile_seconds"]
 )
+
+
+def invalidate_plans(schedule: "Schedule") -> None:
+    """Drop every cached plan/peer table of ``schedule`` and bump its
+    plan generation (under the module lock), so a compile that was in
+    flight when the invalidation happened can never file its result
+    afterwards — the backing store of
+    :meth:`~repro.core.schedule.Schedule.clear_plans`."""
+    with _CACHE_LOCK:
+        schedule._plans.clear()
+        schedule._plans_generation += 1
+
+
+def _get_or_compile_cached(
+    schedule: "Schedule",
+    key: tuple,
+    compile_fn: "Callable[[], Any]",
+) -> tuple[Any, bool]:
+    """Single-flight plan cache: one compile per key however many
+    threads ask, the compile itself outside the lock, and a generation
+    guard so a compile racing :func:`invalidate_plans` is returned to
+    its caller but never cached (no resurrected entries, no leaked
+    plans)."""
+    global _hits, _misses, _compile_seconds
+    cache = schedule._plans
+    token = (id(schedule), key)
+    while True:
+        with _CACHE_LOCK:
+            plan = cache.get(key)
+            if plan is not None:
+                _hits += 1
+                return plan, True
+            pending = _BUILDING.get(token)
+            if pending is None:
+                pending = _BUILDING[token] = threading.Event()
+                generation = schedule._plans_generation
+                break
+        # another thread is compiling this key: wait and re-check
+        pending.wait()
+    try:
+        compiled = compile_fn()
+        with _CACHE_LOCK:
+            _misses += 1
+            _compile_seconds += compiled.compile_seconds
+            if schedule._plans_generation == generation:
+                cache[key] = compiled
+        return compiled, False
+    finally:
+        with _CACHE_LOCK:
+            _BUILDING.pop(token, None)
+        pending.set()
 
 
 def effective_sizes(
@@ -993,25 +1059,19 @@ def get_or_compile(
     """Return ``(plan, hit)`` — the cached per-rank plan or a freshly
     compiled one.  Plans live on the schedule object itself, so they are
     invalidated exactly when the schedule-cache entry is; compilation is
-    single-flight under the module lock (compiles are cheap and rare, so
-    holding the lock across one is the simple, correct choice)."""
-    global _hits, _misses, _compile_seconds
+    single-flight per key and runs outside the module lock, so compiles
+    for different ranks or schedules proceed concurrently."""
     if sizes is None:
         if buffers is None:
             raise ValueError("need buffers or sizes to key a plan")
         sizes = effective_sizes(schedule, buffers)
-    key = plan_key(rank, topo, buffer_signature(sizes))
-    cache = schedule._plans
-    with _CACHE_LOCK:
-        plan = cache.get(key)
-        if plan is not None:
-            _hits += 1
-            return plan, True
-        compiled = compile_plan(schedule, topo, rank, sizes)
-        cache[key] = compiled
-        _misses += 1
-        _compile_seconds += compiled.compile_seconds
-        return compiled, False
+    frozen_sizes = dict(sizes)
+    key = plan_key(rank, topo, buffer_signature(frozen_sizes))
+    return _get_or_compile_cached(
+        schedule,
+        key,
+        lambda: compile_plan(schedule, topo, rank, frozen_sizes),
+    )
 
 
 def peer_table(
@@ -1024,22 +1084,29 @@ def peer_table(
     key = ("peers", rank, topo.dims, topo.periods)
     cache = schedule._plans
     with _CACHE_LOCK:
-        table = cache.get(key)
-        if table is None:
-            table = tuple(
-                tuple(
-                    (
-                        topo.translate(
-                            rank, tuple(-o for o in rnd.recv_source_offset)
-                        ),
-                        topo.translate(rank, rnd.offset),
-                    )
-                    for rnd in phase.rounds
-                )
-                for phase in schedule.phases
+        generation = schedule._plans_generation
+        cached = cache.get(key)
+    if cached is not None:
+        return cached
+    table = tuple(
+        tuple(
+            (
+                topo.translate(
+                    rank, tuple(-o for o in rnd.recv_source_offset)
+                ),
+                topo.translate(rank, rnd.offset),
             )
+            for rnd in phase.rounds
+        )
+        for phase in schedule.phases
+    )
+    with _CACHE_LOCK:
+        existing = cache.get(key)
+        if existing is not None:
+            return existing
+        if schedule._plans_generation == generation:
             cache[key] = table
-        return table
+    return table
 
 
 # ---------------------------------------------------------------------------
@@ -1577,24 +1644,18 @@ def get_or_compile_batched(
     """Return ``(plan, hit)`` — the cached all-ranks plan or a freshly
     compiled one.  Batched plans live in ``Schedule._plans`` next to the
     per-rank entries (same lifetime, same invalidation, same single-
-    flight lock) under a rank-free key."""
-    global _hits, _misses, _compile_seconds
+    flight machinery) under a rank-free key."""
     if sizes is None:
         if buffers is None:
             raise ValueError("need buffers or sizes to key a plan")
         sizes = effective_sizes(schedule, buffers)
-    key = batched_plan_key(topo, buffer_signature(sizes))
-    cache = schedule._plans
-    with _CACHE_LOCK:
-        plan = cache.get(key)
-        if plan is not None:
-            _hits += 1
-            return plan, True
-        compiled = compile_batched_plan(schedule, topo, sizes)
-        cache[key] = compiled
-        _misses += 1
-        _compile_seconds += compiled.compile_seconds
-        return compiled, False
+    frozen_sizes = dict(sizes)
+    key = batched_plan_key(topo, buffer_signature(frozen_sizes))
+    return _get_or_compile_cached(
+        schedule,
+        key,
+        lambda: compile_batched_plan(schedule, topo, frozen_sizes),
+    )
 
 
 def plan_cache_info() -> PlanCacheInfo:

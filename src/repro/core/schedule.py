@@ -187,6 +187,9 @@ class Schedule:
     _plans: dict[tuple, object] = field(
         default_factory=dict, repr=False, compare=False
     )
+    #: bumped by :meth:`clear_plans` (under the plan-module lock) so a
+    #: plan compile racing an invalidation never files its result
+    _plans_generation: int = field(default=0, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # metrics (Propositions 3.2 / 3.3)
@@ -317,8 +320,11 @@ class Schedule:
     def clear_plans(self) -> None:
         """Drop all lowered per-rank plans and peer tables (called when
         this schedule's cache entry is evicted; plans recompile lazily on
-        the next execution)."""
-        self._plans.clear()
+        the next execution).  A compile in flight when this runs is
+        never cached afterwards (generation guard in the plan module)."""
+        from repro.core import plan as plan_mod
+
+        plan_mod.invalidate_plans(self)
 
     def run_local_copies(self, buffers: Mapping[str, np.ndarray]) -> int:
         """Execute the final non-communication phase; returns bytes

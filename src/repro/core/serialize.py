@@ -10,12 +10,23 @@ dictionaries:
 * rounds/phases/local copies keep their structure;
 * the neighborhood rides along so a loaded schedule can re-validate
   against the communicator it is used with.
+
+On top of the dictionary form sits a hardened **frame** format — the
+wire unit of the schedule service (:mod:`repro.serve`) and the on-disk
+artifact format: a fixed 16-byte header (magic, format version, payload
+length) followed by the JSON payload and guarded by a CRC32.  A
+truncated, corrupted, or hand-edited frame is rejected with a typed
+error (:class:`TruncatedFrameError` / :class:`CorruptFrameError` /
+:class:`FrameError`) instead of being silently misparsed.  Legacy plain
+JSON files (written before the frame format) still load.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any
+import struct
+import zlib
+from typing import Any, Union
 
 import numpy as np
 
@@ -25,6 +36,105 @@ from repro.mpisim.datatypes import BlockRef, BlockSet
 from repro.mpisim.exceptions import ScheduleError
 
 FORMAT_VERSION = 1
+
+# ---------------------------------------------------------------------------
+# framed wire format
+# ---------------------------------------------------------------------------
+
+#: First bytes of every frame; doubles as the file signature that
+#: distinguishes framed artifacts from legacy plain-JSON ones.
+FRAME_MAGIC = b"RPRO"
+#: Version of the *frame envelope* (header layout), independent of the
+#: schedule payload's ``FORMAT_VERSION``.
+FRAME_VERSION = 1
+#: magic ``4s`` + version ``u16`` + flags ``u16`` + payload length
+#: ``u32`` + payload CRC32 ``u32`` — fixed 16 bytes, little endian.
+_FRAME_HEADER = struct.Struct("<4sHHII")
+FRAME_HEADER_SIZE = _FRAME_HEADER.size
+#: refuse absurd declared lengths before allocating (a corrupted length
+#: field must not become a multi-GB allocation)
+MAX_FRAME_PAYLOAD = 1 << 28
+
+
+class FrameError(ScheduleError):
+    """A frame violated the wire format (bad magic, bad version, bad
+    declared length)."""
+
+
+class TruncatedFrameError(FrameError):
+    """The buffer ended before the declared frame did."""
+
+
+class CorruptFrameError(FrameError):
+    """The payload does not match its CRC32 (bit rot, hand edits,
+    mid-write truncation that preserved the length)."""
+
+
+def pack_frame(payload: Union[bytes, bytearray, memoryview]) -> bytes:
+    """Wrap ``payload`` in the versioned, CRC-guarded frame envelope."""
+    data = bytes(payload)
+    if len(data) > MAX_FRAME_PAYLOAD:
+        raise FrameError(
+            f"payload of {len(data)} bytes exceeds the frame bound "
+            f"{MAX_FRAME_PAYLOAD}"
+        )
+    header = _FRAME_HEADER.pack(
+        FRAME_MAGIC, FRAME_VERSION, 0, len(data), zlib.crc32(data)
+    )
+    return header + data
+
+
+def frame_payload_length(header: Union[bytes, bytearray, memoryview]) -> int:
+    """Validate a frame header and return the declared payload length
+    (how many more bytes a stream reader must consume)."""
+    raw = bytes(header)
+    if len(raw) < FRAME_HEADER_SIZE:
+        raise TruncatedFrameError(
+            f"frame header needs {FRAME_HEADER_SIZE} bytes, got {len(raw)}"
+        )
+    magic, version, _flags, length, _crc = _FRAME_HEADER.unpack_from(raw)
+    if magic != FRAME_MAGIC:
+        raise FrameError(
+            f"bad frame magic {magic!r} (expected {FRAME_MAGIC!r})"
+        )
+    if version != FRAME_VERSION:
+        raise FrameError(
+            f"unsupported frame version {version} "
+            f"(this reader speaks {FRAME_VERSION})"
+        )
+    if length > MAX_FRAME_PAYLOAD:
+        raise FrameError(
+            f"declared payload of {length} bytes exceeds the frame "
+            f"bound {MAX_FRAME_PAYLOAD}"
+        )
+    return int(length)
+
+
+def unpack_frame(buf: Union[bytes, bytearray, memoryview]) -> bytes:
+    """Unwrap one frame; rejects truncation and CRC mismatches with the
+    typed errors above.  Trailing bytes after the frame are refused
+    (a frame is a complete artifact, not a stream)."""
+    raw = bytes(buf)
+    length = frame_payload_length(raw)
+    end = FRAME_HEADER_SIZE + length
+    if len(raw) < end:
+        raise TruncatedFrameError(
+            f"frame declares {length} payload bytes but only "
+            f"{len(raw) - FRAME_HEADER_SIZE} follow the header"
+        )
+    if len(raw) > end:
+        raise FrameError(
+            f"{len(raw) - end} trailing bytes after the frame"
+        )
+    _magic, _version, _flags, _length, crc = _FRAME_HEADER.unpack_from(raw)
+    payload = raw[FRAME_HEADER_SIZE:end]
+    actual = zlib.crc32(payload)
+    if actual != crc:
+        raise CorruptFrameError(
+            f"payload CRC32 {actual:#010x} does not match the header's "
+            f"{crc:#010x}: frame is corrupted"
+        )
+    return payload
 
 
 def _combine_to_dict(step: LocalCombine) -> dict[str, Any]:
@@ -268,12 +378,47 @@ def schedule_from_json(text: str) -> Schedule:
     return schedule_from_dict(json.loads(text))
 
 
+def schedule_to_frame(sched: Schedule) -> bytes:
+    """Serialize a schedule as one hardened frame (header + CRC32 over
+    the JSON payload) — the unit the schedule service sends and the
+    on-disk artifact format."""
+    return pack_frame(schedule_to_json(sched).encode("utf-8"))
+
+
+def schedule_from_frame(buf: Union[bytes, bytearray, memoryview]) -> Schedule:
+    """Rebuild a schedule from one frame, rejecting truncated or
+    corrupted input with a typed :class:`FrameError`."""
+    payload = unpack_frame(buf)
+    try:
+        data = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        # CRC passed but the payload is not the JSON we wrote: a writer
+        # bug or a framing mismatch, still a typed frame error
+        raise CorruptFrameError(
+            f"frame payload is not valid schedule JSON: {exc}"
+        ) from exc
+    return schedule_from_dict(data)
+
+
 def save_schedule(sched: Schedule, path: str) -> None:
-    """Write a schedule to a JSON file (the on-disk cache format)."""
-    with open(path, "w") as fh:
-        fh.write(schedule_to_json(sched))
+    """Write a schedule artifact (framed: header + CRC32 payload), so a
+    later load detects truncation and hand edits instead of misparsing."""
+    with open(path, "wb") as fh:
+        fh.write(schedule_to_frame(sched))
 
 
 def load_schedule(path: str) -> Schedule:
-    with open(path) as fh:
-        return schedule_from_json(fh.read())
+    """Load a schedule artifact — framed, or legacy plain JSON (files
+    written before the frame format; no integrity check is possible for
+    those)."""
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    if raw[:len(FRAME_MAGIC)] == FRAME_MAGIC:
+        return schedule_from_frame(raw)
+    stripped = raw.lstrip()
+    if stripped[:1] != b"{":
+        raise FrameError(
+            f"{path!r} is neither a schedule frame (magic "
+            f"{FRAME_MAGIC!r}) nor legacy schedule JSON"
+        )
+    return schedule_from_json(raw.decode("utf-8"))

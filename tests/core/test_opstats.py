@@ -129,3 +129,61 @@ class TestCartCommIntegration:
 
         res = run_cartesian((3, 3), NBH, fn, timeout=60)
         assert res[0] == {"alltoallv", "allgatherv"}
+
+
+class TestJsonRoundTrip:
+    def _populated(self):
+        stats = OpStats()
+        stats.record_raw("alltoall", "combining", 4, 8, 256)
+        stats.record_raw("alltoall", "combining", 4, 8, 256)
+        stats.record_raw("reduce", "trivial", 1, 4, 32, backend="lockstep")
+        stats.record_cache(False, 0.25, backend="serve")
+        stats.record_cache(True, backend="serve")
+        stats.record_cache(True)
+        stats.record_plan(False, backend="shm", n=3)
+        stats.record_plan(True, n=2)
+        stats.record_bytes(packed=1024, copied=64, backend="shm")
+        stats.record_fault("delay", 2)
+        return stats
+
+    def test_round_trip_exact(self):
+        stats = self._populated()
+        back = OpStats.from_json(stats.to_json())
+        assert back.records.keys() == stats.records.keys()
+        for key, rec in stats.records.items():
+            other = back.records[key]
+            assert (other.calls, other.rounds, other.volume_blocks,
+                    other.volume_bytes) == (
+                rec.calls, rec.rounds, rec.volume_blocks, rec.volume_bytes)
+        assert back.cache_hits == stats.cache_hits
+        assert back.cache_misses == stats.cache_misses
+        assert back.cache_build_seconds == stats.cache_build_seconds
+        assert back.cache_by_backend == stats.cache_by_backend
+        assert back.plan_hits == stats.plan_hits
+        assert back.plan_misses == stats.plan_misses
+        assert back.plan_by_backend == stats.plan_by_backend
+        assert back.bytes_packed == stats.bytes_packed
+        assert back.bytes_copied == stats.bytes_copied
+        assert back.faults == stats.faults
+        # a second hop is byte-identical (fixed point)
+        assert OpStats.from_json(back.to_json()).to_json() == back.to_json()
+
+    def test_json_is_wire_safe(self):
+        import json
+
+        text = json.dumps(self._populated().to_json())
+        back = OpStats.from_json(json.loads(text))
+        assert back.total_calls == 3
+        assert back.summary()
+
+    def test_empty_round_trip(self):
+        back = OpStats.from_json(OpStats().to_json())
+        assert back.total_calls == 0
+        assert back.records == {}
+
+    def test_round_trip_then_merge(self):
+        stats = self._populated()
+        back = OpStats.from_json(stats.to_json())
+        back.merge_from(stats)
+        assert back.total_calls == 2 * stats.total_calls
+        assert back.cache_hits == 2 * stats.cache_hits

@@ -397,3 +397,198 @@ class TestConcurrentRanks:
 
         out = run_cartesian((3, 3), NBH, fn, info={"collect_stats": True})
         assert "schedule cache" in out[0]
+
+
+class TestSharding:
+    def test_large_cache_is_sharded(self):
+        cache = ScheduleCache(maxsize=512)
+        assert cache.num_shards > 1
+        # shard bounds partition maxsize exactly
+        assert sum(s.maxsize for s in cache.shard_info()) == 512
+
+    def test_small_cache_collapses_to_one_shard(self):
+        assert ScheduleCache(maxsize=4).num_shards == 1
+
+    def test_explicit_shard_count_wins(self):
+        assert ScheduleCache(maxsize=8, shards=4).num_shards == 4
+
+    def test_counters_aggregate_across_shards(self):
+        cache = ScheduleCache(maxsize=512, shards=8)
+        for i in range(40):
+            cache.get_or_build(("key", i), lambda i=i: object())
+            cache.get_or_build(("key", i), lambda: object())
+        info = cache.info()
+        assert info.misses == 40
+        assert info.hits == 40
+        assert info.builds == 40
+        assert info.currsize == 40
+        assert info.shards == 8
+        shard_totals = cache.shard_info()
+        assert sum(s.currsize for s in shard_totals) == 40
+        assert sum(s.hits for s in shard_totals) == 40
+        # keys actually spread over more than one shard
+        assert sum(1 for s in shard_totals if s.currsize) > 1
+
+    def test_distinct_keys_build_concurrently(self):
+        """With sharding, builds of different keys overlap in time (no
+        global lock serializes them)."""
+        cache = ScheduleCache(maxsize=512, shards=8)
+        overlap = threading.Barrier(2, timeout=10)
+
+        def build():
+            overlap.wait()  # both builders inside their build() at once
+            return object()
+
+        threads = [
+            threading.Thread(
+                target=lambda i=i: cache.get_or_build(("k", i), build)
+            )
+            for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert not any(t.is_alive() for t in threads)
+        assert cache.info().builds == 2
+
+
+class _TracksPlans:
+    """Stand-in entry recording clear_plans() calls (what eviction and
+    stale-build discard must trigger)."""
+
+    def __init__(self):
+        self.plans_cleared = 0
+
+    def clear_plans(self):
+        self.plans_cleared += 1
+
+
+class TestEvictionRacingBuilds:
+    def test_clear_during_build_is_not_resurrected(self):
+        """A build finishing after clear() must hand its result to the
+        caller but never file it (no stale resurrection), and must drop
+        the result's compiled plans (no leaked plans)."""
+        cache = ScheduleCache(maxsize=8)
+        in_build = threading.Event()
+        release = threading.Event()
+        entry = _TracksPlans()
+        results = {}
+
+        def build():
+            in_build.set()
+            assert release.wait(timeout=10)
+            return entry
+
+        def worker():
+            results["out"] = cache.get_or_build(("slow",), build)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        assert in_build.wait(timeout=10)
+        cache.clear()  # invalidation races the in-flight build
+        release.set()
+        t.join(timeout=10)
+        sched, hit, secs = results["out"]
+        assert sched is entry and not hit
+        # not resurrected: the cache stayed empty and a fresh request
+        # rebuilds
+        assert len(cache) == 0
+        assert cache.get(("slow",)) is None
+        # no leaked plans: the stale result's plans were dropped
+        assert entry.plans_cleared == 1
+
+    def test_build_without_clear_is_cached_and_keeps_plans(self):
+        cache = ScheduleCache(maxsize=8)
+        entry = _TracksPlans()
+        sched, hit, _ = cache.get_or_build(("k",), lambda: entry)
+        assert sched is entry and not hit
+        assert entry.plans_cleared == 0
+        assert cache.get(("k",)) is entry
+
+    def test_lru_eviction_drops_plans(self):
+        cache = ScheduleCache(maxsize=2)
+        entries = [_TracksPlans() for _ in range(3)]
+        for i, e in enumerate(entries):
+            cache.get_or_build(("k", i), lambda e=e: e)
+        assert entries[0].plans_cleared == 1  # evicted
+        assert entries[1].plans_cleared == 0
+        assert entries[2].plans_cleared == 0
+
+    def test_waiters_of_a_stale_build_get_a_fresh_one(self):
+        """Threads coalesced onto a build that goes stale are not fed
+        the stale object from the cache: its result is never filed, the
+        waiters re-check, and one of them rebuilds *after* the
+        invalidation — the entry that ends up cached is the post-clear
+        build, with the stale build's plans dropped."""
+        cache = ScheduleCache(maxsize=8)
+        in_build = threading.Event()
+        release = threading.Event()
+        built = []
+        results = []
+        lock = threading.Lock()
+
+        def build():
+            with lock:
+                entry = _TracksPlans()
+                built.append(entry)
+            if len(built) == 1:
+                in_build.set()
+                assert release.wait(timeout=10)
+            return entry
+
+        def worker():
+            out = cache.get_or_build(("slow",), build)
+            with lock:
+                results.append(out)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        threads[0].start()
+        assert in_build.wait(timeout=10)
+        for t in threads[1:]:
+            t.start()
+        time.sleep(0.05)  # let the others park on the in-flight event
+        cache.clear()
+        release.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(results) == 4
+        # exactly one rebuild after the invalidation, shared by waiters
+        assert len(built) == 2
+        stale, fresh = built
+        assert stale.plans_cleared == 1  # discarded, plans dropped
+        assert fresh.plans_cleared == 0
+        assert cache.get(("slow",)) is fresh  # no stale resurrection
+        assert sum(1 for out in results if out[0] is stale) == 1
+        assert sum(1 for out in results if out[0] is fresh) == 3
+
+    def test_schedule_plans_invalidated_by_cache_clear_mid_compile(self):
+        """The plan layer's generation guard: a plan compile racing
+        clear_plans() is returned but never cached, so the invalidation
+        cannot leak a plan into the schedule's cache."""
+        from repro.core import plan as plan_mod
+        from repro.core.topology import CartTopology
+
+        nbh = NBH
+        sizes = [8] * nbh.t
+        sched = build_alltoall_schedule(
+            nbh,
+            list(uniform_block_layout(sizes, "send")),
+            list(uniform_block_layout(sizes, "recv")),
+        )
+        sched.prepare()
+        topo = CartTopology((3, 3), (True, True))
+        byte_sizes = {
+            "send": sum(sizes),
+            "recv": sum(sizes),
+            "temp": max(1, sched.temp_nbytes),
+        }
+        plan, hit = plan_mod.get_or_compile(sched, topo, 0, sizes=byte_sizes)
+        assert not hit
+        assert len(sched._plans) == 1
+        generation = sched._plans_generation
+        sched.clear_plans()
+        assert sched._plans == {}
+        assert sched._plans_generation == generation + 1
+        plan2, hit2 = plan_mod.get_or_compile(sched, topo, 0, sizes=byte_sizes)
+        assert not hit2 and plan2 is not plan

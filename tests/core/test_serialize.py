@@ -8,12 +8,23 @@ from repro.core.alltoall_schedule import build_alltoall_schedule
 from repro.core.lockstep import execute_lockstep
 from repro.core.schedule import uniform_block_layout
 from repro.core.serialize import (
+    FRAME_HEADER_SIZE,
+    FRAME_MAGIC,
+    MAX_FRAME_PAYLOAD,
+    CorruptFrameError,
+    FrameError,
+    TruncatedFrameError,
+    frame_payload_length,
     load_schedule,
+    pack_frame,
     save_schedule,
     schedule_from_dict,
+    schedule_from_frame,
     schedule_from_json,
     schedule_to_dict,
+    schedule_to_frame,
     schedule_to_json,
+    unpack_frame,
 )
 from repro.core.stencils import moore_neighborhood, parameterized_stencil
 from repro.core.topology import CartTopology
@@ -303,3 +314,110 @@ class TestReduceSerializationRefusals:
             assert key not in data
         for ph in data["phases"]:
             assert "combine_steps" not in ph
+
+
+class TestFrames:
+    """The hardened wire envelope: versioned header + CRC32 payload."""
+
+    def test_round_trip(self):
+        payload = b'{"hello": 1}'
+        frame = pack_frame(payload)
+        assert frame[:4] == FRAME_MAGIC
+        assert len(frame) == FRAME_HEADER_SIZE + len(payload)
+        assert unpack_frame(frame) == payload
+        assert frame_payload_length(frame[:FRAME_HEADER_SIZE]) == len(payload)
+
+    def test_empty_payload(self):
+        assert unpack_frame(pack_frame(b"")) == b""
+
+    def test_truncated_header(self):
+        frame = pack_frame(b"abc")
+        with pytest.raises(TruncatedFrameError, match="header"):
+            frame_payload_length(frame[: FRAME_HEADER_SIZE - 1])
+        with pytest.raises(TruncatedFrameError):
+            unpack_frame(frame[:4])
+
+    def test_truncated_payload(self):
+        frame = pack_frame(b"0123456789")
+        with pytest.raises(TruncatedFrameError, match="declares"):
+            unpack_frame(frame[:-3])
+
+    def test_trailing_bytes_refused(self):
+        frame = pack_frame(b"abc")
+        with pytest.raises(FrameError, match="trailing"):
+            unpack_frame(frame + b"x")
+
+    def test_bad_magic(self):
+        frame = bytearray(pack_frame(b"abc"))
+        frame[0] = ord("X")
+        with pytest.raises(FrameError, match="magic"):
+            unpack_frame(bytes(frame))
+
+    def test_bad_version(self):
+        frame = bytearray(pack_frame(b"abc"))
+        frame[4] = 99
+        with pytest.raises(FrameError, match="version"):
+            unpack_frame(bytes(frame))
+
+    def test_corrupt_payload_crc(self):
+        frame = bytearray(pack_frame(b'{"k": 12345}'))
+        frame[-3] ^= 0x40  # flip one payload bit
+        with pytest.raises(CorruptFrameError, match="CRC32"):
+            unpack_frame(bytes(frame))
+
+    def test_absurd_declared_length_rejected(self):
+        header = bytearray(pack_frame(b"abc")[:FRAME_HEADER_SIZE])
+        # overwrite the length field (offset 8, little-endian u32)
+        header[8:12] = (MAX_FRAME_PAYLOAD + 1).to_bytes(4, "little")
+        with pytest.raises(FrameError, match="bound"):
+            frame_payload_length(bytes(header))
+
+    def test_schedule_frame_round_trip(self):
+        orig = build()
+        frame = schedule_to_frame(orig)
+        back = schedule_from_frame(frame)
+        assert schedule_to_json(back) == schedule_to_json(orig)
+
+    def test_valid_crc_bad_json_is_corrupt(self):
+        frame = pack_frame(b"this is not json")
+        with pytest.raises(CorruptFrameError, match="JSON"):
+            schedule_from_frame(frame)
+
+    def test_save_writes_framed_binary(self, tmp_path):
+        path = str(tmp_path / "sched.rpro")
+        orig = build()
+        save_schedule(orig, path)
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        assert blob[:4] == FRAME_MAGIC
+        back = load_schedule(path)
+        assert schedule_to_json(back) == schedule_to_json(orig)
+
+    def test_load_accepts_legacy_plain_json(self, tmp_path):
+        path = str(tmp_path / "sched.json")
+        orig = build()
+        with open(path, "w") as fh:
+            fh.write(schedule_to_json(orig))
+        back = load_schedule(path)
+        assert schedule_to_json(back) == schedule_to_json(orig)
+
+    def test_load_rejects_corrupted_file(self, tmp_path):
+        path = str(tmp_path / "sched.rpro")
+        save_schedule(build(), path)
+        with open(path, "rb") as fh:
+            blob = bytearray(fh.read())
+        blob[-1] ^= 0xFF
+        with open(path, "wb") as fh:
+            fh.write(bytes(blob))
+        with pytest.raises(CorruptFrameError):
+            load_schedule(path)
+
+    def test_load_rejects_truncated_file(self, tmp_path):
+        path = str(tmp_path / "sched.rpro")
+        save_schedule(build(), path)
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(blob[: len(blob) // 2])
+        with pytest.raises(TruncatedFrameError):
+            load_schedule(path)

@@ -1,0 +1,225 @@
+"""Wire protocol of the schedule service: framing, request model,
+canonical keying."""
+
+import socket
+
+import pytest
+
+from repro.analyze.schedule_verifier import verify_schedule
+from repro.core import schedule_cache
+from repro.core.serialize import CorruptFrameError
+from repro.serve.protocol import (
+    ProtocolError,
+    ScheduleRequest,
+    decode_message,
+    encode_message,
+    read_message_sync,
+)
+
+
+def stencil_dict(kind="alltoall", algorithm="combining", dims=(3, 3)):
+    offsets = [[1, 0], [-1, 0], [0, 1], [0, -1]]
+    n = len(offsets)
+    d = {
+        "kind": kind,
+        "algorithm": algorithm,
+        "offsets": offsets,
+        "dims": list(dims),
+        "periods": [True] * len(dims),
+        "send": [[["send", 8 * i, 8]] for i in range(n)],
+        "recv": [[["recv", 8 * i, 8]] for i in range(n)],
+    }
+    if kind == "allgather":
+        d["send"] = [[["send", 0, 8]]]
+    return d
+
+
+def reduce_dict(**over):
+    d = {
+        "kind": "reduce",
+        "algorithm": "combining",
+        "offsets": [[1, 0], [-1, 0], [0, 1], [0, -1]],
+        "dims": [3, 3],
+        "periods": [True, True],
+        "m_bytes": 8,
+        "dtype": "float64",
+        "reduce_op": "sum",
+    }
+    d.update(over)
+    return d
+
+
+class TestMessageFraming:
+    def test_round_trip(self):
+        msg = {"op": "ping", "n": [1, 2, 3]}
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_corrupt_frame_is_typed(self):
+        frame = bytearray(encode_message({"op": "ping"}))
+        frame[-1] ^= 0xFF
+        with pytest.raises(CorruptFrameError):
+            decode_message(bytes(frame))
+
+    def test_non_object_payload_refused(self):
+        from repro.core.serialize import pack_frame
+
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_message(pack_frame(b"[1, 2, 3]"))
+        with pytest.raises(ProtocolError, match="JSON"):
+            decode_message(pack_frame(b"not json"))
+
+    def test_read_message_sync_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(encode_message({"op": "ping", "x": 7}))
+            assert read_message_sync(b) == {"op": "ping", "x": 7}
+            # a closed peer mid-frame is a ConnectionError, not a hang
+            a.sendall(encode_message({"op": "ping"})[:10])
+            a.close()
+            with pytest.raises(ConnectionError, match="mid-frame"):
+                read_message_sync(b)
+        finally:
+            b.close()
+
+
+class TestScheduleRequestParsing:
+    def test_round_trip_through_wire_dict(self):
+        req = ScheduleRequest.from_dict(stencil_dict())
+        again = ScheduleRequest.from_dict(req.to_dict())
+        assert again == req
+        assert again.canonical_key() == req.canonical_key()
+
+    def test_reduce_round_trip(self):
+        req = ScheduleRequest.from_dict(reduce_dict())
+        again = ScheduleRequest.from_dict(req.to_dict())
+        assert again == req
+        assert req.is_reduction
+
+    def test_missing_kind_or_offsets(self):
+        with pytest.raises(ProtocolError, match="kind"):
+            ScheduleRequest.from_dict({"offsets": [[1, 0]]})
+        with pytest.raises(ProtocolError, match="kind"):
+            ScheduleRequest.from_dict({"kind": "alltoall"})
+
+    def test_empty_offsets(self):
+        d = stencil_dict()
+        d["offsets"] = []
+        with pytest.raises(ProtocolError, match="empty"):
+            ScheduleRequest.from_dict(d)
+
+    def test_ragged_offsets(self):
+        d = stencil_dict()
+        d["offsets"] = [[1, 0], [1]]
+        with pytest.raises(ProtocolError, match="ragged"):
+            ScheduleRequest.from_dict(d)
+
+    def test_unknown_kind_and_algorithm(self):
+        with pytest.raises(ProtocolError, match="unknown schedule request"):
+            ScheduleRequest.from_dict(stencil_dict(kind="frobnicate"))
+        with pytest.raises(ProtocolError, match="unknown schedule request"):
+            ScheduleRequest.from_dict(stencil_dict(algorithm="quantum"))
+        # allreduce has no trivial variant
+        with pytest.raises(ProtocolError, match="unknown schedule request"):
+            ScheduleRequest.from_dict(
+                reduce_dict(kind="allreduce", algorithm="trivial")
+            )
+
+    def test_data_movement_requires_layouts(self):
+        d = stencil_dict()
+        del d["send"]
+        with pytest.raises(ProtocolError, match="send"):
+            ScheduleRequest.from_dict(d)
+
+    def test_plan_fields_ride_along(self):
+        d = stencil_dict()
+        d["rank"] = 4
+        d["sizes"] = {"send": 64, "recv": 64}
+        req = ScheduleRequest.from_dict(d)
+        assert req.rank == 4
+        assert dict(req.sizes) == {"send": 64, "recv": 64}
+        again = ScheduleRequest.from_dict(req.to_dict("plan"))
+        assert again == req
+
+
+class TestCanonicalKey:
+    def test_matches_process_cache_fingerprint(self):
+        """The daemon and the in-process cache agree about identity."""
+        req = ScheduleRequest.from_dict(stencil_dict())
+        key = req.canonical_key()
+        expected = schedule_cache.schedule_key(
+            "alltoall/combining",
+            req.neighborhood(),
+            req.layout_signature(),
+            (3, 3),
+            (True, True),
+        )
+        assert key == expected
+
+    def test_key_varies_with_request(self):
+        base = ScheduleRequest.from_dict(stencil_dict()).canonical_key()
+        assert base != ScheduleRequest.from_dict(
+            stencil_dict(dims=(9, 1))
+        ).canonical_key()
+        assert base != ScheduleRequest.from_dict(
+            stencil_dict(algorithm="trivial")
+        ).canonical_key()
+        other = stencil_dict()
+        other["send"][0] = [["send", 0, 16]]
+        assert base != ScheduleRequest.from_dict(other).canonical_key()
+
+    def test_reduce_key_includes_op_dtype_m(self):
+        base = ScheduleRequest.from_dict(reduce_dict()).canonical_key()
+        assert base != ScheduleRequest.from_dict(
+            reduce_dict(reduce_op="max")
+        ).canonical_key()
+        assert base != ScheduleRequest.from_dict(
+            reduce_dict(dtype="int32")
+        ).canonical_key()
+        assert base != ScheduleRequest.from_dict(
+            reduce_dict(m_bytes=16)
+        ).canonical_key()
+        # identical requests collide (that is the dedup)
+        assert base == ScheduleRequest.from_dict(reduce_dict()).canonical_key()
+
+
+class TestRequestBuild:
+    @pytest.mark.parametrize(
+        "kind,algorithm",
+        [
+            ("alltoall", "combining"),
+            ("alltoall", "trivial"),
+            ("alltoall", "direct"),
+            ("allgather", "combining"),
+        ],
+    )
+    def test_builds_verifiable_data_movement(self, kind, algorithm):
+        req = ScheduleRequest.from_dict(stencil_dict(kind, algorithm))
+        sched = req.build()
+        assert kind in sched.kind  # e.g. "trivial-alltoall"
+        report = verify_schedule(sched, (3, 3), (True, True))
+        assert report.ok, report.summary()
+
+    @pytest.mark.parametrize(
+        "kind,algorithm",
+        [
+            ("reduce", "combining"),
+            ("reduce", "trivial"),
+            ("reduce_scatter", "combining"),
+            ("allreduce", "combining"),
+        ],
+    )
+    def test_builds_verifiable_reductions(self, kind, algorithm):
+        req = ScheduleRequest.from_dict(
+            reduce_dict(kind=kind, algorithm=algorithm)
+        )
+        sched = req.build()
+        assert sched.is_reduction
+        report = verify_schedule(sched, (3, 3), (True, True))
+        assert report.ok, report.summary()
+
+    def test_allgather_rejects_multiple_send_sets(self):
+        d = stencil_dict("allgather")
+        d["send"] = [[["send", 0, 8]], [["send", 8, 8]]]
+        req = ScheduleRequest.from_dict(d)
+        with pytest.raises(ProtocolError, match="exactly one"):
+            req.build()

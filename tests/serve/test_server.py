@@ -1,0 +1,410 @@
+"""The schedule daemon end to end: round trips, certification,
+cross-connection single-flight, ready mirror, plan service, clients."""
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import plan as plan_mod
+from repro.core.schedule_cache import ScheduleCache
+from repro.core.serialize import schedule_to_dict
+from repro.core.topology import CartTopology
+from repro.serve.client import AsyncScheduleClient, ScheduleClient
+from repro.serve.protocol import (
+    ScheduleRequest,
+    ServeError,
+    encode_message,
+    read_message,
+)
+from repro.serve.server import ScheduleServer
+
+TIMEOUT = 60.0
+
+
+def stencil_dict(kind="alltoall", algorithm="combining", dims=(3, 3)):
+    offsets = [[1, 0], [-1, 0], [0, 1], [0, -1]]
+    n = len(offsets)
+    d = {
+        "kind": kind,
+        "algorithm": algorithm,
+        "offsets": offsets,
+        "dims": list(dims),
+        "periods": [True] * len(dims),
+        "send": [[["send", 8 * i, 8]] for i in range(n)],
+        "recv": [[["recv", 8 * i, 8]] for i in range(n)],
+    }
+    if kind == "allgather":
+        d["send"] = [[["send", 0, 8]]]
+    return d
+
+
+def reduce_dict(**over):
+    d = {
+        "kind": "reduce",
+        "algorithm": "combining",
+        "offsets": [[1, 0], [-1, 0], [0, 1], [0, -1]],
+        "dims": [3, 3],
+        "periods": [True, True],
+        "m_bytes": 8,
+        "dtype": "float64",
+        "reduce_op": "sum",
+    }
+    d.update(over)
+    return d
+
+
+def run_plan(plan, byte_sizes):
+    """Pack → loopback-deliver → local copies; returns the recv buffer."""
+    rng = np.random.default_rng(0)
+    buffers = {
+        name: rng.integers(0, 256, n, dtype=np.uint8).copy()
+        for name, n in byte_sizes.items()
+    }
+    for phase in plan.phases:
+        payloads = [
+            rnd.send.pack(buffers) if rnd.send is not None else None
+            for rnd in phase
+        ]
+        for rnd, payload in zip(phase, payloads):
+            if rnd.recv is not None and payload is not None:
+                rnd.recv.unpack(buffers, payload)
+    plan.run_local_copies(buffers)
+    return buffers["recv"].copy()
+
+
+def sock_path(tmp_path):
+    return str(tmp_path / "serve.sock")
+
+
+async def _stop_and_close(server, *clients):
+    for client in clients:
+        await client.close()
+    await server.stop()
+
+
+def drive(coro):
+    return asyncio.run(asyncio.wait_for(coro, TIMEOUT))
+
+
+class _GatedCache(ScheduleCache):
+    """A cache whose builds block until the test releases them — makes
+    the single-flight window deterministic."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.release = threading.Event()
+
+    def get_or_build(self, key, build, verify=None):
+        assert self.release.wait(TIMEOUT), "test never released the gate"
+        return super().get_or_build(key, build, verify)
+
+
+class TestDaemon:
+    def test_ping_and_stats(self, tmp_path):
+        async def main():
+            server = ScheduleServer(sock_path(tmp_path), cache=ScheduleCache())
+            await server.start()
+            client = await AsyncScheduleClient.connect(server.address)
+            try:
+                assert await client.ping()
+                stats = await client.stats()
+                assert stats["server"]["connections"] == 1
+                assert stats["server"]["requests"] == {"ping": 1, "stats": 1}
+                assert stats["verify"] is True
+                assert "cache" in stats and "cache_shards" in stats
+                assert "plan_store" not in stats
+            finally:
+                await _stop_and_close(server, client)
+
+        drive(main())
+
+    def test_tcp_endpoint_discovers_port(self):
+        async def main():
+            server = ScheduleServer(host="127.0.0.1", cache=ScheduleCache())
+            await server.start()
+            host, port = server.address
+            assert port > 0
+            client = await AsyncScheduleClient.connect(host=host, port=port)
+            try:
+                assert await client.ping()
+            finally:
+                await _stop_and_close(server, client)
+
+        drive(main())
+
+    def test_schedule_round_trip_matches_local_build(self, tmp_path):
+        async def main():
+            server = ScheduleServer(sock_path(tmp_path), cache=ScheduleCache())
+            await server.start()
+            client = await AsyncScheduleClient.connect(server.address)
+            try:
+                req = ScheduleRequest.from_dict(stencil_dict())
+                sched, resp = await client.request_schedule(req)
+                assert resp["certified"] is True
+                assert resp["hit"] is False
+                assert resp["single_flight"] is False
+                # the served schedule is the one a local build produces
+                local = req.build()
+                local.prepare()
+                assert schedule_to_dict(sched) == schedule_to_dict(local)
+            finally:
+                await _stop_and_close(server, client)
+
+        drive(main())
+
+    def test_reduce_schedule_served(self, tmp_path):
+        async def main():
+            server = ScheduleServer(sock_path(tmp_path), cache=ScheduleCache())
+            await server.start()
+            client = await AsyncScheduleClient.connect(server.address)
+            try:
+                sched, resp = await client.request_schedule(
+                    ScheduleRequest.from_dict(reduce_dict())
+                )
+                assert sched.is_reduction
+                assert resp["certified"] is True
+            finally:
+                await _stop_and_close(server, client)
+
+        drive(main())
+
+    def test_repeat_request_hits_ready_mirror(self, tmp_path):
+        async def main():
+            server = ScheduleServer(sock_path(tmp_path), cache=ScheduleCache())
+            await server.start()
+            client = await AsyncScheduleClient.connect(server.address)
+            try:
+                req = ScheduleRequest.from_dict(stencil_dict())
+                _, first = await client.request_schedule(req)
+                _, again = await client.request_schedule(req)
+                assert first["hit"] is False
+                assert again["hit"] is True
+                assert again["single_flight"] is False
+                assert server.stats.ready_hits == 1
+                assert server.stats.builds == 1
+            finally:
+                await _stop_and_close(server, client)
+
+        drive(main())
+
+    def test_cross_connection_single_flight(self, tmp_path):
+        """The acceptance criterion: N identical concurrent requests
+        from N connections cost one build and N-1 single-flight hits,
+        and the dedup is visible in telemetry."""
+        n = 6
+
+        async def main():
+            cache = _GatedCache()
+            server = ScheduleServer(sock_path(tmp_path), cache=cache)
+            await server.start()
+            clients = [
+                await AsyncScheduleClient.connect(server.address)
+                for _ in range(n)
+            ]
+            try:
+                req = ScheduleRequest.from_dict(stencil_dict())
+                tasks = [
+                    asyncio.ensure_future(c.request_schedule(req))
+                    for c in clients
+                ]
+                # wait until every follower has joined the leader's build
+                while server.stats.single_flight_hits < n - 1:
+                    await asyncio.sleep(0.005)
+                cache.release.set()
+                results = [resp for _, resp in await asyncio.gather(*tasks)]
+                flights = sorted(r["single_flight"] for r in results)
+                assert flights == [False] + [True] * (n - 1)
+                assert server.stats.builds == 1
+                assert server.stats.single_flight_hits == n - 1
+                stats = await clients[0].stats()
+                assert stats["server"]["builds"] == 1
+                assert stats["server"]["single_flight_hits"] == n - 1
+                assert stats["server"]["batches"] >= 1
+            finally:
+                await _stop_and_close(server, *clients)
+
+        drive(main())
+
+    def test_distinct_requests_build_independently(self, tmp_path):
+        async def main():
+            server = ScheduleServer(sock_path(tmp_path), cache=ScheduleCache())
+            await server.start()
+            client = await AsyncScheduleClient.connect(server.address)
+            try:
+                a = ScheduleRequest.from_dict(stencil_dict())
+                b = ScheduleRequest.from_dict(stencil_dict(dims=(9, 1)))
+                await client.request_schedule(a)
+                await client.request_schedule(b)
+                assert server.stats.builds == 2
+                assert server.stats.single_flight_hits == 0
+            finally:
+                await _stop_and_close(server, client)
+
+        drive(main())
+
+
+class TestErrors:
+    def test_unknown_op_is_answered_not_fatal(self, tmp_path):
+        async def main():
+            server = ScheduleServer(sock_path(tmp_path), cache=ScheduleCache())
+            await server.start()
+            client = await AsyncScheduleClient.connect(server.address)
+            try:
+                with pytest.raises(ServeError, match="unknown op"):
+                    await client.request({"op": "frobnicate"})
+                # the connection survives a dispatch error
+                assert await client.ping()
+                assert server.stats.protocol_errors == 1
+            finally:
+                await _stop_and_close(server, client)
+
+        drive(main())
+
+    def test_certification_requires_dims(self, tmp_path):
+        async def main():
+            server = ScheduleServer(sock_path(tmp_path), cache=ScheduleCache())
+            await server.start()
+            client = await AsyncScheduleClient.connect(server.address)
+            try:
+                bare = stencil_dict()
+                del bare["dims"], bare["periods"]
+                with pytest.raises(ServeError, match="requires 'dims'"):
+                    await client.request({"op": "schedule", **bare})
+                assert await client.ping()
+            finally:
+                await _stop_and_close(server, client)
+
+        drive(main())
+
+    def test_no_verify_serves_without_dims(self, tmp_path):
+        async def main():
+            server = ScheduleServer(
+                sock_path(tmp_path), verify=False, cache=ScheduleCache()
+            )
+            await server.start()
+            client = await AsyncScheduleClient.connect(server.address)
+            try:
+                bare = stencil_dict()
+                del bare["dims"], bare["periods"]
+                resp = await client.request({"op": "schedule", **bare})
+                assert resp["certified"] is False
+                assert "schedule" in resp
+            finally:
+                await _stop_and_close(server, client)
+
+        drive(main())
+
+    def test_corrupt_frame_answered_then_closed(self, tmp_path):
+        async def main():
+            server = ScheduleServer(sock_path(tmp_path), cache=ScheduleCache())
+            await server.start()
+            reader, writer = await asyncio.open_unix_connection(server.address)
+            try:
+                frame = bytearray(encode_message({"op": "ping"}))
+                frame[-1] ^= 0xFF  # break the payload CRC
+                writer.write(bytes(frame))
+                await writer.drain()
+                resp = await read_message(reader)
+                assert resp["status"] == "error"
+                assert resp["etype"] == "CorruptFrameError"
+                # a desynchronized stream is closed after the answer
+                assert await reader.read() == b""
+                assert server.stats.protocol_errors == 1
+            finally:
+                writer.close()
+                await _stop_and_close(server)
+
+        drive(main())
+
+
+class TestPlanService:
+    def test_plan_requests_need_shm_store(self, tmp_path):
+        async def main():
+            server = ScheduleServer(sock_path(tmp_path), cache=ScheduleCache())
+            await server.start()
+            client = await AsyncScheduleClient.connect(server.address)
+            try:
+                d = stencil_dict()
+                d.update(rank=0, sizes={"send": 32, "recv": 32, "temp": 64})
+                with pytest.raises(ServeError, match="shm_plans"):
+                    await client.request({"op": "plan", **d})
+            finally:
+                await _stop_and_close(server, client)
+
+        drive(main())
+
+    def test_plan_round_trip_and_store_hit(self, tmp_path):
+        async def main():
+            server = ScheduleServer(
+                sock_path(tmp_path), shm_plans=True, cache=ScheduleCache()
+            )
+            await server.start()
+            assert server.plan_segment is not None
+            client = await AsyncScheduleClient.connect(server.address)
+            try:
+                req = ScheduleRequest.from_dict(stencil_dict())
+                sched = req.build()
+                sched.prepare()
+                byte_sizes = {
+                    "send": 32,
+                    "recv": 32,
+                    "temp": max(1, sched.temp_nbytes),
+                }
+                d = req.to_dict("plan")
+                d.update(rank=0, sizes=dict(byte_sizes))
+                plan_req = ScheduleRequest.from_dict(d)
+                plan, resp = await client.request_plan(plan_req)
+                assert resp["plan_hit"] is False
+                assert resp["shm"]["segment"] == server.plan_segment
+                # the mapped plan behaves exactly like a local compile
+                topo = CartTopology((3, 3), (True, True))
+                local = plan_mod.compile_plan(sched, topo, 0, byte_sizes)
+                np.testing.assert_array_equal(
+                    run_plan(plan, byte_sizes), run_plan(local, byte_sizes)
+                )
+                del plan  # release shm views before the client detaches
+                # a repeat answer comes straight out of the store
+                plan2, resp2 = await client.request_plan(plan_req)
+                assert resp2["plan_hit"] is True
+                assert resp2["shm"]["offset"] == resp["shm"]["offset"]
+                del plan2
+                assert server.stats.plans_published == 1
+                stats = await client.stats()
+                assert stats["plan_store"]["entries"] == 1
+                assert stats["plan_store"]["used"] > 0
+            finally:
+                await _stop_and_close(server, client)
+
+        drive(main())
+
+
+class TestSyncClientAndShutdown:
+    def test_blocking_client_and_shutdown_op(self, tmp_path):
+        """The blocking client drives a daemon thread end to end, and a
+        shutdown request ends serve_forever."""
+        path = sock_path(tmp_path)
+        server = ScheduleServer(path, cache=ScheduleCache())
+        started = threading.Event()
+
+        def run():
+            async def main():
+                await server.start()
+                started.set()
+                await server.serve_forever()
+
+            asyncio.run(main())
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert started.wait(TIMEOUT)
+        with ScheduleClient(path) as client:
+            assert client.ping()
+            req = ScheduleRequest.from_dict(stencil_dict())
+            sched, resp = client.request_schedule(req)
+            assert resp["certified"] is True
+            assert "alltoall" in sched.kind
+            client.shutdown()
+        thread.join(timeout=TIMEOUT)
+        assert not thread.is_alive()
